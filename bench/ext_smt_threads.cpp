@@ -1,0 +1,65 @@
+// Extension: fine-grained parallelism on SMT hardware threads.
+//
+// Section II: "Our technique can also be applied to multiple hardware
+// threads on the same core, but we have not experimented with this option
+// yet. ... the considerations will be similar to those applicable when
+// normally deciding whether or not to use SMT threads (balanced use of
+// memory and processing resources amongst the code sections executed by
+// multiple threads)."
+//
+// This bench runs the same 4-thread compiled code on three machines: four
+// physical cores (the paper's configuration), two 2-way SMT cores, and one
+// 4-way SMT core.  SMT threads share their core's issue slot round-robin
+// and its L1, so compute-bound partitions collapse toward 1x while
+// stall-heavy partitions retain some benefit (the sibling uses the cycles
+// a stalled thread would waste).
+#include <cstdio>
+#include <vector>
+
+#include "kernels/experiments.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace fgpar;
+
+  struct Config {
+    const char* label;
+    int threads_per_core;
+  };
+  const std::vector<Config> machines = {
+      {"4 cores x 1 thread", 1},
+      {"2 cores x 2 threads", 2},
+      {"1 core x 4 threads", 4},
+  };
+
+  TextTable table({"Kernel", "4cx1t", "2cx2t", "1cx4t"});
+  std::vector<std::vector<double>> all(machines.size());
+  for (const kernels::SequoiaKernel& spec : kernels::SequoiaKernels()) {
+    const ir::Kernel kernel = kernels::ParseSequoia(spec);
+    harness::KernelRunner runner(kernel, kernels::SequoiaInit(spec));
+    std::vector<std::string> row = {spec.id};
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      kernels::ExperimentConfig config;
+      config.cores = 4;
+      harness::RunConfig run_config = kernels::ToRunConfig(config);
+      run_config.threads_per_core = machines[m].threads_per_core;
+      const harness::KernelRun run = runner.Run(run_config);
+      all[m].push_back(run.speedup);
+      row.push_back(FormatFixed(run.speedup, 2));
+    }
+    table.AddRow(row);
+  }
+  table.AddSeparator();
+  table.AddRow({"average", FormatFixed(Mean(all[0]), 2),
+                FormatFixed(Mean(all[1]), 2), FormatFixed(Mean(all[2]), 2)});
+  std::printf("%s\n",
+              table
+                  .Render("Extension: the same 4-thread fine-grained parallel "
+                          "code on machines with 4, 2, and 1 physical cores\n"
+                          "(Section II's SMT option; sequential baseline runs "
+                          "on one thread of the same machine)")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 13 (plus the text's 100-cycle data point): sensitivity of the
+// 4-core speedups to the queue transfer latency.
+//
+// Paper: at 5 cycles the average speedup is 2.05; at 20 cycles it drops to
+// 1.85 (four kernels lose their speedup); at 50 cycles to 1.36 (six kernels
+// below 1); at 100 cycles there is no speedup on average and only 2 of 18
+// kernels still gain.  "The technique is inherently sensitive to
+// communication latencies."
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "kernels/experiments.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace fgpar;
+
+  const std::vector<int> latencies = {5, 20, 50, 100};
+  std::map<int, std::vector<harness::KernelRun>> by_latency;
+  for (int latency : latencies) {
+    kernels::ExperimentConfig config;
+    config.cores = 4;
+    config.transfer_latency = latency;
+    by_latency[latency] = kernels::RunAllKernels(config);
+  }
+
+  std::vector<std::string> header = {"Kernel"};
+  for (int latency : latencies) {
+    header.push_back(std::to_string(latency) + " cyc");
+  }
+  TextTable table(header);
+  const std::size_t kernel_count = by_latency[5].size();
+  for (std::size_t i = 0; i < kernel_count; ++i) {
+    std::vector<std::string> row = {by_latency[5][i].kernel_name};
+    for (int latency : latencies) {
+      row.push_back(FormatFixed(by_latency[latency][i].speedup, 2));
+    }
+    table.AddRow(row);
+  }
+  table.AddSeparator();
+  std::vector<std::string> avg_row = {"average"};
+  std::vector<std::string> losers_row = {"kernels <= 1.0"};
+  for (int latency : latencies) {
+    std::vector<double> speedups;
+    int losers = 0;
+    for (const harness::KernelRun& run : by_latency[latency]) {
+      speedups.push_back(run.speedup);
+      losers += run.speedup <= 1.0 ? 1 : 0;
+    }
+    avg_row.push_back(FormatFixed(Mean(speedups), 2));
+    losers_row.push_back(std::to_string(losers));
+  }
+  table.AddRow(avg_row);
+  table.AddRow(losers_row);
+
+  std::printf("%s\n",
+              table
+                  .Render("Figure 13: 4-core speedup vs queue transfer latency\n"
+                          "(paper averages: 2.05 @5, 1.85 @20, 1.36 @50, ~1.0 "
+                          "@100; losers 1/4/6/16)")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Compile-time microbenchmarks (google-benchmark).
+//
+// Section III-B: the multi-pair merge variant "allows faster compilation,
+// and becomes useful when there are a large number of fibers to process."
+// These benchmarks time the partitioning pipeline on a synthetically
+// widened kernel and compare single-pair vs multi-pair merging, plus the
+// cost of the full compile path.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "compiler/compile.hpp"
+#include "compiler/partition.hpp"
+#include "frontend/parser.hpp"
+
+namespace {
+
+using namespace fgpar;
+
+/// A kernel with `width` independent output statements -> many fibers.
+ir::Kernel WideKernel(int width) {
+  std::ostringstream os;
+  os << "kernel wide {\n  param i64 n;\n  array f64 a[1024];\n";
+  for (int w = 0; w < width; ++w) {
+    os << "  array f64 o" << w << "[1024];\n";
+  }
+  os << "  loop i = 2 .. n {\n";
+  for (int w = 0; w < width; ++w) {
+    os << "    o" << w << "[i] = a[i] * " << (w + 2) << ".0 + a[i-1] * a[i+"
+       << (w % 3) << "] - " << w << ".5;\n";
+  }
+  os << "  }\n}\n";
+  return frontend::ParseKernel(os.str());
+}
+
+void BM_PartitionSinglePair(benchmark::State& state) {
+  const ir::Kernel kernel = WideKernel(static_cast<int>(state.range(0)));
+  compiler::CompileOptions options;
+  options.num_cores = 4;
+  options.multi_pair_merge = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::PartitionKernel(kernel, options, nullptr));
+  }
+}
+BENCHMARK(BM_PartitionSinglePair)->Arg(8)->Arg(24)->Arg(48);
+
+void BM_PartitionMultiPair(benchmark::State& state) {
+  const ir::Kernel kernel = WideKernel(static_cast<int>(state.range(0)));
+  compiler::CompileOptions options;
+  options.num_cores = 4;
+  options.multi_pair_merge = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::PartitionKernel(kernel, options, nullptr));
+  }
+}
+BENCHMARK(BM_PartitionMultiPair)->Arg(8)->Arg(24)->Arg(48);
+
+void BM_FullParallelCompile(benchmark::State& state) {
+  const ir::Kernel kernel = WideKernel(static_cast<int>(state.range(0)));
+  const ir::DataLayout layout(kernel);
+  compiler::CompileOptions options;
+  options.num_cores = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::CompileParallel(kernel, layout, options));
+  }
+}
+BENCHMARK(BM_FullParallelCompile)->Arg(8)->Arg(24);
+
+void BM_SequentialCompile(benchmark::State& state) {
+  const ir::Kernel kernel = WideKernel(static_cast<int>(state.range(0)));
+  const ir::DataLayout layout(kernel);
+  compiler::CompileOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::CompileSequential(kernel, layout, options));
+  }
+}
+BENCHMARK(BM_SequentialCompile)->Arg(8)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark) of the simulator substrate itself:
+// raw simulation throughput of the core model, the hardware queues, and
+// the cache hierarchy.  These measure the *host* cost of simulation, not
+// simulated time — useful for sizing experiment sweeps.
+#include <benchmark/benchmark.h>
+
+#include "isa/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace {
+
+using namespace fgpar;
+
+void BM_CoreIssueThroughput(benchmark::State& state) {
+  // A tight arithmetic loop; measures simulated instructions per host second.
+  isa::Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(isa::Gpr{1}, static_cast<std::int64_t>(state.range(0)));
+  a.LiI(isa::Gpr{2}, 1);
+  a.LiI(isa::Gpr{3}, 0);
+  isa::Label top = a.NewLabel();
+  a.Bind(top);
+  a.AddI(isa::Gpr{3}, isa::Gpr{3}, isa::Gpr{2});
+  a.AddI(isa::Gpr{4}, isa::Gpr{3}, isa::Gpr{2});
+  a.AddI(isa::Gpr{5}, isa::Gpr{4}, isa::Gpr{2});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top);
+  a.Halt();
+  const isa::Program program = a.Finish();
+
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::MachineConfig config;
+    config.num_cores = 1;
+    config.memory_words = 1 << 12;
+    sim::Machine machine(config, program);
+    machine.StartCoreAt(0, "main");
+    const sim::RunResult result = machine.Run();
+    instructions += result.instructions;
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreIssueThroughput)->Arg(1000)->Arg(10000);
+
+void BM_QueuePingPong(benchmark::State& state) {
+  // Two cores bouncing a value; measures queue-op simulation cost.
+  isa::Assembler a;
+  isa::Label core0 = a.NewNamedLabel("core0");
+  isa::Label core1 = a.NewNamedLabel("core1");
+  const std::int64_t rounds = state.range(0);
+
+  a.Bind(core0);
+  a.LiI(isa::Gpr{1}, rounds);
+  a.LiI(isa::Gpr{2}, 1);
+  isa::Label top0 = a.NewLabel();
+  a.Bind(top0);
+  a.EnqI(1, isa::Gpr{1});
+  a.DeqI(1, isa::Gpr{3});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top0);
+  a.Halt();
+
+  a.Bind(core1);
+  a.LiI(isa::Gpr{1}, rounds);
+  a.LiI(isa::Gpr{2}, 1);
+  isa::Label top1 = a.NewLabel();
+  a.Bind(top1);
+  a.DeqI(0, isa::Gpr{3});
+  a.EnqI(0, isa::Gpr{3});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top1);
+  a.Halt();
+
+  const isa::Program program = a.Finish();
+  std::uint64_t transfers = 0;
+  for (auto _ : state) {
+    sim::MachineConfig config;
+    config.num_cores = 2;
+    config.memory_words = 1 << 12;
+    sim::Machine machine(config, program);
+    machine.StartCoreAt(0, "core0");
+    machine.StartCoreAt(1, "core1");
+    machine.Run();
+    transfers += machine.queues().TotalTransfers();
+  }
+  state.counters["transfers/s"] = benchmark::Counter(
+      static_cast<double>(transfers), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QueuePingPong)->Arg(256)->Arg(1024);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::CacheConfig config;
+  sim::MemorySystem memory(config, 1, 1 << 20);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.AccessTimed(0, addr & ((1 << 20) - 1), false));
+    addr += 17;
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

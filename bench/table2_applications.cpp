@@ -1,0 +1,50 @@
+// Table II: expected whole-application speedups, combining the per-kernel
+// speedups of Figure 12 with Table I's runtime percentages via Amdahl's
+// law (paper: lammps 1.05/1.70, irs 1.24/1.79, umt2k 1.16/1.51, sphot
+// 1.25/1.92, average 1.18/1.73).
+#include <cstdio>
+#include <map>
+
+#include "kernels/experiments.hpp"
+#include "support/stats.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace fgpar;
+
+  std::map<std::string, double> speedups2;
+  std::map<std::string, double> speedups4;
+  {
+    kernels::ExperimentConfig config;
+    config.cores = 2;
+    for (const harness::KernelRun& run : kernels::RunAllKernels(config)) {
+      speedups2[run.kernel_name] = run.speedup;
+    }
+    config.cores = 4;
+    for (const harness::KernelRun& run : kernels::RunAllKernels(config)) {
+      speedups4[run.kernel_name] = run.speedup;
+    }
+  }
+
+  TextTable table({"Application", "2-core", "4-core"});
+  std::vector<double> app2, app4;
+  for (const kernels::SequoiaApplication& app : kernels::SequoiaApplications()) {
+    const double s2 = kernels::ApplicationSpeedup(app, speedups2);
+    const double s4 = kernels::ApplicationSpeedup(app, speedups4);
+    table.AddRow({app.name, FormatFixed(s2, 2), FormatFixed(s4, 2)});
+    app2.push_back(s2);
+    app4.push_back(s4);
+  }
+  table.AddSeparator();
+  table.AddRow({"average", FormatFixed(Mean(app2), 2), FormatFixed(Mean(app4), 2)});
+
+  std::printf("%s\n",
+              table
+                  .Render("Table II: expected application speedups from kernel "
+                          "speedups + Table I runtime shares\n(paper: lammps "
+                          "1.05/1.70, irs 1.24/1.79, umt2k 1.16/1.51, sphot "
+                          "1.25/1.92, average 1.18/1.73)")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// quickstart: the Figure 1 example, end to end.
+//
+// The paper's introductory example distributes
+//     x = a*b + c*d;   y = x + e;   z = c*d - a*e;
+// (per loop iteration) over two cores that exchange values through the
+// hardware queues.  This example builds that kernel with the programmatic
+// KernelBuilder API, compiles it sequentially and for 2 cores, runs both on
+// the simulator, verifies the results bit-exactly against the reference
+// interpreter, and reports the speedup.
+#include <cstdio>
+
+#include "harness/runner.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace fgpar;
+  using ir::Val;
+
+  // ---- build the kernel (Figure 1, wrapped in a loop over arrays) ----
+  ir::KernelBuilder kb("fig1");
+  Val n = kb.ParamI64("n");
+  ir::ArrayHandle a = kb.ArrayF64("a", 512);
+  ir::ArrayHandle b = kb.ArrayF64("b", 512);
+  ir::ArrayHandle c = kb.ArrayF64("c", 512);
+  ir::ArrayHandle d = kb.ArrayF64("d", 512);
+  ir::ArrayHandle e = kb.ArrayF64("e", 512);
+  ir::ArrayHandle x = kb.ArrayF64("x", 512);
+  ir::ArrayHandle y = kb.ArrayF64("y", 512);
+  ir::ArrayHandle z = kb.ArrayF64("z", 512);
+
+  kb.StartLoop("i", kb.ConstI(0), n);
+  Val i = kb.Iv();
+  ir::TempHandle t_ab = kb.DeclTemp("t_ab", ir::ScalarType::kF64);
+  ir::TempHandle t_cd = kb.DeclTemp("t_cd", ir::ScalarType::kF64);
+  ir::TempHandle t_x = kb.DeclTemp("t_x", ir::ScalarType::kF64);
+  kb.Assign(t_ab, kb.Load(a, i) * kb.Load(b, i));
+  kb.Assign(t_cd, kb.Load(c, i) * kb.Load(d, i));
+  kb.Assign(t_x, kb.Read(t_ab) + kb.Read(t_cd));
+  kb.Store(x, i, kb.Read(t_x));
+  kb.Store(y, i, kb.Read(t_x) + kb.Load(e, i));
+  kb.Store(z, i, kb.Read(t_cd) - kb.Load(a, i) * kb.Load(e, i));
+  ir::Kernel kernel = kb.Finish();
+
+  std::printf("Kernel under test (Figure 1 of the paper):\n%s\n",
+              ir::PrintKernel(kernel).c_str());
+
+  // ---- workload ----
+  harness::WorkloadInit init = [](const ir::Kernel& k, const ir::DataLayout& layout,
+                                  ir::ParamEnv& params,
+                                  std::vector<std::uint64_t>& memory) {
+    Rng rng(2024);
+    for (const ir::Symbol& sym : k.symbols()) {
+      if (sym.kind == ir::SymbolKind::kParam) {
+        params.SetI64(sym.id, 500);
+      } else if (sym.kind == ir::SymbolKind::kArray) {
+        for (std::int64_t j = 0; j < sym.array_size; ++j) {
+          memory[layout.AddressOf(sym.id) + static_cast<std::uint64_t>(j)] =
+              std::bit_cast<std::uint64_t>(rng.NextDouble(-1.0, 1.0));
+        }
+      }
+    }
+  };
+
+  // ---- compile, simulate, verify, measure ----
+  harness::KernelRunner runner(kernel, init);
+  harness::RunConfig config;
+  config.compile.num_cores = 2;
+  const harness::KernelRun run = runner.Run(config);
+
+  std::printf("sequential cycles: %llu\n",
+              static_cast<unsigned long long>(run.seq_cycles));
+  std::printf("2-core cycles:     %llu\n",
+              static_cast<unsigned long long>(run.par_cycles));
+  std::printf("speedup:           %.2f\n", run.speedup);
+  std::printf("loop transfers:    %d (across %d hardware queues)\n", run.com_ops,
+              run.queues_used);
+  std::printf("\nResults verified bit-exactly against the reference "
+              "interpreter.\n");
+  return 0;
+}

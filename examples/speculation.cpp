@@ -1,0 +1,76 @@
+// speculation: the Figure 10 control-flow speculation pattern.
+//
+// A loop whose body is dominated by an if-then-else with expensive,
+// side-effect-free arms (the recurring pattern the paper found in its
+// applications, e.g. sphot's collision-vs-boundary branch).  Without
+// speculation, the arm computation waits for the condition value; with the
+// @speculate directive (Section III-H), both arms execute ahead of time on
+// different cores and the condition only selects which result commits — no
+// rollback can ever be needed.
+#include <cstdio>
+
+#include "frontend/parser.hpp"
+#include "harness/runner.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+constexpr const char* kKernel = R"(
+kernel fig10 {
+  param i64 n;
+  array f64 xs[1024];
+  array f64 ys[1024];
+  array f64 out[1024];
+  loop i = 0 .. n {
+    f64 cnd = xs[i] * ys[i] + xs[i];
+    @speculate if (cnd < 2.0) {
+      # Func2: expensive pure computation
+      f64 t2 = sqrt(abs(xs[i] * 3.0 + ys[i])) / (xs[i] + 1.0) + ys[i]*ys[i];
+      out[i] = t2;
+    } else {
+      # Func3: a different expensive pure computation
+      f64 t3 = xs[i]*xs[i]*ys[i] + ys[i] / (abs(xs[i]) + 0.5) + 1.0;
+      out[i] = t3;
+    }
+  }
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace fgpar;
+
+  ir::Kernel kernel = frontend::ParseKernel(kKernel);
+  harness::WorkloadInit init = [](const ir::Kernel& k, const ir::DataLayout& layout,
+                                  ir::ParamEnv& params,
+                                  std::vector<std::uint64_t>& memory) {
+    Rng rng(99);
+    for (const ir::Symbol& sym : k.symbols()) {
+      if (sym.kind == ir::SymbolKind::kParam) {
+        params.SetI64(sym.id, 600);
+      } else if (sym.kind == ir::SymbolKind::kArray) {
+        for (std::int64_t j = 0; j < sym.array_size; ++j) {
+          memory[layout.AddressOf(sym.id) + static_cast<std::uint64_t>(j)] =
+              std::bit_cast<std::uint64_t>(rng.NextDouble(0.5, 2.0));
+        }
+      }
+    }
+  };
+
+  harness::KernelRunner runner(kernel, init);
+  std::printf("Control-flow speculation (Figure 10 of the paper), 4 cores\n\n");
+  for (bool speculate : {false, true}) {
+    harness::RunConfig config;
+    config.compile.num_cores = 4;
+    config.compile.speculation = speculate;
+    const harness::KernelRun run = runner.Run(config);
+    std::printf("%-18s speedup %.2f  (%llu cycles, %d loop transfers)\n",
+                speculate ? "with @speculate:" : "baseline:", run.speedup,
+                static_cast<unsigned long long>(run.par_cycles), run.com_ops);
+  }
+  std::printf("\nBoth versions produce bit-identical memory — the limited\n"
+              "speculation form never needs rollback.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "analysis/control.hpp"
+
+namespace fgpar::analysis {
+
+bool IsPrefix(const ControlPath& prefix, const ControlPath& path) {
+  if (prefix.size() > path.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (!(prefix[i] == path[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MutuallyExclusive(const ControlPath& a, const ControlPath& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].if_stmt != b[i].if_stmt) {
+      return false;  // paths already diverged structurally; not comparable
+    }
+    if (a[i].then_branch != b[i].then_branch) {
+      return true;  // same if, opposite branches
+    }
+  }
+  return false;
+}
+
+ControlPath CommonPrefix(const ControlPath& a, const ControlPath& b) {
+  ControlPath out;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n && a[i] == b[i]; ++i) {
+    out.push_back(a[i]);
+  }
+  return out;
+}
+
+}  // namespace fgpar::analysis

@@ -1,0 +1,39 @@
+// Control-dependence analysis (paper Section III-E).
+//
+// "We compute a set of control flow predicates for each statement.  A
+// control flow predicate is a conditional variable paired with a value such
+// that the statement can be executed only if the variable has the
+// corresponding value."
+//
+// Here a statement's control path is the ordered list of enclosing if
+// statements together with the branch taken; predicate-set operations
+// (prefix/dominance, mutual exclusivity) are defined over these paths.
+#pragma once
+
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::analysis {
+
+struct PathStep {
+  ir::StmtId if_stmt = -1;
+  bool then_branch = true;
+  bool operator==(const PathStep&) const = default;
+};
+
+using ControlPath = std::vector<PathStep>;
+
+/// True if `prefix` is a (non-strict) prefix of `path` — i.e. code at
+/// `prefix` dominates-and-guards code at `path`.
+bool IsPrefix(const ControlPath& prefix, const ControlPath& path);
+
+/// True if two paths diverge at some common if statement (one takes then,
+/// the other else) — statements on such paths can never execute in the same
+/// iteration.
+bool MutuallyExclusive(const ControlPath& a, const ControlPath& b);
+
+/// Longest common prefix.
+ControlPath CommonPrefix(const ControlPath& a, const ControlPath& b);
+
+}  // namespace fgpar::analysis

@@ -1,0 +1,86 @@
+#include "analysis/cost.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::analysis {
+
+CostModel::CostModel(const sim::CoreTiming& timing, const sim::CacheConfig& cache,
+                     const ProfileData* profile)
+    : timing_(timing), cache_(cache), profile_(profile) {}
+
+double CostModel::LoadCost(ir::SymbolId sym) const {
+  const double fallback = static_cast<double>(cache_.l1_latency);
+  return profile_ == nullptr ? fallback : profile_->LoadLatency(sym, fallback);
+}
+
+double CostModel::OpCost(const ir::ExprNode& node) const {
+  switch (node.kind) {
+    case ir::ExprKind::kConstI:
+    case ir::ExprKind::kConstF:
+    case ir::ExprKind::kIvRef:
+    case ir::ExprKind::kParamRef:
+    case ir::ExprKind::kTempRef:
+      return 0.0;  // register-resident
+    case ir::ExprKind::kScalarRef:
+    case ir::ExprKind::kArrayRef:
+      return LoadCost(node.sym);
+    case ir::ExprKind::kUnary:
+      switch (node.un) {
+        case ir::UnOp::kSqrt:
+          return static_cast<double>(timing_.fp_sqrt);
+        case ir::UnOp::kNot:
+          return static_cast<double>(timing_.int_alu);
+        default:
+          return static_cast<double>(
+              node.type == ir::ScalarType::kF64 ? timing_.fp_alu : timing_.int_alu);
+      }
+    case ir::ExprKind::kBinary: {
+      const bool is_fp = node.type == ir::ScalarType::kF64 ||
+                         (ir::IsComparison(node.bin) &&
+                          node.kind == ir::ExprKind::kBinary);
+      switch (node.bin) {
+        case ir::BinOp::kMul:
+          return static_cast<double>(node.type == ir::ScalarType::kF64
+                                         ? timing_.fp_mul
+                                         : timing_.int_mul);
+        case ir::BinOp::kDiv:
+          return static_cast<double>(node.type == ir::ScalarType::kF64
+                                         ? timing_.fp_div
+                                         : timing_.int_div);
+        case ir::BinOp::kRem:
+          return static_cast<double>(timing_.int_div);
+        default:
+          return static_cast<double>(
+              is_fp && node.type == ir::ScalarType::kF64 ? timing_.fp_alu
+                                                         : timing_.int_alu);
+      }
+    }
+    case ir::ExprKind::kSelect:
+      return static_cast<double>(timing_.int_alu + timing_.taken_branch_penalty);
+  }
+  FGPAR_UNREACHABLE("bad ExprKind");
+}
+
+double CostModel::ExprCost(const ir::Kernel& kernel, ir::ExprId expr) const {
+  double total = 0.0;
+  kernel.VisitExpr(expr, [&](ir::ExprId e) { total += OpCost(kernel.expr(e)); });
+  return total;
+}
+
+double CostModel::StmtCost(const ir::Kernel& kernel, const ir::Stmt& stmt) const {
+  switch (stmt.kind) {
+    case ir::StmtKind::kAssignTemp:
+      return ExprCost(kernel, stmt.value);
+    case ir::StmtKind::kStoreScalar:
+      return ExprCost(kernel, stmt.value) + static_cast<double>(cache_.l1_latency);
+    case ir::StmtKind::kStoreArray:
+      return ExprCost(kernel, stmt.index) + ExprCost(kernel, stmt.value) +
+             static_cast<double>(cache_.l1_latency);
+    case ir::StmtKind::kIf:
+      return ExprCost(kernel, stmt.value) +
+             static_cast<double>(timing_.branch + timing_.taken_branch_penalty);
+  }
+  FGPAR_UNREACHABLE("bad StmtKind");
+}
+
+}  // namespace fgpar::analysis

@@ -1,0 +1,38 @@
+// Static execution-time estimates (paper Section III-B, second heuristic):
+// "The compute time is a static estimate obtained using fixed latencies for
+// compute operations, and profile feedback data for memory access miss
+// latencies."
+#pragma once
+
+#include "analysis/profile.hpp"
+#include "ir/kernel.hpp"
+#include "sim/config.hpp"
+
+namespace fgpar::analysis {
+
+class CostModel {
+ public:
+  CostModel(const sim::CoreTiming& timing, const sim::CacheConfig& cache,
+            const ProfileData* profile);
+
+  /// Estimated cycles to evaluate an expression tree (compute latencies for
+  /// internal nodes, profiled average latency for loads).
+  double ExprCost(const ir::Kernel& kernel, ir::ExprId expr) const;
+
+  /// Estimated cycles for one statement (expression costs + store cost).
+  /// If statements cost their condition only; bodies are costed separately.
+  double StmtCost(const ir::Kernel& kernel, const ir::Stmt& stmt) const;
+
+  /// Average latency assumed for a load of `sym` (profiled, or the L1
+  /// latency when no profile is available).
+  double LoadCost(ir::SymbolId sym) const;
+
+ private:
+  double OpCost(const ir::ExprNode& node) const;
+
+  sim::CoreTiming timing_;
+  sim::CacheConfig cache_;
+  const ProfileData* profile_;  // may be null
+};
+
+}  // namespace fgpar::analysis

@@ -1,0 +1,107 @@
+#include "analysis/index.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace fgpar::analysis {
+
+KernelIndex::KernelIndex(const ir::Kernel& kernel) : kernel_(&kernel) {
+  Walk(kernel.loop().body, {}, /*in_epilogue=*/false);
+  Walk(kernel.epilogue(), {}, /*in_epilogue=*/true);
+}
+
+void KernelIndex::CollectExprInfo(ir::ExprId expr, StmtEntry& entry) {
+  kernel_->VisitExpr(expr, [&](ir::ExprId e) {
+    const ir::ExprNode& node = kernel_->expr(e);
+    switch (node.kind) {
+      case ir::ExprKind::kTempRef:
+        if (std::find(entry.temps_read.begin(), entry.temps_read.end(),
+                      node.temp) == entry.temps_read.end()) {
+          entry.temps_read.push_back(node.temp);
+        }
+        break;
+      case ir::ExprKind::kScalarRef:
+        entry.accesses.push_back(
+            MemAccess{node.sym, /*is_write=*/false, /*is_scalar=*/true, {}});
+        break;
+      case ir::ExprKind::kArrayRef:
+        entry.accesses.push_back(
+            MemAccess{node.sym, /*is_write=*/false, /*is_scalar=*/false,
+                      AnalyzeIndex(*kernel_, node.child[0])});
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+void KernelIndex::Walk(const std::vector<ir::Stmt>& stmts, const ControlPath& path,
+                       bool in_epilogue) {
+  for (const ir::Stmt& stmt : stmts) {
+    StmtEntry entry;
+    entry.id = stmt.id;
+    entry.stmt = &stmt;
+    entry.path = path;
+    entry.order = order_counter_++;
+    entry.in_epilogue = in_epilogue;
+    switch (stmt.kind) {
+      case ir::StmtKind::kAssignTemp:
+        entry.temp_written = stmt.temp;
+        CollectExprInfo(stmt.value, entry);
+        defs_[stmt.temp].push_back(stmt.id);
+        break;
+      case ir::StmtKind::kStoreScalar:
+        CollectExprInfo(stmt.value, entry);
+        entry.accesses.push_back(
+            MemAccess{stmt.sym, /*is_write=*/true, /*is_scalar=*/true, {}});
+        break;
+      case ir::StmtKind::kStoreArray:
+        CollectExprInfo(stmt.index, entry);
+        CollectExprInfo(stmt.value, entry);
+        entry.accesses.push_back(
+            MemAccess{stmt.sym, /*is_write=*/true, /*is_scalar=*/false,
+                      AnalyzeIndex(*kernel_, stmt.index)});
+        break;
+      case ir::StmtKind::kIf:
+        entry.is_if = true;
+        CollectExprInfo(stmt.value, entry);
+        break;
+    }
+    for (ir::TempId t : entry.temps_read) {
+      uses_[t].push_back(stmt.id);
+    }
+    FGPAR_CHECK_MSG(!by_id_.contains(stmt.id), "duplicate stmt id in index");
+    by_id_[stmt.id] = entries_.size();
+    entries_.push_back(std::move(entry));
+
+    if (stmt.kind == ir::StmtKind::kIf) {
+      ControlPath then_path = path;
+      then_path.push_back(PathStep{stmt.id, true});
+      Walk(stmt.then_body, then_path, in_epilogue);
+      ControlPath else_path = path;
+      else_path.push_back(PathStep{stmt.id, false});
+      Walk(stmt.else_body, else_path, in_epilogue);
+    }
+  }
+}
+
+const StmtEntry& KernelIndex::ByStmtId(ir::StmtId id) const {
+  const auto it = by_id_.find(id);
+  FGPAR_CHECK_MSG(it != by_id_.end(), "unknown stmt id: " + std::to_string(id));
+  return entries_[it->second];
+}
+
+bool KernelIndex::HasStmt(ir::StmtId id) const { return by_id_.contains(id); }
+
+const std::vector<ir::StmtId>& KernelIndex::DefsOf(ir::TempId temp) const {
+  const auto it = defs_.find(temp);
+  return it == defs_.end() ? empty_ : it->second;
+}
+
+const std::vector<ir::StmtId>& KernelIndex::UsesOf(ir::TempId temp) const {
+  const auto it = uses_.find(temp);
+  return it == uses_.end() ? empty_ : it->second;
+}
+
+}  // namespace fgpar::analysis

@@ -1,0 +1,66 @@
+// KernelIndex: a flattened, cross-referenced view of a kernel's statements.
+//
+// For every statement (including nested ones) it records program order, the
+// control path (Section III-E predicates), temps read/written, and all
+// memory accesses with their affine subscript analysis.  The fiber
+// partitioner, the dependence-graph builder, and the code generator all
+// work from this index.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "analysis/control.hpp"
+#include "ir/kernel.hpp"
+
+namespace fgpar::analysis {
+
+struct MemAccess {
+  ir::SymbolId sym = -1;
+  bool is_write = false;
+  bool is_scalar = false;      // scalar symbol (fixed address)
+  LinearIndex index;           // for array accesses
+};
+
+struct StmtEntry {
+  ir::StmtId id = -1;
+  const ir::Stmt* stmt = nullptr;
+  ControlPath path;
+  int order = 0;               // flattened program-order position
+  bool in_epilogue = false;
+  bool is_if = false;
+  ir::TempId temp_written = -1;          // kAssignTemp only
+  std::vector<ir::TempId> temps_read;    // from value/index/cond expressions
+  std::vector<MemAccess> accesses;       // loads and the store, if any
+};
+
+class KernelIndex {
+ public:
+  explicit KernelIndex(const ir::Kernel& kernel);
+
+  const ir::Kernel& kernel() const { return *kernel_; }
+  const std::vector<StmtEntry>& entries() const { return entries_; }
+  const StmtEntry& ByStmtId(ir::StmtId id) const;
+  bool HasStmt(ir::StmtId id) const;
+
+  /// All statements assigning `temp` (exactly one for plain temps).
+  const std::vector<ir::StmtId>& DefsOf(ir::TempId temp) const;
+  /// All statements reading `temp` (including if-conditions).
+  const std::vector<ir::StmtId>& UsesOf(ir::TempId temp) const;
+
+ private:
+  void Walk(const std::vector<ir::Stmt>& stmts, const ControlPath& path,
+            bool in_epilogue);
+  void CollectExprInfo(ir::ExprId expr, StmtEntry& entry);
+
+  const ir::Kernel* kernel_;
+  std::vector<StmtEntry> entries_;
+  std::map<ir::StmtId, std::size_t> by_id_;
+  std::map<ir::TempId, std::vector<ir::StmtId>> defs_;
+  std::map<ir::TempId, std::vector<ir::StmtId>> uses_;
+  std::vector<ir::StmtId> empty_;
+  int order_counter_ = 0;
+};
+
+}  // namespace fgpar::analysis

@@ -1,0 +1,51 @@
+#include "analysis/profile.hpp"
+
+#include "sim/memory.hpp"
+
+namespace fgpar::analysis {
+
+double ProfileData::LoadLatency(ir::SymbolId sym, double fallback) const {
+  const auto it = per_symbol_.find(sym);
+  if (it == per_symbol_.end() || it->second.accesses == 0) {
+    return fallback;
+  }
+  return it->second.total_latency / static_cast<double>(it->second.accesses);
+}
+
+std::uint64_t ProfileData::AccessCount(ir::SymbolId sym) const {
+  const auto it = per_symbol_.find(sym);
+  return it == per_symbol_.end() ? 0 : it->second.accesses;
+}
+
+void ProfileData::SetLatency(ir::SymbolId sym, double avg_latency,
+                             std::uint64_t count) {
+  per_symbol_[sym] =
+      PerSymbol{count, avg_latency * static_cast<double>(count)};
+}
+
+ProfileData ProfileData::Collect(const ir::Kernel& kernel,
+                                 const ir::DataLayout& layout,
+                                 const ir::ParamEnv& params,
+                                 const std::vector<std::uint64_t>& memory,
+                                 const sim::CacheConfig& cache) {
+  ProfileData profile;
+  sim::CacheTagArray l1(cache.l1_sets, cache.l1_ways, cache.line_words);
+  sim::CacheTagArray l2(cache.l2_sets, cache.l2_ways, cache.line_words);
+
+  std::vector<std::uint64_t> scratch = memory;  // profiling must not mutate
+  ir::Interpreter interp(kernel, layout, params, scratch);
+  interp.SetAccessObserver(
+      [&](ir::SymbolId sym, std::uint64_t addr, bool /*is_write*/) {
+        int latency = cache.l1_latency;
+        if (!l1.Access(addr)) {
+          latency = l2.Access(addr) ? cache.l2_latency : cache.mem_latency;
+        }
+        PerSymbol& entry = profile.per_symbol_[sym];
+        ++entry.accesses;
+        entry.total_latency += static_cast<double>(latency);
+      });
+  interp.Run();
+  return profile;
+}
+
+}  // namespace fgpar::analysis

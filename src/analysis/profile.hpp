@@ -1,0 +1,49 @@
+// Profile feedback (paper Section III-I.3).
+//
+// "The compiler is unable to accurately estimate execution time, and it
+// needs to use a profile directed feedback mechanism for this."
+//
+// ProfileData records, per memory symbol, the average access latency
+// observed during a profiling run.  Collect() executes the kernel once in
+// the reference interpreter against a scratch copy of memory, feeding every
+// access through a single-core model of the cache hierarchy — the analogue
+// of the paper's profiling runs on Blue Gene hardware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "ir/kernel.hpp"
+#include "ir/layout.hpp"
+#include "sim/config.hpp"
+
+namespace fgpar::analysis {
+
+class ProfileData {
+ public:
+  /// Average observed load latency for `sym`; `fallback` when never seen.
+  double LoadLatency(ir::SymbolId sym, double fallback) const;
+
+  /// Number of accesses observed for `sym` (0 if never seen).
+  std::uint64_t AccessCount(ir::SymbolId sym) const;
+
+  /// Profiles `kernel` by interpreting it over a copy of `memory`.
+  static ProfileData Collect(const ir::Kernel& kernel, const ir::DataLayout& layout,
+                             const ir::ParamEnv& params,
+                             const std::vector<std::uint64_t>& memory,
+                             const sim::CacheConfig& cache);
+
+  /// Testing/override hook.
+  void SetLatency(ir::SymbolId sym, double avg_latency, std::uint64_t count);
+
+ private:
+  struct PerSymbol {
+    std::uint64_t accesses = 0;
+    double total_latency = 0.0;
+  };
+  std::map<ir::SymbolId, PerSymbol> per_symbol_;
+};
+
+}  // namespace fgpar::analysis

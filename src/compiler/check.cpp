@@ -1,0 +1,120 @@
+#include "compiler/check.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+/// Collects the if statements appearing in any core plan, in a stable order.
+void CollectIfs(const std::vector<PlanItem>& items, std::vector<ir::StmtId>& out) {
+  for (const PlanItem& item : items) {
+    if (item.kind == PlanItem::Kind::kIf) {
+      bool seen = false;
+      for (ir::StmtId id : out) {
+        seen |= id == item.stmt->id;
+      }
+      if (!seen) {
+        out.push_back(item.stmt->id);
+      }
+      CollectIfs(item.then_items, out);
+      CollectIfs(item.else_items, out);
+    }
+  }
+}
+
+struct QueueKey {
+  int src;
+  int dst;
+  bool is_fp;
+  auto operator<=>(const QueueKey&) const = default;
+};
+
+void Trace(const std::vector<PlanItem>& items, int core, const CommPlan& comm,
+           const std::map<ir::StmtId, bool>& branch,
+           std::map<QueueKey, std::vector<int>>& enq_seq,
+           std::map<QueueKey, std::vector<int>>& deq_seq) {
+  for (const PlanItem& item : items) {
+    switch (item.kind) {
+      case PlanItem::Kind::kStmt:
+        break;
+      case PlanItem::Kind::kIf: {
+        const auto it = branch.find(item.stmt->id);
+        FGPAR_CHECK_MSG(it != branch.end(), "if without a branch assignment");
+        Trace(it->second ? item.then_items : item.else_items, core, comm, branch,
+              enq_seq, deq_seq);
+        break;
+      }
+      case PlanItem::Kind::kEnq: {
+        const Transfer& t = comm.transfers[static_cast<std::size_t>(item.transfer)];
+        enq_seq[{t.src_core, t.dst_core, t.type == ir::ScalarType::kF64}]
+            .push_back(t.id);
+        break;
+      }
+      case PlanItem::Kind::kDeq: {
+        const Transfer& t = comm.transfers[static_cast<std::size_t>(item.transfer)];
+        deq_seq[{t.src_core, t.dst_core, t.type == ir::ScalarType::kF64}]
+            .push_back(t.id);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void CheckCommunicationPairing(const ir::Kernel& kernel, const ProgramPlan& plan) {
+  (void)kernel;
+  std::vector<ir::StmtId> ifs;
+  for (const CorePlan& core : plan.cores) {
+    CollectIfs(core.body, ifs);
+  }
+  FGPAR_CHECK_MSG(ifs.size() <= 20, "too many conditionals to check exhaustively");
+
+  const std::uint64_t combos = 1ull << ifs.size();
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    std::map<ir::StmtId, bool> branch;
+    for (std::size_t i = 0; i < ifs.size(); ++i) {
+      branch[ifs[i]] = ((mask >> i) & 1) != 0;
+    }
+    std::map<QueueKey, std::vector<int>> enq_seq;
+    std::map<QueueKey, std::vector<int>> deq_seq;
+    for (const CorePlan& core : plan.cores) {
+      Trace(core.body, core.core, plan.comm, branch, enq_seq, deq_seq);
+    }
+    // Every queue's enqueue sequence must equal its dequeue sequence.
+    for (const auto& [key, enqs] : enq_seq) {
+      const auto it = deq_seq.find(key);
+      const std::vector<int> empty;
+      const std::vector<int>& deqs = it == deq_seq.end() ? empty : it->second;
+      if (enqs != deqs) {
+        std::ostringstream os;
+        os << "communication pairing violated on queue " << key.src << "->"
+           << key.dst << (key.is_fp ? " (fp)" : " (int)") << " under branch mask "
+           << mask << ": enq sequence [";
+        for (int id : enqs) os << ' ' << id;
+        os << " ] vs deq sequence [";
+        for (int id : deqs) os << ' ' << id;
+        os << " ]";
+        throw Error(os.str());
+      }
+      if (it != deq_seq.end()) {
+        deq_seq.erase(it);
+      }
+    }
+    for (const auto& [key, deqs] : deq_seq) {
+      if (!deqs.empty()) {
+        std::ostringstream os;
+        os << "dequeue without matching enqueue on queue " << key.src << "->"
+           << key.dst << (key.is_fp ? " (fp)" : " (int)") << " under branch mask "
+           << mask;
+        throw Error(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,21 @@
+// Static communication checker.
+//
+// The paper (Section III-I): "the compiler has to statically ensure that
+// senders and receivers are always paired at runtime."  This pass proves it
+// for a ProgramPlan by symbolically executing one loop iteration of every
+// core plan under every possible branch assignment (conditions are
+// communicated values, so all cores see the same outcome for each if) and
+// checking that, for every directed queue (source core, destination core,
+// register class), the sequence of transfers enqueued equals the sequence
+// dequeued.  A violated plan would deadlock or cross values at runtime;
+// here it becomes a compile-time error.
+#pragma once
+
+#include "compiler/plan.hpp"
+
+namespace fgpar::compiler {
+
+/// Throws fgpar::Error with a diagnostic if the plan can unpair.
+void CheckCommunicationPairing(const ir::Kernel& kernel, const ProgramPlan& plan);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,138 @@
+#include "compiler/comm.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+
+CommPlan BuildCommPlan(const analysis::KernelIndex& index,
+                       const PartitionResult& partition) {
+  const ir::Kernel& kernel = index.kernel();
+  CommPlan plan;
+  const int num_cores = static_cast<int>(partition.partitions.size());
+
+  // ---- if replication sets: every if on the control path of an owned
+  // statement must be replicated on that core (Section III-E) ----
+  std::map<int, std::set<ir::StmtId>> replicated;
+  for (const auto& [stmt_id, core] : partition.core_of) {
+    const analysis::StmtEntry& entry = index.ByStmtId(stmt_id);
+    for (const analysis::PathStep& step : entry.path) {
+      replicated[core].insert(step.if_stmt);
+    }
+  }
+  for (int c = 0; c < num_cores; ++c) {
+    plan.replicated_ifs[c] = {};
+    for (ir::StmtId id : replicated[c]) {
+      plan.replicated_ifs[c].push_back(id);
+    }
+  }
+
+  // ---- per-iteration transfers ----
+  // Consumers of a temp on core c: owned statements reading it, plus
+  // replicated ifs whose condition it is.
+  for (const ir::Temp& temp : kernel.temps()) {
+    const auto& defs = index.DefsOf(temp.id);
+    if (defs.empty()) {
+      continue;
+    }
+    const analysis::StmtEntry& def_entry = index.ByStmtId(defs.front());
+    if (def_entry.in_epilogue) {
+      continue;  // defined on the primary after the loop; purely local
+    }
+    if (temp.carried) {
+      // Fusion guarantees carried temps are single-core within the loop;
+      // the only possible cross-core flow is the post-loop live-out below.
+      continue;
+    }
+    const auto core_it = partition.core_of.find(defs.front());
+    FGPAR_CHECK_MSG(core_it != partition.core_of.end(),
+                    "temp def not assigned to a core: " + temp.name);
+    const int src = core_it->second;
+
+    std::set<int> consumer_cores;
+    for (ir::StmtId use : index.UsesOf(temp.id)) {
+      const analysis::StmtEntry& use_entry = index.ByStmtId(use);
+      if (use_entry.in_epilogue) {
+        continue;  // live-out, handled separately
+      }
+      if (use_entry.is_if) {
+        for (int c = 0; c < num_cores; ++c) {
+          if (replicated[c].contains(use)) {
+            consumer_cores.insert(c);
+          }
+        }
+      } else {
+        consumer_cores.insert(partition.core_of.at(use));
+      }
+    }
+    for (int dst : consumer_cores) {
+      if (dst == src) {
+        continue;
+      }
+      Transfer transfer;
+      transfer.id = static_cast<int>(plan.transfers.size());
+      transfer.temp = temp.id;
+      transfer.type = temp.type;
+      transfer.src_core = src;
+      transfer.dst_core = dst;
+      transfer.producer_stmt = defs.front();
+      transfer.path = def_entry.path;
+      plan.transfers.push_back(std::move(transfer));
+    }
+  }
+
+  // ---- live-outs (Section III-F) ----
+  std::set<ir::TempId> epilogue_reads;
+  for (const analysis::StmtEntry& entry : index.entries()) {
+    if (entry.in_epilogue) {
+      for (ir::TempId t : entry.temps_read) {
+        epilogue_reads.insert(t);
+      }
+    }
+  }
+  for (ir::TempId t : epilogue_reads) {
+    const auto& defs = index.DefsOf(t);
+    if (defs.empty()) {
+      continue;  // never assigned (holds its initial value everywhere)
+    }
+    const analysis::StmtEntry& def_entry = index.ByStmtId(defs.front());
+    if (def_entry.in_epilogue) {
+      continue;  // defined in the epilogue itself
+    }
+    const int src = partition.core_of.at(defs.front());
+    if (src != 0) {
+      plan.live_outs.push_back(LiveOut{t, kernel.temp(t).type, src});
+    }
+  }
+  std::sort(plan.live_outs.begin(), plan.live_outs.end(),
+            [](const LiveOut& a, const LiveOut& b) {
+              return std::tie(a.src_core, a.temp) < std::tie(b.src_core, b.temp);
+            });
+
+  // ---- outlined-function arguments (Section III-G) ----
+  auto collect_params = [&](ir::ExprId expr, std::set<ir::SymbolId>& out) {
+    kernel.VisitExpr(expr, [&](ir::ExprId e) {
+      if (kernel.expr(e).kind == ir::ExprKind::kParamRef) {
+        out.insert(kernel.expr(e).sym);
+      }
+    });
+  };
+  for (int c = 1; c < num_cores; ++c) {
+    std::set<ir::SymbolId> params;
+    collect_params(kernel.loop().lower, params);
+    collect_params(kernel.loop().upper, params);
+    for (ir::StmtId id : partition.partitions[static_cast<std::size_t>(c)]) {
+      const ir::Stmt& stmt = *index.ByStmtId(id).stmt;
+      if (stmt.kind == ir::StmtKind::kStoreArray) {
+        collect_params(stmt.index, params);
+      }
+      collect_params(stmt.value, params);
+    }
+    plan.args[c] = std::vector<ir::SymbolId>(params.begin(), params.end());
+  }
+  return plan;
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,58 @@
+// Communication planning (paper Sections III-D, III-F, III-G).
+//
+// After partitioning, every cross-core dataflow becomes a Transfer: the
+// producer core enqueues the value after computing it, the consumer core
+// dequeues it before first use.  Three classes of values move:
+//
+//  * per-iteration transfers — temp values (including branch-condition
+//    values, Section III-E) consumed by statements or replicated ifs on
+//    another core; these are the "Com Ops" of Table III;
+//  * live-outs (Section III-F) — final values of temps the epilogue reads,
+//    sent once to the primary core after the loop;
+//  * function arguments (Section III-G) — parameter values each outlined
+//    function needs, enqueued by the primary right after the function
+//    pointer.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/control.hpp"
+#include "analysis/index.hpp"
+#include "compiler/partition.hpp"
+
+namespace fgpar::compiler {
+
+struct Transfer {
+  int id = -1;
+  ir::TempId temp = -1;
+  ir::ScalarType type = ir::ScalarType::kF64;
+  int src_core = -1;
+  int dst_core = -1;
+  ir::StmtId producer_stmt = -1;
+  analysis::ControlPath path;  // producer's control path (both sides place
+                               // their queue op at this predicate level)
+};
+
+struct LiveOut {
+  ir::TempId temp = -1;
+  ir::ScalarType type = ir::ScalarType::kF64;
+  int src_core = -1;  // always sent to core 0
+};
+
+struct CommPlan {
+  std::vector<Transfer> transfers;
+  std::vector<LiveOut> live_outs;
+  /// Params each secondary core needs, ascending symbol id.
+  std::map<int, std::vector<ir::SymbolId>> args;
+  /// If statements each core must replicate (Section III-E).
+  std::map<int, std::vector<ir::StmtId>> replicated_ifs;
+
+  /// "Com Ops" of Table III: enqueue/dequeue pairs in the loop code.
+  int com_ops() const { return static_cast<int>(transfers.size()); }
+};
+
+CommPlan BuildCommPlan(const analysis::KernelIndex& index,
+                       const PartitionResult& partition);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,54 @@
+// Top-level compiler entry points.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "analysis/profile.hpp"
+#include "compiler/options.hpp"
+#include "compiler/partition.hpp"
+#include "compiler/plan.hpp"
+#include "ir/layout.hpp"
+#include "isa/program.hpp"
+
+namespace fgpar::compiler {
+
+struct CompiledParallel {
+  isa::Program program;
+  int cores_used = 0;  // partitions produced (<= options.num_cores)
+  PartitionResult partition;
+  CommPlan comm;
+
+  /// Entry symbol for core 0; every other core starts at "driver".
+  static constexpr const char* kPrimaryEntry = "main";
+  static constexpr const char* kDriverEntry = "driver";
+};
+
+/// Dynamic-feedback hook for multi-version compilation (paper Section
+/// III-I.1: "the compiler can generate multiple code versions for regions
+/// with potential, and rely on a runtime system with dynamic feedback to
+/// decide which code version to execute").  Given a compiled candidate and
+/// the number of cores it uses, returns its measured cost (lower is
+/// better), e.g. simulated cycles on a training workload.
+using PartitionEvaluator =
+    std::function<std::uint64_t(const isa::Program& program, int cores_used)>;
+
+/// Full Section III pipeline: split -> (speculate) -> forward -> fiberize
+/// -> code graph -> merge -> communication plan -> pairing check -> lower.
+/// With an evaluator, every candidate partitioning (partition counts
+/// 2..num_cores, both merge shapes) is compiled and the measured best is
+/// kept; without one, the static makespan objective chooses.
+CompiledParallel CompileParallel(const ir::Kernel& kernel,
+                                 const ir::DataLayout& layout,
+                                 const CompileOptions& options,
+                                 const analysis::ProfileData* profile = nullptr,
+                                 const PartitionEvaluator* evaluator = nullptr);
+
+/// Baseline: the same scalar pipeline (split + forwarding, no fiberize or
+/// partitioning) compiled for a single core.
+isa::Program CompileSequential(const ir::Kernel& kernel,
+                               const ir::DataLayout& layout,
+                               const CompileOptions& options);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,206 @@
+#include "compiler/fiber.hpp"
+
+#include <map>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+using ir::ExprId;
+using ir::ExprNode;
+using ir::Kernel;
+using ir::Stmt;
+
+class Fiberizer {
+ public:
+  explicit Fiberizer(Kernel& kernel) : k_(kernel) {}
+
+  FiberStats Run() {
+    RewriteList(k_.mutable_loop().body, /*in_loop=*/true);
+    // Epilogue statements run sequentially on the primary core; they are
+    // not partitioned and need no fiberization.
+    k_.RenumberStmts();
+    return stats_;
+  }
+
+ private:
+  // ---- the Section III-A partitioning algorithm ----
+
+  /// Assigns fiber numbers to the internal nodes of `expr`; returns the
+  /// number of fibers created.  fiber_of_ maps internal ExprIds.
+  int FormFibers(ExprId expr) {
+    fiber_of_.clear();
+    next_fiber_ = 0;
+    AssignPostOrder(expr);
+    return next_fiber_;
+  }
+
+  void AssignPostOrder(ExprId id) {
+    const ExprNode& node = k_.expr(id);
+    if (ir::IsPartitionLeaf(node.kind)) {
+      return;  // leaves remain unassigned
+    }
+    std::vector<int> child_fibers;
+    for (int c = 0; c < ir::ChildCount(node); ++c) {
+      const ExprId child = node.child[static_cast<std::size_t>(c)];
+      AssignPostOrder(child);
+      const auto it = fiber_of_.find(child);
+      if (it != fiber_of_.end()) {
+        child_fibers.push_back(it->second);
+      }
+    }
+    if (child_fibers.empty()) {
+      fiber_of_[id] = next_fiber_++;  // rule 1: new fiber
+      return;
+    }
+    bool all_same = true;
+    for (int f : child_fibers) {
+      all_same &= f == child_fibers.front();
+    }
+    if (all_same) {
+      fiber_of_[id] = child_fibers.front();  // rule 2: continue the fiber
+    } else {
+      fiber_of_[id] = next_fiber_++;  // rule 3: new fiber
+    }
+  }
+
+  // ---- materialization ----
+
+  ir::TempId NewTemp(const char* prefix, ir::ScalarType type) {
+    const ir::TempId temp = static_cast<ir::TempId>(k_.temps().size());
+    k_.mutable_temps().push_back(ir::Temp{
+        temp, std::string(prefix) + std::to_string(temp), type, false, 0, 0.0});
+    return temp;
+  }
+
+  ExprId TempRefOf(ir::TempId temp) {
+    return k_.AddExpr(ExprNode{.kind = ir::ExprKind::kTempRef,
+                               .type = k_.temp(temp).type,
+                               .temp = temp});
+  }
+
+  void EmitAssign(std::vector<Stmt>& out, ir::TempId temp, ExprId value, int line) {
+    Stmt stmt;
+    stmt.id = k_.AllocateStmtId();
+    stmt.kind = ir::StmtKind::kAssignTemp;
+    stmt.source_line = line;
+    stmt.temp = temp;
+    stmt.value = value;
+    out.push_back(std::move(stmt));
+    ++stats_.fiber_statements;
+  }
+
+  /// Rebuilds the subtree of `id` that belongs to `fiber`, materializing
+  /// any child belonging to a different fiber as a temp reference (emitting
+  /// that fiber's statement first).
+  ExprId BuildFiberExpr(ExprId id, int fiber, std::vector<Stmt>& out, int line) {
+    const ExprNode node = k_.expr(id);  // copy; arena grows below
+    if (ir::IsPartitionLeaf(node.kind)) {
+      return id;  // leaves travel with the consuming fiber
+    }
+    const int node_fiber = fiber_of_.at(id);
+    if (node_fiber != fiber) {
+      return TempRefOf(MaterializeFiber(id, out, line));
+    }
+    ExprNode clone = node;
+    bool changed = false;
+    for (int c = 0; c < ir::ChildCount(node); ++c) {
+      const ExprId child = node.child[static_cast<std::size_t>(c)];
+      const ExprId rebuilt = BuildFiberExpr(child, fiber, out, line);
+      changed |= rebuilt != child;
+      clone.child[static_cast<std::size_t>(c)] = rebuilt;
+    }
+    return changed ? k_.AddExpr(clone) : id;
+  }
+
+  /// Emits the statement computing the fiber rooted at `id`; returns the
+  /// temp holding its value.  Memoized per statement so a fiber is emitted
+  /// once even if referenced from several boundary points.
+  ir::TempId MaterializeFiber(ExprId root, std::vector<Stmt>& out, int line) {
+    const int fiber = fiber_of_.at(root);
+    const auto it = fiber_temp_.find(fiber);
+    if (it != fiber_temp_.end()) {
+      return it->second;
+    }
+    const ExprId body = BuildFiberExpr(root, fiber, out, line);
+    const ir::TempId temp = NewTemp("@fiber", k_.expr(root).type);
+    fiber_temp_[fiber] = temp;
+    EmitAssign(out, temp, body, line);
+    return temp;
+  }
+
+  /// Fiberizes one value expression in the context of statement `line`;
+  /// emits non-root fiber statements into `out` and returns the rewritten
+  /// root expression (which stays in the original statement).
+  ExprId FiberizeValue(ExprId value, std::vector<Stmt>& out, int line) {
+    const ExprNode& node = k_.expr(value);
+    if (ir::IsPartitionLeaf(node.kind)) {
+      return value;  // nothing to partition
+    }
+    const int fibers = FormFibers(value);
+    stats_.initial_fibers += fibers;
+    fiber_temp_.clear();
+    const int root_fiber = fiber_of_.at(value);
+    return BuildFiberExpr(value, root_fiber, out, line);
+  }
+
+  void RewriteList(std::vector<Stmt>& stmts, bool in_loop) {
+    std::vector<Stmt> out;
+    out.reserve(stmts.size());
+    for (Stmt& stmt : stmts) {
+      const int line = stmt.source_line;
+      switch (stmt.kind) {
+        case ir::StmtKind::kAssignTemp:
+          stmt.value = FiberizeValue(stmt.value, out, line);
+          out.push_back(std::move(stmt));
+          ++stats_.fiber_statements;
+          break;
+        case ir::StmtKind::kStoreScalar:
+        case ir::StmtKind::kStoreArray: {
+          // The subscript stays with the store; the stored value becomes a
+          // temp so it is forwardable/communicable (Section III-D).
+          stmt.value = FiberizeValue(stmt.value, out, line);
+          if (k_.expr(stmt.value).kind != ir::ExprKind::kTempRef) {
+            const ir::TempId temp = NewTemp("@sv", k_.expr(stmt.value).type);
+            EmitAssign(out, temp, stmt.value, line);
+            stmt.value = TempRefOf(temp);
+          }
+          out.push_back(std::move(stmt));
+          ++stats_.fiber_statements;
+          break;
+        }
+        case ir::StmtKind::kIf: {
+          // Reduce the condition to a bare temp reference so replicated
+          // branch structure on every core tests the same communicated
+          // value (Section III-E).
+          stmt.value = FiberizeValue(stmt.value, out, line);
+          if (k_.expr(stmt.value).kind != ir::ExprKind::kTempRef) {
+            const ir::TempId temp = NewTemp("@cnd", ir::ScalarType::kI64);
+            FGPAR_CHECK(k_.expr(stmt.value).type == ir::ScalarType::kI64);
+            EmitAssign(out, temp, stmt.value, line);
+            stmt.value = TempRefOf(temp);
+          }
+          RewriteList(stmt.then_body, in_loop);
+          RewriteList(stmt.else_body, in_loop);
+          out.push_back(std::move(stmt));
+          break;
+        }
+      }
+    }
+    stmts = std::move(out);
+  }
+
+  Kernel& k_;
+  std::map<ExprId, int> fiber_of_;
+  std::map<int, ir::TempId> fiber_temp_;
+  int next_fiber_ = 0;
+  FiberStats stats_;
+};
+
+}  // namespace
+
+FiberStats Fiberize(ir::Kernel& kernel) { return Fiberizer(kernel).Run(); }
+
+}  // namespace fgpar::compiler

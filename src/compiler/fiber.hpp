@@ -1,0 +1,45 @@
+// Fiber formation (paper Section III-A).
+//
+// "We define a fiber to be a sequence of instructions without any control
+// flow or memory carried dependences among its instructions.  We partition
+// the code into fibers, thus exposing fine-grained parallelism."
+//
+// The partitioning algorithm operates per statement on its expression tree,
+// exactly as in the paper: leaves (memory loads, literals, parameter /
+// temporary / induction-variable references) stay unassigned, and a
+// post-order traversal over the internal (compute) nodes applies three
+// rules:
+//   1. all children unassigned            -> start a new fiber;
+//   2. all assigned children in one fiber -> continue that fiber;
+//   3. assigned children in many fibers   -> start a new fiber.
+//
+// Fiberize() then *materializes* every fiber as its own statement
+// (`@fiber_n = <subtree>`), with fiber-boundary children replaced by
+// temporary references.  After this rewrite a statement IS a fiber: the
+// code graph, the merge heuristics, and the communication inserter all
+// operate at statement granularity, and cross-fiber dataflow is ordinary
+// temp use-def that the queue hardware can carry.
+//
+// Store statements additionally get their stored value bound to a
+// temporary (`@sv = rhs; a[i] = @sv`) and if conditions are reduced to a
+// bare temporary reference (`@cnd = cond; if (@cnd)`), so that stored
+// values and branch conditions are transferable values too (Sections III-D
+// and III-E).
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::compiler {
+
+struct FiberStats {
+  /// "Initial Fibers" of Table III: total fibers found across the loop
+  /// body's statements.
+  int initial_fibers = 0;
+  /// Statements in the rewritten loop body (excluding if structure).
+  int fiber_statements = 0;
+};
+
+/// Rewrites `kernel` in place so every loop-body statement is one fiber.
+FiberStats Fiberize(ir::Kernel& kernel);
+
+}  // namespace fgpar::compiler

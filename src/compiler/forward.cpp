@@ -1,0 +1,228 @@
+#include "compiler/forward.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "analysis/affine.hpp"
+#include "analysis/control.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+using analysis::ControlPath;
+using analysis::LinearIndex;
+using analysis::PathStep;
+using ir::ExprId;
+using ir::Kernel;
+using ir::Stmt;
+
+/// An available stored value: symbol + exact subscript, the statement that
+/// produced it, and the control path under which it is valid.
+struct AvailableDef {
+  ir::SymbolId sym;
+  bool is_scalar;
+  LinearIndex index;
+  Stmt* store_stmt;
+  ControlPath path;
+};
+
+class Forwarder {
+ public:
+  explicit Forwarder(Kernel& kernel) : k_(kernel) {}
+
+  int Run() {
+    Walk(k_.mutable_loop().body, {});
+    // The epilogue is a different execution region (runs once, after every
+    // iteration); loop-body defs never forward into it.
+    MaterializeTemps();
+    k_.RenumberStmts();
+    return forwarded_;
+  }
+
+ private:
+  void Walk(std::vector<Stmt>& stmts, const ControlPath& path) {
+    for (Stmt& stmt : stmts) {
+      switch (stmt.kind) {
+        case ir::StmtKind::kAssignTemp:
+          stmt.value = RewriteLoads(stmt.value, path);
+          break;
+        case ir::StmtKind::kStoreScalar:
+          stmt.value = RewriteLoads(stmt.value, path);
+          RecordStore(stmt, path, /*is_scalar=*/true, LinearIndex{});
+          break;
+        case ir::StmtKind::kStoreArray:
+          stmt.index = RewriteLoads(stmt.index, path);
+          stmt.value = RewriteLoads(stmt.value, path);
+          RecordStore(stmt, path, /*is_scalar=*/false,
+                      analysis::AnalyzeIndex(k_, stmt.index));
+          break;
+        case ir::StmtKind::kIf: {
+          stmt.value = RewriteLoads(stmt.value, path);
+          ControlPath then_path = path;
+          then_path.push_back(PathStep{stmt.id, true});
+          Walk(stmt.then_body, then_path);
+          ControlPath else_path = path;
+          else_path.push_back(PathStep{stmt.id, false});
+          Walk(stmt.else_body, else_path);
+          break;
+        }
+      }
+    }
+  }
+
+  void RecordStore(Stmt& stmt, const ControlPath& path, bool is_scalar,
+                   const LinearIndex& index) {
+    // A new store kills every prior def of the same symbol except an exact
+    // same-address def under a prefix path, which it replaces.
+    std::vector<AvailableDef> kept;
+    for (AvailableDef& def : avail_) {
+      if (def.sym != stmt.sym) {
+        kept.push_back(std::move(def));
+      }
+    }
+    avail_ = std::move(kept);
+    const bool forwardable_subscript = is_scalar || index.affine;
+    if (forwardable_subscript) {
+      avail_.push_back(AvailableDef{stmt.sym, is_scalar, index, &stmt, path});
+    }
+  }
+
+  /// Rewrites forwardable array/scalar loads inside `expr` for a statement
+  /// executing at `path`.
+  ExprId RewriteLoads(ExprId expr, const ControlPath& path) {
+    const ir::ExprNode node = k_.expr(expr);  // copy (arena may grow)
+    switch (node.kind) {
+      case ir::ExprKind::kScalarRef: {
+        const AvailableDef* def = FindDef(node.sym, /*is_scalar=*/true, {}, path);
+        if (def != nullptr) {
+          return ForwardFrom(*def, node.type);
+        }
+        return expr;
+      }
+      case ir::ExprKind::kArrayRef: {
+        // The index itself may contain forwardable loads.
+        const ExprId new_index = RewriteLoads(node.child[0], path);
+        const LinearIndex index = analysis::AnalyzeIndex(k_, new_index);
+        const AvailableDef* def =
+            FindDef(node.sym, /*is_scalar=*/false, index, path);
+        if (def != nullptr) {
+          ++forwarded_;
+          return ForwardFrom(*def, node.type);
+        }
+        if (new_index == node.child[0]) {
+          return expr;
+        }
+        ir::ExprNode clone = node;
+        clone.child[0] = new_index;
+        return k_.AddExpr(clone);
+      }
+      case ir::ExprKind::kUnary:
+      case ir::ExprKind::kBinary:
+      case ir::ExprKind::kSelect: {
+        ir::ExprNode clone = node;
+        bool changed = false;
+        for (int c = 0; c < ir::ChildCount(node); ++c) {
+          const ExprId child = node.child[static_cast<std::size_t>(c)];
+          const ExprId rewritten = RewriteLoads(child, path);
+          changed |= rewritten != child;
+          clone.child[static_cast<std::size_t>(c)] = rewritten;
+        }
+        return changed ? k_.AddExpr(clone) : expr;
+      }
+      default:
+        return expr;
+    }
+  }
+
+  const AvailableDef* FindDef(ir::SymbolId sym, bool is_scalar,
+                              const LinearIndex& index, const ControlPath& path) {
+    for (auto it = avail_.rbegin(); it != avail_.rend(); ++it) {
+      if (it->sym != sym || it->is_scalar != is_scalar) {
+        continue;
+      }
+      if (!analysis::IsPrefix(it->path, path)) {
+        return nullptr;  // most recent def doesn't dominate this load
+      }
+      if (is_scalar || analysis::SameAddressSameIteration(it->index, index)) {
+        if (is_scalar) {
+          ++forwarded_;
+        }
+        return &*it;
+      }
+      return nullptr;  // most recent dominating def is a different address
+    }
+    return nullptr;
+  }
+
+  /// Returns a TempRef to the value stored by `def`, scheduling the store
+  /// statement for value-temp materialization if needed.
+  ExprId ForwardFrom(const AvailableDef& def, ir::ScalarType type) {
+    Stmt* store = def.store_stmt;
+    const ir::ExprNode& value_node = k_.expr(store->value);
+    ir::TempId temp;
+    if (value_node.kind == ir::ExprKind::kTempRef) {
+      temp = value_node.temp;
+    } else {
+      auto it = value_temp_for_.find(store->id);
+      if (it != value_temp_for_.end()) {
+        temp = it->second;
+      } else {
+        temp = static_cast<ir::TempId>(k_.temps().size());
+        k_.mutable_temps().push_back(ir::Temp{
+            temp, "@fwd" + std::to_string(temp), type, false, 0, 0.0});
+        value_temp_for_[store->id] = temp;
+      }
+    }
+    return k_.AddExpr(
+        ir::ExprNode{.kind = ir::ExprKind::kTempRef, .type = type, .temp = temp});
+  }
+
+  /// Second phase: for every store whose value was forwarded, split it into
+  /// `t = value; store t`.
+  void MaterializeTemps() {
+    if (value_temp_for_.empty()) {
+      return;
+    }
+    Materialize(k_.mutable_loop().body);
+  }
+
+  void Materialize(std::vector<Stmt>& stmts) {
+    std::vector<Stmt> out;
+    out.reserve(stmts.size());
+    for (Stmt& stmt : stmts) {
+      const auto it = value_temp_for_.find(stmt.id);
+      if (it != value_temp_for_.end()) {
+        const ir::TempId temp = it->second;
+        Stmt assign;
+        assign.id = k_.AllocateStmtId();
+        assign.kind = ir::StmtKind::kAssignTemp;
+        assign.source_line = stmt.source_line;
+        assign.temp = temp;
+        assign.value = stmt.value;
+        stmt.value = k_.AddExpr(ir::ExprNode{.kind = ir::ExprKind::kTempRef,
+                                             .type = k_.temp(temp).type,
+                                             .temp = temp});
+        out.push_back(std::move(assign));
+      }
+      out.push_back(std::move(stmt));
+      if (out.back().kind == ir::StmtKind::kIf) {
+        Materialize(out.back().then_body);
+        Materialize(out.back().else_body);
+      }
+    }
+    stmts = std::move(out);
+  }
+
+  Kernel& k_;
+  std::vector<AvailableDef> avail_;
+  std::map<ir::StmtId, ir::TempId> value_temp_for_;
+  int forwarded_ = 0;
+};
+
+}  // namespace
+
+int ForwardStores(ir::Kernel& kernel) { return Forwarder(kernel).Run(); }
+
+}  // namespace fgpar::compiler

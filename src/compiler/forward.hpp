@@ -1,0 +1,22 @@
+// Store-to-load forwarding.
+//
+// When a statement stores a value and a later statement in the same
+// iteration provably reloads the same address (must-alias, Section III-I.2),
+// the reload is replaced by a direct reference to the stored value's
+// temporary.  This serves two purposes: it removes a redundant memory
+// access, and — more importantly for the partitioner — it turns a memory
+// RAW dependence into a register dataflow edge, which the communication
+// inserter can satisfy with a queue transfer when producer and consumer
+// land on different cores.  Memory dependences that cannot be forwarded are
+// later handled conservatively by fusing the fibers onto one core (see
+// graph.cpp).
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::compiler {
+
+/// Rewrites `kernel` in place; returns the number of loads forwarded.
+int ForwardStores(ir::Kernel& kernel);
+
+}  // namespace fgpar::compiler

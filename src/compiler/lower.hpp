@@ -1,0 +1,30 @@
+// Code generation: lowers kernels / program plans to the simulator ISA.
+//
+// Parallel layout (Section III-G, Figure 9): core 0 enters at "main", which
+// dispatches each outlined function ("F1", "F2", ...) to its secondary core
+// by enqueueing the function's entry pc followed by its arguments, runs its
+// own partition of the loop inline, collects live-outs and completion
+// tokens, runs the epilogue, and finally enqueues the TERMINATE value (0)
+// to every secondary.  All secondary cores enter at the shared "driver"
+// loop, which dequeues a function pointer from the primary and indirect-
+// calls it until it receives 0.
+//
+// Sequential layout: a single "main" on core 0 runs the whole loop and
+// epilogue — the baseline the paper's speedups are measured against.
+#pragma once
+
+#include "compiler/plan.hpp"
+#include "ir/layout.hpp"
+#include "isa/program.hpp"
+
+namespace fgpar::compiler {
+
+/// Emits the parallel program for `plan`.  Core 0 starts at "main"; cores
+/// 1..plan.cores.size()-1 start at "driver".
+isa::Program LowerParallel(const ir::Kernel& kernel, const ir::DataLayout& layout,
+                           const ProgramPlan& plan);
+
+/// Emits the single-core baseline program ("main" on core 0).
+isa::Program LowerSequential(const ir::Kernel& kernel, const ir::DataLayout& layout);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,678 @@
+#include "compiler/merge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+/// Working state: live nodes with merged attributes and an edge multiset.
+class Merger {
+ public:
+  Merger(const CodeGraph& graph, const CompileOptions& options)
+      : options_(options) {
+    nodes_.reserve(graph.nodes.size());
+    for (const GraphNode& node : graph.nodes) {
+      nodes_.push_back(Live{node.stmts, node.cost, node.min_line,
+                            node.compute_ops, /*alive=*/true});
+    }
+    for (const DepEdge& edge : graph.edges) {
+      const int u = graph.NodeOf(edge.producer);
+      const int v = graph.NodeOf(edge.consumer);
+      if (u != v) {
+        ++edge_count_[{std::min(u, v), std::max(u, v)}];
+        directed_[{u, v}] += 1;
+      }
+    }
+  }
+
+  std::vector<MergedPartition> Run() {
+    if (options_.throughput_heuristic) {
+      CollapseCycles();
+    }
+    while (AliveCount() > options_.num_cores) {
+      const int merges_this_step =
+          options_.multi_pair_merge ? std::max(1, AliveCount() / 8) : 1;
+      if (!MergeStep(merges_this_step)) {
+        break;  // no candidate pair (degenerate); stop
+      }
+      if (options_.throughput_heuristic) {
+        CollapseCycles();
+      }
+    }
+    return Finish();
+  }
+
+ private:
+  struct Live {
+    std::vector<ir::StmtId> stmts;
+    double cost;
+    int min_line;
+    int compute_ops;
+    bool alive;
+  };
+
+  int AliveCount() const {
+    int count = 0;
+    for (const Live& node : nodes_) {
+      count += node.alive ? 1 : 0;
+    }
+    return count;
+  }
+
+  double Affinity(int u, int v) const {
+    const auto it = edge_count_.find({std::min(u, v), std::max(u, v)});
+    const double edges = it == edge_count_.end() ? 0.0 : it->second;
+    const double combined_cost = nodes_[static_cast<std::size_t>(u)].cost +
+                                 nodes_[static_cast<std::size_t>(v)].cost;
+    const double line_dist =
+        std::abs(nodes_[static_cast<std::size_t>(u)].min_line -
+                 nodes_[static_cast<std::size_t>(v)].min_line);
+    return options_.w_deps * edges +
+           options_.w_cost * options_.cost_scale /
+               (options_.cost_scale + combined_cost) +
+           options_.w_prox * options_.line_scale /
+               (options_.line_scale + line_dist);
+  }
+
+  /// Merges `v` into `u`.
+  void Merge(int u, int v) {
+    FGPAR_CHECK(u != v);
+    Live& dst = nodes_[static_cast<std::size_t>(u)];
+    Live& src = nodes_[static_cast<std::size_t>(v)];
+    FGPAR_CHECK(dst.alive && src.alive);
+    dst.stmts.insert(dst.stmts.end(), src.stmts.begin(), src.stmts.end());
+    dst.cost += src.cost;
+    dst.min_line = std::min(dst.min_line, src.min_line);
+    dst.compute_ops += src.compute_ops;
+    src.alive = false;
+
+    // Re-point edges from v to u; edges between u and v vanish ("Any
+    // dependence edges that may have existed between the two nodes being
+    // merged no longer exist after the merge").
+    std::map<std::pair<int, int>, int> new_undirected;
+    for (const auto& [key, count] : edge_count_) {
+      auto [a, b] = key;
+      if (a == v) a = u;
+      if (b == v) b = u;
+      if (a == b) continue;
+      new_undirected[{std::min(a, b), std::max(a, b)}] += count;
+    }
+    edge_count_ = std::move(new_undirected);
+    std::map<std::pair<int, int>, int> new_directed;
+    for (const auto& [key, count] : directed_) {
+      auto [a, b] = key;
+      if (a == v) a = u;
+      if (b == v) b = u;
+      if (a == b) continue;
+      new_directed[{a, b}] += count;
+    }
+    directed_ = std::move(new_directed);
+  }
+
+  /// One merge step: merges up to `max_merges` disjoint best-affinity pairs.
+  bool MergeStep(int max_merges) {
+    struct Candidate {
+      double affinity;
+      int u, v;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<int> alive;
+    double total_cost = 0.0;
+    for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+      if (nodes_[static_cast<std::size_t>(i)].alive) {
+        alive.push_back(i);
+        total_cost += nodes_[static_cast<std::size_t>(i)].cost;
+      }
+    }
+    // Balance cap: a merged node should not exceed its fair share of the
+    // total cost by more than the configured factor.
+    const double cost_cap =
+        options_.balance_cap * total_cost / std::max(1, options_.num_cores);
+    auto gather = [&](bool capped) {
+      for (std::size_t i = 0; i < alive.size(); ++i) {
+        for (std::size_t j = i + 1; j < alive.size(); ++j) {
+          const double combined = nodes_[static_cast<std::size_t>(alive[i])].cost +
+                                  nodes_[static_cast<std::size_t>(alive[j])].cost;
+          if (capped && combined > cost_cap) {
+            continue;
+          }
+          candidates.push_back(
+              Candidate{Affinity(alive[i], alive[j]), alive[i], alive[j]});
+        }
+      }
+    };
+    gather(/*capped=*/true);
+    if (candidates.empty()) {
+      gather(/*capped=*/false);  // must still converge to num_cores nodes
+    }
+    if (candidates.empty()) {
+      return false;
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       if (a.affinity != b.affinity) {
+                         return a.affinity > b.affinity;
+                       }
+                       return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+                     });
+    std::set<int> used;
+    int merges = 0;
+    const int allowed = std::min(max_merges, AliveCount() - options_.num_cores);
+    for (const Candidate& c : candidates) {
+      if (merges >= allowed) {
+        break;
+      }
+      if (used.contains(c.u) || used.contains(c.v)) {
+        continue;
+      }
+      Merge(c.u, c.v);
+      used.insert(c.u);
+      used.insert(c.v);
+      ++merges;
+    }
+    return merges > 0;
+  }
+
+  /// Collapses every dependence cycle among live nodes (Tarjan SCC over the
+  /// directed dependence graph).
+  void CollapseCycles() {
+    for (;;) {
+      const std::vector<std::vector<int>> sccs = FindSccs();
+      bool merged_any = false;
+      for (const std::vector<int>& scc : sccs) {
+        if (scc.size() > 1) {
+          for (std::size_t i = 1; i < scc.size(); ++i) {
+            Merge(scc[0], scc[i]);
+          }
+          merged_any = true;
+          break;  // edge maps changed; recompute SCCs
+        }
+      }
+      if (!merged_any) {
+        return;
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> FindSccs() const {
+    // Iterative Tarjan over alive nodes.
+    std::map<int, std::vector<int>> adj;
+    std::vector<int> alive;
+    for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+      if (nodes_[static_cast<std::size_t>(i)].alive) {
+        alive.push_back(i);
+      }
+    }
+    for (const auto& [key, count] : directed_) {
+      if (count > 0 && nodes_[static_cast<std::size_t>(key.first)].alive &&
+          nodes_[static_cast<std::size_t>(key.second)].alive) {
+        adj[key.first].push_back(key.second);
+      }
+    }
+    std::map<int, int> index_of, lowlink;
+    std::set<int> on_stack;
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int counter = 0;
+
+    struct Frame {
+      int node;
+      std::size_t child = 0;
+    };
+    for (int start : alive) {
+      if (index_of.contains(start)) {
+        continue;
+      }
+      std::vector<Frame> frames{{start}};
+      index_of[start] = lowlink[start] = counter++;
+      stack.push_back(start);
+      on_stack.insert(start);
+      while (!frames.empty()) {
+        Frame& frame = frames.back();
+        const auto& edges = adj[frame.node];
+        if (frame.child < edges.size()) {
+          const int next = edges[frame.child++];
+          if (!index_of.contains(next)) {
+            index_of[next] = lowlink[next] = counter++;
+            stack.push_back(next);
+            on_stack.insert(next);
+            frames.push_back(Frame{next});
+          } else if (on_stack.contains(next)) {
+            lowlink[frame.node] = std::min(lowlink[frame.node], index_of[next]);
+          }
+        } else {
+          if (lowlink[frame.node] == index_of[frame.node]) {
+            std::vector<int> scc;
+            for (;;) {
+              const int w = stack.back();
+              stack.pop_back();
+              on_stack.erase(w);
+              scc.push_back(w);
+              if (w == frame.node) {
+                break;
+              }
+            }
+            sccs.push_back(std::move(scc));
+          }
+          const int done = frame.node;
+          frames.pop_back();
+          if (!frames.empty()) {
+            lowlink[frames.back().node] =
+                std::min(lowlink[frames.back().node], lowlink[done]);
+          }
+        }
+      }
+    }
+    return sccs;
+  }
+
+  std::vector<MergedPartition> Finish() const {
+    std::vector<MergedPartition> out;
+    for (const Live& node : nodes_) {
+      if (node.alive && !node.stmts.empty()) {
+        out.push_back(MergedPartition{node.stmts, node.cost, node.compute_ops});
+      }
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const MergedPartition& a, const MergedPartition& b) {
+                       return a.cost > b.cost;
+                     });
+    return out;
+  }
+
+  const CompileOptions& options_;
+  std::vector<Live> nodes_;
+  std::map<std::pair<int, int>, int> edge_count_;  // undirected, for affinity
+  std::map<std::pair<int, int>, int> directed_;    // for the SCC collapse
+};
+
+}  // namespace
+
+/// Partition-quality objective used for refinement and candidate selection:
+/// an estimated per-iteration makespan.  A bidirectional dependence between
+/// two partitions forces a round trip through the queues each iteration
+/// that an in-order core cannot pipeline past, so it charges both sides
+/// 2 * (assumed transfer latency + 1) cycles; one-way transfers pipeline
+/// across iterations and are charged only a small per-transfer queue-op
+/// cost.  Ties break on transfer count, then on raw max cost.
+std::tuple<double, int, double> PartitionObjective(
+    const CodeGraph& graph, const std::vector<MergedPartition>& parts,
+    const CompileOptions& options) {
+  const int num_parts = static_cast<int>(parts.size());
+  std::map<ir::StmtId, int> part_of;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (ir::StmtId stmt : parts[p].stmts) {
+      part_of[stmt] = static_cast<int>(p);
+    }
+  }
+  // Cross-partition transfers at (producer node, consumer partition)
+  // granularity — one queue transfer per iteration each.
+  std::set<std::pair<int, int>> node_cross;
+  std::vector<std::vector<bool>> reach(
+      static_cast<std::size_t>(num_parts),
+      std::vector<bool>(static_cast<std::size_t>(num_parts), false));
+  for (const DepEdge& edge : graph.edges) {
+    const int pu = part_of.at(edge.producer);
+    const int pv = part_of.at(edge.consumer);
+    if (pu != pv) {
+      node_cross.insert({graph.NodeOf(edge.producer), pv});
+      reach[static_cast<std::size_t>(pu)][static_cast<std::size_t>(pv)] = true;
+    }
+  }
+  // Transitive closure -> SCCs of the partition digraph.  Every partition
+  // on a dependence cycle pays one full round trip per iteration, because
+  // the in-order core blocks in the dequeue that closes the cycle.
+  for (int k = 0; k < num_parts; ++k) {
+    for (int i = 0; i < num_parts; ++i) {
+      for (int j = 0; j < num_parts; ++j) {
+        reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] ||
+            (reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] &&
+             reach[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  std::vector<int> scc_size(static_cast<std::size_t>(num_parts), 1);
+  for (int i = 0; i < num_parts; ++i) {
+    int size = 1;
+    for (int j = 0; j < num_parts; ++j) {
+      if (i != j && reach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] &&
+          reach[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]) {
+        ++size;
+      }
+    }
+    scc_size[static_cast<std::size_t>(i)] = size;
+  }
+  const double hop = static_cast<double>(options.assumed_transfer_latency) + 1.0;
+
+  double makespan = 0.0;
+  double max_cost = 0.0;
+  for (int p = 0; p < num_parts; ++p) {
+    // Queue-op pipeline occupancy: one cycle per enqueue issued here plus
+    // one per dequeue received here.
+    double queue_ops = 0.0;
+    for (const auto& cross : node_cross) {
+      const int producer_part =
+          part_of.at(graph.nodes[static_cast<std::size_t>(cross.first)]
+                         .stmts.front());
+      if (producer_part == p) {
+        queue_ops += 1.0;
+      }
+      if (cross.second == p) {
+        queue_ops += 1.0;
+      }
+    }
+    const double cycle_penalty =
+        scc_size[static_cast<std::size_t>(p)] > 1
+            ? static_cast<double>(scc_size[static_cast<std::size_t>(p)]) * hop
+            : 0.0;
+    makespan = std::max(makespan, parts[static_cast<std::size_t>(p)].cost +
+                                      cycle_penalty + queue_ops);
+    max_cost = std::max(max_cost, parts[static_cast<std::size_t>(p)].cost);
+  }
+  return {makespan, static_cast<int>(node_cross.size()), max_cost};
+}
+
+namespace {
+
+/// Alternative candidate: contiguous segments of a cost-balanced
+/// topological order.  Edges between segments only ever point forward, so
+/// the resulting pipeline is acyclic by construction (the DSWP-like shape).
+std::vector<MergedPartition> TopoSegments(const CodeGraph& graph,
+                                          const CompileOptions& options) {
+  const int n = static_cast<int>(graph.nodes.size());
+  std::map<int, std::set<int>> succs;
+  std::map<int, int> indegree;
+  for (int i = 0; i < n; ++i) {
+    indegree[i] = 0;
+  }
+  for (const DepEdge& edge : graph.edges) {
+    const int u = graph.NodeOf(edge.producer);
+    const int v = graph.NodeOf(edge.consumer);
+    if (u != v && succs[u].insert(v).second) {
+      ++indegree[v];
+    }
+  }
+  // Kahn's algorithm; ties broken by source order (min_line, index).
+  std::vector<int> order;
+  std::set<std::pair<int, int>> ready;  // (min_line, node)
+  for (int i = 0; i < n; ++i) {
+    if (indegree[i] == 0) {
+      ready.insert({graph.nodes[static_cast<std::size_t>(i)].min_line, i});
+    }
+  }
+  while (!ready.empty()) {
+    const int node = ready.begin()->second;
+    ready.erase(ready.begin());
+    order.push_back(node);
+    for (int next : succs[node]) {
+      if (--indegree[next] == 0) {
+        ready.insert({graph.nodes[static_cast<std::size_t>(next)].min_line, next});
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    return {};  // unexpected cycle at node level; no topo candidate
+  }
+  double total = 0.0;
+  for (const GraphNode& node : graph.nodes) {
+    total += node.cost;
+  }
+  std::vector<MergedPartition> parts;
+  MergedPartition current;
+  double remaining = total;
+  int segments_left = options.num_cores;
+  for (int node : order) {
+    const GraphNode& gn = graph.nodes[static_cast<std::size_t>(node)];
+    const double target = remaining / segments_left;
+    if (segments_left > 1 && !current.stmts.empty() &&
+        current.cost + gn.cost / 2.0 > target) {
+      remaining -= current.cost;
+      parts.push_back(std::move(current));
+      current = MergedPartition{};
+      --segments_left;
+    }
+    current.stmts.insert(current.stmts.end(), gn.stmts.begin(), gn.stmts.end());
+    current.cost += gn.cost;
+    current.compute_ops += gn.compute_ops;
+  }
+  if (!current.stmts.empty()) {
+    parts.push_back(std::move(current));
+  }
+  return parts;
+}
+
+}  // namespace
+
+/// Directed sender->receiver channels a partitioning needs: loop transfers
+/// (one per cross-partition dependence direction) plus, for every partition
+/// other than the primary (the most expensive one after sorting), the
+/// dispatch/argument channel from the primary and the live-out/completion
+/// channel back — the Section III-G protocol traffic.
+int ChannelsUsed(const CodeGraph& graph, const std::vector<MergedPartition>& parts) {
+  std::map<ir::StmtId, int> part_of;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    for (ir::StmtId stmt : parts[p].stmts) {
+      part_of[stmt] = static_cast<int>(p);
+    }
+  }
+  std::set<std::pair<int, int>> channels;
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    channels.insert({0, static_cast<int>(p)});  // dispatch + args
+    channels.insert({static_cast<int>(p), 0});  // completion + live-outs
+  }
+  for (const DepEdge& edge : graph.edges) {
+    const int pu = part_of.at(edge.producer);
+    const int pv = part_of.at(edge.consumer);
+    if (pu != pv) {
+      channels.insert({pu, pv});
+    }
+  }
+  return static_cast<int>(channels.size());
+}
+
+std::vector<std::vector<MergedPartition>> EnumerateCandidates(
+    const CodeGraph& graph, const CompileOptions& options) {
+  FGPAR_CHECK_MSG(options.num_cores >= 1, "num_cores must be >= 1");
+  std::vector<std::vector<MergedPartition>> candidates;
+  std::set<std::vector<std::vector<ir::StmtId>>> seen;
+  auto add = [&](std::vector<MergedPartition> parts) {
+    if (parts.empty()) {
+      return;
+    }
+    if (options.max_channels > 0 &&
+        ChannelsUsed(graph, parts) > options.max_channels) {
+      return;  // exceeds the hardware queue budget
+    }
+    std::stable_sort(parts.begin(), parts.end(),
+                     [](const MergedPartition& a, const MergedPartition& b) {
+                       return a.cost > b.cost;
+                     });
+    std::vector<std::vector<ir::StmtId>> key;
+    for (MergedPartition& p : parts) {
+      std::sort(p.stmts.begin(), p.stmts.end());
+      key.push_back(p.stmts);
+    }
+    std::sort(key.begin(), key.end());
+    if (seen.insert(std::move(key)).second) {
+      candidates.push_back(std::move(parts));
+    }
+  };
+
+  if (options.throughput_heuristic) {
+    // The ablation keeps the paper's exact variant: affinity merge with
+    // cycle collapsing, at the requested core count.
+    add(RefinePartitions(graph, Merger(graph, options).Run(), options));
+    return candidates;
+  }
+  for (int target = std::min(2, options.num_cores); target <= options.num_cores;
+       ++target) {
+    CompileOptions sub = options;
+    sub.num_cores = target;
+    add(RefinePartitions(graph, Merger(graph, sub).Run(), sub));
+    std::vector<MergedPartition> topo = TopoSegments(graph, sub);
+    if (!topo.empty()) {
+      add(RefinePartitions(graph, std::move(topo), sub));
+    }
+  }
+  if (candidates.empty()) {
+    // The queue budget rejected every multi-partition shape: fall back to a
+    // single partition (sequential on the primary core, zero queues).
+    MergedPartition all;
+    for (const GraphNode& node : graph.nodes) {
+      all.stmts.insert(all.stmts.end(), node.stmts.begin(), node.stmts.end());
+      all.cost += node.cost;
+      all.compute_ops += node.compute_ops;
+    }
+    candidates.push_back({std::move(all)});
+  }
+  FGPAR_CHECK_MSG(!candidates.empty(), "no partitioning candidate produced");
+  return candidates;
+}
+
+std::vector<MergedPartition> MergeGraph(const CodeGraph& graph,
+                                        const CompileOptions& options) {
+  std::vector<std::vector<MergedPartition>> candidates =
+      EnumerateCandidates(graph, options);
+  std::size_t best = 0;
+  auto best_score = PartitionObjective(graph, candidates[0], options);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const auto score = PartitionObjective(graph, candidates[i], options);
+    if (score < best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return std::move(candidates[best]);
+}
+
+std::vector<MergedPartition> RefinePartitions(const CodeGraph& graph,
+                                              std::vector<MergedPartition> parts,
+                                              const CompileOptions& options) {
+  if (parts.size() < 2) {
+    return parts;
+  }
+  const int num_parts = static_cast<int>(parts.size());
+
+  // Recover the original (pre-merge) node granularity: fused statements
+  // must move together, so moves operate on graph nodes.
+  std::map<int, int> part_of_node;
+  std::map<int, double> node_cost;
+  std::map<int, int> node_ops;
+  for (int p = 0; p < num_parts; ++p) {
+    for (ir::StmtId stmt : parts[static_cast<std::size_t>(p)].stmts) {
+      part_of_node[graph.NodeOf(stmt)] = p;
+    }
+  }
+  for (int n = 0; n < static_cast<int>(graph.nodes.size()); ++n) {
+    node_cost[n] = graph.nodes[static_cast<std::size_t>(n)].cost;
+    node_ops[n] = graph.nodes[static_cast<std::size_t>(n)].compute_ops;
+  }
+  // Node-level directed dependences.
+  std::set<std::pair<int, int>> node_edges;
+  for (const DepEdge& edge : graph.edges) {
+    const int u = graph.NodeOf(edge.producer);
+    const int v = graph.NodeOf(edge.consumer);
+    if (u != v) {
+      node_edges.insert({u, v});
+    }
+  }
+
+  double total_cost = 0.0;
+  std::vector<double> part_cost(static_cast<std::size_t>(num_parts), 0.0);
+  for (const auto& [node, p] : part_of_node) {
+    part_cost[static_cast<std::size_t>(p)] += node_cost[node];
+    total_cost += node_cost[node];
+  }
+  const double cost_cap =
+      options.balance_cap * total_cost / std::max(1, options.num_cores);
+
+  // Objective: estimated per-iteration makespan (see PartitionObjective);
+  // evaluated here on the working node assignment.
+  auto evaluate = [&]() {
+    std::vector<MergedPartition> snapshot(static_cast<std::size_t>(num_parts));
+    for (const auto& [node, p] : part_of_node) {
+      const GraphNode& gn = graph.nodes[static_cast<std::size_t>(node)];
+      MergedPartition& part = snapshot[static_cast<std::size_t>(p)];
+      part.stmts.insert(part.stmts.end(), gn.stmts.begin(), gn.stmts.end());
+      part.cost += gn.cost;
+      part.compute_ops += gn.compute_ops;
+    }
+    std::erase_if(snapshot,
+                  [](const MergedPartition& p) { return p.stmts.empty(); });
+    return PartitionObjective(graph, snapshot, options);
+  };
+
+  auto count_nodes_in = [&](int p) {
+    int count = 0;
+    for (const auto& [node, part] : part_of_node) {
+      (void)node;
+      count += part == p ? 1 : 0;
+    }
+    return count;
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    const auto baseline = evaluate();
+    bool improved = false;
+    // Candidate moves: any node with a cross-partition edge.
+    for (const auto& [node, from] : std::map<int, int>(part_of_node)) {
+      bool boundary = false;
+      for (const auto& edge : node_edges) {
+        if ((edge.first == node && part_of_node.at(edge.second) != from) ||
+            (edge.second == node && part_of_node.at(edge.first) != from)) {
+          boundary = true;
+          break;
+        }
+      }
+      if (!boundary || count_nodes_in(from) <= 1) {
+        continue;
+      }
+      for (int to = 0; to < num_parts; ++to) {
+        if (to == from ||
+            part_cost[static_cast<std::size_t>(to)] + node_cost[node] > cost_cap) {
+          continue;
+        }
+        part_of_node[node] = to;
+        part_cost[static_cast<std::size_t>(from)] -= node_cost[node];
+        part_cost[static_cast<std::size_t>(to)] += node_cost[node];
+        if (evaluate() < baseline) {
+          improved = true;
+          break;  // keep the move
+        }
+        part_of_node[node] = from;  // revert
+        part_cost[static_cast<std::size_t>(from)] += node_cost[node];
+        part_cost[static_cast<std::size_t>(to)] -= node_cost[node];
+      }
+      if (improved) {
+        break;
+      }
+    }
+    if (!improved) {
+      break;
+    }
+  }
+
+  // Rebuild partitions from the refined assignment.
+  std::vector<MergedPartition> out(static_cast<std::size_t>(num_parts));
+  for (const auto& [node, p] : part_of_node) {
+    MergedPartition& part = out[static_cast<std::size_t>(p)];
+    const GraphNode& gn = graph.nodes[static_cast<std::size_t>(node)];
+    part.stmts.insert(part.stmts.end(), gn.stmts.begin(), gn.stmts.end());
+    part.cost += gn.cost;
+    part.compute_ops += gn.compute_ops;
+  }
+  std::erase_if(out, [](const MergedPartition& p) { return p.stmts.empty(); });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MergedPartition& a, const MergedPartition& b) {
+                     return a.cost > b.cost;
+                   });
+  return out;
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,65 @@
+// Code-graph merging (paper Section III-B).
+//
+// "The graph is transformed by merging a pair of nodes at each step, until
+// the total number of nodes is equal to the number of hardware cores
+// available for execution. ... Multiple individual heuristics are weighted
+// and combined to compute an affinity value for each node pair."
+//
+// Heuristics implemented (the three the paper found to work best):
+//   1. more dependence edges between the pair  -> higher affinity;
+//   2. smaller combined static compute time    -> higher affinity;
+//   3. closer source-line proximity            -> higher affinity.
+//
+// Variants:
+//   * multi-pair merging ("chooses multiple node pairs to merge at each
+//     step ... allows faster compilation");
+//   * the throughput heuristic ("constrains partitioning to allow only
+//     unidirectional dependences between any two nodes in the final graph"
+//     by collapsing every dependence cycle found after each step).
+#pragma once
+
+#include <tuple>
+#include <vector>
+
+#include "compiler/graph.hpp"
+#include "compiler/options.hpp"
+
+namespace fgpar::compiler {
+
+struct MergedPartition {
+  std::vector<ir::StmtId> stmts;
+  double cost = 0.0;
+  int compute_ops = 0;
+};
+
+/// Merges the graph down to at most `options.num_cores` partitions.
+/// Returns non-empty partitions sorted by descending cost (selects among
+/// EnumerateCandidates by the static makespan objective).
+std::vector<MergedPartition> MergeGraph(const CodeGraph& graph,
+                                        const CompileOptions& options);
+
+/// All candidate partitionings considered: the affinity merge and the
+/// acyclic pipeline cut, at every partition count from 2 up to
+/// options.num_cores (deduplicated, each refined).  This powers the paper's
+/// Section III-I.1 multi-version compilation: the caller may pick among
+/// them with dynamic feedback instead of the static objective.
+std::vector<std::vector<MergedPartition>> EnumerateCandidates(
+    const CodeGraph& graph, const CompileOptions& options);
+
+/// The static partition-quality estimate used when no dynamic feedback is
+/// available: (estimated per-iteration makespan, transfers, max cost).
+std::tuple<double, int, double> PartitionObjective(
+    const CodeGraph& graph, const std::vector<MergedPartition>& parts,
+    const CompileOptions& options);
+
+/// Post-merge refinement: greedily moves graph nodes between partitions to
+/// break *bidirectional* dependences between partition pairs.  A mutual
+/// dependence forces a per-iteration round trip through the queues that an
+/// in-order core cannot pipeline past (it stalls in the dequeue), so
+/// breaking such cycles is usually worth extra one-way transfers.  Moves
+/// respect the balance cap and never empty a partition.
+std::vector<MergedPartition> RefinePartitions(const CodeGraph& graph,
+                                              std::vector<MergedPartition> parts,
+                                              const CompileOptions& options);
+
+}  // namespace fgpar::compiler

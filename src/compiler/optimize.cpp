@@ -1,0 +1,275 @@
+#include "compiler/optimize.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+using ir::BinOp;
+using ir::ExprId;
+using ir::ExprKind;
+using ir::ExprNode;
+using ir::Kernel;
+using ir::Stmt;
+using ir::UnOp;
+
+class Folder {
+ public:
+  explicit Folder(Kernel& kernel) : k_(kernel) {}
+
+  int Run() {
+    Walk(k_.mutable_loop().body);
+    Walk(k_.mutable_epilogue());
+    if (k_.loop().lower != ir::kNoExpr) {
+      k_.mutable_loop().lower = Fold(k_.loop().lower);
+      k_.mutable_loop().upper = Fold(k_.loop().upper);
+    }
+    return folded_;
+  }
+
+ private:
+  void Walk(std::vector<Stmt>& stmts) {
+    for (Stmt& stmt : stmts) {
+      switch (stmt.kind) {
+        case ir::StmtKind::kAssignTemp:
+        case ir::StmtKind::kStoreScalar:
+          stmt.value = Fold(stmt.value);
+          break;
+        case ir::StmtKind::kStoreArray:
+          stmt.index = Fold(stmt.index);
+          stmt.value = Fold(stmt.value);
+          break;
+        case ir::StmtKind::kIf:
+          stmt.value = Fold(stmt.value);
+          Walk(stmt.then_body);
+          Walk(stmt.else_body);
+          break;
+      }
+    }
+  }
+
+  bool IsConst(ExprId id) const {
+    const ExprKind kind = k_.expr(id).kind;
+    return kind == ExprKind::kConstI || kind == ExprKind::kConstF;
+  }
+
+  ExprId MakeConstI(std::int64_t v) {
+    ++folded_;
+    return k_.AddExpr(ExprNode{.kind = ExprKind::kConstI,
+                               .type = ir::ScalarType::kI64,
+                               .const_i = v});
+  }
+
+  ExprId MakeConstF(double v) {
+    ++folded_;
+    return k_.AddExpr(ExprNode{.kind = ExprKind::kConstF,
+                               .type = ir::ScalarType::kF64,
+                               .const_f = v});
+  }
+
+  ExprId Fold(ExprId id) {
+    const ExprNode node = k_.expr(id);  // copy: arena may grow
+    switch (node.kind) {
+      case ExprKind::kUnary: {
+        const ExprId child = Fold(node.child[0]);
+        if (!IsConst(child)) {
+          return Rebuild(id, node, {child});
+        }
+        const ExprNode& c = k_.expr(child);
+        switch (node.un) {
+          case UnOp::kNeg:
+            return node.type == ir::ScalarType::kI64 ? MakeConstI(-c.const_i)
+                                                     : MakeConstF(-c.const_f);
+          case UnOp::kAbs:
+            return node.type == ir::ScalarType::kI64
+                       ? MakeConstI(c.const_i < 0 ? -c.const_i : c.const_i)
+                       : MakeConstF(std::fabs(c.const_f));
+          case UnOp::kSqrt:
+            return MakeConstF(std::sqrt(c.const_f));
+          case UnOp::kNot:
+            return MakeConstI(c.const_i == 0 ? 1 : 0);
+          case UnOp::kI2F:
+            return MakeConstF(static_cast<double>(c.const_i));
+          case UnOp::kF2I:
+            return MakeConstI(static_cast<std::int64_t>(c.const_f));
+        }
+        FGPAR_UNREACHABLE("bad UnOp");
+      }
+      case ExprKind::kBinary: {
+        const ExprId lhs = Fold(node.child[0]);
+        const ExprId rhs = Fold(node.child[1]);
+        if (!IsConst(lhs) || !IsConst(rhs)) {
+          return Rebuild(id, node, {lhs, rhs});
+        }
+        const ExprNode& l = k_.expr(lhs);
+        const ExprNode& r = k_.expr(rhs);
+        if (k_.expr(node.child[0]).type == ir::ScalarType::kI64 ||
+            l.kind == ExprKind::kConstI) {
+          const std::int64_t a = l.const_i;
+          const std::int64_t b = r.const_i;
+          switch (node.bin) {
+            case BinOp::kAdd: return MakeConstI(a + b);
+            case BinOp::kSub: return MakeConstI(a - b);
+            case BinOp::kMul: return MakeConstI(a * b);
+            case BinOp::kDiv:
+              if (b == 0) {
+                return Rebuild(id, node, {lhs, rhs});  // preserve the trap
+              }
+              return MakeConstI(a / b);
+            case BinOp::kRem:
+              if (b == 0) {
+                return Rebuild(id, node, {lhs, rhs});
+              }
+              return MakeConstI(a % b);
+            case BinOp::kMin: return MakeConstI(std::min(a, b));
+            case BinOp::kMax: return MakeConstI(std::max(a, b));
+            case BinOp::kAnd: return MakeConstI(a & b);
+            case BinOp::kOr: return MakeConstI(a | b);
+            case BinOp::kXor: return MakeConstI(a ^ b);
+            case BinOp::kShl:
+              return MakeConstI(static_cast<std::int64_t>(
+                  static_cast<std::uint64_t>(a) << (b & 63)));
+            case BinOp::kShr: return MakeConstI(a >> (b & 63));
+            case BinOp::kEq: return MakeConstI(a == b ? 1 : 0);
+            case BinOp::kNe: return MakeConstI(a != b ? 1 : 0);
+            case BinOp::kLt: return MakeConstI(a < b ? 1 : 0);
+            case BinOp::kLe: return MakeConstI(a <= b ? 1 : 0);
+          }
+        } else {
+          const double a = l.const_f;
+          const double b = r.const_f;
+          switch (node.bin) {
+            case BinOp::kAdd: return MakeConstF(a + b);
+            case BinOp::kSub: return MakeConstF(a - b);
+            case BinOp::kMul: return MakeConstF(a * b);
+            case BinOp::kDiv: return MakeConstF(a / b);
+            case BinOp::kMin: return MakeConstF(std::fmin(a, b));
+            case BinOp::kMax: return MakeConstF(std::fmax(a, b));
+            case BinOp::kEq: return MakeConstI(a == b ? 1 : 0);
+            case BinOp::kNe: return MakeConstI(a != b ? 1 : 0);
+            case BinOp::kLt: return MakeConstI(a < b ? 1 : 0);
+            case BinOp::kLe: return MakeConstI(a <= b ? 1 : 0);
+            default:
+              FGPAR_UNREACHABLE("int-only operator on f64");
+          }
+        }
+        FGPAR_UNREACHABLE("bad BinOp");
+      }
+      case ExprKind::kSelect: {
+        const ExprId cond = Fold(node.child[0]);
+        const ExprId a = Fold(node.child[1]);
+        const ExprId b = Fold(node.child[2]);
+        if (IsConst(cond) && IsConst(a) && IsConst(b)) {
+          // Select evaluates both arms; only fold when both are constants
+          // so a potential trap in the unselected arm is preserved.
+          ++folded_;
+          return k_.expr(cond).const_i != 0 ? a : b;
+        }
+        return Rebuild(id, node, {cond, a, b});
+      }
+      case ExprKind::kArrayRef: {
+        const ExprId index = Fold(node.child[0]);
+        return Rebuild(id, node, {index});
+      }
+      default:
+        return id;
+    }
+  }
+
+  ExprId Rebuild(ExprId original, const ExprNode& node,
+                 std::initializer_list<ExprId> children) {
+    bool changed = false;
+    ExprNode clone = node;
+    int c = 0;
+    for (ExprId child : children) {
+      changed |= child != node.child[static_cast<std::size_t>(c)];
+      clone.child[static_cast<std::size_t>(c)] = child;
+      ++c;
+    }
+    return changed ? k_.AddExpr(clone) : original;
+  }
+
+  Kernel& k_;
+  int folded_ = 0;
+};
+
+}  // namespace
+
+int FoldConstants(ir::Kernel& kernel) { return Folder(kernel).Run(); }
+
+int EliminateDeadTemps(ir::Kernel& kernel) {
+  // Uses of each temp anywhere in the kernel.
+  std::map<ir::TempId, int> uses;
+  auto count_expr = [&](ExprId id) {
+    kernel.VisitExpr(id, [&](ExprId e) {
+      const ExprNode& node = kernel.expr(e);
+      if (node.kind == ExprKind::kTempRef) {
+        ++uses[node.temp];
+      }
+    });
+  };
+  kernel.VisitAllStmts([&](const Stmt& stmt) {
+    switch (stmt.kind) {
+      case ir::StmtKind::kAssignTemp:
+      case ir::StmtKind::kStoreScalar:
+      case ir::StmtKind::kIf:
+        count_expr(stmt.value);
+        break;
+      case ir::StmtKind::kStoreArray:
+        count_expr(stmt.index);
+        count_expr(stmt.value);
+        break;
+    }
+  });
+
+  int removed = 0;
+  // Iterate to a fixed point: removing one dead assignment can orphan the
+  // temps it read.
+  for (;;) {
+    bool changed = false;
+    auto sweep = [&](std::vector<Stmt>& stmts, auto&& self) -> void {
+      std::vector<Stmt> kept;
+      kept.reserve(stmts.size());
+      for (Stmt& stmt : stmts) {
+        if (stmt.kind == ir::StmtKind::kIf) {
+          self(stmt.then_body, self);
+          self(stmt.else_body, self);
+          kept.push_back(std::move(stmt));
+          continue;
+        }
+        const bool dead = stmt.kind == ir::StmtKind::kAssignTemp &&
+                          !kernel.temp(stmt.temp).carried &&
+                          uses[stmt.temp] == 0;
+        if (dead) {
+          // The removed RHS no longer uses anything.
+          kernel.VisitExpr(stmt.value, [&](ExprId e) {
+            const ExprNode& node = kernel.expr(e);
+            if (node.kind == ExprKind::kTempRef) {
+              --uses[node.temp];
+            }
+          });
+          ++removed;
+          changed = true;
+        } else {
+          kept.push_back(std::move(stmt));
+        }
+      }
+      stmts = std::move(kept);
+    };
+    sweep(kernel.mutable_loop().body, sweep);
+    sweep(kernel.mutable_epilogue(), sweep);
+    if (!changed) {
+      break;
+    }
+  }
+  if (removed > 0) {
+    kernel.RenumberStmts();
+  }
+  return removed;
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,27 @@
+// Scalar optimizations shared by the sequential and parallel pipelines.
+//
+// Both pipelines run these after splitting/forwarding so the baseline and
+// the fine-grained parallel code are compared at the same optimization
+// level (the paper's speedups are over "the base sequential version" of
+// the same compiler).
+//
+//  * FoldConstants: evaluates constant subexpressions at compile time with
+//    exactly the interpreter's arithmetic (so folding can never change
+//    results).  Folding a trapping integer division/remainder by zero is
+//    refused — the runtime trap is preserved.
+//  * EliminateDeadTemps: removes assignments to plain temporaries that are
+//    never read (forwarding and fiberization can orphan values); carried
+//    temps and anything the epilogue reads are kept.
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::compiler {
+
+/// Folds constant subexpressions in place; returns nodes folded.
+int FoldConstants(ir::Kernel& kernel);
+
+/// Removes dead plain-temp assignments in place; returns statements removed.
+int EliminateDeadTemps(ir::Kernel& kernel);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,65 @@
+// Partitioning pipeline driver: runs the full Section III transformation
+// sequence and produces the per-core statement assignment plus the
+// statistics the paper reports in Table III.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/index.hpp"
+#include "analysis/profile.hpp"
+#include "compiler/fiber.hpp"
+#include "compiler/merge.hpp"
+#include "compiler/options.hpp"
+#include "ir/kernel.hpp"
+
+namespace fgpar::compiler {
+
+struct PartitionResult {
+  explicit PartitionResult(ir::Kernel k) : kernel(std::move(k)) {}
+
+  /// The rewritten kernel (split + speculation + forwarding + fiberized).
+  ir::Kernel kernel;
+
+  /// partitions[c] = loop-body statement ids owned by core c.  partitions[0]
+  /// is the primary core's.  May have fewer entries than requested cores if
+  /// the kernel has fewer fibers.
+  std::vector<std::vector<ir::StmtId>> partitions;
+
+  /// Core owning each statement.
+  std::map<ir::StmtId, int> core_of;
+
+  // ---- Table III statistics ----
+  int initial_fibers = 0;
+  int data_deps = 0;
+  double load_balance = 0.0;  // max/min compute ops across partitions
+  std::vector<int> compute_ops_per_core;
+
+  // ---- pass statistics ----
+  int split_added = 0;
+  int speculation_hoisted = 0;
+  int loads_forwarded = 0;
+};
+
+/// Runs split -> (speculation) -> forwarding -> fiberize -> graph -> merge.
+/// `profile` may be null (Section III-I.3 fallback: static latencies only).
+PartitionResult PartitionKernel(const ir::Kernel& input,
+                                const CompileOptions& options,
+                                const analysis::ProfileData* profile);
+
+// ---- building blocks for multi-version compilation (Section III-I.1) ----
+
+/// Applies the rewrite pipeline (split, optional speculation, forwarding,
+/// fiberize) to result.kernel in place, filling the pass statistics, and
+/// validates the result.
+void ApplyRewritePasses(PartitionResult& result, const CompileOptions& options);
+
+/// Fills result.partitions / core_of / load-balance fields from a chosen
+/// candidate partitioning, placing the partition that produces the most
+/// epilogue-consumed values on the primary core.
+void AssignPartitionsToCores(PartitionResult& result,
+                             const analysis::KernelIndex& index,
+                             std::vector<MergedPartition> chosen);
+
+}  // namespace fgpar::compiler

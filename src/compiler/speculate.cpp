@@ -1,0 +1,60 @@
+#include "compiler/speculate.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+using ir::Stmt;
+
+/// Hoists the direct kAssignTemp children of `arm` into `hoisted`,
+/// preserving order; everything else stays in the arm.  Only plain
+/// (non-carried) temps may be hoisted — a carried update is a side effect.
+void HoistArm(const ir::Kernel& kernel, std::vector<Stmt>& arm,
+              std::vector<Stmt>& hoisted) {
+  std::vector<Stmt> kept;
+  kept.reserve(arm.size());
+  for (Stmt& stmt : arm) {
+    if (stmt.kind == ir::StmtKind::kAssignTemp &&
+        !kernel.temp(stmt.temp).carried) {
+      hoisted.push_back(std::move(stmt));
+    } else {
+      kept.push_back(std::move(stmt));
+    }
+  }
+  arm = std::move(kept);
+}
+
+int RewriteList(ir::Kernel& kernel, std::vector<Stmt>& stmts) {
+  int hoist_count = 0;
+  std::vector<Stmt> out;
+  out.reserve(stmts.size());
+  for (Stmt& stmt : stmts) {
+    if (stmt.kind == ir::StmtKind::kIf) {
+      // Inner conditionals first, so nested @speculate blocks bubble their
+      // pure work upward level by level.
+      hoist_count += RewriteList(kernel, stmt.then_body);
+      hoist_count += RewriteList(kernel, stmt.else_body);
+      if (stmt.speculation_safe) {
+        std::vector<Stmt> hoisted;
+        HoistArm(kernel, stmt.then_body, hoisted);
+        HoistArm(kernel, stmt.else_body, hoisted);
+        hoist_count += static_cast<int>(hoisted.size());
+        for (Stmt& h : hoisted) {
+          out.push_back(std::move(h));
+        }
+      }
+    }
+    out.push_back(std::move(stmt));
+  }
+  stmts = std::move(out);
+  return hoist_count;
+}
+
+}  // namespace
+
+int ApplySpeculation(ir::Kernel& kernel) {
+  const int hoisted = RewriteList(kernel, kernel.mutable_loop().body);
+  kernel.RenumberStmts();
+  return hoisted;
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,20 @@
+// Control-flow speculation (paper Section III-H).
+//
+// For if statements the author marked @speculate (the paper's source
+// directive, Section III-I.1), the pure temporary computations in both arms
+// are hoisted above the statement, so they lose their control dependence on
+// the condition and can be partitioned onto other cores and executed
+// ahead-of-time.  Only the side-effecting statements (stores and carried-
+// temp updates) stay guarded, which is why this "very limited" form of
+// speculation is guaranteed never to need rollback: a mispredicted arm's
+// results are simply never committed.
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::compiler {
+
+/// Rewrites `kernel` in place; returns the number of hoisted statements.
+int ApplySpeculation(ir::Kernel& kernel);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,121 @@
+#include "compiler/split.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+using ir::ExprId;
+using ir::ExprNode;
+using ir::Kernel;
+using ir::Stmt;
+
+/// Tree depth where array references (and all other partition leaves)
+/// count as depth 1, matching the fiber partitioner's view of the tree.
+int PartitionDepth(const Kernel& k, ExprId id) {
+  const ExprNode& node = k.expr(id);
+  if (ir::IsPartitionLeaf(node.kind)) {
+    return 1;
+  }
+  int depth = 0;
+  for (int c = 0; c < ir::ChildCount(node); ++c) {
+    depth = std::max(depth, PartitionDepth(k, node.child[static_cast<std::size_t>(c)]));
+  }
+  return depth + 1;
+}
+
+class Splitter {
+ public:
+  Splitter(Kernel& kernel, int max_depth) : k_(kernel), max_depth_(max_depth) {
+    FGPAR_CHECK_MSG(max_depth >= 2, "max_expr_depth must be >= 2");
+  }
+
+  int Run() {
+    RewriteList(k_.mutable_loop().body);
+    RewriteList(k_.mutable_epilogue());
+    k_.RenumberStmts();
+    return added_;
+  }
+
+ private:
+  void RewriteList(std::vector<Stmt>& stmts) {
+    std::vector<Stmt> out;
+    out.reserve(stmts.size());
+    for (Stmt& stmt : stmts) {
+      pending_ = &out;
+      line_ = stmt.source_line;
+      switch (stmt.kind) {
+        case ir::StmtKind::kAssignTemp:
+        case ir::StmtKind::kStoreScalar:
+        case ir::StmtKind::kStoreArray:
+          stmt.value = Reduce(stmt.value, max_depth_);
+          break;
+        case ir::StmtKind::kIf:
+          stmt.value = Reduce(stmt.value, max_depth_);
+          break;
+      }
+      out.push_back(std::move(stmt));
+      if (out.back().kind == ir::StmtKind::kIf) {
+        RewriteList(out.back().then_body);
+        RewriteList(out.back().else_body);
+        pending_ = nullptr;
+      }
+    }
+    stmts = std::move(out);
+  }
+
+  /// Returns an expression equivalent to `id` whose tree depth is at most
+  /// `budget`, peeling deep subtrees into temporaries emitted via pending_.
+  ExprId Reduce(ExprId id, int budget) {
+    const ExprNode node = k_.expr(id);  // copy: arena may reallocate below
+    if (ir::IsPartitionLeaf(node.kind)) {
+      return id;
+    }
+    if (PartitionDepth(k_, id) <= budget) {
+      return id;
+    }
+    if (budget <= 1) {
+      return Outline(id);
+    }
+    ExprNode clone = node;
+    for (int c = 0; c < ir::ChildCount(node); ++c) {
+      clone.child[static_cast<std::size_t>(c)] =
+          Reduce(node.child[static_cast<std::size_t>(c)], budget - 1);
+    }
+    return k_.AddExpr(clone);
+  }
+
+  /// Emits `t = <reduced id>` before the current statement; returns a
+  /// TempRef to t.
+  ExprId Outline(ExprId id) {
+    const ExprId reduced = Reduce(id, max_depth_);
+    const ir::ScalarType type = k_.expr(reduced).type;
+    const ir::TempId temp = static_cast<ir::TempId>(k_.temps().size());
+    k_.mutable_temps().push_back(ir::Temp{
+        temp, "@split" + std::to_string(temp), type, false, 0, 0.0});
+    Stmt stmt;
+    stmt.id = k_.AllocateStmtId();
+    stmt.kind = ir::StmtKind::kAssignTemp;
+    stmt.source_line = line_;
+    stmt.temp = temp;
+    stmt.value = reduced;
+    pending_->push_back(std::move(stmt));
+    ++added_;
+    return k_.AddExpr(
+        ir::ExprNode{.kind = ir::ExprKind::kTempRef, .type = type, .temp = temp});
+  }
+
+  Kernel& k_;
+  int max_depth_;
+  std::vector<Stmt>* pending_ = nullptr;
+  int line_ = 0;
+  int added_ = 0;
+};
+
+}  // namespace
+
+int SplitExpressions(ir::Kernel& kernel, int max_depth) {
+  return Splitter(kernel, max_depth).Run();
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,21 @@
+// Expression splitting — the Section III-A preprocessing step.
+//
+// "Before applying the partitioning algorithm, the expression trees are
+// pre-processed to reduce the depth of the tree by splitting compound
+// expressions into multiple statements.  This makes it possible to detect
+// even more fine-grained parallelism."
+//
+// Any assignment/store whose value tree is deeper than `max_depth` has its
+// deepest compound subtrees peeled into fresh temporaries until every
+// statement's tree fits.  Array-reference subtrees count as leaves (their
+// index computation travels with the load).
+#pragma once
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::compiler {
+
+/// Rewrites `kernel` in place; returns the number of new statements added.
+int SplitExpressions(ir::Kernel& kernel, int max_depth);
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,281 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+
+namespace fgpar::frontend {
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const std::map<std::string, TokenKind> keywords = {
+      {"kernel", TokenKind::kKernel}, {"param", TokenKind::kParam},
+      {"array", TokenKind::kArray},   {"scalar", TokenKind::kScalar},
+      {"carried", TokenKind::kCarried}, {"loop", TokenKind::kLoop},
+      {"after", TokenKind::kAfter},   {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},     {"i64", TokenKind::kI64},
+      {"f64", TokenKind::kF64},
+  };
+  return keywords;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& source) : src_(source) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        tokens.push_back(Make(TokenKind::kEof));
+        return tokens;
+      }
+      tokens.push_back(Next());
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') {
+          Advance();
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token Make(TokenKind kind) const {
+    Token t;
+    t.kind = kind;
+    t.line = tok_line_;
+    t.column = tok_column_;
+    return t;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(message, tok_line_, tok_column_);
+  }
+
+  Token Next() {
+    tok_line_ = line_;
+    tok_column_ = column_;
+    const char c = Advance();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return Identifier(c);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return Number(c);
+    }
+    switch (c) {
+      case '@': return Annotation();
+      case '{': return Make(TokenKind::kLBrace);
+      case '}': return Make(TokenKind::kRBrace);
+      case '[': return Make(TokenKind::kLBracket);
+      case ']': return Make(TokenKind::kRBracket);
+      case '(': return Make(TokenKind::kLParen);
+      case ')': return Make(TokenKind::kRParen);
+      case ';': return Make(TokenKind::kSemi);
+      case ',': return Make(TokenKind::kComma);
+      case '+': return Make(TokenKind::kPlus);
+      case '-': return Make(TokenKind::kMinus);
+      case '*': return Make(TokenKind::kStar);
+      case '/': return Make(TokenKind::kSlash);
+      case '%': return Make(TokenKind::kPercent);
+      case '&': return Make(TokenKind::kAmp);
+      case '|': return Make(TokenKind::kPipe);
+      case '^': return Make(TokenKind::kCaret);
+      case '.':
+        if (Peek() == '.') {
+          Advance();
+          return Make(TokenKind::kDotDot);
+        }
+        Fail("unexpected '.'");
+      case '=':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kEq);
+        }
+        return Make(TokenKind::kAssign);
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kNe);
+        }
+        return Make(TokenKind::kBang);
+      case '<':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLe);
+        }
+        if (Peek() == '<') {
+          Advance();
+          return Make(TokenKind::kShl);
+        }
+        return Make(TokenKind::kLt);
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGe);
+        }
+        if (Peek() == '>') {
+          Advance();
+          return Make(TokenKind::kShr);
+        }
+        return Make(TokenKind::kGt);
+      default:
+        Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token Identifier(char first) {
+    std::string text(1, first);
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    const auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      return Make(it->second);
+    }
+    Token t = Make(TokenKind::kIdent);
+    t.text = std::move(text);
+    return t;
+  }
+
+  Token Annotation() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    if (text == "speculate") {
+      return Make(TokenKind::kAtSpeculate);
+    }
+    Fail("unknown annotation '@" + text + "'");
+  }
+
+  Token Number(char first) {
+    std::string text(1, first);
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      text.push_back(Advance());
+    }
+    // A '.' starts a fraction only if not the '..' range operator.
+    if (Peek() == '.' && Peek(1) != '.') {
+      is_float = true;
+      text.push_back(Advance());
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_float = true;
+      text.push_back(Advance());
+      if (Peek() == '+' || Peek() == '-') {
+        text.push_back(Advance());
+      }
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail("malformed exponent in numeric literal");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text.push_back(Advance());
+      }
+    }
+    if (is_float) {
+      Token t = Make(TokenKind::kFloatLit);
+      t.float_value = std::stod(text);
+      return t;
+    }
+    Token t = Make(TokenKind::kIntLit);
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      Fail("integer literal out of range: " + text);
+    }
+    t.int_value = value;
+    return t;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) { return LexerImpl(source).Run(); }
+
+std::string TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kKernel: return "'kernel'";
+    case TokenKind::kParam: return "'param'";
+    case TokenKind::kArray: return "'array'";
+    case TokenKind::kScalar: return "'scalar'";
+    case TokenKind::kCarried: return "'carried'";
+    case TokenKind::kLoop: return "'loop'";
+    case TokenKind::kAfter: return "'after'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kI64: return "'i64'";
+    case TokenKind::kF64: return "'f64'";
+    case TokenKind::kAtSpeculate: return "'@speculate'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace fgpar::frontend

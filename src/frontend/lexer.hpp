@@ -1,0 +1,62 @@
+// Lexer for the kernel language (see docs in parser.hpp for the grammar).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fgpar::frontend {
+
+/// Parse/lex failure with source position baked into the message.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+enum class TokenKind : std::uint8_t {
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // keywords
+  kKernel, kParam, kArray, kScalar, kCarried, kLoop, kAfter, kIf, kElse,
+  kI64, kF64,
+  // annotations
+  kAtSpeculate,  // "@speculate"
+  // punctuation / operators
+  kLBrace, kRBrace, kLBracket, kRBracket, kLParen, kRParen,
+  kSemi, kComma, kAssign, kDotDot,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe, kBang,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // identifier spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenizes `source`.  `#` starts a comment running to end of line.
+/// Throws ParseError on malformed input.
+std::vector<Token> Lex(const std::string& source);
+
+/// Mnemonic for diagnostics ("'..'", "identifier", ...).
+std::string TokenKindName(TokenKind kind);
+
+}  // namespace fgpar::frontend

@@ -1,0 +1,537 @@
+#include "frontend/parser.hpp"
+
+#include <map>
+
+#include "frontend/lexer.hpp"
+#include "ir/builder.hpp"
+#include "ir/validate.hpp"
+
+namespace fgpar::frontend {
+namespace {
+
+using ir::ArrayHandle;
+using ir::BinOp;
+using ir::Kernel;
+using ir::KernelBuilder;
+using ir::ScalarHandle;
+using ir::ScalarType;
+using ir::TempHandle;
+using ir::UnOp;
+using ir::Val;
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(const std::string& source)
+      : tokens_(Lex(source)), kb_(nullptr) {}
+
+  Kernel Run() {
+    Expect(TokenKind::kKernel);
+    const Token name = Expect(TokenKind::kIdent);
+    kb_ = std::make_unique<KernelBuilder>(name.text);
+    Expect(TokenKind::kLBrace);
+    while (PeekIsDecl()) {
+      ParseDecl();
+    }
+    ParseLoop();
+    if (Peek().kind == TokenKind::kAfter) {
+      Advance();
+      Expect(TokenKind::kLBrace);
+      while (Peek().kind != TokenKind::kRBrace) {
+        ParseStatement();
+      }
+      Expect(TokenKind::kRBrace);
+    }
+    Expect(TokenKind::kRBrace);
+    Expect(TokenKind::kEof);
+    Kernel kernel = kb_->Finish();
+    ir::CheckValid(kernel);
+    return kernel;
+  }
+
+ private:
+  // ---- token plumbing ----
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  const Token& Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      Fail("expected " + TokenKindName(kind) + ", found " +
+           TokenKindName(Peek().kind));
+    }
+    return Advance();
+  }
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw ParseError(message, Peek().line, Peek().column);
+  }
+
+  // ---- name table ----
+  enum class NameKind { kParam, kArray, kScalar, kTemp };
+  struct Entity {
+    NameKind kind;
+    ScalarType type;
+    Val param_val;  // kParam
+    ArrayHandle array;
+    ScalarHandle scalar;
+    TempHandle temp;
+    bool carried = false;
+  };
+
+  const Entity& Lookup(const Token& name) const {
+    const auto it = names_.find(name.text);
+    if (it == names_.end()) {
+      throw ParseError("unknown identifier '" + name.text + "'", name.line,
+                       name.column);
+    }
+    return it->second;
+  }
+
+  void Declare(const Token& name, Entity entity) {
+    if (names_.contains(name.text) || name.text == iv_name_) {
+      throw ParseError("redeclaration of '" + name.text + "'", name.line,
+                       name.column);
+    }
+    names_.emplace(name.text, std::move(entity));
+  }
+
+  // ---- declarations ----
+  bool PeekIsDecl() const {
+    switch (Peek().kind) {
+      case TokenKind::kParam: case TokenKind::kArray: case TokenKind::kScalar:
+      case TokenKind::kCarried:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  ScalarType ParseType() {
+    if (Accept(TokenKind::kI64)) {
+      return ScalarType::kI64;
+    }
+    if (Accept(TokenKind::kF64)) {
+      return ScalarType::kF64;
+    }
+    Fail("expected 'i64' or 'f64'");
+  }
+
+  void ParseDecl() {
+    const TokenKind kind = Advance().kind;
+    const ScalarType type = ParseType();
+    const Token name = Expect(TokenKind::kIdent);
+    switch (kind) {
+      case TokenKind::kParam: {
+        Val v = type == ScalarType::kI64 ? kb_->ParamI64(name.text)
+                                         : kb_->ParamF64(name.text);
+        Declare(name, Entity{NameKind::kParam, type, v, {}, {}, {}, false});
+        break;
+      }
+      case TokenKind::kArray: {
+        Expect(TokenKind::kLBracket);
+        const Token size = Expect(TokenKind::kIntLit);
+        Expect(TokenKind::kRBracket);
+        ArrayHandle h = type == ScalarType::kI64
+                            ? kb_->ArrayI64(name.text, size.int_value)
+                            : kb_->ArrayF64(name.text, size.int_value);
+        Declare(name, Entity{NameKind::kArray, type, {}, h, {}, {}, false});
+        break;
+      }
+      case TokenKind::kScalar: {
+        ScalarHandle h = type == ScalarType::kI64 ? kb_->ScalarI64(name.text)
+                                                  : kb_->ScalarF64(name.text);
+        Declare(name, Entity{NameKind::kScalar, type, {}, {}, h, {}, false});
+        break;
+      }
+      case TokenKind::kCarried: {
+        Expect(TokenKind::kAssign);
+        TempHandle h;
+        if (type == ScalarType::kI64) {
+          const bool negative = Accept(TokenKind::kMinus);
+          const Token lit = Expect(TokenKind::kIntLit);
+          h = kb_->DeclCarriedI64(name.text,
+                                  negative ? -lit.int_value : lit.int_value);
+        } else {
+          const bool negative = Accept(TokenKind::kMinus);
+          const Token& lit = Peek();
+          double value = 0.0;
+          if (Accept(TokenKind::kFloatLit)) {
+            value = lit.float_value;
+          } else if (Accept(TokenKind::kIntLit)) {
+            value = static_cast<double>(lit.int_value);
+          } else {
+            Fail("expected numeric initializer");
+          }
+          h = kb_->DeclCarriedF64(name.text, negative ? -value : value);
+        }
+        Declare(name, Entity{NameKind::kTemp, type, {}, {}, {}, h, true});
+        break;
+      }
+      default:
+        Fail("expected declaration");
+    }
+    Expect(TokenKind::kSemi);
+  }
+
+  // ---- loop ----
+  void ParseLoop() {
+    Expect(TokenKind::kLoop);
+    const Token iv = Expect(TokenKind::kIdent);
+    if (names_.contains(iv.text)) {
+      throw ParseError("induction variable shadows declaration '" + iv.text + "'",
+                       iv.line, iv.column);
+    }
+    iv_name_ = iv.text;
+    Expect(TokenKind::kAssign);
+    Val lower = ParseExpr();
+    Expect(TokenKind::kDotDot);
+    Val upper = ParseExpr();
+    kb_->StartLoop(iv_name_, lower, upper);
+    Expect(TokenKind::kLBrace);
+    while (Peek().kind != TokenKind::kRBrace) {
+      ParseStatement();
+    }
+    Expect(TokenKind::kRBrace);
+    kb_->EndLoop();
+  }
+
+  // ---- statements ----
+  void ParseStatement() {
+    kb_->SetLine(Peek().line);
+    switch (Peek().kind) {
+      case TokenKind::kI64:
+      case TokenKind::kF64:
+        ParseTempDef();
+        return;
+      case TokenKind::kAtSpeculate:
+      case TokenKind::kIf:
+        ParseIf();
+        return;
+      case TokenKind::kIdent:
+        ParseAssignment();
+        return;
+      default:
+        Fail("expected a statement, found " + TokenKindName(Peek().kind));
+    }
+  }
+
+  void ParseTempDef() {
+    const ScalarType type = ParseType();
+    const Token name = Expect(TokenKind::kIdent);
+    Expect(TokenKind::kAssign);
+    Val value = ParseExpr();
+    if (value.type() != type) {
+      throw ParseError("initializer type mismatch for '" + name.text +
+                           "' (use f64()/i64() casts)",
+                       name.line, name.column);
+    }
+    Expect(TokenKind::kSemi);
+    TempHandle h = kb_->DeclTemp(name.text, type);
+    Declare(name, Entity{NameKind::kTemp, type, {}, {}, {}, h, false});
+    kb_->Assign(h, value);
+  }
+
+  void ParseAssignment() {
+    const Token name = Expect(TokenKind::kIdent);
+    const Entity& entity = Lookup(name);
+    if (Accept(TokenKind::kLBracket)) {
+      if (entity.kind != NameKind::kArray) {
+        throw ParseError("'" + name.text + "' is not an array", name.line,
+                         name.column);
+      }
+      Val index = ParseExpr();
+      Expect(TokenKind::kRBracket);
+      Expect(TokenKind::kAssign);
+      Val value = ParseExpr();
+      Expect(TokenKind::kSemi);
+      CheckAssignType(name, entity.type, value);
+      kb_->Store(entity.array, index, value);
+      return;
+    }
+    Expect(TokenKind::kAssign);
+    Val value = ParseExpr();
+    Expect(TokenKind::kSemi);
+    CheckAssignType(name, entity.type, value);
+    switch (entity.kind) {
+      case NameKind::kScalar:
+        kb_->StoreScalar(entity.scalar, value);
+        return;
+      case NameKind::kTemp:
+        kb_->Assign(entity.temp, value);
+        return;
+      default:
+        throw ParseError("cannot assign to '" + name.text + "'", name.line,
+                         name.column);
+    }
+  }
+
+  void CheckAssignType(const Token& name, ScalarType target, Val value) const {
+    if (value.type() != target) {
+      throw ParseError("assignment type mismatch for '" + name.text +
+                           "' (use f64()/i64() casts)",
+                       name.line, name.column);
+    }
+  }
+
+  void ParseIf() {
+    const bool speculate = Accept(TokenKind::kAtSpeculate);
+    Expect(TokenKind::kIf);
+    Expect(TokenKind::kLParen);
+    Val cond = ParseExpr();
+    if (cond.type() != ScalarType::kI64) {
+      Fail("if condition must be i64");
+    }
+    Expect(TokenKind::kRParen);
+    auto parse_block = [this] {
+      Expect(TokenKind::kLBrace);
+      while (Peek().kind != TokenKind::kRBrace) {
+        ParseStatement();
+      }
+      Expect(TokenKind::kRBrace);
+    };
+    // KernelBuilder::If drives the block callbacks; parsing happens inside.
+    bool has_else = false;
+    kb_->If(
+        cond, [&] { parse_block(); },
+        [&] {
+          if (Accept(TokenKind::kElse)) {
+            has_else = true;
+            parse_block();
+          }
+        },
+        speculate);
+    (void)has_else;
+  }
+
+  // ---- expressions (precedence climbing) ----
+  Val ParseExpr() { return ParseBitOr(); }
+
+  Val ParseBitOr() {
+    Val lhs = ParseBitXor();
+    while (Peek().kind == TokenKind::kPipe) {
+      Advance();
+      lhs = kb_->Binary(BinOp::kOr, lhs, ParseBitXor());
+    }
+    return lhs;
+  }
+
+  Val ParseBitXor() {
+    Val lhs = ParseBitAnd();
+    while (Peek().kind == TokenKind::kCaret) {
+      Advance();
+      lhs = kb_->Binary(BinOp::kXor, lhs, ParseBitAnd());
+    }
+    return lhs;
+  }
+
+  Val ParseBitAnd() {
+    Val lhs = ParseEquality();
+    while (Peek().kind == TokenKind::kAmp) {
+      Advance();
+      lhs = kb_->Binary(BinOp::kAnd, lhs, ParseEquality());
+    }
+    return lhs;
+  }
+
+  Val ParseEquality() {
+    Val lhs = ParseRelational();
+    for (;;) {
+      if (Accept(TokenKind::kEq)) {
+        lhs = kb_->Binary(BinOp::kEq, lhs, ParseRelational());
+      } else if (Accept(TokenKind::kNe)) {
+        lhs = kb_->Binary(BinOp::kNe, lhs, ParseRelational());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseRelational() {
+    Val lhs = ParseShift();
+    for (;;) {
+      if (Accept(TokenKind::kLt)) {
+        lhs = kb_->Binary(BinOp::kLt, lhs, ParseShift());
+      } else if (Accept(TokenKind::kLe)) {
+        lhs = kb_->Binary(BinOp::kLe, lhs, ParseShift());
+      } else if (Accept(TokenKind::kGt)) {
+        Val rhs = ParseShift();
+        lhs = kb_->Binary(BinOp::kLt, rhs, lhs);
+      } else if (Accept(TokenKind::kGe)) {
+        Val rhs = ParseShift();
+        lhs = kb_->Binary(BinOp::kLe, rhs, lhs);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseShift() {
+    Val lhs = ParseAdditive();
+    for (;;) {
+      if (Accept(TokenKind::kShl)) {
+        lhs = kb_->Binary(BinOp::kShl, lhs, ParseAdditive());
+      } else if (Accept(TokenKind::kShr)) {
+        lhs = kb_->Binary(BinOp::kShr, lhs, ParseAdditive());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseAdditive() {
+    Val lhs = ParseMultiplicative();
+    for (;;) {
+      if (Accept(TokenKind::kPlus)) {
+        lhs = kb_->Binary(BinOp::kAdd, lhs, ParseMultiplicative());
+      } else if (Accept(TokenKind::kMinus)) {
+        lhs = kb_->Binary(BinOp::kSub, lhs, ParseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseMultiplicative() {
+    Val lhs = ParseUnary();
+    for (;;) {
+      if (Accept(TokenKind::kStar)) {
+        lhs = kb_->Binary(BinOp::kMul, lhs, ParseUnary());
+      } else if (Accept(TokenKind::kSlash)) {
+        lhs = kb_->Binary(BinOp::kDiv, lhs, ParseUnary());
+      } else if (Accept(TokenKind::kPercent)) {
+        lhs = kb_->Binary(BinOp::kRem, lhs, ParseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Val ParseUnary() {
+    if (Accept(TokenKind::kMinus)) {
+      return kb_->Unary(UnOp::kNeg, ParseUnary());
+    }
+    if (Accept(TokenKind::kBang)) {
+      return kb_->Unary(UnOp::kNot, ParseUnary());
+    }
+    return ParsePrimary();
+  }
+
+  Val ParseCall1(UnOp op) {
+    Expect(TokenKind::kLParen);
+    Val v = ParseExpr();
+    Expect(TokenKind::kRParen);
+    return kb_->Unary(op, v);
+  }
+
+  Val ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kIntLit:
+        Advance();
+        return kb_->ConstI(tok.int_value);
+      case TokenKind::kFloatLit:
+        Advance();
+        return kb_->ConstF(tok.float_value);
+      case TokenKind::kLParen: {
+        Advance();
+        Val v = ParseExpr();
+        Expect(TokenKind::kRParen);
+        return v;
+      }
+      case TokenKind::kF64:
+        Advance();
+        return ParseCast(ScalarType::kF64);
+      case TokenKind::kI64:
+        Advance();
+        return ParseCast(ScalarType::kI64);
+      case TokenKind::kIdent:
+        return ParseIdentExpr();
+      default:
+        Fail("expected an expression, found " + TokenKindName(tok.kind));
+    }
+  }
+
+  Val ParseCast(ScalarType target) {
+    Expect(TokenKind::kLParen);
+    Val v = ParseExpr();
+    Expect(TokenKind::kRParen);
+    return target == ScalarType::kF64 ? kb_->ToF64(v) : kb_->ToI64(v);
+  }
+
+  Val ParseIdentExpr() {
+    const Token name = Expect(TokenKind::kIdent);
+    // Intrinsic calls.
+    if (Peek().kind == TokenKind::kLParen) {
+      if (name.text == "sqrt") {
+        return ParseCall1(UnOp::kSqrt);
+      }
+      if (name.text == "abs") {
+        return ParseCall1(UnOp::kAbs);
+      }
+      if (name.text == "min" || name.text == "max") {
+        Expect(TokenKind::kLParen);
+        Val a = ParseExpr();
+        Expect(TokenKind::kComma);
+        Val b = ParseExpr();
+        Expect(TokenKind::kRParen);
+        return kb_->Binary(name.text == "min" ? BinOp::kMin : BinOp::kMax, a, b);
+      }
+      if (name.text == "select") {
+        Expect(TokenKind::kLParen);
+        Val c = ParseExpr();
+        Expect(TokenKind::kComma);
+        Val a = ParseExpr();
+        Expect(TokenKind::kComma);
+        Val b = ParseExpr();
+        Expect(TokenKind::kRParen);
+        return kb_->Select(c, a, b);
+      }
+      throw ParseError("unknown function '" + name.text + "'", name.line,
+                       name.column);
+    }
+    if (name.text == iv_name_) {
+      return kb_->Iv();
+    }
+    const Entity& entity = Lookup(name);
+    if (Accept(TokenKind::kLBracket)) {
+      if (entity.kind != NameKind::kArray) {
+        throw ParseError("'" + name.text + "' is not an array", name.line,
+                         name.column);
+      }
+      Val index = ParseExpr();
+      Expect(TokenKind::kRBracket);
+      return kb_->Load(entity.array, index);
+    }
+    switch (entity.kind) {
+      case NameKind::kParam:
+        return entity.param_val;
+      case NameKind::kScalar:
+        return kb_->LoadScalar(entity.scalar);
+      case NameKind::kTemp:
+        return kb_->Read(entity.temp);
+      case NameKind::kArray:
+        throw ParseError("array '" + name.text + "' used without an index",
+                         name.line, name.column);
+    }
+    FGPAR_UNREACHABLE("bad NameKind");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<KernelBuilder> kb_;
+  std::map<std::string, Entity> names_;
+  std::string iv_name_;
+};
+
+}  // namespace
+
+ir::Kernel ParseKernel(const std::string& source) { return ParserImpl(source).Run(); }
+
+}  // namespace fgpar::frontend

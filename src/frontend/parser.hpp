@@ -1,0 +1,44 @@
+// Parser for the kernel language.
+//
+// Grammar (EBNF-ish):
+//
+//   kernel      := "kernel" IDENT "{" decl* loop after? "}"
+//   decl        := "param"  type IDENT ";"
+//                | "array"  type IDENT "[" INT "]" ";"
+//                | "scalar" type IDENT ";"
+//                | "carried" type IDENT "=" literal ";"
+//   type        := "i64" | "f64"
+//   loop        := "loop" IDENT "=" expr ".." expr "{" stmt* "}"
+//   after       := "after" "{" stmt* "}"
+//   stmt        := type IDENT "=" expr ";"                (temp definition)
+//                | IDENT "=" expr ";"                     (carried temp or scalar)
+//                | IDENT "[" expr "]" "=" expr ";"        (array store)
+//                | "@speculate"? "if" "(" expr ")" block ("else" block)?
+//   block       := "{" stmt* "}"
+//   expr        := bit-or with C precedence:
+//                  | ^ & (==|!=) (<|<=|>|>=) (<<|>>) (+|-) (*|/|%) unary
+//   unary       := ("-" | "!") unary | primary
+//   primary     := INT | FLOAT | IDENT | IDENT "[" expr "]" | "(" expr ")"
+//                | call
+//   call        := ("sqrt"|"abs") "(" expr ")"
+//                | ("min"|"max") "(" expr "," expr ")"
+//                | "select" "(" expr "," expr "," expr ")"
+//                | ("f64"|"i64") "(" expr ")"             (explicit casts)
+//
+// Numeric literals type as f64 when they contain '.' or an exponent, i64
+// otherwise; mixed-type arithmetic requires explicit f64()/i64() casts.
+// `#` comments run to end of line.  Statement source lines feed the merge
+// heuristics' proximity metric (paper Section III-B).
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::frontend {
+
+/// Parses one kernel; throws ParseError (with line:column) on bad input and
+/// validates the result (throws fgpar::Error when validation fails).
+ir::Kernel ParseKernel(const std::string& source);
+
+}  // namespace fgpar::frontend

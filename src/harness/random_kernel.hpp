@@ -1,0 +1,30 @@
+// Random kernel generation for property-based testing.
+//
+// Generates structurally varied but always-valid kernels (random expression
+// trees, gathers through an index array, conditionals, reductions) together
+// with a matching workload initializer.  The compiler test suite feeds
+// these through the full interpreter / sequential / parallel triple check:
+// whatever the partitioner decides for an arbitrary program, memory must
+// come out bit-identical.
+#pragma once
+
+#include <cstdint>
+
+#include "harness/runner.hpp"
+#include "ir/kernel.hpp"
+
+namespace fgpar::harness {
+
+struct RandomKernelCase {
+  ir::Kernel kernel;
+  WorkloadInit init;
+};
+
+/// Deterministic in `seed`.  `with_conditionals` adds if/else statements
+/// (including an occasional @speculate one); `with_reduction` adds a
+/// loop-carried accumulator and an epilogue store.
+RandomKernelCase GenerateRandomKernel(std::uint64_t seed,
+                                      bool with_conditionals = true,
+                                      bool with_reduction = true);
+
+}  // namespace fgpar::harness

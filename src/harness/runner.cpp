@@ -1,0 +1,189 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/validate.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::harness {
+
+KernelRunner::KernelRunner(const ir::Kernel& kernel, WorkloadInit init)
+    : kernel_(kernel), layout_(kernel_, /*base=*/64), init_(std::move(init)) {
+  ir::CheckValid(kernel_);
+}
+
+KernelRunner::Prepared KernelRunner::Prepare() const {
+  Prepared prepared{ir::ParamEnv(kernel_),
+                    std::vector<std::uint64_t>(layout_.end(), 0)};
+  init_(kernel_, layout_, prepared.params, prepared.image);
+  prepared.params.CheckComplete(kernel_);
+  // Publish parameter values into the layout's parameter block so compiled
+  // code can load them at startup.
+  for (const ir::Symbol& sym : kernel_.symbols()) {
+    if (sym.kind == ir::SymbolKind::kParam) {
+      prepared.image[layout_.ParamAddressOf(sym.id)] = prepared.params.GetRaw(sym.id);
+    }
+  }
+  return prepared;
+}
+
+std::vector<std::uint64_t> KernelRunner::GoldenMemory(const Prepared& prepared) const {
+  std::vector<std::uint64_t> memory = prepared.image;
+  ir::Interpreter interp(kernel_, layout_, prepared.params, memory);
+  interp.Run();
+  return memory;
+}
+
+sim::MachineConfig KernelRunner::MachineConfigFor(const RunConfig& config,
+                                                  int cores) const {
+  sim::MachineConfig machine;
+  machine.num_cores = cores;
+  machine.threads_per_core = std::min(config.threads_per_core, cores);
+  machine.timing = config.timing;
+  machine.cache = config.cache;
+  machine.queue = config.queue;
+  // Round the data region up to a power-of-two-ish budget with headroom.
+  std::uint64_t words = 1024;
+  while (words < layout_.end() + 64) {
+    words *= 2;
+  }
+  machine.memory_words = words;
+  return machine;
+}
+
+void KernelRunner::LoadImage(sim::Machine& machine,
+                             const std::vector<std::uint64_t>& image) const {
+  for (std::uint64_t addr = 0; addr < image.size(); ++addr) {
+    machine.memory().WriteRaw(addr, image[addr]);
+  }
+}
+
+void KernelRunner::CompareMemory(const sim::Machine& machine,
+                                 const std::vector<std::uint64_t>& golden,
+                                 const std::string& what) const {
+  for (std::uint64_t addr = 0; addr < golden.size(); ++addr) {
+    const std::uint64_t actual = machine.memory().ReadRaw(addr);
+    if (actual != golden[addr]) {
+      std::ostringstream os;
+      os << "memory mismatch in " << what << " for kernel '" << kernel_.name()
+         << "' at address " << addr << ": golden=0x" << std::hex << golden[addr]
+         << " actual=0x" << actual;
+      // Identify which symbol the address falls in, for debuggability.
+      for (const ir::Symbol& sym : kernel_.symbols()) {
+        if (sym.kind == ir::SymbolKind::kParam) {
+          continue;
+        }
+        const std::uint64_t base = layout_.AddressOf(sym.id);
+        const std::uint64_t size =
+            sym.kind == ir::SymbolKind::kArray
+                ? static_cast<std::uint64_t>(sym.array_size)
+                : 1;
+        if (addr >= base && addr < base + size) {
+          os << std::dec << " (symbol " << sym.name << "[" << (addr - base) << "])";
+          break;
+        }
+      }
+      throw Error(os.str());
+    }
+  }
+}
+
+std::uint64_t KernelRunner::MeasureSequential(const RunConfig& config) const {
+  const Prepared prepared = Prepare();
+  const isa::Program program =
+      compiler::CompileSequential(kernel_, layout_, config.compile);
+  sim::Machine machine(MachineConfigFor(config, 1), program);
+  LoadImage(machine, prepared.image);
+  machine.StartCoreAt(0, "main");
+  const sim::RunResult result = machine.Run();
+  if (config.verify) {
+    CompareMemory(machine, GoldenMemory(prepared), "sequential codegen");
+  }
+  return result.core0_halt_cycle;
+}
+
+KernelRun KernelRunner::Run(const RunConfig& config) const {
+  const Prepared prepared = Prepare();
+  const std::vector<std::uint64_t> golden = GoldenMemory(prepared);
+
+  // ---- profile feedback (Section III-I.3) ----
+  analysis::ProfileData profile;
+  if (config.collect_profile) {
+    profile = analysis::ProfileData::Collect(kernel_, layout_, prepared.params,
+                                             prepared.image, config.cache);
+  }
+
+  KernelRun run;
+  run.kernel_name = kernel_.name();
+
+  // ---- sequential baseline ----
+  {
+    const isa::Program program =
+        compiler::CompileSequential(kernel_, layout_, config.compile);
+    sim::Machine machine(MachineConfigFor(config, 1), program);
+    LoadImage(machine, prepared.image);
+    machine.StartCoreAt(0, "main");
+    const sim::RunResult result = machine.Run();
+    if (config.verify) {
+      CompareMemory(machine, golden, "sequential codegen");
+    }
+    run.seq_cycles = result.core0_halt_cycle;
+    run.seq_instructions = result.instructions;
+  }
+
+  // ---- fine-grained parallel ----
+  {
+    // Dynamic feedback for multi-version compilation: run each candidate
+    // on the training image and report its cycles.
+    compiler::PartitionEvaluator evaluator =
+        [&](const isa::Program& program, int cores) -> std::uint64_t {
+      // Train on the hardware the compiler assumes (paper methodology:
+      // heuristics are tuned for the default 5-cycle queues even when the
+      // deployment hardware differs, as in the Figure 13 sweep).
+      RunConfig training = config;
+      training.queue.transfer_latency = config.compile.assumed_transfer_latency;
+      sim::Machine machine(MachineConfigFor(training, cores), program);
+      LoadImage(machine, prepared.image);
+      machine.StartCoreAt(0, compiler::CompiledParallel::kPrimaryEntry);
+      for (int c = 1; c < cores; ++c) {
+        machine.StartCoreAt(c, compiler::CompiledParallel::kDriverEntry);
+      }
+      return machine.Run().core0_halt_cycle;
+    };
+    const compiler::CompiledParallel compiled = compiler::CompileParallel(
+        kernel_, layout_, config.compile,
+        config.collect_profile ? &profile : nullptr,
+        config.tune_by_simulation ? &evaluator : nullptr);
+    run.cores_used = compiled.cores_used;
+    run.initial_fibers = compiled.partition.initial_fibers;
+    run.data_deps = compiled.partition.data_deps;
+    run.load_balance = compiled.partition.load_balance;
+    run.com_ops = compiled.comm.com_ops();
+
+    sim::Machine machine(MachineConfigFor(config, compiled.cores_used),
+                         compiled.program);
+    LoadImage(machine, prepared.image);
+    machine.StartCoreAt(0, compiler::CompiledParallel::kPrimaryEntry);
+    for (int c = 1; c < compiled.cores_used; ++c) {
+      machine.StartCoreAt(c, compiler::CompiledParallel::kDriverEntry);
+    }
+    const sim::RunResult result = machine.Run();
+    if (config.verify) {
+      CompareMemory(machine, golden, "parallel codegen (" +
+                                         std::to_string(compiled.cores_used) +
+                                         " cores)");
+    }
+    run.par_cycles = result.core0_halt_cycle;
+    run.par_instructions = result.instructions;
+    run.par_queue_transfers = machine.queues().TotalTransfers();
+    run.queues_used = machine.queues().UsedChannelCount();
+    run.max_queue_occupancy = machine.queues().MaxOccupancy();
+  }
+
+  run.speedup = static_cast<double>(run.seq_cycles) /
+                static_cast<double>(std::max<std::uint64_t>(1, run.par_cycles));
+  return run;
+}
+
+}  // namespace fgpar::harness

@@ -1,0 +1,103 @@
+// The compile–simulate–verify–measure pipeline used by tests, benches, and
+// examples.
+//
+// Every kernel execution is checked three ways before any number is
+// reported: the reference interpreter (golden model), the compiled
+// sequential program on the simulator, and the compiled fine-grained
+// parallel program on 2..N cores must all leave bit-identical memory.
+// Speedup is sequential cycles / parallel cycles, measured at core 0's
+// halt, exactly like the paper's "speedup over sequential execution time".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/profile.hpp"
+#include "compiler/compile.hpp"
+#include "ir/interp.hpp"
+#include "ir/kernel.hpp"
+#include "ir/layout.hpp"
+#include "sim/machine.hpp"
+
+namespace fgpar::harness {
+
+/// Fills parameter values and initial array contents.  Receives the kernel,
+/// its layout, the parameter environment to populate, and the raw memory
+/// image (sized layout.end()) to initialize.
+using WorkloadInit = std::function<void(const ir::Kernel&, const ir::DataLayout&,
+                                        ir::ParamEnv&, std::vector<std::uint64_t>&)>;
+
+struct RunConfig {
+  compiler::CompileOptions compile;
+  sim::QueueConfig queue;      // paper defaults: 20 slots, 5 cycles
+  sim::CacheConfig cache;
+  sim::CoreTiming timing;
+  /// SMT mode: hardware threads per physical core (Section II's untested
+  /// "multiple hardware threads on the same core" option).  The compiled
+  /// code is identical; only the machine changes.
+  int threads_per_core = 1;
+  bool verify = true;          // compare all executions bit-exactly
+  bool collect_profile = true; // profile feedback for the cost model
+  /// Multi-version compilation (paper Section III-I.1): compile every
+  /// candidate partitioning and keep the one that simulates fastest on the
+  /// training workload.  When false, the compiler's static makespan
+  /// objective chooses.
+  bool tune_by_simulation = true;
+};
+
+struct KernelRun {
+  std::string kernel_name;
+  std::uint64_t seq_cycles = 0;
+  std::uint64_t par_cycles = 0;
+  double speedup = 0.0;
+  int cores_used = 0;
+
+  // Table III statistics.
+  int initial_fibers = 0;
+  int data_deps = 0;
+  double load_balance = 0.0;
+  int com_ops = 0;
+  int queues_used = 0;
+
+  // Extra diagnostics.
+  std::uint64_t seq_instructions = 0;
+  std::uint64_t par_instructions = 0;
+  std::uint64_t par_queue_transfers = 0;
+  int max_queue_occupancy = 0;  // high-water mark of any single queue
+};
+
+class KernelRunner {
+ public:
+  KernelRunner(const ir::Kernel& kernel, WorkloadInit init);
+
+  /// Runs the full pipeline for `config`; throws on any mismatch between
+  /// the interpreter, sequential, and parallel executions.
+  KernelRun Run(const RunConfig& config) const;
+
+  /// Sequential-only measurement (golden-checked).
+  std::uint64_t MeasureSequential(const RunConfig& config) const;
+
+  const ir::Kernel& kernel() const { return kernel_; }
+  const ir::DataLayout& layout() const { return layout_; }
+
+ private:
+  struct Prepared {
+    ir::ParamEnv params;
+    std::vector<std::uint64_t> image;  // initial memory incl. param block
+  };
+  Prepared Prepare() const;
+  std::vector<std::uint64_t> GoldenMemory(const Prepared& prepared) const;
+  sim::MachineConfig MachineConfigFor(const RunConfig& config, int cores) const;
+  void LoadImage(sim::Machine& machine, const std::vector<std::uint64_t>& image) const;
+  void CompareMemory(const sim::Machine& machine,
+                     const std::vector<std::uint64_t>& golden,
+                     const std::string& what) const;
+
+  ir::Kernel kernel_;
+  ir::DataLayout layout_;
+  WorkloadInit init_;
+};
+
+}  // namespace fgpar::harness

@@ -1,0 +1,342 @@
+#include "ir/builder.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::ir {
+
+ScalarType Val::type() const {
+  FGPAR_CHECK_MSG(valid(), "use of invalid Val");
+  return kb_->kernel_under_construction().expr(id_).type;
+}
+
+Val Val::operator+(Val rhs) const { return kb_->Binary(BinOp::kAdd, *this, rhs); }
+Val Val::operator-(Val rhs) const { return kb_->Binary(BinOp::kSub, *this, rhs); }
+Val Val::operator*(Val rhs) const { return kb_->Binary(BinOp::kMul, *this, rhs); }
+Val Val::operator/(Val rhs) const { return kb_->Binary(BinOp::kDiv, *this, rhs); }
+Val Val::operator%(Val rhs) const { return kb_->Binary(BinOp::kRem, *this, rhs); }
+Val Val::operator&(Val rhs) const { return kb_->Binary(BinOp::kAnd, *this, rhs); }
+Val Val::operator|(Val rhs) const { return kb_->Binary(BinOp::kOr, *this, rhs); }
+Val Val::operator^(Val rhs) const { return kb_->Binary(BinOp::kXor, *this, rhs); }
+Val Val::operator<<(Val rhs) const { return kb_->Binary(BinOp::kShl, *this, rhs); }
+Val Val::operator>>(Val rhs) const { return kb_->Binary(BinOp::kShr, *this, rhs); }
+Val Val::operator==(Val rhs) const { return kb_->Binary(BinOp::kEq, *this, rhs); }
+Val Val::operator!=(Val rhs) const { return kb_->Binary(BinOp::kNe, *this, rhs); }
+Val Val::operator<(Val rhs) const { return kb_->Binary(BinOp::kLt, *this, rhs); }
+Val Val::operator<=(Val rhs) const { return kb_->Binary(BinOp::kLe, *this, rhs); }
+Val Val::operator>(Val rhs) const { return kb_->Binary(BinOp::kLt, rhs, *this); }
+Val Val::operator>=(Val rhs) const { return kb_->Binary(BinOp::kLe, rhs, *this); }
+Val Val::operator-() const { return kb_->Unary(UnOp::kNeg, *this); }
+
+KernelBuilder::KernelBuilder(std::string name)
+    : kernel_(std::make_unique<Kernel>(std::move(name))) {}
+
+KernelBuilder::~KernelBuilder() = default;
+
+void KernelBuilder::CheckNameFree(const std::string& name) {
+  FGPAR_CHECK_MSG(!HasName(name), "duplicate declaration: " + name);
+}
+
+bool KernelBuilder::HasName(const std::string& name) const {
+  for (const Symbol& s : kernel_->symbols()) {
+    if (s.name == name) {
+      return true;
+    }
+  }
+  for (const Temp& t : kernel_->temps()) {
+    if (t.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Val KernelBuilder::MakeVal(ExprNode node) {
+  return Val(this, kernel_->AddExpr(node));
+}
+
+Val KernelBuilder::ParamI64(const std::string& name) {
+  CheckNameFree(name);
+  const SymbolId id = static_cast<SymbolId>(kernel_->symbols().size());
+  kernel_->mutable_symbols().push_back(
+      Symbol{id, name, SymbolKind::kParam, ScalarType::kI64, 0});
+  return MakeVal(ExprNode{.kind = ExprKind::kParamRef, .type = ScalarType::kI64,
+                          .sym = id});
+}
+
+Val KernelBuilder::ParamF64(const std::string& name) {
+  CheckNameFree(name);
+  const SymbolId id = static_cast<SymbolId>(kernel_->symbols().size());
+  kernel_->mutable_symbols().push_back(
+      Symbol{id, name, SymbolKind::kParam, ScalarType::kF64, 0});
+  return MakeVal(ExprNode{.kind = ExprKind::kParamRef, .type = ScalarType::kF64,
+                          .sym = id});
+}
+
+ArrayHandle KernelBuilder::ArrayI64(const std::string& name, std::int64_t size) {
+  CheckNameFree(name);
+  FGPAR_CHECK_MSG(size > 0, "array size must be positive: " + name);
+  const SymbolId id = static_cast<SymbolId>(kernel_->symbols().size());
+  kernel_->mutable_symbols().push_back(
+      Symbol{id, name, SymbolKind::kArray, ScalarType::kI64, size});
+  return ArrayHandle{id};
+}
+
+ArrayHandle KernelBuilder::ArrayF64(const std::string& name, std::int64_t size) {
+  CheckNameFree(name);
+  FGPAR_CHECK_MSG(size > 0, "array size must be positive: " + name);
+  const SymbolId id = static_cast<SymbolId>(kernel_->symbols().size());
+  kernel_->mutable_symbols().push_back(
+      Symbol{id, name, SymbolKind::kArray, ScalarType::kF64, size});
+  return ArrayHandle{id};
+}
+
+ScalarHandle KernelBuilder::ScalarI64(const std::string& name) {
+  CheckNameFree(name);
+  const SymbolId id = static_cast<SymbolId>(kernel_->symbols().size());
+  kernel_->mutable_symbols().push_back(
+      Symbol{id, name, SymbolKind::kScalar, ScalarType::kI64, 0});
+  return ScalarHandle{id};
+}
+
+ScalarHandle KernelBuilder::ScalarF64(const std::string& name) {
+  CheckNameFree(name);
+  const SymbolId id = static_cast<SymbolId>(kernel_->symbols().size());
+  kernel_->mutable_symbols().push_back(
+      Symbol{id, name, SymbolKind::kScalar, ScalarType::kF64, 0});
+  return ScalarHandle{id};
+}
+
+TempHandle KernelBuilder::DeclTemp(const std::string& name, ScalarType type) {
+  CheckNameFree(name);
+  const TempId id = static_cast<TempId>(kernel_->temps().size());
+  kernel_->mutable_temps().push_back(Temp{id, name, type, false, 0, 0.0});
+  return TempHandle{id};
+}
+
+TempHandle KernelBuilder::DeclCarriedI64(const std::string& name, std::int64_t init) {
+  CheckNameFree(name);
+  const TempId id = static_cast<TempId>(kernel_->temps().size());
+  kernel_->mutable_temps().push_back(
+      Temp{id, name, ScalarType::kI64, true, init, 0.0});
+  return TempHandle{id};
+}
+
+TempHandle KernelBuilder::DeclCarriedF64(const std::string& name, double init) {
+  CheckNameFree(name);
+  const TempId id = static_cast<TempId>(kernel_->temps().size());
+  kernel_->mutable_temps().push_back(Temp{id, name, ScalarType::kF64, true, 0, init});
+  return TempHandle{id};
+}
+
+Val KernelBuilder::ConstI(std::int64_t value) {
+  return MakeVal(ExprNode{.kind = ExprKind::kConstI, .type = ScalarType::kI64,
+                          .const_i = value});
+}
+
+Val KernelBuilder::ConstF(double value) {
+  return MakeVal(ExprNode{.kind = ExprKind::kConstF, .type = ScalarType::kF64,
+                          .const_f = value});
+}
+
+Val KernelBuilder::Iv() {
+  return MakeVal(ExprNode{.kind = ExprKind::kIvRef, .type = ScalarType::kI64});
+}
+
+Val KernelBuilder::Load(ArrayHandle array, Val index) {
+  const Symbol& sym = kernel_->symbol(array.id);
+  FGPAR_CHECK_MSG(sym.kind == SymbolKind::kArray, "Load target must be an array");
+  FGPAR_CHECK_MSG(index.type() == ScalarType::kI64, "array index must be i64");
+  ExprNode node{.kind = ExprKind::kArrayRef, .type = sym.type, .sym = array.id};
+  node.child[0] = index.id();
+  return MakeVal(node);
+}
+
+Val KernelBuilder::LoadScalar(ScalarHandle scalar) {
+  const Symbol& sym = kernel_->symbol(scalar.id);
+  FGPAR_CHECK_MSG(sym.kind == SymbolKind::kScalar, "LoadScalar target must be scalar");
+  return MakeVal(ExprNode{.kind = ExprKind::kScalarRef, .type = sym.type,
+                          .sym = scalar.id});
+}
+
+Val KernelBuilder::Read(TempHandle temp) {
+  const Temp& t = kernel_->temp(temp.id);
+  return MakeVal(ExprNode{.kind = ExprKind::kTempRef, .type = t.type, .temp = t.id});
+}
+
+Val KernelBuilder::Unary(UnOp op, Val operand) {
+  FGPAR_CHECK_MSG(operand.valid(), "invalid operand");
+  const ScalarType in = operand.type();
+  ScalarType out = in;
+  switch (op) {
+    case UnOp::kNeg:
+    case UnOp::kAbs:
+      break;
+    case UnOp::kSqrt:
+      FGPAR_CHECK_MSG(in == ScalarType::kF64, "sqrt requires f64");
+      break;
+    case UnOp::kNot:
+      FGPAR_CHECK_MSG(in == ScalarType::kI64, "not requires i64");
+      break;
+    case UnOp::kI2F:
+      FGPAR_CHECK_MSG(in == ScalarType::kI64, "i2f requires i64");
+      out = ScalarType::kF64;
+      break;
+    case UnOp::kF2I:
+      FGPAR_CHECK_MSG(in == ScalarType::kF64, "f2i requires f64");
+      out = ScalarType::kI64;
+      break;
+  }
+  ExprNode node{.kind = ExprKind::kUnary, .type = out, .un = op};
+  node.child[0] = operand.id();
+  return MakeVal(node);
+}
+
+Val KernelBuilder::Binary(BinOp op, Val lhs, Val rhs) {
+  FGPAR_CHECK_MSG(lhs.valid() && rhs.valid(), "invalid operand");
+  FGPAR_CHECK_MSG(lhs.type() == rhs.type(),
+                  "operand type mismatch (insert explicit casts)");
+  if (IsIntOnly(op)) {
+    FGPAR_CHECK_MSG(lhs.type() == ScalarType::kI64, "int-only operator on f64");
+  }
+  const ScalarType out = IsComparison(op) ? ScalarType::kI64 : lhs.type();
+  ExprNode node{.kind = ExprKind::kBinary, .type = out, .bin = op};
+  node.child[0] = lhs.id();
+  node.child[1] = rhs.id();
+  return MakeVal(node);
+}
+
+Val KernelBuilder::ToF64(Val v) {
+  return v.type() == ScalarType::kF64 ? v : Unary(UnOp::kI2F, v);
+}
+
+Val KernelBuilder::ToI64(Val v) {
+  return v.type() == ScalarType::kI64 ? v : Unary(UnOp::kF2I, v);
+}
+
+Val KernelBuilder::Select(Val cond, Val if_true, Val if_false) {
+  FGPAR_CHECK_MSG(cond.type() == ScalarType::kI64, "select condition must be i64");
+  FGPAR_CHECK_MSG(if_true.type() == if_false.type(), "select arm type mismatch");
+  ExprNode node{.kind = ExprKind::kSelect, .type = if_true.type()};
+  node.child[0] = cond.id();
+  node.child[1] = if_true.id();
+  node.child[2] = if_false.id();
+  return MakeVal(node);
+}
+
+std::vector<Stmt>* KernelBuilder::CurrentList() {
+  if (!stmt_stack_.empty()) {
+    return stmt_stack_.back();
+  }
+  switch (phase_) {
+    case Phase::kLoop:
+      return &kernel_->mutable_loop().body;
+    case Phase::kEpilogue:
+      return &kernel_->mutable_epilogue();
+    default:
+      throw Error("statements may only be added inside StartLoop/EndLoop "
+                  "or the epilogue");
+  }
+}
+
+void KernelBuilder::SetLine(int line) { explicit_line_ = line; }
+
+int KernelBuilder::NextLine() {
+  if (explicit_line_ >= 0) {
+    const int line = explicit_line_;
+    explicit_line_ = -1;
+    return line;
+  }
+  return ++line_counter_;
+}
+
+void KernelBuilder::Assign(TempHandle temp, Val value) {
+  const Temp& t = kernel_->temp(temp.id);
+  FGPAR_CHECK_MSG(value.type() == t.type, "assignment type mismatch: " + t.name);
+  Stmt stmt;
+  stmt.id = kernel_->AllocateStmtId();
+  stmt.kind = StmtKind::kAssignTemp;
+  stmt.source_line = NextLine();
+  stmt.temp = temp.id;
+  stmt.value = value.id();
+  CurrentList()->push_back(std::move(stmt));
+}
+
+void KernelBuilder::Store(ArrayHandle array, Val index, Val value) {
+  const Symbol& sym = kernel_->symbol(array.id);
+  FGPAR_CHECK_MSG(sym.kind == SymbolKind::kArray, "Store target must be an array");
+  FGPAR_CHECK_MSG(index.type() == ScalarType::kI64, "array index must be i64");
+  FGPAR_CHECK_MSG(value.type() == sym.type, "store type mismatch: " + sym.name);
+  Stmt stmt;
+  stmt.id = kernel_->AllocateStmtId();
+  stmt.kind = StmtKind::kStoreArray;
+  stmt.source_line = NextLine();
+  stmt.sym = array.id;
+  stmt.index = index.id();
+  stmt.value = value.id();
+  CurrentList()->push_back(std::move(stmt));
+}
+
+void KernelBuilder::StoreScalar(ScalarHandle scalar, Val value) {
+  const Symbol& sym = kernel_->symbol(scalar.id);
+  FGPAR_CHECK_MSG(sym.kind == SymbolKind::kScalar, "StoreScalar target must be scalar");
+  FGPAR_CHECK_MSG(value.type() == sym.type, "store type mismatch: " + sym.name);
+  Stmt stmt;
+  stmt.id = kernel_->AllocateStmtId();
+  stmt.kind = StmtKind::kStoreScalar;
+  stmt.source_line = NextLine();
+  stmt.sym = scalar.id;
+  stmt.value = value.id();
+  CurrentList()->push_back(std::move(stmt));
+}
+
+void KernelBuilder::If(Val cond, const std::function<void()>& then_fn,
+                       const std::function<void()>& else_fn, bool speculation_safe) {
+  FGPAR_CHECK_MSG(cond.type() == ScalarType::kI64, "if condition must be i64");
+  Stmt stmt;
+  stmt.id = kernel_->AllocateStmtId();
+  stmt.kind = StmtKind::kIf;
+  stmt.source_line = NextLine();
+  stmt.value = cond.id();
+  stmt.speculation_safe = speculation_safe;
+
+  std::vector<Stmt>* parent = CurrentList();
+  parent->push_back(std::move(stmt));
+  Stmt& placed = parent->back();
+
+  stmt_stack_.push_back(&placed.then_body);
+  then_fn();
+  stmt_stack_.pop_back();
+  if (else_fn) {
+    stmt_stack_.push_back(&placed.else_body);
+    else_fn();
+    stmt_stack_.pop_back();
+  }
+}
+
+void KernelBuilder::StartLoop(const std::string& iv_name, Val lower, Val upper) {
+  FGPAR_CHECK_MSG(phase_ == Phase::kDecl, "StartLoop called twice");
+  FGPAR_CHECK_MSG(lower.type() == ScalarType::kI64 && upper.type() == ScalarType::kI64,
+                  "loop bounds must be i64");
+  kernel_->mutable_loop().iv_name = iv_name;
+  kernel_->mutable_loop().lower = lower.id();
+  kernel_->mutable_loop().upper = upper.id();
+  phase_ = Phase::kLoop;
+}
+
+void KernelBuilder::EndLoop() {
+  FGPAR_CHECK_MSG(phase_ == Phase::kLoop, "EndLoop without StartLoop");
+  FGPAR_CHECK_MSG(stmt_stack_.empty(), "EndLoop inside an If body");
+  phase_ = Phase::kEpilogue;
+}
+
+Kernel KernelBuilder::Finish() {
+  FGPAR_CHECK_MSG(!finished_, "Finish called twice");
+  FGPAR_CHECK_MSG(phase_ == Phase::kLoop || phase_ == Phase::kEpilogue,
+                  "kernel has no loop");
+  FGPAR_CHECK_MSG(stmt_stack_.empty(), "Finish inside an If body");
+  finished_ = true;
+  phase_ = Phase::kDone;
+  return std::move(*kernel_);
+}
+
+}  // namespace fgpar::ir

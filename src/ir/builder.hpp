@@ -1,0 +1,153 @@
+// KernelBuilder: the programmatic construction API for kernels.
+//
+// Used by the textual frontend, by tests, and by the random-program
+// generator.  Expressions are built through the lightweight `Val` handle,
+// which overloads arithmetic operators with full type checking (mixed
+// int/double arithmetic must be made explicit through casts, as in the
+// kernel language).
+//
+//   KernelBuilder kb("axpy");
+//   Val alpha = kb.ParamF64("alpha");
+//   Val n = kb.ParamI64("n");
+//   ArrayHandle x = kb.ArrayF64("x", 1024), y = kb.ArrayF64("y", 1024);
+//   kb.StartLoop("i", kb.ConstI(0), n);
+//   kb.Store(y, kb.Iv(), alpha * kb.Load(x, kb.Iv()) + kb.Load(y, kb.Iv()));
+//   Kernel k = kb.Finish();
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::ir {
+
+class KernelBuilder;
+
+/// Expression handle; cheap to copy.
+class Val {
+ public:
+  Val() = default;
+  Val(KernelBuilder* kb, ExprId id) : kb_(kb), id_(id) {}
+  ExprId id() const { return id_; }
+  bool valid() const { return kb_ != nullptr && id_ != kNoExpr; }
+  ScalarType type() const;
+
+  Val operator+(Val rhs) const;
+  Val operator-(Val rhs) const;
+  Val operator*(Val rhs) const;
+  Val operator/(Val rhs) const;
+  Val operator%(Val rhs) const;
+  Val operator&(Val rhs) const;
+  Val operator|(Val rhs) const;
+  Val operator^(Val rhs) const;
+  Val operator<<(Val rhs) const;
+  Val operator>>(Val rhs) const;
+  Val operator==(Val rhs) const;
+  Val operator!=(Val rhs) const;
+  Val operator<(Val rhs) const;
+  Val operator<=(Val rhs) const;
+  Val operator>(Val rhs) const;   // lowered as rhs < lhs
+  Val operator>=(Val rhs) const;  // lowered as rhs <= lhs
+  Val operator-() const;
+
+ private:
+  KernelBuilder* kb_ = nullptr;
+  ExprId id_ = kNoExpr;
+};
+
+/// Handles for declared entities.
+struct ArrayHandle {
+  SymbolId id = -1;
+};
+struct ScalarHandle {
+  SymbolId id = -1;
+};
+struct TempHandle {
+  TempId id = -1;
+};
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name);
+  ~KernelBuilder();
+  KernelBuilder(const KernelBuilder&) = delete;
+  KernelBuilder& operator=(const KernelBuilder&) = delete;
+
+  // ---- declarations ----
+  Val ParamI64(const std::string& name);
+  Val ParamF64(const std::string& name);
+  ArrayHandle ArrayI64(const std::string& name, std::int64_t size);
+  ArrayHandle ArrayF64(const std::string& name, std::int64_t size);
+  ScalarHandle ScalarI64(const std::string& name);
+  ScalarHandle ScalarF64(const std::string& name);
+  TempHandle DeclTemp(const std::string& name, ScalarType type);
+  TempHandle DeclCarriedI64(const std::string& name, std::int64_t init);
+  TempHandle DeclCarriedF64(const std::string& name, double init);
+
+  /// Looks up a previously declared entity by name (frontend support).
+  bool HasName(const std::string& name) const;
+
+  // ---- expressions ----
+  Val ConstI(std::int64_t value);
+  Val ConstF(double value);
+  Val Iv();  // induction variable (valid inside the loop)
+  Val Load(ArrayHandle array, Val index);
+  Val LoadScalar(ScalarHandle scalar);
+  Val Read(TempHandle temp);
+  Val Unary(UnOp op, Val operand);
+  Val Binary(BinOp op, Val lhs, Val rhs);
+  Val Sqrt(Val v) { return Unary(UnOp::kSqrt, v); }
+  Val Abs(Val v) { return Unary(UnOp::kAbs, v); }
+  Val Not(Val v) { return Unary(UnOp::kNot, v); }
+  Val ToF64(Val v);
+  Val ToI64(Val v);
+  Val Min(Val a, Val b) { return Binary(BinOp::kMin, a, b); }
+  Val Max(Val a, Val b) { return Binary(BinOp::kMax, a, b); }
+  Val Select(Val cond, Val if_true, Val if_false);
+
+  // ---- statements ----
+  /// Sets the source line attached to subsequently added statements.  When
+  /// never called, lines auto-increment per statement.
+  void SetLine(int line);
+  void Assign(TempHandle temp, Val value);
+  void Store(ArrayHandle array, Val index, Val value);
+  void StoreScalar(ScalarHandle scalar, Val value);
+  /// if (cond != 0) { then_fn() } else { else_fn() }.  `speculation_safe`
+  /// is the paper's source directive marking both arms safe for ahead-of-
+  /// time execution (Section III-H).
+  void If(Val cond, const std::function<void()>& then_fn,
+          const std::function<void()>& else_fn = nullptr,
+          bool speculation_safe = false);
+
+  // ---- loop structure ----
+  /// Begins the loop; statements added afterwards form the body.
+  void StartLoop(const std::string& iv_name, Val lower, Val upper);
+  /// Ends the loop; statements added afterwards form the epilogue, which
+  /// executes once after the loop (on the primary core).
+  void EndLoop();
+
+  /// Validates and returns the finished kernel.
+  Kernel Finish();
+
+  /// Access for Val operators.
+  Kernel& kernel_under_construction() { return *kernel_; }
+
+ private:
+  friend class Val;
+  Val MakeVal(ExprNode node);
+  std::vector<Stmt>* CurrentList();
+  int NextLine();
+  void CheckNameFree(const std::string& name);
+
+  std::unique_ptr<Kernel> kernel_;
+  enum class Phase { kDecl, kLoop, kEpilogue, kDone } phase_ = Phase::kDecl;
+  std::vector<std::vector<Stmt>*> stmt_stack_;
+  int line_counter_ = 0;
+  int explicit_line_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace fgpar::ir

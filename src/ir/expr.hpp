@@ -1,0 +1,91 @@
+// Expression trees — the representation the paper's fiber-partitioning
+// algorithm (Section III-A) operates on.
+//
+// Expressions are immutable nodes stored in a per-kernel arena and referred
+// to by ExprId, which makes the partitioner's per-node bookkeeping (fiber
+// assignment, cost annotation) a plain indexed array.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace fgpar::ir {
+
+using ExprId = int;
+using SymbolId = int;
+using TempId = int;
+inline constexpr ExprId kNoExpr = -1;
+
+enum class ScalarType : std::uint8_t { kI64, kF64 };
+
+std::string_view TypeName(ScalarType type);
+
+enum class UnOp : std::uint8_t {
+  kNeg,
+  kAbs,
+  kSqrt,
+  kNot,  // int: x == 0 ? 1 : 0
+  kI2F,
+  kF2I,
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,  // int only
+  kMin,
+  kMax,
+  kAnd,  // int only
+  kOr,   // int only
+  kXor,  // int only
+  kShl,  // int only
+  kShr,  // int only
+  // comparisons: result type is always kI64
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+};
+
+bool IsComparison(BinOp op);
+bool IsIntOnly(BinOp op);
+std::string_view UnOpName(UnOp op);
+std::string_view BinOpName(BinOp op);
+
+enum class ExprKind : std::uint8_t {
+  kConstI,
+  kConstF,
+  kIvRef,      // the loop induction variable (i64)
+  kParamRef,   // read-only scalar parameter (register-resident live-in)
+  kScalarRef,  // load of a memory-resident scalar symbol
+  kArrayRef,   // load of array element; child[0] is the index expression
+  kTempRef,    // value of a temporary computed this iteration
+  kUnary,      // child[0]
+  kBinary,     // child[0], child[1]
+  kSelect,     // child[0] ? child[1] : child[2]; child[0] has type i64
+};
+
+struct ExprNode {
+  ExprKind kind = ExprKind::kConstI;
+  ScalarType type = ScalarType::kI64;
+  UnOp un = UnOp::kNeg;
+  BinOp bin = BinOp::kAdd;
+  std::int64_t const_i = 0;
+  double const_f = 0.0;
+  SymbolId sym = -1;
+  TempId temp = -1;
+  std::array<ExprId, 3> child = {kNoExpr, kNoExpr, kNoExpr};
+};
+
+/// Number of children for a node of the given kind (ArrayRef has 1: index).
+int ChildCount(const ExprNode& node);
+
+/// A leaf in the paper's sense — "memory loads or literal values" plus
+/// parameter/induction/temporary references; leaves are never assigned to a
+/// fiber by the partitioning algorithm.
+bool IsPartitionLeaf(ExprKind kind);
+
+}  // namespace fgpar::ir

@@ -1,0 +1,219 @@
+#include "ir/interp.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fgpar::ir {
+namespace {
+
+std::uint64_t RawF(double v) { return std::bit_cast<std::uint64_t>(v); }
+double AsF(std::uint64_t raw) { return std::bit_cast<double>(raw); }
+std::uint64_t RawI(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+std::int64_t AsI(std::uint64_t raw) { return static_cast<std::int64_t>(raw); }
+
+}  // namespace
+
+Interpreter::Interpreter(const Kernel& kernel, const DataLayout& layout,
+                         const ParamEnv& params, std::vector<std::uint64_t>& memory)
+    : kernel_(kernel),
+      layout_(layout),
+      params_(params),
+      memory_(memory),
+      temp_values_(kernel.temps().size(), 0) {
+  params_.CheckComplete(kernel_);
+  // Carried temps start at their declared initial value; plain temps at 0.
+  for (const Temp& t : kernel_.temps()) {
+    if (t.carried) {
+      temp_values_[static_cast<std::size_t>(t.id)] =
+          t.type == ScalarType::kI64 ? RawI(t.init_i) : RawF(t.init_f);
+    }
+  }
+}
+
+void Interpreter::CheckArrayIndex(SymbolId sym, std::int64_t index) const {
+  const Symbol& s = kernel_.symbol(sym);
+  FGPAR_CHECK_MSG(index >= 0 && index < s.array_size,
+                  "array index out of bounds: " + s.name + "[" +
+                      std::to_string(index) + "], size " +
+                      std::to_string(s.array_size));
+}
+
+std::uint64_t Interpreter::Eval(ExprId id) {
+  ++stats_.exprs_evaluated;
+  const ExprNode& node = kernel_.expr(id);
+  switch (node.kind) {
+    case ExprKind::kConstI:
+      return RawI(node.const_i);
+    case ExprKind::kConstF:
+      return RawF(node.const_f);
+    case ExprKind::kIvRef:
+      return RawI(iv_);
+    case ExprKind::kParamRef:
+      return params_.GetRaw(node.sym);
+    case ExprKind::kScalarRef: {
+      const std::uint64_t addr = layout_.AddressOf(node.sym);
+      FGPAR_CHECK(addr < memory_.size());
+      if (observer_) {
+        observer_(node.sym, addr, /*is_write=*/false);
+      }
+      return memory_[addr];
+    }
+    case ExprKind::kArrayRef: {
+      const std::int64_t index = AsI(Eval(node.child[0]));
+      CheckArrayIndex(node.sym, index);
+      const std::uint64_t addr =
+          layout_.AddressOf(node.sym) + static_cast<std::uint64_t>(index);
+      FGPAR_CHECK(addr < memory_.size());
+      if (observer_) {
+        observer_(node.sym, addr, /*is_write=*/false);
+      }
+      return memory_[addr];
+    }
+    case ExprKind::kTempRef:
+      return temp_values_[static_cast<std::size_t>(node.temp)];
+    case ExprKind::kUnary: {
+      const std::uint64_t v = Eval(node.child[0]);
+      switch (node.un) {
+        case UnOp::kNeg:
+          return node.type == ScalarType::kI64 ? RawI(-AsI(v)) : RawF(-AsF(v));
+        case UnOp::kAbs:
+          return node.type == ScalarType::kI64
+                     ? RawI(AsI(v) < 0 ? -AsI(v) : AsI(v))
+                     : RawF(std::fabs(AsF(v)));
+        case UnOp::kSqrt:
+          return RawF(std::sqrt(AsF(v)));
+        case UnOp::kNot:
+          return RawI(AsI(v) == 0 ? 1 : 0);
+        case UnOp::kI2F:
+          return RawF(static_cast<double>(AsI(v)));
+        case UnOp::kF2I:
+          return RawI(static_cast<std::int64_t>(AsF(v)));
+      }
+      FGPAR_UNREACHABLE("bad UnOp");
+    }
+    case ExprKind::kBinary: {
+      const std::uint64_t lraw = Eval(node.child[0]);
+      const std::uint64_t rraw = Eval(node.child[1]);
+      const ScalarType in = kernel_.expr(node.child[0]).type;
+      if (in == ScalarType::kI64) {
+        const std::int64_t l = AsI(lraw);
+        const std::int64_t r = AsI(rraw);
+        switch (node.bin) {
+          case BinOp::kAdd: return RawI(l + r);
+          case BinOp::kSub: return RawI(l - r);
+          case BinOp::kMul: return RawI(l * r);
+          case BinOp::kDiv:
+            FGPAR_CHECK_MSG(r != 0, "integer divide by zero");
+            return RawI(l / r);
+          case BinOp::kRem:
+            FGPAR_CHECK_MSG(r != 0, "integer remainder by zero");
+            return RawI(l % r);
+          case BinOp::kMin: return RawI(std::min(l, r));
+          case BinOp::kMax: return RawI(std::max(l, r));
+          case BinOp::kAnd: return RawI(l & r);
+          case BinOp::kOr: return RawI(l | r);
+          case BinOp::kXor: return RawI(l ^ r);
+          case BinOp::kShl:
+            return RawI(static_cast<std::int64_t>(static_cast<std::uint64_t>(l)
+                                                  << (r & 63)));
+          case BinOp::kShr: return RawI(l >> (r & 63));
+          case BinOp::kEq: return RawI(l == r ? 1 : 0);
+          case BinOp::kNe: return RawI(l != r ? 1 : 0);
+          case BinOp::kLt: return RawI(l < r ? 1 : 0);
+          case BinOp::kLe: return RawI(l <= r ? 1 : 0);
+        }
+      } else {
+        const double l = AsF(lraw);
+        const double r = AsF(rraw);
+        switch (node.bin) {
+          case BinOp::kAdd: return RawF(l + r);
+          case BinOp::kSub: return RawF(l - r);
+          case BinOp::kMul: return RawF(l * r);
+          case BinOp::kDiv: return RawF(l / r);
+          case BinOp::kMin: return RawF(std::fmin(l, r));
+          case BinOp::kMax: return RawF(std::fmax(l, r));
+          case BinOp::kEq: return RawI(l == r ? 1 : 0);
+          case BinOp::kNe: return RawI(l != r ? 1 : 0);
+          case BinOp::kLt: return RawI(l < r ? 1 : 0);
+          case BinOp::kLe: return RawI(l <= r ? 1 : 0);
+          default:
+            FGPAR_UNREACHABLE("int-only operator on f64");
+        }
+      }
+      FGPAR_UNREACHABLE("bad BinOp");
+    }
+    case ExprKind::kSelect: {
+      // Both arms are evaluated, matching the compiled lowering; the
+      // condition only picks the result.
+      const std::int64_t cond = AsI(Eval(node.child[0]));
+      const std::uint64_t a = Eval(node.child[1]);
+      const std::uint64_t b = Eval(node.child[2]);
+      return cond != 0 ? a : b;
+    }
+  }
+  FGPAR_UNREACHABLE("bad ExprKind");
+}
+
+void Interpreter::Exec(const Stmt& stmt) {
+  ++stats_.stmts_executed;
+  switch (stmt.kind) {
+    case StmtKind::kAssignTemp:
+      temp_values_[static_cast<std::size_t>(stmt.temp)] = Eval(stmt.value);
+      break;
+    case StmtKind::kStoreScalar: {
+      const std::uint64_t addr = layout_.AddressOf(stmt.sym);
+      FGPAR_CHECK(addr < memory_.size());
+      if (observer_) {
+        observer_(stmt.sym, addr, /*is_write=*/true);
+      }
+      memory_[addr] = Eval(stmt.value);
+      break;
+    }
+    case StmtKind::kStoreArray: {
+      const std::int64_t index = AsI(Eval(stmt.index));
+      CheckArrayIndex(stmt.sym, index);
+      const std::uint64_t addr =
+          layout_.AddressOf(stmt.sym) + static_cast<std::uint64_t>(index);
+      FGPAR_CHECK(addr < memory_.size());
+      if (observer_) {
+        observer_(stmt.sym, addr, /*is_write=*/true);
+      }
+      memory_[addr] = Eval(stmt.value);
+      break;
+    }
+    case StmtKind::kIf: {
+      const std::int64_t cond = AsI(Eval(stmt.value));
+      ExecList(cond != 0 ? stmt.then_body : stmt.else_body);
+      break;
+    }
+  }
+}
+
+void Interpreter::ExecList(const std::vector<Stmt>& stmts) {
+  for (const Stmt& stmt : stmts) {
+    Exec(stmt);
+  }
+}
+
+InterpStats Interpreter::Run() {
+  const Loop& loop = kernel_.loop();
+  FGPAR_CHECK_MSG(loop.lower != kNoExpr && loop.upper != kNoExpr,
+                  "kernel has no loop bounds");
+  const std::int64_t lower = AsI(Eval(loop.lower));
+  const std::int64_t upper = AsI(Eval(loop.upper));
+  for (iv_ = lower; iv_ < upper; ++iv_) {
+    ExecList(loop.body);
+    ++stats_.iterations;
+  }
+  ExecList(kernel_.epilogue());
+  return stats_;
+}
+
+std::uint64_t Interpreter::TempValue(TempId temp) const {
+  FGPAR_CHECK(temp >= 0 && static_cast<std::size_t>(temp) < temp_values_.size());
+  return temp_values_[static_cast<std::size_t>(temp)];
+}
+
+}  // namespace fgpar::ir

@@ -1,0 +1,64 @@
+// Reference interpreter — the golden model.
+//
+// Executes a kernel sequentially over the same flat word memory and
+// DataLayout the simulator uses, with identical arithmetic semantics to the
+// simulated ISA (trunc-toward-zero conversions, fmin/fmax, masked shifts,
+// trapping integer division).  Every compiled execution — sequential or
+// fine-grained parallel — must produce bit-identical memory to this
+// interpreter; that property anchors the whole compiler test suite.
+//
+// Array accesses are bounds-checked against the declared array sizes, so a
+// mis-built kernel faults here before it ever reaches the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "ir/layout.hpp"
+
+namespace fgpar::ir {
+
+/// Observes every memory access the interpreter performs (profile feedback,
+/// Section III-I.3 of the paper).
+using AccessObserver =
+    std::function<void(SymbolId sym, std::uint64_t addr, bool is_write)>;
+
+struct InterpStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t stmts_executed = 0;
+  std::uint64_t exprs_evaluated = 0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Kernel& kernel, const DataLayout& layout,
+              const ParamEnv& params, std::vector<std::uint64_t>& memory);
+
+  /// Runs loop + epilogue; mutates `memory`.
+  InterpStats Run();
+
+  /// Installs a memory-access observer (must be called before Run).
+  void SetAccessObserver(AccessObserver observer) { observer_ = std::move(observer); }
+
+  /// Final raw value of a temp after Run (for live-out checks in tests).
+  std::uint64_t TempValue(TempId temp) const;
+
+ private:
+  std::uint64_t Eval(ExprId id);
+  void ExecList(const std::vector<Stmt>& stmts);
+  void Exec(const Stmt& stmt);
+  void CheckArrayIndex(SymbolId sym, std::int64_t index) const;
+
+  const Kernel& kernel_;
+  const DataLayout& layout_;
+  const ParamEnv& params_;
+  std::vector<std::uint64_t>& memory_;
+  std::vector<std::uint64_t> temp_values_;
+  std::int64_t iv_ = 0;
+  InterpStats stats_;
+  AccessObserver observer_;
+};
+
+}  // namespace fgpar::ir

@@ -1,0 +1,202 @@
+#include "ir/kernel.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace fgpar::ir {
+
+std::string_view TypeName(ScalarType type) {
+  return type == ScalarType::kI64 ? "i64" : "f64";
+}
+
+bool IsComparison(BinOp op) {
+  return op == BinOp::kEq || op == BinOp::kNe || op == BinOp::kLt || op == BinOp::kLe;
+}
+
+bool IsIntOnly(BinOp op) {
+  switch (op) {
+    case BinOp::kRem: case BinOp::kAnd: case BinOp::kOr: case BinOp::kXor:
+    case BinOp::kShl: case BinOp::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view UnOpName(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "neg";
+    case UnOp::kAbs: return "abs";
+    case UnOp::kSqrt: return "sqrt";
+    case UnOp::kNot: return "not";
+    case UnOp::kI2F: return "i2f";
+    case UnOp::kF2I: return "f2i";
+  }
+  FGPAR_UNREACHABLE("bad UnOp");
+}
+
+std::string_view BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kRem: return "%";
+    case BinOp::kMin: return "min";
+    case BinOp::kMax: return "max";
+    case BinOp::kAnd: return "&";
+    case BinOp::kOr: return "|";
+    case BinOp::kXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+  }
+  FGPAR_UNREACHABLE("bad BinOp");
+}
+
+int ChildCount(const ExprNode& node) {
+  switch (node.kind) {
+    case ExprKind::kConstI: case ExprKind::kConstF: case ExprKind::kIvRef:
+    case ExprKind::kParamRef: case ExprKind::kScalarRef: case ExprKind::kTempRef:
+      return 0;
+    case ExprKind::kArrayRef: case ExprKind::kUnary:
+      return 1;
+    case ExprKind::kBinary:
+      return 2;
+    case ExprKind::kSelect:
+      return 3;
+  }
+  FGPAR_UNREACHABLE("bad ExprKind");
+}
+
+bool IsPartitionLeaf(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kConstI: case ExprKind::kConstF: case ExprKind::kIvRef:
+    case ExprKind::kParamRef: case ExprKind::kScalarRef: case ExprKind::kTempRef:
+    case ExprKind::kArrayRef:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const Symbol& Kernel::symbol(SymbolId id) const {
+  FGPAR_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < symbols_.size(),
+                  "bad symbol id");
+  return symbols_[static_cast<std::size_t>(id)];
+}
+
+const Temp& Kernel::temp(TempId id) const {
+  FGPAR_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < temps_.size(),
+                  "bad temp id");
+  return temps_[static_cast<std::size_t>(id)];
+}
+
+const ExprNode& Kernel::expr(ExprId id) const {
+  FGPAR_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < exprs_.size(),
+                  "bad expr id");
+  return exprs_[static_cast<std::size_t>(id)];
+}
+
+ExprId Kernel::AddExpr(ExprNode node) {
+  exprs_.push_back(node);
+  return static_cast<ExprId>(exprs_.size()) - 1;
+}
+
+namespace {
+void RenumberList(std::vector<Stmt>& stmts, int& next) {
+  for (Stmt& stmt : stmts) {
+    stmt.id = next++;
+    if (stmt.kind == StmtKind::kIf) {
+      RenumberList(stmt.then_body, next);
+      RenumberList(stmt.else_body, next);
+    }
+  }
+}
+}  // namespace
+
+void Kernel::RenumberStmts() {
+  int next = 0;
+  RenumberList(loop_.body, next);
+  RenumberList(epilogue_, next);
+  next_stmt_id_ = next;
+}
+
+void Kernel::VisitExpr(ExprId id, const std::function<void(ExprId)>& fn) const {
+  const ExprNode& node = expr(id);
+  for (int c = 0; c < ChildCount(node); ++c) {
+    VisitExpr(node.child[static_cast<std::size_t>(c)], fn);
+  }
+  fn(id);
+}
+
+void Kernel::VisitStmts(const std::vector<Stmt>& stmts,
+                        const std::function<void(const Stmt&)>& fn) {
+  for (const Stmt& stmt : stmts) {
+    fn(stmt);
+    if (stmt.kind == StmtKind::kIf) {
+      VisitStmts(stmt.then_body, fn);
+      VisitStmts(stmt.else_body, fn);
+    }
+  }
+}
+
+void Kernel::VisitAllStmts(const std::function<void(const Stmt&)>& fn) const {
+  VisitStmts(loop_.body, fn);
+  VisitStmts(epilogue_, fn);
+}
+
+std::vector<TempId> Kernel::TempsReadBy(ExprId id) const {
+  std::vector<TempId> out;
+  VisitExpr(id, [&](ExprId e) {
+    const ExprNode& node = expr(e);
+    if (node.kind == ExprKind::kTempRef &&
+        std::find(out.begin(), out.end(), node.temp) == out.end()) {
+      out.push_back(node.temp);
+    }
+  });
+  return out;
+}
+
+std::vector<SymbolId> Kernel::SymbolsReadBy(ExprId id) const {
+  std::vector<SymbolId> out;
+  VisitExpr(id, [&](ExprId e) {
+    const ExprNode& node = expr(e);
+    if ((node.kind == ExprKind::kScalarRef || node.kind == ExprKind::kArrayRef) &&
+        std::find(out.begin(), out.end(), node.sym) == out.end()) {
+      out.push_back(node.sym);
+    }
+  });
+  return out;
+}
+
+bool Kernel::UsesIv(ExprId id) const {
+  bool uses = false;
+  VisitExpr(id, [&](ExprId e) { uses |= expr(e).kind == ExprKind::kIvRef; });
+  return uses;
+}
+
+int Kernel::ExprDepth(ExprId id) const {
+  const ExprNode& node = expr(id);
+  int depth = 0;
+  for (int c = 0; c < ChildCount(node); ++c) {
+    depth = std::max(depth, ExprDepth(node.child[static_cast<std::size_t>(c)]));
+  }
+  return depth + 1;
+}
+
+int Kernel::ComputeOpCount(ExprId id) const {
+  int count = 0;
+  VisitExpr(id, [&](ExprId e) {
+    if (!IsPartitionLeaf(expr(e).kind)) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+}  // namespace fgpar::ir

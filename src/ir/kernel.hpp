@@ -1,0 +1,90 @@
+// Kernel: one counted loop plus an epilogue, over typed symbols and temps.
+//
+// This mirrors the shape the paper transforms: an innermost hot loop whose
+// body is partitioned into fine-grained parallel threads (Section III), and
+// a sequential continuation (the epilogue) that runs on the primary core
+// and may consume values computed inside the loop — the live variables of
+// Section III-F.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/stmt.hpp"
+#include "ir/symbol.hpp"
+
+namespace fgpar::ir {
+
+struct Loop {
+  std::string iv_name = "i";
+  ExprId lower = kNoExpr;  // may reference params/constants only
+  ExprId upper = kNoExpr;  // iv runs over [lower, upper)
+  std::vector<Stmt> body;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- arenas (populated by KernelBuilder) ----
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  const std::vector<Temp>& temps() const { return temps_; }
+  const Symbol& symbol(SymbolId id) const;
+  const Temp& temp(TempId id) const;
+  const ExprNode& expr(ExprId id) const;
+  std::size_t expr_count() const { return exprs_.size(); }
+
+  const Loop& loop() const { return loop_; }
+  const std::vector<Stmt>& epilogue() const { return epilogue_; }
+  int stmt_count() const { return next_stmt_id_; }
+
+  // ---- traversal helpers ----
+  /// Visits `id` and all transitive children in post-order.
+  void VisitExpr(ExprId id, const std::function<void(ExprId)>& fn) const;
+  /// Visits every statement in a statement list recursively (pre-order),
+  /// including the bodies of nested kIf statements.
+  static void VisitStmts(const std::vector<Stmt>& stmts,
+                         const std::function<void(const Stmt&)>& fn);
+  /// Visits loop body and epilogue statements.
+  void VisitAllStmts(const std::function<void(const Stmt&)>& fn) const;
+
+  /// Collects the TempIds read by an expression (transitively).
+  std::vector<TempId> TempsReadBy(ExprId id) const;
+  /// Collects the SymbolIds of arrays/scalars loaded by an expression.
+  std::vector<SymbolId> SymbolsReadBy(ExprId id) const;
+  /// True if the expression (transitively) references the induction var.
+  bool UsesIv(ExprId id) const;
+  /// Depth of the expression tree (leaves have depth 1).
+  int ExprDepth(ExprId id) const;
+  /// Number of non-leaf (compute) nodes in the expression tree.
+  int ComputeOpCount(ExprId id) const;
+
+  // Mutation is reserved for the builder and compiler passes.
+  std::vector<Symbol>& mutable_symbols() { return symbols_; }
+  std::vector<Temp>& mutable_temps() { return temps_; }
+  std::vector<ExprNode>& mutable_exprs() { return exprs_; }
+  Loop& mutable_loop() { return loop_; }
+  std::vector<Stmt>& mutable_epilogue() { return epilogue_; }
+  ExprId AddExpr(ExprNode node);
+  int AllocateStmtId() { return next_stmt_id_++; }
+
+  /// Reassigns statement ids in flattened program order (loop body first,
+  /// then epilogue).  Compiler passes that insert statements call this so
+  /// the invariant "ids increase in program order" keeps holding.
+  void RenumberStmts();
+
+ private:
+  std::string name_;
+  std::vector<Symbol> symbols_;
+  std::vector<Temp> temps_;
+  std::vector<ExprNode> exprs_;
+  Loop loop_;
+  std::vector<Stmt> epilogue_;
+  int next_stmt_id_ = 0;
+};
+
+}  // namespace fgpar::ir

@@ -1,0 +1,105 @@
+#include "ir/layout.hpp"
+
+#include <bit>
+
+#include "support/error.hpp"
+
+namespace fgpar::ir {
+
+DataLayout::DataLayout(const Kernel& kernel, std::uint64_t base, int align_words) {
+  FGPAR_CHECK(align_words >= 1);
+  std::uint64_t cursor = base;
+  auto align = [&](std::uint64_t x) {
+    const std::uint64_t a = static_cast<std::uint64_t>(align_words);
+    return (x + a - 1) / a * a;
+  };
+  address_.resize(kernel.symbols().size(), -1);
+  param_address_.resize(kernel.symbols().size(), -1);
+  for (const Symbol& sym : kernel.symbols()) {
+    switch (sym.kind) {
+      case SymbolKind::kParam:
+        param_address_[static_cast<std::size_t>(sym.id)] =
+            static_cast<std::int64_t>(cursor);
+        cursor += 1;
+        break;
+      case SymbolKind::kScalar:
+        cursor = align(cursor);
+        address_[static_cast<std::size_t>(sym.id)] = static_cast<std::int64_t>(cursor);
+        cursor += 1 + 1;  // slot + guard word
+        break;
+      case SymbolKind::kArray:
+        cursor = align(cursor);
+        address_[static_cast<std::size_t>(sym.id)] = static_cast<std::int64_t>(cursor);
+        cursor += static_cast<std::uint64_t>(sym.array_size) + 1;  // + guard
+        break;
+    }
+  }
+  end_ = align(cursor);
+}
+
+std::uint64_t DataLayout::AddressOf(SymbolId sym) const {
+  FGPAR_CHECK_MSG(sym >= 0 && static_cast<std::size_t>(sym) < address_.size(),
+                  "bad symbol id in layout");
+  const std::int64_t addr = address_[static_cast<std::size_t>(sym)];
+  FGPAR_CHECK_MSG(addr >= 0, "parameters have no memory address");
+  return static_cast<std::uint64_t>(addr);
+}
+
+std::uint64_t DataLayout::ParamAddressOf(SymbolId sym) const {
+  FGPAR_CHECK_MSG(sym >= 0 && static_cast<std::size_t>(sym) < param_address_.size(),
+                  "bad symbol id in layout");
+  const std::int64_t addr = param_address_[static_cast<std::size_t>(sym)];
+  FGPAR_CHECK_MSG(addr >= 0, "symbol is not a parameter");
+  return static_cast<std::uint64_t>(addr);
+}
+
+ParamEnv::ParamEnv(const Kernel& kernel)
+    : kernel_(&kernel),
+      raw_(kernel.symbols().size(), 0),
+      set_(kernel.symbols().size(), false) {}
+
+void ParamEnv::SetI64(SymbolId sym, std::int64_t value) {
+  const Symbol& s = kernel_->symbol(sym);
+  FGPAR_CHECK_MSG(s.kind == SymbolKind::kParam && s.type == ScalarType::kI64,
+                  "SetI64 on non-i64-param: " + s.name);
+  raw_[static_cast<std::size_t>(sym)] = static_cast<std::uint64_t>(value);
+  set_[static_cast<std::size_t>(sym)] = true;
+}
+
+void ParamEnv::SetF64(SymbolId sym, double value) {
+  const Symbol& s = kernel_->symbol(sym);
+  FGPAR_CHECK_MSG(s.kind == SymbolKind::kParam && s.type == ScalarType::kF64,
+                  "SetF64 on non-f64-param: " + s.name);
+  raw_[static_cast<std::size_t>(sym)] = std::bit_cast<std::uint64_t>(value);
+  set_[static_cast<std::size_t>(sym)] = true;
+}
+
+std::int64_t ParamEnv::GetI64(SymbolId sym) const {
+  FGPAR_CHECK_MSG(IsSet(sym), "parameter not set: " + kernel_->symbol(sym).name);
+  return static_cast<std::int64_t>(raw_[static_cast<std::size_t>(sym)]);
+}
+
+double ParamEnv::GetF64(SymbolId sym) const {
+  FGPAR_CHECK_MSG(IsSet(sym), "parameter not set: " + kernel_->symbol(sym).name);
+  return std::bit_cast<double>(raw_[static_cast<std::size_t>(sym)]);
+}
+
+std::uint64_t ParamEnv::GetRaw(SymbolId sym) const {
+  FGPAR_CHECK_MSG(IsSet(sym), "parameter not set: " + kernel_->symbol(sym).name);
+  return raw_[static_cast<std::size_t>(sym)];
+}
+
+bool ParamEnv::IsSet(SymbolId sym) const {
+  FGPAR_CHECK(sym >= 0 && static_cast<std::size_t>(sym) < set_.size());
+  return set_[static_cast<std::size_t>(sym)];
+}
+
+void ParamEnv::CheckComplete(const Kernel& kernel) const {
+  for (const Symbol& sym : kernel.symbols()) {
+    if (sym.kind == SymbolKind::kParam) {
+      FGPAR_CHECK_MSG(IsSet(sym.id), "unset kernel parameter: " + sym.name);
+    }
+  }
+}
+
+}  // namespace fgpar::ir

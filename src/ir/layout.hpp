@@ -1,0 +1,66 @@
+// DataLayout: assigns memory addresses to a kernel's symbols, and ParamEnv
+// holds runtime values for its scalar parameters.
+//
+// The same layout is consumed by the reference interpreter, the compiler
+// backend, and the workload initializer, so all three agree on where every
+// array and scalar lives — which is what makes bit-exact comparison of the
+// interpreter, sequential codegen, and parallel codegen possible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::ir {
+
+class DataLayout {
+ public:
+  /// Lays out all memory-resident symbols starting at `base`, aligning each
+  /// allocation to a cache-line boundary and separating allocations with a
+  /// guard word (so accidental off-by-one indexing faults loudly in the
+  /// interpreter's bounds checks rather than silently reading a neighbour).
+  explicit DataLayout(const Kernel& kernel, std::uint64_t base = 64,
+                      int align_words = 8);
+
+  /// Base address of an array, or the slot address of a scalar.  Params
+  /// have no data address (throws); see ParamAddressOf.
+  std::uint64_t AddressOf(SymbolId sym) const;
+
+  /// Address of a parameter's slot in the kernel's parameter block.  The
+  /// harness writes parameter values there before launch; the primary core
+  /// loads them at startup and forwards what the secondaries need through
+  /// the queues (Section III-G).
+  std::uint64_t ParamAddressOf(SymbolId sym) const;
+
+  /// One-past-the-end of the laid-out region.
+  std::uint64_t end() const { return end_; }
+
+ private:
+  std::vector<std::int64_t> address_;        // -1 for params
+  std::vector<std::int64_t> param_address_;  // -1 for non-params
+  std::uint64_t end_;
+};
+
+/// Runtime values of kernel parameters, stored as raw 64-bit payloads.
+class ParamEnv {
+ public:
+  explicit ParamEnv(const Kernel& kernel);
+
+  void SetI64(SymbolId sym, std::int64_t value);
+  void SetF64(SymbolId sym, double value);
+  std::int64_t GetI64(SymbolId sym) const;
+  double GetF64(SymbolId sym) const;
+  std::uint64_t GetRaw(SymbolId sym) const;
+  bool IsSet(SymbolId sym) const;
+
+  /// Throws unless every parameter has been assigned a value.
+  void CheckComplete(const Kernel& kernel) const;
+
+ private:
+  const Kernel* kernel_;
+  std::vector<std::uint64_t> raw_;
+  std::vector<bool> set_;
+};
+
+}  // namespace fgpar::ir

@@ -1,0 +1,21 @@
+// Pretty-printer: renders a kernel in (approximately) the kernel language
+// syntax, for debugging and golden tests of compiler passes.
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::ir {
+
+/// Renders one expression.
+std::string PrintExpr(const Kernel& kernel, ExprId id);
+
+/// Renders a statement list at the given indent depth.
+std::string PrintStmts(const Kernel& kernel, const std::vector<Stmt>& stmts,
+                       int indent = 0);
+
+/// Renders the whole kernel: declarations, loop, epilogue.
+std::string PrintKernel(const Kernel& kernel);
+
+}  // namespace fgpar::ir

@@ -1,0 +1,39 @@
+// Statements of the loop-kernel IR.
+//
+// Every statement carries a kernel-unique id (for analysis maps) and a
+// source line number; the paper's third merge heuristic ("greater proximity
+// in the serial source code", Section III-B) consumes the line numbers.
+#pragma once
+
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace fgpar::ir {
+
+using StmtId = int;
+
+enum class StmtKind : std::uint8_t {
+  kAssignTemp,   // temp = value
+  kStoreScalar,  // sym = value
+  kStoreArray,   // sym[index] = value
+  kIf,           // if (value != 0) then_body else else_body
+};
+
+struct Stmt {
+  StmtId id = -1;
+  StmtKind kind = StmtKind::kAssignTemp;
+  int source_line = 0;
+  TempId temp = -1;     // kAssignTemp
+  SymbolId sym = -1;    // stores
+  ExprId index = kNoExpr;  // kStoreArray
+  ExprId value = kNoExpr;  // RHS, or the condition of kIf
+  std::vector<Stmt> then_body;  // kIf
+  std::vector<Stmt> else_body;  // kIf
+  /// Author-supplied directive (paper Section III-I.1): both arms are safe
+  /// to execute unconditionally, enabling the Section III-H control-flow
+  /// speculation transformation.
+  bool speculation_safe = false;
+};
+
+}  // namespace fgpar::ir

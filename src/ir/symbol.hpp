@@ -1,0 +1,37 @@
+// Symbols (memory-resident scalars and arrays, read-only parameters) and
+// temporaries (per-iteration values and loop-carried accumulators).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/expr.hpp"
+
+namespace fgpar::ir {
+
+enum class SymbolKind : std::uint8_t {
+  kParam,   // read-only scalar, register-resident, passed to each partition
+  kScalar,  // one memory word
+  kArray,   // contiguous block of memory words
+};
+
+struct Symbol {
+  SymbolId id = -1;
+  std::string name;
+  SymbolKind kind = SymbolKind::kScalar;
+  ScalarType type = ScalarType::kF64;
+  std::int64_t array_size = 0;  // elements; kArray only
+};
+
+struct Temp {
+  TempId id = -1;
+  std::string name;
+  ScalarType type = ScalarType::kF64;
+  /// Loop-carried accumulator: holds `init_*` before the first iteration and
+  /// its last assigned value across iterations; readable in the epilogue.
+  bool carried = false;
+  std::int64_t init_i = 0;
+  double init_f = 0.0;
+};
+
+}  // namespace fgpar::ir

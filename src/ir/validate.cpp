@@ -1,0 +1,266 @@
+#include "ir/validate.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace fgpar::ir {
+namespace {
+
+/// One (if-statement, branch) step on a statement's control path.
+struct PathStep {
+  StmtId if_stmt;
+  bool then_branch;
+  bool operator==(const PathStep&) const = default;
+};
+using ControlPath = std::vector<PathStep>;
+
+class Validator {
+ public:
+  explicit Validator(const Kernel& kernel) : k_(kernel) {}
+
+  std::vector<std::string> Run() {
+    CheckBounds();
+    CollectDefs(k_.loop().body, {}, /*in_epilogue=*/false);
+    CollectDefs(k_.epilogue(), {}, /*in_epilogue=*/true);
+    CheckAssignmentCounts();
+    CheckUses(k_.loop().body, {}, /*in_epilogue=*/false);
+    CheckUses(k_.epilogue(), {}, /*in_epilogue=*/true);
+    return problems_;
+  }
+
+ private:
+  void Problem(const std::string& message) { problems_.push_back(message); }
+
+  void CheckExprWellFormed(ExprId id) {
+    if (id < 0 || static_cast<std::size_t>(id) >= k_.expr_count()) {
+      Problem("expression id out of range: " + std::to_string(id));
+      return;
+    }
+    const ExprNode& node = k_.expr(id);
+    for (int c = 0; c < ChildCount(node); ++c) {
+      const ExprId child = node.child[static_cast<std::size_t>(c)];
+      if (child < 0 || static_cast<std::size_t>(child) >= k_.expr_count()) {
+        Problem("child expression id out of range under expr " + std::to_string(id));
+        return;
+      }
+      CheckExprWellFormed(child);
+    }
+    // Local type re-checks.
+    switch (node.kind) {
+      case ExprKind::kArrayRef:
+        if (k_.symbol(node.sym).kind != SymbolKind::kArray) {
+          Problem("ArrayRef of non-array symbol " + k_.symbol(node.sym).name);
+        }
+        if (k_.expr(node.child[0]).type != ScalarType::kI64) {
+          Problem("non-i64 array index under expr " + std::to_string(id));
+        }
+        break;
+      case ExprKind::kBinary:
+        if (k_.expr(node.child[0]).type != k_.expr(node.child[1]).type) {
+          Problem("binary operand type mismatch under expr " + std::to_string(id));
+        }
+        if (IsIntOnly(node.bin) && k_.expr(node.child[0]).type != ScalarType::kI64) {
+          Problem("int-only operator applied to f64 under expr " + std::to_string(id));
+        }
+        break;
+      case ExprKind::kSelect:
+        if (k_.expr(node.child[0]).type != ScalarType::kI64) {
+          Problem("select condition is not i64 under expr " + std::to_string(id));
+        }
+        if (k_.expr(node.child[1]).type != k_.expr(node.child[2]).type) {
+          Problem("select arm type mismatch under expr " + std::to_string(id));
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void CheckBoundExprRestriction(ExprId id, const char* which) {
+    k_.VisitExpr(id, [&](ExprId e) {
+      switch (k_.expr(e).kind) {
+        case ExprKind::kConstI: case ExprKind::kConstF: case ExprKind::kParamRef:
+        case ExprKind::kUnary: case ExprKind::kBinary:
+          break;
+        default:
+          Problem(std::string("loop ") + which +
+                  " bound may reference only constants and parameters");
+      }
+    });
+  }
+
+  void CheckBounds() {
+    if (k_.loop().lower == kNoExpr || k_.loop().upper == kNoExpr) {
+      Problem("kernel has no loop bounds");
+      return;
+    }
+    CheckExprWellFormed(k_.loop().lower);
+    CheckExprWellFormed(k_.loop().upper);
+    CheckBoundExprRestriction(k_.loop().lower, "lower");
+    CheckBoundExprRestriction(k_.loop().upper, "upper");
+    if (k_.expr(k_.loop().lower).type != ScalarType::kI64 ||
+        k_.expr(k_.loop().upper).type != ScalarType::kI64) {
+      Problem("loop bounds must be i64");
+    }
+  }
+
+  void CollectDefs(const std::vector<Stmt>& stmts, const ControlPath& path,
+                   bool in_epilogue) {
+    for (const Stmt& stmt : stmts) {
+      if (!seen_stmt_ids_.insert(stmt.id).second) {
+        Problem("duplicate statement id " + std::to_string(stmt.id));
+      }
+      if (stmt.kind == StmtKind::kAssignTemp) {
+        defs_[stmt.temp].push_back(Def{stmt.id, path, in_epilogue});
+      }
+      if (stmt.kind == StmtKind::kIf) {
+        ControlPath then_path = path;
+        then_path.push_back(PathStep{stmt.id, true});
+        CollectDefs(stmt.then_body, then_path, in_epilogue);
+        ControlPath else_path = path;
+        else_path.push_back(PathStep{stmt.id, false});
+        CollectDefs(stmt.else_body, else_path, in_epilogue);
+      }
+    }
+  }
+
+  void CheckAssignmentCounts() {
+    for (const Temp& t : k_.temps()) {
+      const auto it = defs_.find(t.id);
+      const std::size_t count = it == defs_.end() ? 0 : it->second.size();
+      if (!t.carried && count > 1) {
+        Problem("plain temp assigned more than once: " + t.name);
+      }
+    }
+  }
+
+  void CheckUseOfTemp(TempId temp, StmtId use_stmt, const ControlPath& use_path,
+                      bool use_in_epilogue) {
+    const Temp& t = k_.temp(temp);
+    if (t.carried) {
+      return;  // carried temps always hold a defined value
+    }
+    const auto it = defs_.find(temp);
+    if (it == defs_.end() || it->second.empty()) {
+      Problem("use of never-assigned temp " + t.name);
+      return;
+    }
+    const Def& def = it->second.front();
+    if (use_in_epilogue) {
+      // Epilogue reads observe the last iteration's value; require the
+      // definition to be unconditional in the loop body so the value is
+      // defined whenever the loop ran, or to be an earlier epilogue def.
+      if (!def.in_epilogue && !def.path.empty()) {
+        Problem("epilogue reads conditionally-assigned temp " + t.name);
+      }
+      if (def.in_epilogue && def.stmt >= use_stmt) {
+        Problem("epilogue use of temp " + t.name + " precedes its definition");
+      }
+      return;
+    }
+    if (def.in_epilogue) {
+      Problem("loop body reads epilogue-defined temp " + t.name);
+      return;
+    }
+    if (def.stmt >= use_stmt) {
+      Problem("use of temp " + t.name + " precedes its definition (stmt " +
+              std::to_string(use_stmt) + ")");
+      return;
+    }
+    // Dominance: def path must be a prefix of the use path.
+    if (def.path.size() > use_path.size()) {
+      Problem("use of temp " + t.name + " not dominated by its definition");
+      return;
+    }
+    for (std::size_t i = 0; i < def.path.size(); ++i) {
+      if (!(def.path[i] == use_path[i])) {
+        Problem("use of temp " + t.name + " not dominated by its definition");
+        return;
+      }
+    }
+  }
+
+  void CheckUsesInExpr(ExprId id, StmtId use_stmt, const ControlPath& path,
+                       bool in_epilogue) {
+    CheckExprWellFormed(id);
+    k_.VisitExpr(id, [&](ExprId e) {
+      const ExprNode& node = k_.expr(e);
+      if (node.kind == ExprKind::kTempRef) {
+        CheckUseOfTemp(node.temp, use_stmt, path, in_epilogue);
+      }
+      if (node.kind == ExprKind::kIvRef && in_epilogue) {
+        Problem("epilogue references the induction variable");
+      }
+    });
+  }
+
+  void CheckUses(const std::vector<Stmt>& stmts, const ControlPath& path,
+                 bool in_epilogue) {
+    for (const Stmt& stmt : stmts) {
+      switch (stmt.kind) {
+        case StmtKind::kAssignTemp:
+        case StmtKind::kStoreScalar:
+          CheckUsesInExpr(stmt.value, stmt.id, path, in_epilogue);
+          break;
+        case StmtKind::kStoreArray:
+          CheckUsesInExpr(stmt.index, stmt.id, path, in_epilogue);
+          CheckUsesInExpr(stmt.value, stmt.id, path, in_epilogue);
+          break;
+        case StmtKind::kIf: {
+          CheckUsesInExpr(stmt.value, stmt.id, path, in_epilogue);
+          ControlPath then_path = path;
+          then_path.push_back(PathStep{stmt.id, true});
+          CheckUses(stmt.then_body, then_path, in_epilogue);
+          ControlPath else_path = path;
+          else_path.push_back(PathStep{stmt.id, false});
+          CheckUses(stmt.else_body, else_path, in_epilogue);
+          break;
+        }
+      }
+      if (stmt.kind == StmtKind::kStoreScalar || stmt.kind == StmtKind::kStoreArray) {
+        const SymbolKind kind = k_.symbol(stmt.sym).kind;
+        const SymbolKind want = stmt.kind == StmtKind::kStoreArray
+                                    ? SymbolKind::kArray
+                                    : SymbolKind::kScalar;
+        if (kind != want) {
+          Problem("store target kind mismatch for " + k_.symbol(stmt.sym).name);
+        }
+      }
+    }
+  }
+
+  struct Def {
+    StmtId stmt;
+    ControlPath path;
+    bool in_epilogue;
+  };
+
+  const Kernel& k_;
+  std::vector<std::string> problems_;
+  std::map<TempId, std::vector<Def>> defs_;
+  std::set<StmtId> seen_stmt_ids_;
+};
+
+}  // namespace
+
+std::vector<std::string> ValidateKernel(const Kernel& kernel) {
+  return Validator(kernel).Run();
+}
+
+void CheckValid(const Kernel& kernel) {
+  const std::vector<std::string> problems = ValidateKernel(kernel);
+  if (problems.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "invalid kernel '" << kernel.name() << "':";
+  for (const std::string& p : problems) {
+    os << "\n  - " << p;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace fgpar::ir

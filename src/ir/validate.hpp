@@ -1,0 +1,31 @@
+// Kernel validator.
+//
+// The builder already rejects type errors at construction time; the
+// validator re-checks everything on the finished kernel so that compiler
+// passes that rewrite IR are also covered, and adds the structural rules
+// that only make sense on a complete kernel:
+//
+//  * loop bounds reference only constants and parameters;
+//  * plain (non-carried) temps are assigned by exactly one statement, and
+//    every use is dominated by that assignment (the definition's control
+//    path is a prefix of the use's control path and precedes it in program
+//    order);
+//  * carried temps are assigned at least once in the loop body;
+//  * expression and statement references are in range, statement ids are
+//    unique, and types are consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace fgpar::ir {
+
+/// Returns human-readable problems; empty means valid.
+std::vector<std::string> ValidateKernel(const Kernel& kernel);
+
+/// Throws fgpar::Error listing all problems if the kernel is invalid.
+void CheckValid(const Kernel& kernel);
+
+}  // namespace fgpar::ir

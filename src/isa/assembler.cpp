@@ -1,0 +1,137 @@
+#include "isa/assembler.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::isa {
+
+Assembler::Assembler() = default;
+
+Label Assembler::NewLabel() {
+  label_pcs_.push_back(-1);
+  return Label{static_cast<int>(label_pcs_.size()) - 1};
+}
+
+Label Assembler::NewNamedLabel(const std::string& name) {
+  FGPAR_CHECK_MSG(!named_labels_.contains(name), "duplicate label name: " + name);
+  Label label = NewLabel();
+  named_labels_[name] = label.id;
+  return label;
+}
+
+void Assembler::Bind(Label label) {
+  FGPAR_CHECK(label.id >= 0 && static_cast<std::size_t>(label.id) < label_pcs_.size());
+  FGPAR_CHECK_MSG(label_pcs_[static_cast<std::size_t>(label.id)] == -1,
+                  "label bound twice");
+  label_pcs_[static_cast<std::size_t>(label.id)] = Here();
+}
+
+void Assembler::Comment(std::string text) { pending_comment_ = std::move(text); }
+
+Instruction& Assembler::Emit(Instruction instr) {
+  FGPAR_CHECK_MSG(!finished_, "assembler already finished");
+  code_.push_back(instr);
+  comments_.push_back(std::move(pending_comment_));
+  pending_comment_.clear();
+  return code_.back();
+}
+
+void Assembler::EmitRRR(Opcode op, std::uint8_t dst, std::uint8_t s1, std::uint8_t s2) {
+  Emit(Instruction{.op = op, .dst = dst, .src1 = s1, .src2 = s2});
+}
+
+void Assembler::EmitQueue(Opcode op, int remote_core, std::uint8_t reg) {
+  FGPAR_CHECK_MSG(remote_core >= 0 && remote_core < 32767, "bad remote core id");
+  Instruction instr{.op = op, .queue = static_cast<std::int16_t>(remote_core)};
+  if (IsDequeue(op)) {
+    instr.dst = reg;
+  } else {
+    instr.src1 = reg;
+  }
+  Emit(instr);
+}
+
+void Assembler::LiI(Gpr dst, std::int64_t imm) {
+  Emit(Instruction{.op = Opcode::kLiI, .dst = dst.index, .imm = imm});
+}
+
+void Assembler::LiF(Fpr dst, double value) {
+  Emit(Instruction{.op = Opcode::kLiF, .dst = dst.index, .fimm = value});
+}
+
+void Assembler::LdI(Gpr dst, Gpr base, std::int64_t offset) {
+  Emit(Instruction{.op = Opcode::kLdI, .dst = dst.index, .src1 = base.index, .imm = offset});
+}
+
+void Assembler::StI(Gpr value, Gpr base, std::int64_t offset) {
+  Emit(Instruction{.op = Opcode::kStI, .dst = value.index, .src1 = base.index, .imm = offset});
+}
+
+void Assembler::LdF(Fpr dst, Gpr base, std::int64_t offset) {
+  Emit(Instruction{.op = Opcode::kLdF, .dst = dst.index, .src1 = base.index, .imm = offset});
+}
+
+void Assembler::StF(Fpr value, Gpr base, std::int64_t offset) {
+  Emit(Instruction{.op = Opcode::kStF, .dst = value.index, .src1 = base.index, .imm = offset});
+}
+
+void Assembler::Jmp(Label target) {
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit(Instruction{.op = Opcode::kJmp});
+}
+
+void Assembler::Bz(Gpr cond, Label target) {
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit(Instruction{.op = Opcode::kBz, .src1 = cond.index});
+}
+
+void Assembler::Bnz(Gpr cond, Label target) {
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit(Instruction{.op = Opcode::kBnz, .src1 = cond.index});
+}
+
+void Assembler::Call(Label target) {
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit(Instruction{.op = Opcode::kCall});
+}
+
+void Assembler::LiLabel(Gpr dst, Label target) {
+  fixups_.push_back(Fixup{code_.size(), target.id});
+  Emit(Instruction{.op = Opcode::kLiI, .dst = dst.index});
+}
+
+void Assembler::EnqI(int remote_core, Gpr value) {
+  EmitQueue(Opcode::kEnqI, remote_core, value.index);
+}
+
+void Assembler::DeqI(int remote_core, Gpr dst) {
+  EmitQueue(Opcode::kDeqI, remote_core, dst.index);
+}
+
+void Assembler::EnqF(int remote_core, Fpr value) {
+  EmitQueue(Opcode::kEnqF, remote_core, value.index);
+}
+
+void Assembler::DeqF(int remote_core, Fpr dst) {
+  EmitQueue(Opcode::kDeqF, remote_core, dst.index);
+}
+
+Program Assembler::Finish() {
+  FGPAR_CHECK_MSG(!finished_, "assembler already finished");
+  finished_ = true;
+  for (const Fixup& fixup : fixups_) {
+    FGPAR_CHECK(fixup.label_id >= 0 &&
+                static_cast<std::size_t>(fixup.label_id) < label_pcs_.size());
+    const std::int64_t target = label_pcs_[static_cast<std::size_t>(fixup.label_id)];
+    FGPAR_CHECK_MSG(target >= 0, "reference to unbound label");
+    code_[fixup.pc].imm = target;
+  }
+  std::map<std::string, std::int64_t> symbols;
+  for (const auto& [name, id] : named_labels_) {
+    const std::int64_t pc = label_pcs_[static_cast<std::size_t>(id)];
+    FGPAR_CHECK_MSG(pc >= 0, "named label never bound: " + name);
+    symbols[name] = pc;
+  }
+  return Program(std::move(code_), std::move(symbols), std::move(comments_));
+}
+
+}  // namespace fgpar::isa

@@ -1,0 +1,138 @@
+// Assembler: builds Programs with symbolic labels and forward references.
+//
+// Used directly by tests/benches for hand-written machine programs, and by
+// the compiler backend (src/compiler/lower.cpp) as its emission interface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace fgpar::isa {
+
+/// Opaque label handle.
+struct Label {
+  int id = -1;
+};
+
+/// Register operand wrappers so call sites read unambiguously.
+struct Gpr {
+  std::uint8_t index = 0;
+};
+struct Fpr {
+  std::uint8_t index = 0;
+};
+
+class Assembler {
+ public:
+  Assembler();
+
+  // ---- labels ----
+  Label NewLabel();
+  /// Creates a label that is also exported in the Program symbol table.
+  Label NewNamedLabel(const std::string& name);
+  /// Binds `label` to the current emission position.
+  void Bind(Label label);
+
+  /// Attaches a debug comment to the next emitted instruction.
+  void Comment(std::string text);
+
+  // ---- integer ALU ----
+  void AddI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kAddI, dst.index, a.index, b.index); }
+  void SubI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kSubI, dst.index, a.index, b.index); }
+  void MulI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kMulI, dst.index, a.index, b.index); }
+  void DivI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kDivI, dst.index, a.index, b.index); }
+  void RemI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kRemI, dst.index, a.index, b.index); }
+  void AndI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kAndI, dst.index, a.index, b.index); }
+  void OrI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kOrI, dst.index, a.index, b.index); }
+  void XorI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kXorI, dst.index, a.index, b.index); }
+  void ShlI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kShlI, dst.index, a.index, b.index); }
+  void ShrI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kShrI, dst.index, a.index, b.index); }
+  void MinI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kMinI, dst.index, a.index, b.index); }
+  void MaxI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kMaxI, dst.index, a.index, b.index); }
+  void LiI(Gpr dst, std::int64_t imm);
+  void MovI(Gpr dst, Gpr src) { EmitRRR(Opcode::kMovI, dst.index, src.index, 0); }
+  void CeqI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kCeqI, dst.index, a.index, b.index); }
+  void CneI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kCneI, dst.index, a.index, b.index); }
+  void CltI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kCltI, dst.index, a.index, b.index); }
+  void CleI(Gpr dst, Gpr a, Gpr b) { EmitRRR(Opcode::kCleI, dst.index, a.index, b.index); }
+
+  // ---- floating point ----
+  void AddF(Fpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kAddF, dst.index, a.index, b.index); }
+  void SubF(Fpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kSubF, dst.index, a.index, b.index); }
+  void MulF(Fpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kMulF, dst.index, a.index, b.index); }
+  void DivF(Fpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kDivF, dst.index, a.index, b.index); }
+  void NegF(Fpr dst, Fpr a) { EmitRRR(Opcode::kNegF, dst.index, a.index, 0); }
+  void AbsF(Fpr dst, Fpr a) { EmitRRR(Opcode::kAbsF, dst.index, a.index, 0); }
+  void SqrtF(Fpr dst, Fpr a) { EmitRRR(Opcode::kSqrtF, dst.index, a.index, 0); }
+  void MinF(Fpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kMinF, dst.index, a.index, b.index); }
+  void MaxF(Fpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kMaxF, dst.index, a.index, b.index); }
+  void FmaF(Fpr acc, Fpr a, Fpr b) { EmitRRR(Opcode::kFmaF, acc.index, a.index, b.index); }
+  void LiF(Fpr dst, double value);
+  void MovF(Fpr dst, Fpr src) { EmitRRR(Opcode::kMovF, dst.index, src.index, 0); }
+  void ItoF(Fpr dst, Gpr src) { EmitRRR(Opcode::kItoF, dst.index, src.index, 0); }
+  void FtoI(Gpr dst, Fpr src) { EmitRRR(Opcode::kFtoI, dst.index, src.index, 0); }
+  void CeqF(Gpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kCeqF, dst.index, a.index, b.index); }
+  void CltF(Gpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kCltF, dst.index, a.index, b.index); }
+  void CleF(Gpr dst, Fpr a, Fpr b) { EmitRRR(Opcode::kCleF, dst.index, a.index, b.index); }
+
+  // ---- memory ----
+  void LdI(Gpr dst, Gpr base, std::int64_t offset);
+  void LdIX(Gpr dst, Gpr base, Gpr index) { EmitRRR(Opcode::kLdIX, dst.index, base.index, index.index); }
+  void StI(Gpr value, Gpr base, std::int64_t offset);
+  void StIX(Gpr value, Gpr base, Gpr index) { EmitRRR(Opcode::kStIX, value.index, base.index, index.index); }
+  void LdF(Fpr dst, Gpr base, std::int64_t offset);
+  void LdFX(Fpr dst, Gpr base, Gpr index) { EmitRRR(Opcode::kLdFX, dst.index, base.index, index.index); }
+  void StF(Fpr value, Gpr base, std::int64_t offset);
+  void StFX(Fpr value, Gpr base, Gpr index) { EmitRRR(Opcode::kStFX, value.index, base.index, index.index); }
+
+  // ---- control ----
+  void Jmp(Label target);
+  void Bz(Gpr cond, Label target);
+  void Bnz(Gpr cond, Label target);
+  void Call(Label target);
+  void CallR(Gpr target) { EmitRRR(Opcode::kCallR, 0, target.index, 0); }
+  void Ret() { EmitRRR(Opcode::kRet, 0, 0, 0); }
+  void Halt() { EmitRRR(Opcode::kHalt, 0, 0, 0); }
+  void Nop() { EmitRRR(Opcode::kNop, 0, 0, 0); }
+
+  /// Loads the (eventual) pc of `target` into a register — used to pass
+  /// outlined-function "pointers" through queues (Section III-G).
+  void LiLabel(Gpr dst, Label target);
+
+  // ---- hardware queues ----
+  void EnqI(int remote_core, Gpr value);
+  void DeqI(int remote_core, Gpr dst);
+  void EnqF(int remote_core, Fpr value);
+  void DeqF(int remote_core, Fpr dst);
+
+  /// Current emission position (next instruction's pc).
+  std::int64_t Here() const { return static_cast<std::int64_t>(code_.size()); }
+
+  /// Resolves all labels and produces the final program.  Throws if any
+  /// referenced label was never bound.
+  Program Finish();
+
+ private:
+  struct Fixup {
+    std::size_t pc;
+    int label_id;
+  };
+
+  void EmitRRR(Opcode op, std::uint8_t dst, std::uint8_t s1, std::uint8_t s2);
+  void EmitQueue(Opcode op, int remote_core, std::uint8_t reg);
+  Instruction& Emit(Instruction instr);
+
+  std::vector<Instruction> code_;
+  std::vector<std::string> comments_;
+  std::string pending_comment_;
+  std::vector<std::int64_t> label_pcs_;  // -1 while unbound
+  std::map<std::string, int> named_labels_;
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+}  // namespace fgpar::isa

@@ -1,0 +1,16 @@
+// Disassembler for debugging compiled programs.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace fgpar::isa {
+
+/// Renders one instruction ("addf f3, f1, f2").
+std::string Disassemble(const Instruction& instr);
+
+/// Renders a whole program with pcs, symbols, and debug comments.
+std::string DisassembleProgram(const Program& program);
+
+}  // namespace fgpar::isa

@@ -1,0 +1,90 @@
+#include "isa/opcode.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::isa {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kAddI: return "addi";
+    case Opcode::kSubI: return "subi";
+    case Opcode::kMulI: return "muli";
+    case Opcode::kDivI: return "divi";
+    case Opcode::kRemI: return "remi";
+    case Opcode::kAndI: return "andi";
+    case Opcode::kOrI: return "ori";
+    case Opcode::kXorI: return "xori";
+    case Opcode::kShlI: return "shli";
+    case Opcode::kShrI: return "shri";
+    case Opcode::kMinI: return "mini";
+    case Opcode::kMaxI: return "maxi";
+    case Opcode::kLiI: return "lii";
+    case Opcode::kMovI: return "movi";
+    case Opcode::kCeqI: return "ceqi";
+    case Opcode::kCneI: return "cnei";
+    case Opcode::kCltI: return "clti";
+    case Opcode::kCleI: return "clei";
+    case Opcode::kAddF: return "addf";
+    case Opcode::kSubF: return "subf";
+    case Opcode::kMulF: return "mulf";
+    case Opcode::kDivF: return "divf";
+    case Opcode::kNegF: return "negf";
+    case Opcode::kAbsF: return "absf";
+    case Opcode::kSqrtF: return "sqrtf";
+    case Opcode::kMinF: return "minf";
+    case Opcode::kMaxF: return "maxf";
+    case Opcode::kFmaF: return "fmaf";
+    case Opcode::kLiF: return "lif";
+    case Opcode::kMovF: return "movf";
+    case Opcode::kItoF: return "itof";
+    case Opcode::kFtoI: return "ftoi";
+    case Opcode::kCeqF: return "ceqf";
+    case Opcode::kCltF: return "cltf";
+    case Opcode::kCleF: return "clef";
+    case Opcode::kLdI: return "ldi";
+    case Opcode::kLdIX: return "ldix";
+    case Opcode::kStI: return "sti";
+    case Opcode::kStIX: return "stix";
+    case Opcode::kLdF: return "ldf";
+    case Opcode::kLdFX: return "ldfx";
+    case Opcode::kStF: return "stf";
+    case Opcode::kStFX: return "stfx";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kBz: return "bz";
+    case Opcode::kBnz: return "bnz";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallR: return "callr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kNop: return "nop";
+    case Opcode::kEnqI: return "enqi";
+    case Opcode::kDeqI: return "deqi";
+    case Opcode::kEnqF: return "enqf";
+    case Opcode::kDeqF: return "deqf";
+  }
+  FGPAR_UNREACHABLE("bad opcode");
+}
+
+bool IsBranch(Opcode op) {
+  return op == Opcode::kJmp || op == Opcode::kBz || op == Opcode::kBnz;
+}
+
+bool IsLoad(Opcode op) {
+  return op == Opcode::kLdI || op == Opcode::kLdIX || op == Opcode::kLdF ||
+         op == Opcode::kLdFX;
+}
+
+bool IsStore(Opcode op) {
+  return op == Opcode::kStI || op == Opcode::kStIX || op == Opcode::kStF ||
+         op == Opcode::kStFX;
+}
+
+bool IsQueueOp(Opcode op) { return IsEnqueue(op) || IsDequeue(op); }
+
+bool IsEnqueue(Opcode op) { return op == Opcode::kEnqI || op == Opcode::kEnqF; }
+
+bool IsDequeue(Opcode op) { return op == Opcode::kDeqI || op == Opcode::kDeqF; }
+
+bool IsFpQueueOp(Opcode op) { return op == Opcode::kEnqF || op == Opcode::kDeqF; }
+
+}  // namespace fgpar::isa

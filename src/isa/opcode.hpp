@@ -1,0 +1,105 @@
+// Opcode definitions for the simulated machine.
+//
+// The instruction set is a small load/store RISC ISA modelled loosely on a
+// PowerPC A2-class in-order core, extended — exactly as Section II of the
+// paper describes — with `enq`/`deq` instructions that move register values
+// through dedicated core-to-core hardware queues.  There are separate queue
+// instructions for general-purpose (integer) and floating-point values,
+// mirroring the paper's separate GPR and FPR queues.
+//
+// Memory is word-addressed: one address names one 64-bit slot that holds
+// either an int64 or a double (the opcode determines the interpretation).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace fgpar::isa {
+
+enum class Opcode : std::uint8_t {
+  // ---- integer ALU (gpr x gpr -> gpr) ----
+  kAddI,
+  kSubI,
+  kMulI,
+  kDivI,  // traps (simulator Error) on divide-by-zero
+  kRemI,
+  kAndI,
+  kOrI,
+  kXorI,
+  kShlI,
+  kShrI,  // arithmetic shift right
+  kMinI,
+  kMaxI,
+  // ---- integer moves / immediates ----
+  kLiI,   // gpr[dst] = imm
+  kMovI,  // gpr[dst] = gpr[src1]
+  // ---- integer comparisons (gpr result: 0 or 1) ----
+  kCeqI,
+  kCneI,
+  kCltI,
+  kCleI,
+  // ---- floating-point ALU (fpr x fpr -> fpr) ----
+  kAddF,
+  kSubF,
+  kMulF,
+  kDivF,
+  kNegF,   // unary: fpr[dst] = -fpr[src1]
+  kAbsF,   // unary
+  kSqrtF,  // unary
+  kMinF,
+  kMaxF,
+  kFmaF,  // fpr[dst] = fpr[src1] * fpr[src2] + fpr[dst]
+  // ---- floating-point moves / immediates / conversions ----
+  kLiF,   // fpr[dst] = fimm
+  kMovF,  // fpr[dst] = fpr[src1]
+  kItoF,  // fpr[dst] = double(gpr[src1])
+  kFtoI,  // gpr[dst] = int64(trunc(fpr[src1]))
+  // ---- floating-point comparisons (gpr result: 0 or 1) ----
+  kCeqF,
+  kCltF,
+  kCleF,
+  // ---- memory (word-addressed 64-bit slots) ----
+  kLdI,   // gpr[dst] = mem[gpr[src1] + imm]
+  kLdIX,  // gpr[dst] = mem[gpr[src1] + gpr[src2]]
+  kStI,   // mem[gpr[src1] + imm] = gpr[dst]     (dst is the VALUE register)
+  kStIX,  // mem[gpr[src1] + gpr[src2]] = gpr[dst]
+  kLdF,   // fpr[dst] = mem[gpr[src1] + imm]
+  kLdFX,  // fpr[dst] = mem[gpr[src1] + gpr[src2]]
+  kStF,   // mem[gpr[src1] + imm] = fpr[dst]
+  kStFX,  // mem[gpr[src1] + gpr[src2]] = fpr[dst]
+  // ---- control flow ----
+  kJmp,    // pc = imm
+  kBz,     // if (gpr[src1] == 0) pc = imm
+  kBnz,    // if (gpr[src1] != 0) pc = imm
+  kCall,   // push pc+1; pc = imm
+  kCallR,  // push pc+1; pc = gpr[src1]   (used by the runtime driver)
+  kRet,    // pc = pop
+  kHalt,   // core stops
+  kNop,
+  // ---- hardware communication queues (Section II of the paper) ----
+  kEnqI,  // enqueue gpr[src1] to the int queue toward core `queue`
+  kDeqI,  // dequeue from the int queue from core `queue` into gpr[dst]
+  kEnqF,  // enqueue fpr[src1] to the fp queue toward core `queue`
+  kDeqF,  // dequeue from the fp queue from core `queue` into fpr[dst]
+};
+
+/// Number of opcodes (for table sizing).
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kDeqF) + 1;
+
+/// Mnemonic for disassembly ("addi", "enqf", ...).
+std::string_view OpcodeName(Opcode op);
+
+/// Classification helpers used by the simulator and the code generator.
+bool IsBranch(Opcode op);     // jmp/bz/bnz (not call/ret)
+bool IsLoad(Opcode op);       // ldi/ldix/ldf/ldfx
+bool IsStore(Opcode op);      // sti/stix/stf/stfx
+bool IsQueueOp(Opcode op);    // enq/deq (either class)
+bool IsEnqueue(Opcode op);    // enqi/enqf
+bool IsDequeue(Opcode op);    // deqi/deqf
+bool IsFpQueueOp(Opcode op);  // enqf/deqf
+
+/// Register-file sizes of the simulated core.
+inline constexpr int kNumGpr = 64;
+inline constexpr int kNumFpr = 64;
+
+}  // namespace fgpar::isa

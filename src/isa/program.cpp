@@ -1,0 +1,41 @@
+#include "isa/program.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::isa {
+
+Program::Program(std::vector<Instruction> code,
+                 std::map<std::string, std::int64_t> symbols,
+                 std::vector<std::string> comments)
+    : code_(std::move(code)),
+      symbols_(std::move(symbols)),
+      comments_(std::move(comments)) {
+  comments_.resize(code_.size());
+  for (const auto& [name, pc] : symbols_) {
+    FGPAR_CHECK_MSG(pc >= 0 && static_cast<std::size_t>(pc) <= code_.size(),
+                    "symbol '" + name + "' out of range");
+  }
+}
+
+const Instruction& Program::at(std::int64_t pc) const {
+  FGPAR_CHECK_MSG(pc >= 0 && static_cast<std::size_t>(pc) < code_.size(),
+                  "pc out of range: " + std::to_string(pc));
+  return code_[static_cast<std::size_t>(pc)];
+}
+
+std::int64_t Program::EntryOf(const std::string& symbol) const {
+  auto it = symbols_.find(symbol);
+  FGPAR_CHECK_MSG(it != symbols_.end(), "unknown program symbol: " + symbol);
+  return it->second;
+}
+
+bool Program::HasSymbol(const std::string& symbol) const {
+  return symbols_.contains(symbol);
+}
+
+const std::string& Program::CommentAt(std::int64_t pc) const {
+  FGPAR_CHECK(pc >= 0 && static_cast<std::size_t>(pc) < comments_.size());
+  return comments_[static_cast<std::size_t>(pc)];
+}
+
+}  // namespace fgpar::isa

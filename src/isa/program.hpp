@@ -1,0 +1,57 @@
+// Instruction and Program containers.
+//
+// A Program is a flat instruction vector with branch targets already
+// resolved to absolute pcs, plus a symbol table mapping label names (e.g.
+// outlined-function entry points like "F2") to pcs.  Programs are produced
+// by the Assembler (hand-written tests/benches) or by the compiler backend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hpp"
+
+namespace fgpar::isa {
+
+/// One decoded machine instruction.  Field meaning depends on the opcode;
+/// see the comments in opcode.hpp.  For stores, `dst` names the register
+/// holding the value to be stored.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t dst = 0;
+  std::uint8_t src1 = 0;
+  std::uint8_t src2 = 0;
+  std::int16_t queue = -1;   // remote core index for enq/deq
+  std::int64_t imm = 0;      // immediate / resolved branch target / offset
+  double fimm = 0.0;         // floating-point immediate (kLiF)
+};
+
+/// A complete program image for one or more cores.  All cores of a machine
+/// share one program image; each core starts at its own entry pc.
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Instruction> code, std::map<std::string, std::int64_t> symbols,
+          std::vector<std::string> comments);
+
+  const std::vector<Instruction>& code() const { return code_; }
+  std::size_t size() const { return code_.size(); }
+  const Instruction& at(std::int64_t pc) const;
+
+  /// Looks up a named entry point; throws if absent.
+  std::int64_t EntryOf(const std::string& symbol) const;
+  bool HasSymbol(const std::string& symbol) const;
+  const std::map<std::string, std::int64_t>& symbols() const { return symbols_; }
+
+  /// Per-pc debug comment (may be empty); aligned with code().
+  const std::string& CommentAt(std::int64_t pc) const;
+
+ private:
+  std::vector<Instruction> code_;
+  std::map<std::string, std::int64_t> symbols_;
+  std::vector<std::string> comments_;
+};
+
+}  // namespace fgpar::isa

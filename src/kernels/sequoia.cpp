@@ -1,0 +1,750 @@
+#include "kernels/sequoia.hpp"
+
+#include <bit>
+
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fgpar::kernels {
+namespace {
+
+std::vector<SequoiaKernel> BuildKernels() {
+  std::vector<SequoiaKernel> kernels;
+
+  // ---------------- lammps (pair_eam.cpp / neigh_half_bin.cpp) ----------------
+
+  kernels.push_back(SequoiaKernel{
+      "lammps-1", "lammps", "pair_eam.cpp, PairEAM::compute, line 182", 30.0,
+      R"(# EAM density accumulation: gathered neighbor distance + cubic-spline
+# interpolation, conditionally accumulated into the per-atom density.
+kernel lammps_1 {
+  param i64 n;
+  param f64 rdr;
+  param f64 cutsq;
+  array i64 jlist[1024];
+  array f64 xt[1024];
+  array f64 yt[1024];
+  array f64 zt[1024];
+  array f64 rs0[1024];
+  array f64 rs1[1024];
+  array f64 rs2[1024];
+  array f64 rs3[1024];
+  scalar f64 rho_out;
+  carried f64 rho = 0.0;
+  loop i = 0 .. n {
+    i64 j = jlist[i];
+    f64 dx = xt[j];
+    f64 dy = yt[j];
+    f64 dz = zt[j];
+    f64 rsq = dx*dx + dy*dy + dz*dz;
+    f64 p = sqrt(rsq) * rdr;
+    i64 m = i64(p);
+    f64 t = p - f64(m);
+    @speculate if (rsq < cutsq) {
+      f64 dens = ((rs3[m]*t + rs2[m])*t + rs1[m])*t + rs0[m];
+      rho = rho + dens;
+    }
+  }
+  after {
+    rho_out = rho;
+  }
+}
+)",
+      {{"rdr", 1.5}, {"cutsq", 11.0}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "lammps-2", "lammps", "pair_eam.cpp, PairEAM::compute, line 214", 0.3,
+      R"(# Embedding-energy derivative: per-atom spline lookup, no reduction.
+kernel lammps_2 {
+  param i64 n;
+  param f64 rdrho;
+  array f64 rho[1024];
+  array f64 d0[1024];
+  array f64 d1[1024];
+  array f64 d2[1024];
+  array f64 d3[1024];
+  array f64 fp[1024];
+  loop i = 0 .. n {
+    f64 p = rho[i] * rdrho;
+    i64 m = i64(p);
+    f64 t = p - f64(m);
+    @speculate if (t < 0.5) {
+      f64 hi = ((d3[m]*t + d2[m])*t + d1[m])*t + d0[m];
+      fp[i] = hi;
+    } else {
+      f64 lo = (d3[m] - d2[m]*t)*t + d0[m]*1.5 - d1[m];
+      fp[i] = lo;
+    }
+  }
+}
+)",
+      {{"rdrho", 1.8}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "lammps-3", "lammps", "pair_eam.cpp, PairEAM::compute, line 247", 49.5,
+      R"(# EAM pair-force loop: two spline interpolations, reciprocal chain,
+# per-neighbor force stores plus the carried force accumulation.
+kernel lammps_3 {
+  param i64 n;
+  param f64 rdr;
+  array i64 jlist[1024];
+  array f64 xt[1024];
+  array f64 yt[1024];
+  array f64 zt[1024];
+  array f64 za0[1024];
+  array f64 za1[1024];
+  array f64 za2[1024];
+  array f64 za3[1024];
+  array f64 rb1[1024];
+  array f64 rb2[1024];
+  array f64 rb3[1024];
+  array f64 fjx[1024];
+  array f64 fjy[1024];
+  array f64 fjz[1024];
+  scalar f64 fx_out;
+  scalar f64 fy_out;
+  scalar f64 fz_out;
+  carried f64 fx = 0.0;
+  carried f64 fy = 0.0;
+  carried f64 fz = 0.0;
+  loop i = 0 .. n {
+    i64 j = jlist[i];
+    f64 dx = xt[j];
+    f64 dy = yt[j];
+    f64 dz = zt[j];
+    f64 rsq = dx*dx + dy*dy + dz*dz;
+    f64 r = sqrt(rsq);
+    f64 p = r * rdr;
+    i64 m = i64(p);
+    f64 t = p - f64(m);
+    f64 rhoip = (rb3[m]*t + rb2[m])*t + rb1[m];
+    f64 z2 = ((za3[m]*t + za2[m])*t + za1[m])*t + za0[m];
+    f64 z2p = (za3[m]*t*3.0 + za2[m]*2.0)*t + za1[m];
+    f64 recip = 1.0 / r;
+    f64 phi = z2 * recip;
+    f64 phip = z2p * recip - phi * recip;
+    f64 psip = rhoip + rhoip*phip + phi;
+    f64 fpair = -psip * recip;
+    fjx[i] = dx * fpair;
+    fjy[i] = dy * fpair;
+    fjz[i] = dz * fpair;
+    fx = fx + dx * fpair;
+    fy = fy + dy * fpair;
+    fz = fz + dz * fpair;
+  }
+  after {
+    fx_out = fx;
+    fy_out = fy;
+    fz_out = fz;
+  }
+}
+)",
+      {{"rdr", 1.5}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "lammps-4", "lammps", "neigh_half_bin.cpp, Neighbor::half_bin_newton, 172",
+      3.6,
+      R"(# Neighbor-list build: distance filter with a carried append counter.
+# The appends serialize on one core; the distance math spreads out.
+kernel lammps_4 {
+  param i64 n;
+  param f64 cutsq;
+  array i64 jlist[1024];
+  array f64 xt[1024];
+  array f64 yt[1024];
+  array f64 zt[1024];
+  array f64 rsqs[1024];
+  array i64 neigh[1024];
+  scalar i64 count_out;
+  carried i64 cnt = 0;
+  loop i = 0 .. n {
+    i64 j = jlist[i];
+    f64 dx = xt[j];
+    f64 dy = yt[j];
+    f64 dz = zt[j];
+    f64 rsq = dx*dx + dy*dy + dz*dz;
+    @speculate if (rsq < cutsq) {
+      f64 diag = rsq * 0.5 + dx*dy*dz;
+      rsqs[i] = diag;
+      neigh[cnt] = j;
+      cnt = cnt + 1;
+    } else {
+      f64 rej = rsq * 0.25;
+      rsqs[i] = rej;
+    }
+  }
+  after {
+    count_out = cnt;
+  }
+}
+)",
+      {{"cutsq", 6.0}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "lammps-5", "lammps", "neigh_half_bin.cpp, Neighbor::half_bin_newton, 199",
+      3.6,
+      R"(# Neighbor-list build variant with extra per-pair weighting work that
+# is independent of the append chain.
+kernel lammps_5 {
+  param i64 n;
+  param f64 cutsq;
+  param f64 skin;
+  array i64 jlist[1024];
+  array f64 xt[1024];
+  array f64 yt[1024];
+  array f64 zt[1024];
+  array f64 wts[1024];
+  array f64 excl[1024];
+  array i64 neigh[1024];
+  scalar i64 count_out;
+  carried i64 cnt = 0;
+  loop i = 0 .. n {
+    i64 j = jlist[i];
+    f64 dx = xt[j];
+    f64 dy = yt[j];
+    f64 dz = zt[j];
+    f64 rsq = dx*dx + dy*dy + dz*dz;
+    f64 r = sqrt(rsq);
+    @speculate if (rsq + f64(cnt) * 0.0001 < cutsq) {
+      f64 w = excl[j] / (r + skin) + r * 0.25;
+      wts[i] = w * w - excl[i];
+      neigh[cnt] = j;
+      cnt = cnt + 1;
+    } else {
+      f64 wf = excl[j] * 0.5 + r;
+      wts[i] = wf;
+    }
+  }
+  after {
+    count_out = cnt;
+  }
+}
+)",
+      {{"cutsq", 6.0}, {"skin", 0.3}},
+      400});
+
+  // ---------------- irs (rmatmult3.c / MatrixSolve.c / DiffCoeff.c) -----------
+
+  kernels.push_back(SequoiaKernel{
+      "irs-1", "irs", "rmatmult3.c, rmatmult3, line 75", 55.6,
+      R"(# Wide multi-point stencil matrix multiply: 15 coefficient planes, all
+# terms independent — the most fiber-rich, least-dependent kernel.
+kernel irs_1 {
+  param i64 n;
+  array f64 x[1024];
+  array f64 dbl[1024];
+  array f64 dbc[1024];
+  array f64 dbr[1024];
+  array f64 dcl[1024];
+  array f64 dcc[1024];
+  array f64 dcr[1024];
+  array f64 dfl[1024];
+  array f64 dfc[1024];
+  array f64 dfr[1024];
+  array f64 cbl[1024];
+  array f64 cbc[1024];
+  array f64 cbr[1024];
+  array f64 ccl[1024];
+  array f64 ccc[1024];
+  array f64 ccr[1024];
+  array f64 b[1024];
+  loop i = 16 .. n {
+    b[i] = dbl[i]*x[i-12] + dbc[i]*x[i-11] + dbr[i]*x[i-10]
+         + dcl[i]*x[i-1]  + dcc[i]*x[i]    + dcr[i]*x[i+1]
+         + dfl[i]*x[i+10] + dfc[i]*x[i+11] + dfr[i]*x[i+12]
+         + cbl[i]*x[i-6]  + cbc[i]*x[i-5]  + cbr[i]*x[i-4]
+         + ccl[i]*x[i+4]  + ccc[i]*x[i+5]  + ccr[i]*x[i+6];
+  }
+}
+)",
+      {},
+      480});
+
+  kernels.push_back(SequoiaKernel{
+      "irs-2", "irs", "MatrixSolve.c, MatrixSolveCG, line 287", 5.1,
+      R"(# CG update step: two AXPYs plus the residual dot product (the stored
+# residual forwards straight into the reduction).
+kernel irs_2 {
+  param i64 n;
+  param f64 alpha;
+  array f64 xv[1024];
+  array f64 rv[1024];
+  array f64 pv[1024];
+  array f64 qv[1024];
+  scalar f64 rdot_out;
+  carried f64 rdot = 0.0;
+  loop i = 0 .. n {
+    xv[i] = xv[i] + alpha * pv[i];
+    rv[i] = rv[i] - alpha * qv[i];
+    rdot = rdot + rv[i] * rv[i];
+  }
+  after {
+    rdot_out = rdot;
+  }
+}
+)",
+      {{"alpha", 0.37}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "irs-3", "irs", "MatrixSolve.c, MatrixSolveCG, line 250", 2.5,
+      R"(# CG dot product with an independent vector update alongside it.
+kernel irs_3 {
+  param i64 n;
+  param f64 beta;
+  array f64 pv[1024];
+  array f64 qv[1024];
+  array f64 sv[1024];
+  scalar f64 dot_out;
+  carried f64 dot = 0.0;
+  loop i = 0 .. n {
+    dot = dot + pv[i] * qv[i];
+    sv[i] = pv[i] * beta + qv[i];
+  }
+  after {
+    dot_out = dot;
+  }
+}
+)",
+      {{"beta", 0.81}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "irs-4", "irs", "DiffCoeff.c, DiffCoeff_3D, line 191", 0.6,
+      R"(# Diffusion-coefficient geometry: left/right face areas and volumes
+# combined through a harmonic mean — dense dataflow between temps.
+kernel irs_4 {
+  param i64 n;
+  array f64 xc[1024];
+  array f64 yc[1024];
+  array f64 zc[1024];
+  array f64 df[1024];
+  loop i = 2 .. n {
+    f64 dxl = xc[i] - xc[i-1];
+    f64 dyl = yc[i] - yc[i-1];
+    f64 dzl = zc[i] - zc[i-1];
+    f64 dxr = xc[i+1] - xc[i];
+    f64 dyr = yc[i+1] - yc[i];
+    f64 dzr = zc[i+1] - zc[i];
+    f64 al = dyl*dzl + dzl*dxl + dxl*dyl;
+    f64 ar = dyr*dzr + dzr*dxr + dxr*dyr;
+    f64 vl = abs(dxl*dyl*dzl) + 0.01;
+    f64 vr = abs(dxr*dyr*dzr) + 0.01;
+    f64 kl = al / vl;
+    f64 kr = ar / vr;
+    @speculate if (kl * kr > 0.0) {
+      f64 dharm = 2.0*kl*kr / (abs(kl + kr) + 0.0001);
+      df[i] = dharm;
+    } else {
+      f64 dmean = (kl + kr) * 0.5;
+      df[i] = dmean;
+    }
+  }
+}
+)",
+      {},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "irs-5", "irs", "DiffCoeff.c, DiffCoeff_3D, line 317", 1.5,
+      R"(# Full 3D face-coefficient computation: cross products over two edge
+# vectors, normalization, and four coupled outputs — the largest kernel.
+kernel irs_5 {
+  param i64 n;
+  array f64 xc[1024];
+  array f64 yc[1024];
+  array f64 zc[1024];
+  array f64 sig[1024];
+  array f64 dfx[1024];
+  array f64 dfy[1024];
+  array f64 dfz[1024];
+  array f64 dfm[1024];
+  loop i = 2 .. n {
+    f64 ex = xc[i+1] - xc[i-1];
+    f64 ey = yc[i+1] - yc[i-1];
+    f64 ez = zc[i+1] - zc[i-1];
+    f64 gx = xc[i+2] - xc[i-2];
+    f64 gy = yc[i+2] - yc[i-2];
+    f64 gz = zc[i+2] - zc[i-2];
+    f64 axx = ey*gz - ez*gy;
+    f64 ayy = ez*gx - ex*gz;
+    f64 azz = ex*gy - ey*gx;
+    f64 anorm = sqrt(axx*axx + ayy*ayy + azz*azz) + 0.01;
+    f64 sface = (sig[i] + sig[i+1]) * 0.5;
+    f64 scale = sface / anorm;
+    dfx[i] = scale * axx + ey*ez;
+    dfy[i] = scale * ayy + ez*ex;
+    dfz[i] = scale * azz + ex*ey;
+    dfm[i] = sface * anorm + axx*ayy*azz;
+  }
+}
+)",
+      {},
+      400});
+
+  // ---------------- umt2k (snswp3d.f90) ----------------
+
+  kernels.push_back(SequoiaKernel{
+      "umt2k-1", "umt2k", "snswp3d.f90, snswp3d, line 96", 5.5,
+      R"(# Angular-flux face terms: a handful of independent multiplies.
+kernel umt2k_1 {
+  param i64 n;
+  param f64 mu;
+  param f64 eta;
+  array f64 a1[1024];
+  array f64 a2[1024];
+  array f64 a3[1024];
+  array f64 a4[1024];
+  array f64 psi[1024];
+  array f64 psib[1024];
+  array f64 psifp[1024];
+  loop i = 0 .. n {
+    f64 afp = a1[i]*mu + a2[i]*eta;
+    f64 aez = a3[i]*mu - a4[i]*eta;
+    psifp[i] = afp * psi[i] + aez * psib[i];
+  }
+}
+)",
+      {{"mu", 1.2}, {"eta", 0.8}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "umt2k-2", "umt2k", "snswp3d.f90, snswp3d, line 117", 8.0,
+      R"(# Upwind/downwind area sums: the loop body is only reductions inside a
+# conditional — the pathological load-balance case of Table III.
+kernel umt2k_2 {
+  param i64 n;
+  param f64 mu;
+  param f64 eta;
+  array f64 a1[1024];
+  array f64 a2[1024];
+  array f64 area[1024];
+  array f64 aflux[1024];
+  scalar f64 sumin_out;
+  scalar f64 sumout_out;
+  carried f64 sumin = 0.0;
+  carried f64 sumout = 0.0;
+  loop i = 0 .. n {
+    f64 afp = a1[i]*mu - a2[i]*eta;
+    # Renormalized upwind test: the threshold tracks the accumulated
+    # inflow, putting the condition on the carried chain.
+    @speculate if (afp < sumin * 0.0002) {
+      f64 cin = afp * area[i];
+      sumin = sumin - cin;
+    } else {
+      f64 cout = afp * aflux[i];
+      sumout = sumout + cout;
+    }
+  }
+  after {
+    sumin_out = sumin;
+    sumout_out = sumout;
+  }
+}
+)",
+      {{"mu", 1.2}, {"eta", 0.8}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "umt2k-3", "umt2k", "snswp3d.f90, snswp3d, line 145", 5.2,
+      R"(# Conditional source reductions with slightly more arithmetic per arm.
+kernel umt2k_3 {
+  param i64 n;
+  param f64 mu;
+  param f64 eta;
+  param f64 wt;
+  array f64 a1[1024];
+  array f64 a2[1024];
+  array f64 sigv[1024];
+  array f64 qsrc[1024];
+  scalar f64 phi_out;
+  scalar f64 cur_out;
+  carried f64 phi = 0.0;
+  carried f64 cur = 0.0;
+  loop i = 0 .. n {
+    f64 adotn = a1[i]*mu - a2[i]*eta;
+    @speculate if (adotn * 8.0 < phi * 0.001) {
+      f64 inc = qsrc[i] * wt / (sigv[i] + 0.5);
+      phi = phi + inc;
+      cur = cur - adotn * inc;
+    } else {
+      f64 outc = sigv[i] * wt * 0.5;
+      cur = cur + adotn * outc;
+    }
+  }
+  after {
+    phi_out = phi;
+    cur_out = cur;
+  }
+}
+)",
+      {{"mu", 1.2}, {"eta", 0.8}, {"wt", 0.9}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "umt2k-4", "umt2k", "snswp3d.f90, snswp3d, line 158", 22.6,
+      R"(# The central corner-flux expression: numerator and denominator built
+# from three face terms, then a division and the outgoing difference.
+kernel umt2k_4 {
+  param i64 n;
+  param f64 mu;
+  param f64 eta;
+  param f64 xi;
+  array f64 a1[1024];
+  array f64 a2[1024];
+  array f64 a3[1024];
+  array f64 a4[1024];
+  array f64 a5[1024];
+  array f64 a6[1024];
+  array f64 vol[1024];
+  array f64 q[1024];
+  array f64 sigt[1024];
+  array f64 psifp[1024];
+  array f64 psiez[1024];
+  array f64 psinb[1024];
+  array f64 psic[1024];
+  array f64 psdiff[1024];
+  loop i = 0 .. n {
+    f64 v = vol[i];
+    f64 afp = a1[i]*mu + a2[i]*eta;
+    f64 aez = a3[i]*mu + a4[i]*xi;
+    f64 anb = a5[i]*eta + a6[i]*xi;
+    f64 den = sigt[i]*v + abs(afp) + abs(aez) + abs(anb) + 0.5;
+    @speculate if (afp < 1.0) {
+      f64 numu = q[i]*v + afp*psifp[i]*1.5 + aez*psiez[i] + anb*psinb[i];
+      psic[i] = numu / den;
+    } else {
+      f64 numd = q[i]*v + aez*psiez[i] + anb*psinb[i] - afp*0.5;
+      psic[i] = numd / den;
+    }
+    psdiff[i] = 2.0*den - psifp[i];
+  }
+}
+)",
+      {{"mu", 1.2}, {"eta", 0.8}, {"xi", 0.6}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "umt2k-5", "umt2k", "snswp3d.f90, snswp3d, line 178", 1.0,
+      R"(# Small coupled pair of outputs sharing intermediate face terms.
+kernel umt2k_5 {
+  param i64 n;
+  param f64 mu;
+  param f64 eta;
+  array f64 a1[1024];
+  array f64 a2[1024];
+  array f64 o1[1024];
+  array f64 o2[1024];
+  loop i = 0 .. n {
+    f64 t1 = a1[i] * mu;
+    f64 t2 = a2[i] * eta;
+    f64 s = t1 + t2;
+    f64 d = t1 - t2;
+    o1[i] = s*d + t1*t2;
+    o2[i] = s / (abs(d) + 0.1) + d*d;
+  }
+}
+)",
+      {{"mu", 1.2}, {"eta", 0.8}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "umt2k-6", "umt2k", "snswp3d.f90, snswp3d, line 208", 5.7,
+      R"(# The one kernel the paper reports as a slowdown: a chain of dependent
+# conditionals over a carried flux, with tiny blocks between them and a
+# per-iteration consumer on another core.
+kernel umt2k_6 {
+  param i64 n;
+  array f64 sig[1024];
+  array f64 w[1024];
+  array f64 th1[1024];
+  array f64 th2[1024];
+  array f64 inc1[1024];
+  array f64 inc2[1024];
+  array f64 aux[1024];
+  array f64 fluxo[1024];
+  scalar f64 flux_out;
+  carried f64 flux = 1.0;
+  loop i = 0 .. n {
+    f64 s1 = sig[i] * flux;
+    if (s1 < th1[i]) {
+      flux = flux + inc1[i];
+    }
+    f64 s2 = flux * w[i];
+    if (s2 < th2[i] * 2.0) {
+      flux = flux - inc2[i];
+    }
+    aux[i] = s1 * 2.0 - w[i];
+    fluxo[i] = s2;
+  }
+  after {
+    flux_out = flux;
+  }
+}
+)",
+      {},
+      400});
+
+  // ---------------- sphot (execute.f) ----------------
+
+  kernels.push_back(SequoiaKernel{
+      "sphot-1", "sphot", "execute.f, execute, line 88", 0.6,
+      R"(# Cross-section preparation: two short dependent chains combined.
+kernel sphot_1 {
+  param i64 n;
+  param f64 c1;
+  param f64 c2;
+  array f64 e1[1024];
+  array f64 e2[1024];
+  array f64 o[1024];
+  loop i = 0 .. n {
+    f64 d1 = e1[i] * c1;
+    f64 d2 = e2[i] * c2;
+    @speculate if (d1 < d2) {
+      f64 oa = d1/(d2 + 1.0) + sqrt(d2);
+      o[i] = oa;
+    } else {
+      f64 ob = d2/(d1 + 1.0) + d1*d1;
+      o[i] = ob;
+    }
+  }
+}
+)",
+      {{"c1", 1.1}, {"c2", 0.9}},
+      400});
+
+  kernels.push_back(SequoiaKernel{
+      "sphot-2", "sphot", "execute.f, execute, line 300", 37.5,
+      R"(# Monte Carlo tracking step for one particle history: energy and weight
+# are carried state, the collision-vs-boundary test reads them (distance
+# to collision scales with energy), and both outcome computations are
+# pure and side-effect-free — the Figure 10 speculation pattern.
+kernel sphot_2 {
+  param i64 n;
+  array i64 cells[1024];
+  array f64 sa[1024];
+  array f64 ss[1024];
+  array f64 rho1[1024];
+  array f64 rho2[1024];
+  array f64 rand1[1024];
+  array f64 rand2[1024];
+  array f64 dist[1024];
+  array f64 xpos[1024];
+  array f64 dirx[1024];
+  array f64 eout[1024];
+  array f64 wout[1024];
+  scalar f64 en_out;
+  scalar f64 absorbed_out;
+  carried f64 en = 1.0;
+  carried f64 wgt = 1.0;
+  carried f64 absorbed = 0.0;
+  loop i = 0 .. n {
+    i64 cell = cells[i];
+    f64 sigabs = sa[cell] * rho1[i];
+    f64 sigsct = ss[cell] * rho2[i];
+    f64 sigtot = sigabs + sigsct;
+    f64 dcol = rand1[i] / sigtot;
+    f64 dbnd = dist[i];
+    @speculate if (dcol * en < dbnd) {
+      f64 colfac = 1.0 - sigabs / (sigtot + 0.5);
+      f64 wfac = 0.999 - rand2[i] * 0.0001;
+      en = en * colfac;
+      wgt = wgt * wfac;
+    } else {
+      f64 bndfac = 0.995 + rand2[i] * 0.001;
+      f64 xfac = (xpos[i] + dbnd * dirx[i]) * 0.0001 + 0.9995;
+      en = en * bndfac;
+      wgt = wgt * xfac;
+    }
+    eout[i] = en;
+    wout[i] = wgt;
+    absorbed = absorbed + sigabs * rand2[i] * 0.01;
+  }
+  after {
+    en_out = en;
+    absorbed_out = absorbed;
+  }
+}
+)",
+      {},
+      400});
+
+  return kernels;
+}
+
+}  // namespace
+
+const std::vector<SequoiaKernel>& SequoiaKernels() {
+  static const std::vector<SequoiaKernel> kernels = BuildKernels();
+  return kernels;
+}
+
+const SequoiaKernel& SequoiaKernelById(const std::string& id) {
+  for (const SequoiaKernel& kernel : SequoiaKernels()) {
+    if (kernel.id == id) {
+      return kernel;
+    }
+  }
+  throw Error("unknown Sequoia kernel id: " + id);
+}
+
+ir::Kernel ParseSequoia(const SequoiaKernel& kernel) {
+  return frontend::ParseKernel(kernel.source);
+}
+
+harness::WorkloadInit SequoiaInit(const SequoiaKernel& kernel, std::uint64_t seed) {
+  const std::map<std::string, double> f64_params = kernel.f64_params;
+  const std::int64_t trip = kernel.trip;
+  return [f64_params, trip, seed](const ir::Kernel& k, const ir::DataLayout& layout,
+                                  ir::ParamEnv& params,
+                                  std::vector<std::uint64_t>& memory) {
+    Rng rng(seed);
+    for (const ir::Symbol& sym : k.symbols()) {
+      switch (sym.kind) {
+        case ir::SymbolKind::kParam:
+          if (sym.type == ir::ScalarType::kI64) {
+            params.SetI64(sym.id, trip);
+          } else {
+            const auto it = f64_params.find(sym.name);
+            params.SetF64(sym.id, it != f64_params.end()
+                                      ? it->second
+                                      : rng.NextDouble(0.5, 2.0));
+          }
+          break;
+        case ir::SymbolKind::kArray: {
+          const std::uint64_t base = layout.AddressOf(sym.id);
+          for (std::int64_t i = 0; i < sym.array_size; ++i) {
+            if (sym.type == ir::ScalarType::kF64) {
+              memory[base + static_cast<std::uint64_t>(i)] =
+                  std::bit_cast<std::uint64_t>(rng.NextDouble(0.5, 2.0));
+            } else {
+              memory[base + static_cast<std::uint64_t>(i)] =
+                  static_cast<std::uint64_t>(rng.NextInt(0, sym.array_size - 1));
+            }
+          }
+          break;
+        }
+        case ir::SymbolKind::kScalar:
+          break;  // outputs start at zero
+      }
+    }
+  };
+}
+
+const std::vector<SequoiaApplication>& SequoiaApplications() {
+  static const std::vector<SequoiaApplication> apps = {
+      {"lammps", {"lammps-1", "lammps-2", "lammps-3", "lammps-4", "lammps-5"}},
+      {"irs", {"irs-1", "irs-2", "irs-3", "irs-4", "irs-5"}},
+      {"umt2k",
+       {"umt2k-1", "umt2k-2", "umt2k-3", "umt2k-4", "umt2k-5", "umt2k-6"}},
+      {"sphot", {"sphot-1", "sphot-2"}},
+  };
+  return apps;
+}
+
+}  // namespace fgpar::kernels

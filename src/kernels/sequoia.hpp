@@ -1,0 +1,76 @@
+// Reconstructions of the paper's 18 evaluation kernels (Table I).
+//
+// The paper extracted 18 hot innermost loops from the Sequoia tier-1
+// benchmarks (lammps, irs, umt2k, sphot) into standalone kernel programs.
+// Those sources are not available here, so each kernel below is a synthetic
+// reconstruction written in the kernel language, modelled on the named loop
+// (file/function/line from Table I) and on the structural data of Table III
+// (fiber counts, dependence density, load balance, conditional content):
+//
+//  * lammps-1..3  — EAM pair potential: cubic-spline interpolation over
+//                   gathered neighbor coordinates, force/density
+//                   accumulation (pair_eam.cpp, PairEAM::compute);
+//  * lammps-4..5  — half-bin neighbor-list construction: distance filter
+//                   with a carried append counter (neigh_half_bin.cpp);
+//  * irs-1        — rmatmult3: wide multi-point stencil matrix multiply,
+//                   the most independent of all kernels;
+//  * irs-2..3     — conjugate-gradient vector updates and dot products
+//                   (MatrixSolve.c, MatrixSolveCG);
+//  * irs-4..5     — 3D diffusion-coefficient geometry (DiffCoeff.c);
+//  * umt2k-1..6   — discrete-ordinates sweep (snswp3d): angular flux
+//                   terms, conditional upwind reductions (umt2k-2/3: the
+//                   pathological load-balance cases), the central psic
+//                   expression, and the dependent-conditional chain that
+//                   the paper reports as the one slowdown (umt2k-6);
+//  * sphot-1..2   — Monte Carlo photon transport: cross-section lookups
+//                   and the collision-vs-boundary branch (the Figure 10
+//                   speculation pattern).
+//
+// The `pct_time` column reproduces Table I verbatim and feeds the Table II
+// whole-application projection.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "ir/kernel.hpp"
+
+namespace fgpar::kernels {
+
+struct SequoiaKernel {
+  std::string id;           // e.g. "lammps-1"
+  std::string application;  // "lammps", "irs", "umt2k", "sphot"
+  std::string location;     // Table I: file, function, line
+  double pct_time = 0.0;    // Table I: % of application runtime
+  std::string source;       // kernel-language text
+  /// Fixed values for named f64 params (others are seeded randomly).
+  std::map<std::string, double> f64_params;
+  std::int64_t trip = 400;  // value of the i64 parameter "n"
+};
+
+/// All 18 kernels, in Table I order.
+const std::vector<SequoiaKernel>& SequoiaKernels();
+
+/// Looks up one kernel by id; throws if unknown.
+const SequoiaKernel& SequoiaKernelById(const std::string& id);
+
+/// Parses the kernel source.
+ir::Kernel ParseSequoia(const SequoiaKernel& kernel);
+
+/// Builds the standard workload initializer for a kernel: f64 arrays get
+/// deterministic values in [0.5, 2), i64 arrays get in-range indices, the
+/// i64 parameter "n" gets `trip`, and f64 params come from `f64_params`
+/// (or a seeded random value in [0.5, 2)).
+harness::WorkloadInit SequoiaInit(const SequoiaKernel& kernel,
+                                  std::uint64_t seed = 0x5EED);
+
+/// Table I applications in order, with their kernels' ids.
+struct SequoiaApplication {
+  std::string name;
+  std::vector<std::string> kernel_ids;
+};
+const std::vector<SequoiaApplication>& SequoiaApplications();
+
+}  // namespace fgpar::kernels

@@ -1,0 +1,191 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+
+#include <limits>
+#include <sstream>
+
+namespace fgpar::sim {
+
+namespace {
+int PhysicalCoreCount(const MachineConfig& config) {
+  FGPAR_CHECK(config.threads_per_core >= 1);
+  return (config.num_cores + config.threads_per_core - 1) / config.threads_per_core;
+}
+}  // namespace
+
+Machine::Machine(MachineConfig config, isa::Program program)
+    : config_(config),
+      program_(std::move(program)),
+      memory_(config.cache, PhysicalCoreCount(config), config.memory_words),
+      queues_(config.num_cores, config.queue) {
+  FGPAR_CHECK(config_.num_cores >= 1);
+  cores_.reserve(static_cast<std::size_t>(config_.num_cores));
+  for (int c = 0; c < config_.num_cores; ++c) {
+    cores_.emplace_back(c, config_, c / config_.threads_per_core);
+  }
+}
+
+Core& Machine::core(int index) {
+  FGPAR_CHECK(index >= 0 && index < config_.num_cores);
+  return cores_[static_cast<std::size_t>(index)];
+}
+
+const Core& Machine::core(int index) const {
+  FGPAR_CHECK(index >= 0 && index < config_.num_cores);
+  return cores_[static_cast<std::size_t>(index)];
+}
+
+void Machine::StartCoreAt(int core_index, const std::string& entry) {
+  StartCoreAtPc(core_index, program_.EntryOf(entry));
+}
+
+void Machine::StartCoreAtPc(int core_index, std::int64_t pc) {
+  core(core_index).Start(pc);
+}
+
+RunResult Machine::Run() {
+  constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
+  RunResult result;
+  bool core0_recorded = false;
+  std::uint64_t last_issue_cycle = now_;
+
+  auto all_done = [&] {
+    for (const Core& c : cores_) {
+      if (c.started() && !c.halted()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<StepOutcome> outcomes(cores_.size(), StepOutcome::kIdle);
+  while (!all_done()) {
+    FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
+
+    bool issued_any = false;
+    std::fill(outcomes.begin(), outcomes.end(), StepOutcome::kIdle);
+    const int tpc = config_.threads_per_core;
+    const int physical = (config_.num_cores + tpc - 1) / tpc;
+    for (int p = 0; p < physical; ++p) {
+      // SMT arbitration: the hardware threads of one physical core share a
+      // single issue slot per cycle, round-robin priority.
+      const int base = p * tpc;
+      const int count = std::min(tpc, config_.num_cores - base);
+      const int start = static_cast<int>(now_ % static_cast<std::uint64_t>(count));
+      bool slot_taken = false;
+      for (int k = 0; k < count && !slot_taken; ++k) {
+        const std::size_t c = static_cast<std::size_t>(base + (start + k) % count);
+        const std::int64_t pc_before = cores_[c].pc();
+        outcomes[c] = cores_[c].Step(now_, program_, memory_, queues_);
+        switch (outcomes[c]) {
+          case StepOutcome::kIssued:
+            issued_any = true;
+            slot_taken = true;
+            if (trace_) {
+              trace_(TraceEvent{now_, static_cast<int>(c), pc_before,
+                                program_.at(pc_before).op});
+            }
+            break;
+          case StepOutcome::kStallDeqEmpty:
+            ++cores_[c].mutable_stats().stall_queue_empty;
+            break;
+          case StepOutcome::kStallEnqFull:
+            ++cores_[c].mutable_stats().stall_queue_full;
+            break;
+          default:
+            break;
+        }
+        if (cores_[c].halted() && c == 0 && !core0_recorded) {
+          core0_recorded = true;
+          result.core0_halt_cycle = now_;
+        }
+      }
+    }
+
+    if (issued_any) {
+      last_issue_cycle = now_;
+      ++now_;
+      continue;
+    }
+    FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
+                    "no core issued for no_progress_limit cycles");
+
+    // No core issued: fast-forward to the next event.
+    std::uint64_t next_event = kNoEvent;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      const Core& core = cores_[c];
+      if (!core.started() || core.halted()) {
+        continue;
+      }
+      if (core.next_issue_cycle() > now_) {
+        next_event = std::min(next_event, core.next_issue_cycle());
+        continue;
+      }
+      int remote = -1;
+      bool is_fp = false;
+      if (core.stalled_on_deq(remote, is_fp)) {
+        const HardwareQueue& q = is_fp ? queues_.FpQueue(remote, core.id())
+                                       : queues_.IntQueue(remote, core.id());
+        // If a value is in flight, its arrival is the next event for this
+        // core.  CanDequeue(now) was false, so any head arrives strictly
+        // later; we conservatively advance one cycle at a time only when a
+        // value is in flight but not yet visible.
+        if (!q.empty()) {
+          next_event = std::min(next_event, now_ + 1);
+        }
+      }
+      // Cores stalled on a full queue (or an empty queue with nothing in
+      // flight) depend on another core's progress; they contribute no event
+      // of their own.
+    }
+
+    if (next_event == kNoEvent) {
+      throw DeadlockError(DescribeDeadlock());
+    }
+    // Account the skipped cycles as queue-stall time where applicable.
+    const std::uint64_t skipped = next_event - now_;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      if (outcomes[c] == StepOutcome::kStallDeqEmpty) {
+        cores_[c].mutable_stats().stall_queue_empty += skipped;
+      } else if (outcomes[c] == StepOutcome::kStallEnqFull) {
+        cores_[c].mutable_stats().stall_queue_full += skipped;
+      }
+    }
+    now_ = next_event;
+  }
+
+  result.cycles = now_;
+  if (!core0_recorded) {
+    result.core0_halt_cycle = now_;
+  }
+  for (const Core& c : cores_) {
+    result.instructions += c.stats().instructions;
+  }
+  return result;
+}
+
+std::string Machine::DescribeDeadlock() const {
+  std::ostringstream os;
+  os << "hardware queue deadlock at cycle " << now_ << ":\n";
+  for (const Core& c : cores_) {
+    os << "  " << c.Describe(program_) << '\n';
+  }
+  os << "queue occupancy:\n";
+  for (int src = 0; src < config_.num_cores; ++src) {
+    for (int dst = 0; dst < config_.num_cores; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      const HardwareQueue& qi = queues_.IntQueue(src, dst);
+      const HardwareQueue& qf = queues_.FpQueue(src, dst);
+      if (qi.size() > 0 || qf.size() > 0) {
+        os << "  " << src << "->" << dst << ": int=" << qi.size()
+           << " fp=" << qf.size() << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace fgpar::sim

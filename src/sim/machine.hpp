@@ -1,0 +1,85 @@
+// The whole simulated machine: N cores, shared memory, queue matrix.
+//
+// The machine steps all cores in lockstep cycles.  When no core can issue
+// in a cycle, time fast-forwards to the next event (pipeline free or queue
+// arrival); if no future event exists the machine is provably deadlocked
+// and a DeadlockError describing every core is thrown — this catches
+// compiler bugs that break the paper's "senders and receivers are always
+// paired at runtime" requirement immediately instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+#include "sim/memory.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::sim {
+
+/// Thrown when all active cores are permanently blocked on queues.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(std::string message) : Error(std::move(message)) {}
+};
+
+struct RunResult {
+  std::uint64_t cycles = 0;            // cycle at which the last core halted
+  std::uint64_t core0_halt_cycle = 0;  // cycle at which core 0 halted
+  std::uint64_t instructions = 0;      // total across cores
+};
+
+/// One instruction-issue event for tracing (see Machine::SetTrace).
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  int core = -1;
+  std::int64_t pc = 0;
+  isa::Opcode op = isa::Opcode::kNop;
+};
+
+using TraceSink = std::function<void(const TraceEvent&)>;
+
+class Machine {
+ public:
+  Machine(MachineConfig config, isa::Program program);
+
+  /// Arms `core` to begin at program symbol `entry` when Run is called.
+  void StartCoreAt(int core, const std::string& entry);
+  void StartCoreAtPc(int core, std::int64_t pc);
+
+  /// Runs until every started core halts.  Throws DeadlockError on queue
+  /// deadlock and Error if config limits are exceeded.
+  RunResult Run();
+
+  /// Installs a per-issue trace callback (pass nullptr to disable).  The
+  /// sink sees every instruction issue in deterministic (cycle, core)
+  /// order; it may stop the trace cheaply by ignoring events.
+  void SetTrace(TraceSink sink) { trace_ = std::move(sink); }
+
+  std::uint64_t now() const { return now_; }
+  int num_cores() const { return config_.num_cores; }
+  Core& core(int index);
+  const Core& core(int index) const;
+  MemorySystem& memory() { return memory_; }
+  const MemorySystem& memory() const { return memory_; }
+  QueueMatrix& queues() { return queues_; }
+  const QueueMatrix& queues() const { return queues_; }
+  const isa::Program& program() const { return program_; }
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  std::string DescribeDeadlock() const;
+
+  MachineConfig config_;
+  isa::Program program_;
+  MemorySystem memory_;
+  QueueMatrix queues_;
+  std::vector<Core> cores_;
+  std::uint64_t now_ = 0;
+  TraceSink trace_;
+};
+
+}  // namespace fgpar::sim

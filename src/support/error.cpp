@@ -1,0 +1,17 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace fgpar::detail {
+
+void ThrowCheckFailure(const char* file, int line, const char* expr,
+                       const std::string& message) {
+  std::ostringstream os;
+  os << "FGPAR_CHECK failed at " << file << ':' << line << ": " << expr;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace fgpar::detail

@@ -1,0 +1,47 @@
+// Error handling primitives shared by every fgpar module.
+//
+// The library reports unrecoverable internal inconsistencies through
+// fgpar::Error (derived from std::runtime_error) so that callers — tests,
+// benches, the harness — can catch and report them uniformly.  FGPAR_CHECK
+// is used for invariant checks that must hold in release builds too; it is
+// not compiled out.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fgpar {
+
+/// Exception type for all fgpar-internal failures (bad IR, compiler
+/// invariant violations, simulator misuse, parse errors carry a subclass).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+[[noreturn]] void ThrowCheckFailure(const char* file, int line, const char* expr,
+                                    const std::string& message);
+}  // namespace detail
+
+}  // namespace fgpar
+
+/// Always-on invariant check.  Throws fgpar::Error on failure.
+#define FGPAR_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::fgpar::detail::ThrowCheckFailure(__FILE__, __LINE__, #expr, ""); \
+    }                                                                    \
+  } while (false)
+
+/// Invariant check with a formatted context message.
+#define FGPAR_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::fgpar::detail::ThrowCheckFailure(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                       \
+  } while (false)
+
+/// Marks unreachable code paths.
+#define FGPAR_UNREACHABLE(msg)                                                 \
+  ::fgpar::detail::ThrowCheckFailure(__FILE__, __LINE__, "unreachable", (msg))

@@ -1,0 +1,75 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace fgpar {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double GeoMean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    FGPAR_CHECK_MSG(v > 0.0, "GeoMean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double Min(std::span<const double> values) {
+  FGPAR_CHECK(!values.empty());
+  double m = values[0];
+  for (double v : values) {
+    m = std::min(m, v);
+  }
+  return m;
+}
+
+double Max(std::span<const double> values) {
+  FGPAR_CHECK(!values.empty());
+  double m = values[0];
+  for (double v : values) {
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double RunningStats::min() const {
+  FGPAR_CHECK(count_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  FGPAR_CHECK(count_ > 0);
+  return max_;
+}
+
+}  // namespace fgpar

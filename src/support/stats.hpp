@@ -1,0 +1,38 @@
+// Small statistics helpers used by the harness and benches when
+// aggregating per-kernel results into the averages the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fgpar {
+
+/// Arithmetic mean; returns 0 for an empty range.
+double Mean(std::span<const double> values);
+
+/// Geometric mean; all values must be positive.  Returns 0 for empty input.
+double GeoMean(std::span<const double> values);
+
+/// Minimum / maximum; input must be non-empty.
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// Online accumulator for count/mean/min/max.
+class RunningStats {
+ public:
+  void Add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fgpar

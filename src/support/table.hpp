@@ -1,0 +1,35 @@
+// Plain-text table rendering used by the bench harness to print the
+// paper's tables and figure data series in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fgpar {
+
+/// Column-aligned text table.  Columns are sized to their widest cell.
+/// Numeric cells should be pre-formatted by the caller (see str.hpp).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the table, including a title line if non-empty.
+  std::string Render(const std::string& title = "") const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fgpar

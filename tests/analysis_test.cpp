@@ -1,0 +1,290 @@
+// Unit tests for src/analysis: control paths, affine subscript analysis,
+// the kernel index, the cost model, and profile feedback.
+#include <gtest/gtest.h>
+
+#include "analysis/affine.hpp"
+#include "analysis/control.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/index.hpp"
+#include "analysis/profile.hpp"
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+#include "ir/builder.hpp"
+
+namespace fgpar::analysis {
+namespace {
+
+// ---- control paths ----
+
+TEST(Control, PrefixRelation) {
+  const ControlPath empty;
+  const ControlPath a = {{1, true}};
+  const ControlPath ab = {{1, true}, {5, false}};
+  EXPECT_TRUE(IsPrefix(empty, a));
+  EXPECT_TRUE(IsPrefix(a, ab));
+  EXPECT_TRUE(IsPrefix(ab, ab));
+  EXPECT_FALSE(IsPrefix(ab, a));
+  const ControlPath other = {{1, false}};
+  EXPECT_FALSE(IsPrefix(other, ab));
+}
+
+TEST(Control, MutualExclusion) {
+  const ControlPath then_path = {{1, true}};
+  const ControlPath else_path = {{1, false}};
+  const ControlPath nested_then = {{1, true}, {5, true}};
+  const ControlPath nested_else = {{1, true}, {5, false}};
+  EXPECT_TRUE(MutuallyExclusive(then_path, else_path));
+  EXPECT_TRUE(MutuallyExclusive(nested_then, nested_else));
+  EXPECT_TRUE(MutuallyExclusive(else_path, nested_then));
+  EXPECT_FALSE(MutuallyExclusive(then_path, nested_then));
+  EXPECT_FALSE(MutuallyExclusive({}, then_path));
+}
+
+TEST(Control, CommonPrefix) {
+  const ControlPath a = {{1, true}, {5, false}, {9, true}};
+  const ControlPath b = {{1, true}, {5, false}, {12, true}};
+  const ControlPath common = CommonPrefix(a, b);
+  ASSERT_EQ(common.size(), 2u);
+  EXPECT_EQ(common[1].if_stmt, 5);
+}
+
+// ---- affine subscripts ----
+
+struct IndexFixture {
+  ir::KernelBuilder kb{"idx"};
+  ir::Val p = kb.ParamI64("p");
+  ir::Val q = kb.ParamI64("q");
+  ir::ArrayHandle data = kb.ArrayI64("data", 64);
+
+  IndexFixture() { kb.StartLoop("i", kb.ConstI(0), kb.ConstI(8)); }
+  LinearIndex Analyze(ir::Val v) {
+    return AnalyzeIndex(kb.kernel_under_construction(), v.id());
+  }
+};
+
+TEST(Affine, RecognizesBasicForms) {
+  IndexFixture f;
+  const LinearIndex iv = f.Analyze(f.kb.Iv());
+  EXPECT_TRUE(iv.affine);
+  EXPECT_EQ(iv.coeff, 1);
+  EXPECT_EQ(iv.offset, 0);
+
+  const LinearIndex shifted = f.Analyze(f.kb.Iv() + f.kb.ConstI(3));
+  EXPECT_EQ(shifted.coeff, 1);
+  EXPECT_EQ(shifted.offset, 3);
+
+  const LinearIndex scaled =
+      f.Analyze(f.kb.ConstI(3) * f.kb.Iv() - f.kb.ConstI(2));
+  EXPECT_EQ(scaled.coeff, 3);
+  EXPECT_EQ(scaled.offset, -2);
+
+  const LinearIndex negated = f.Analyze(-f.kb.Iv());
+  EXPECT_EQ(negated.coeff, -1);
+}
+
+TEST(Affine, ParamsBecomeResidues) {
+  IndexFixture f;
+  const LinearIndex a = f.Analyze(f.kb.Iv() + f.p);
+  const LinearIndex b = f.Analyze(f.kb.Iv() + f.p);
+  const LinearIndex c = f.Analyze(f.kb.Iv() + f.q);
+  EXPECT_TRUE(a.affine);
+  EXPECT_NE(a.residue, 0u);
+  EXPECT_EQ(a.residue, b.residue);  // same structure, same fingerprint
+  EXPECT_NE(a.residue, c.residue);  // different param
+  // p + i and i + p fingerprint identically (commutative combine).
+  const LinearIndex d = f.Analyze(f.p + f.kb.Iv());
+  EXPECT_EQ(a.residue, d.residue);
+  EXPECT_EQ(a.coeff, d.coeff);
+}
+
+TEST(Affine, SubtractionCancelsIdenticalResidues) {
+  IndexFixture f;
+  const LinearIndex v = f.Analyze(f.kb.Iv() + f.p - f.p);
+  EXPECT_TRUE(v.affine);
+  EXPECT_EQ(v.residue, 0u);
+  EXPECT_EQ(v.coeff, 1);
+}
+
+TEST(Affine, GathersAreNotAffine) {
+  IndexFixture f;
+  const LinearIndex v = f.Analyze(f.kb.Load(f.data, f.kb.Iv()));
+  EXPECT_FALSE(v.affine);
+}
+
+TEST(Affine, CompareSameCoefficient) {
+  IndexFixture f;
+  const LinearIndex i = f.Analyze(f.kb.Iv());
+  const LinearIndex i1 = f.Analyze(f.kb.Iv() + f.kb.ConstI(1));
+  const LinearIndex i2 = f.Analyze(f.kb.Iv() * f.kb.ConstI(2));
+  const LinearIndex i21 = f.Analyze(f.kb.Iv() * f.kb.ConstI(2) + f.kb.ConstI(1));
+
+  EXPECT_EQ(CompareIndices(i, i), Overlap::kSameIterOnly);
+  EXPECT_EQ(CompareIndices(i, i1), Overlap::kMayConflict);  // distance 1
+  EXPECT_EQ(CompareIndices(i2, i21), Overlap::kNever);      // parity differs
+  EXPECT_TRUE(SameAddressSameIteration(i, i));
+  EXPECT_FALSE(SameAddressSameIteration(i, i1));
+}
+
+TEST(Affine, CompareConstantsAndMixed) {
+  IndexFixture f;
+  const LinearIndex c3 = f.Analyze(f.kb.ConstI(3));
+  const LinearIndex c4 = f.Analyze(f.kb.ConstI(4));
+  const LinearIndex i = f.Analyze(f.kb.Iv());
+  EXPECT_EQ(CompareIndices(c3, c4), Overlap::kNever);
+  EXPECT_EQ(CompareIndices(c3, c3), Overlap::kMayConflict);  // every iteration
+  EXPECT_EQ(CompareIndices(c3, i), Overlap::kMayConflict);   // differing coeff
+}
+
+TEST(Affine, DifferentResiduesConservative) {
+  IndexFixture f;
+  const LinearIndex a = f.Analyze(f.kb.Iv() + f.p);
+  const LinearIndex b = f.Analyze(f.kb.Iv() + f.q);
+  EXPECT_EQ(CompareIndices(a, b), Overlap::kMayConflict);
+}
+
+// ---- kernel index ----
+
+TEST(Index, RecordsPathsDefsUsesAndAccesses) {
+  ir::Kernel k = frontend::ParseKernel(R"(
+kernel idx {
+  array f64 a[16];
+  array f64 o[16];
+  loop i = 0 .. 16 {
+    f64 t = a[i] * 2.0;
+    if (t < 1.0) {
+      o[i] = t;
+    }
+  }
+}
+)");
+  const KernelIndex index(k);
+  ASSERT_EQ(index.entries().size(), 3u);  // assign, if, store
+
+  const StmtEntry& assign = index.entries()[0];
+  EXPECT_EQ(assign.temp_written, 0);
+  ASSERT_EQ(assign.accesses.size(), 1u);
+  EXPECT_FALSE(assign.accesses[0].is_write);
+  EXPECT_TRUE(assign.accesses[0].index.affine);
+
+  const StmtEntry& if_entry = index.entries()[1];
+  EXPECT_TRUE(if_entry.is_if);
+  ASSERT_EQ(if_entry.temps_read.size(), 1u);
+
+  const StmtEntry& store = index.entries()[2];
+  EXPECT_EQ(store.path.size(), 1u);
+  EXPECT_TRUE(store.path[0].then_branch);
+  ASSERT_EQ(store.accesses.size(), 1u);
+  EXPECT_TRUE(store.accesses[0].is_write);
+
+  EXPECT_EQ(index.DefsOf(0).size(), 1u);
+  EXPECT_EQ(index.UsesOf(0).size(), 2u);  // the if condition and the store
+  EXPECT_TRUE(index.HasStmt(store.id));
+  EXPECT_THROW(index.ByStmtId(999), fgpar::Error);
+}
+
+TEST(Index, EpilogueEntriesFlagged) {
+  ir::Kernel k = frontend::ParseKernel(R"(
+kernel ep {
+  scalar f64 out;
+  carried f64 s = 0.0;
+  loop i = 0 .. 4 {
+    s = s + 1.0;
+  }
+  after {
+    out = s;
+  }
+}
+)");
+  const KernelIndex index(k);
+  ASSERT_EQ(index.entries().size(), 2u);
+  EXPECT_FALSE(index.entries()[0].in_epilogue);
+  EXPECT_TRUE(index.entries()[1].in_epilogue);
+}
+
+// ---- cost model ----
+
+TEST(Cost, OrdersOperationsSensibly) {
+  ir::KernelBuilder kb("cost");
+  ir::ArrayHandle a = kb.ArrayF64("a", 8);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(8));
+  ir::Val load = kb.Load(a, kb.Iv());
+  ir::Val mul = load * load;
+  ir::Val div = load / load;
+  ir::Val root = kb.Sqrt(load);
+  ir::Kernel k = kb.Finish();
+
+  const CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const double c_mul = cost.ExprCost(k, mul.id());
+  const double c_div = cost.ExprCost(k, div.id());
+  const double c_sqrt = cost.ExprCost(k, root.id());
+  EXPECT_LT(c_mul, c_div);
+  EXPECT_LT(c_mul, c_sqrt);
+  // Loads are costed at L1 latency without a profile.
+  sim::CacheConfig cache;
+  EXPECT_DOUBLE_EQ(cost.LoadCost(0), static_cast<double>(cache.l1_latency));
+}
+
+TEST(Cost, ProfileOverridesLoadLatency) {
+  ir::KernelBuilder kb("prof");
+  ir::ArrayHandle a = kb.ArrayF64("a", 8);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(8));
+  ir::Val load = kb.Load(a, kb.Iv());
+  ir::Kernel k = kb.Finish();
+  (void)load;
+
+  ProfileData profile;
+  profile.SetLatency(0, 123.0, 100);
+  const CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, &profile);
+  EXPECT_DOUBLE_EQ(cost.LoadCost(0), 123.0);
+}
+
+// ---- profile collection ----
+
+TEST(Profile, CollectsPerSymbolLatencies) {
+  ir::Kernel k = frontend::ParseKernel(R"(
+kernel prof {
+  array f64 hot[8];
+  array f64 cold[512];
+  array f64 o[512];
+  loop i = 0 .. 512 {
+    o[i] = hot[i - (i / 8) * 8] + cold[i];
+  }
+}
+)");
+  ir::DataLayout layout(k);
+  ir::ParamEnv params(k);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  sim::CacheConfig cache;
+  const ProfileData profile = ProfileData::Collect(k, layout, params, memory, cache);
+
+  // Both arrays were accessed 512 times...
+  EXPECT_EQ(profile.AccessCount(0), 512u);
+  EXPECT_EQ(profile.AccessCount(1), 512u);
+  EXPECT_EQ(profile.AccessCount(3), 0u);  // "o" is symbol 2; 3 doesn't exist...
+  // ...but the 8-element hot array lives in cache while the 512-element
+  // streaming array keeps missing.
+  const double hot_latency = profile.LoadLatency(0, 0.0);
+  const double cold_latency = profile.LoadLatency(1, 0.0);
+  EXPECT_LT(hot_latency, cold_latency);
+  EXPECT_DOUBLE_EQ(profile.LoadLatency(99, 42.0), 42.0);  // fallback
+}
+
+TEST(Profile, CollectionDoesNotMutateMemory) {
+  ir::Kernel k = frontend::ParseKernel(R"(
+kernel pure {
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = 1.0;
+  }
+}
+)");
+  ir::DataLayout layout(k);
+  ir::ParamEnv params(k);
+  std::vector<std::uint64_t> memory(layout.end(), 7);
+  const std::vector<std::uint64_t> before = memory;
+  ProfileData::Collect(k, layout, params, memory, sim::CacheConfig{});
+  EXPECT_EQ(memory, before);
+}
+
+}  // namespace
+}  // namespace fgpar::analysis

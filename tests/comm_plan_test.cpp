@@ -1,0 +1,313 @@
+// Unit tests for the communication planner, per-core plan builder, and the
+// static pairing checker (Sections III-D through III-G).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "analysis/index.hpp"
+#include "compiler/check.hpp"
+#include "compiler/comm.hpp"
+#include "compiler/partition.hpp"
+#include "compiler/plan.hpp"
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+struct Pipeline {
+  ir::Kernel kernel;
+  PartitionResult partition;
+  std::unique_ptr<analysis::KernelIndex> index;
+  CommPlan comm;
+
+  explicit Pipeline(const char* source, int cores)
+      : kernel(frontend::ParseKernel(source)),
+        partition([&] {
+          CompileOptions options;
+          options.num_cores = cores;
+          return PartitionKernel(kernel, options, nullptr);
+        }()) {
+    index = std::make_unique<analysis::KernelIndex>(partition.kernel);
+    comm = BuildCommPlan(*index, partition);
+  }
+};
+
+constexpr const char* kTwoChains = R"(
+kernel chains {
+  param i64 n;
+  param f64 c;
+  array f64 a[32];
+  array f64 o1[32];
+  array f64 o2[32];
+  scalar f64 out;
+  carried f64 sum = 0.0;
+  loop i = 0 .. n {
+    f64 t1 = a[i] * c + 1.0;
+    f64 t2 = t1 * t1 - a[i];
+    o1[i] = t2;
+    o2[i] = sqrt(abs(t1)) * 2.0;
+    sum = sum + t1;
+  }
+  after {
+    out = sum;
+  }
+}
+)";
+
+TEST(Comm, TransfersHaveValidEndpoints) {
+  Pipeline p(kTwoChains, 4);
+  const int cores = static_cast<int>(p.partition.partitions.size());
+  for (const Transfer& t : p.comm.transfers) {
+    EXPECT_GE(t.src_core, 0);
+    EXPECT_LT(t.src_core, cores);
+    EXPECT_GE(t.dst_core, 0);
+    EXPECT_LT(t.dst_core, cores);
+    EXPECT_NE(t.src_core, t.dst_core);
+    // Producer statement really is owned by the source core.
+    EXPECT_EQ(p.partition.core_of.at(t.producer_stmt), t.src_core);
+  }
+}
+
+TEST(Comm, AtMostOneTransferPerTempAndDestination) {
+  Pipeline p(kTwoChains, 4);
+  std::set<std::pair<ir::TempId, int>> seen;
+  for (const Transfer& t : p.comm.transfers) {
+    EXPECT_TRUE(seen.insert({t.temp, t.dst_core}).second)
+        << "duplicate transfer of temp " << t.temp << " to core " << t.dst_core;
+  }
+}
+
+TEST(Comm, CarriedTempsNeverTransferPerIteration) {
+  Pipeline p(kTwoChains, 4);
+  for (const Transfer& t : p.comm.transfers) {
+    EXPECT_FALSE(p.partition.kernel.temp(t.temp).carried)
+        << "carried temp crossed cores per-iteration";
+  }
+}
+
+TEST(Comm, LiveOutForEpilogueConsumedTemp) {
+  Pipeline p(kTwoChains, 4);
+  // "sum" is read by the epilogue; if its defs landed off the primary, a
+  // live-out must exist; either way the epilogue's input is reachable.
+  const auto& defs = p.index->DefsOf(/*sum=*/0);
+  ASSERT_FALSE(defs.empty());
+  const int def_core = p.partition.core_of.at(defs.front());
+  bool has_live_out = false;
+  for (const LiveOut& lo : p.comm.live_outs) {
+    has_live_out |= lo.temp == 0 && lo.src_core == def_core;
+  }
+  EXPECT_EQ(has_live_out, def_core != 0);
+}
+
+TEST(Comm, SecondaryArgsCoverLoopBounds) {
+  Pipeline p(kTwoChains, 4);
+  // Every secondary core needs "n" (the loop bound param, symbol 0).
+  for (int c = 1; c < static_cast<int>(p.partition.partitions.size()); ++c) {
+    const auto it = p.comm.args.find(c);
+    ASSERT_NE(it, p.comm.args.end());
+    EXPECT_TRUE(std::find(it->second.begin(), it->second.end(), 0) !=
+                it->second.end());
+    // Ascending symbol-id order (the queue-FIFO contract with the primary).
+    EXPECT_TRUE(std::is_sorted(it->second.begin(), it->second.end()));
+  }
+}
+
+TEST(Comm, ReplicatedIfsCoverOwnedGuardedStmts) {
+  Pipeline p(R"(
+kernel guarded {
+  param i64 n;
+  array f64 a[32];
+  array f64 o[32];
+  array f64 q[32];
+  loop i = 0 .. n {
+    f64 v = a[i] * 2.0;
+    f64 w = a[i] + 3.0;
+    if (v < 1.5) {
+      o[i] = v + w;
+      q[i] = v - w;
+    }
+  }
+}
+)",
+             3);
+  for (const auto& [stmt_id, core] : p.partition.core_of) {
+    const analysis::StmtEntry& entry = p.index->ByStmtId(stmt_id);
+    for (const analysis::PathStep& step : entry.path) {
+      const auto& replicated = p.comm.replicated_ifs.at(core);
+      EXPECT_TRUE(std::find(replicated.begin(), replicated.end(), step.if_stmt) !=
+                  replicated.end())
+          << "core " << core << " owns s" << stmt_id
+          << " but does not replicate if s" << step.if_stmt;
+    }
+  }
+}
+
+// ---- plan construction ----
+
+int CountItems(const std::vector<PlanItem>& items, PlanItem::Kind kind) {
+  int count = 0;
+  for (const PlanItem& item : items) {
+    count += item.kind == kind ? 1 : 0;
+    if (item.kind == PlanItem::Kind::kIf) {
+      count += CountItems(item.then_items, kind);
+      count += CountItems(item.else_items, kind);
+    }
+  }
+  return count;
+}
+
+TEST(Plan, EveryTransferAppearsExactlyOncePerSide) {
+  Pipeline p(kTwoChains, 4);
+  ProgramPlan plan = BuildProgramPlan(*p.index, p.partition, p.comm);
+  int enqs = 0;
+  int deqs = 0;
+  for (const CorePlan& core : plan.cores) {
+    enqs += CountItems(core.body, PlanItem::Kind::kEnq);
+    deqs += CountItems(core.body, PlanItem::Kind::kDeq);
+  }
+  EXPECT_EQ(enqs, static_cast<int>(plan.comm.transfers.size()));
+  EXPECT_EQ(deqs, static_cast<int>(plan.comm.transfers.size()));
+}
+
+TEST(Plan, OwnedStatementsAllPlaced) {
+  Pipeline p(kTwoChains, 4);
+  ProgramPlan plan = BuildProgramPlan(*p.index, p.partition, p.comm);
+  int stmts = 0;
+  for (const CorePlan& core : plan.cores) {
+    stmts += CountItems(core.body, PlanItem::Kind::kStmt);
+  }
+  EXPECT_EQ(stmts, static_cast<int>(p.partition.core_of.size()));
+}
+
+TEST(Plan, PairingCheckAcceptsBuiltPlans) {
+  for (int cores : {2, 3, 4}) {
+    Pipeline p(kTwoChains, cores);
+    ProgramPlan plan = BuildProgramPlan(*p.index, p.partition, p.comm);
+    EXPECT_NO_THROW(CheckCommunicationPairing(p.partition.kernel, plan));
+  }
+}
+
+// ---- the checker itself ----
+
+TEST(Check, DetectsMissingDequeue) {
+  Pipeline p(kTwoChains, 2);
+  ProgramPlan plan = BuildProgramPlan(*p.index, p.partition, p.comm);
+  // Remove one dequeue item somewhere.
+  bool removed = false;
+  for (CorePlan& core : plan.cores) {
+    for (std::size_t i = 0; i < core.body.size(); ++i) {
+      if (core.body[i].kind == PlanItem::Kind::kDeq) {
+        core.body.erase(core.body.begin() + static_cast<std::ptrdiff_t>(i));
+        removed = true;
+        break;
+      }
+    }
+    if (removed) {
+      break;
+    }
+  }
+  ASSERT_TRUE(removed);
+  EXPECT_THROW(CheckCommunicationPairing(p.partition.kernel, plan), Error);
+}
+
+TEST(Check, DetectsReorderedDequeues) {
+  // Hand-built plan: core 0 enqueues transfers 0 then 1 to core 1 on the
+  // same (source, class) queue; core 1 dequeues them in the wrong order.
+  ir::Kernel kernel = frontend::ParseKernel(R"(
+kernel tiny {
+  array f64 o[4];
+  loop i = 0 .. 4 {
+    o[i] = 1.0;
+  }
+}
+)");
+  ProgramPlan plan;
+  Transfer t0;
+  t0.id = 0;
+  t0.temp = 0;
+  t0.type = ir::ScalarType::kF64;
+  t0.src_core = 0;
+  t0.dst_core = 1;
+  Transfer t1 = t0;
+  t1.id = 1;
+  t1.temp = 1;
+  plan.comm.transfers = {t0, t1};
+
+  CorePlan sender;
+  sender.core = 0;
+  PlanItem enq0;
+  enq0.kind = PlanItem::Kind::kEnq;
+  enq0.transfer = 0;
+  PlanItem enq1 = enq0;
+  enq1.transfer = 1;
+  sender.body = {enq0, enq1};
+
+  CorePlan receiver;
+  receiver.core = 1;
+  PlanItem deq0;
+  deq0.kind = PlanItem::Kind::kDeq;
+  deq0.transfer = 0;
+  PlanItem deq1 = deq0;
+  deq1.transfer = 1;
+  receiver.body = {deq1, deq0};  // wrong order
+
+  plan.cores = {sender, receiver};
+  EXPECT_THROW(CheckCommunicationPairing(kernel, plan), Error);
+
+  // The corrected order passes.
+  plan.cores[1].body = {deq0, deq1};
+  EXPECT_NO_THROW(CheckCommunicationPairing(kernel, plan));
+}
+
+TEST(Check, DetectsEnqueueUnderWrongBranch) {
+  Pipeline p(R"(
+kernel wrongbranch {
+  param i64 n;
+  array f64 a[32];
+  array f64 o1[32];
+  array f64 o2[32];
+  loop i = 0 .. n {
+    f64 v = a[i] * 2.0;
+    f64 w = sqrt(abs(v)) + a[i];
+    if (v < 1.5) {
+      o1[i] = w * 2.0;
+    } else {
+      o2[i] = w * 3.0;
+    }
+  }
+}
+)",
+             2);
+  ProgramPlan plan = BuildProgramPlan(*p.index, p.partition, p.comm);
+  // Move a top-level enqueue into an if's then-branch: pairing must break
+  // (the matching dequeue still executes on both paths).
+  for (CorePlan& core : plan.cores) {
+    std::size_t enq_pos = core.body.size();
+    std::size_t if_pos = core.body.size();
+    for (std::size_t i = 0; i < core.body.size(); ++i) {
+      if (core.body[i].kind == PlanItem::Kind::kEnq && enq_pos == core.body.size()) {
+        enq_pos = i;
+      }
+      if (core.body[i].kind == PlanItem::Kind::kIf && if_pos == core.body.size()) {
+        if_pos = i;
+      }
+    }
+    if (enq_pos < core.body.size() && if_pos < core.body.size()) {
+      PlanItem enq = core.body[enq_pos];
+      core.body.erase(core.body.begin() + static_cast<std::ptrdiff_t>(enq_pos));
+      if (if_pos > enq_pos) {
+        --if_pos;
+      }
+      core.body[if_pos].then_items.push_back(enq);
+      EXPECT_THROW(CheckCommunicationPairing(p.partition.kernel, plan), Error);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no suitable enqueue/if pair in this plan";
+}
+
+}  // namespace
+}  // namespace fgpar::compiler

@@ -1,0 +1,616 @@
+// Unit tests for individual compiler passes: expression splitting,
+// speculation hoisting, store-to-load forwarding, fiber formation, code
+// graph construction, and merging.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "analysis/cost.hpp"
+#include "analysis/index.hpp"
+#include "compiler/fiber.hpp"
+#include "compiler/forward.hpp"
+#include "compiler/graph.hpp"
+#include "compiler/merge.hpp"
+#include "compiler/partition.hpp"
+#include "compiler/speculate.hpp"
+#include "compiler/split.hpp"
+#include "frontend/parser.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/rng.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+ir::Kernel Parse(const char* source) { return frontend::ParseKernel(source); }
+
+int CountLoopStmts(const ir::Kernel& k) {
+  int count = 0;
+  ir::Kernel::VisitStmts(k.loop().body, [&](const ir::Stmt&) { ++count; });
+  return count;
+}
+
+// ---- SplitExpressions ----
+
+TEST(Split, DeepExpressionIsSplit) {
+  ir::Kernel k = Parse(R"(
+kernel deep {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 2 .. 8 {
+    o[i] = ((a[i] * 2.0 + 1.0) * (a[i-1] * 3.0 + 1.0)) * ((a[i] + 4.0) * (a[i-2] - 1.0));
+  }
+}
+)");
+  const int before = CountLoopStmts(k);
+  const int added = SplitExpressions(k, 3);
+  EXPECT_GT(added, 0);
+  EXPECT_EQ(CountLoopStmts(k), before + added);
+  ir::CheckValid(k);
+  // Every statement's tree now fits the depth bound, where an array
+  // reference counts as a leaf (its subscript travels with the load).
+  std::function<int(ir::ExprId)> partition_depth = [&](ir::ExprId id) {
+    const ir::ExprNode& node = k.expr(id);
+    if (ir::IsPartitionLeaf(node.kind)) {
+      return 1;
+    }
+    int depth = 0;
+    for (int c = 0; c < ir::ChildCount(node); ++c) {
+      depth = std::max(depth,
+                       partition_depth(node.child[static_cast<std::size_t>(c)]));
+    }
+    return depth + 1;
+  };
+  ir::Kernel::VisitStmts(k.loop().body, [&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::kIf) {
+      EXPECT_LE(partition_depth(s.value), 3);
+    }
+  });
+}
+
+TEST(Split, ShallowExpressionUntouched) {
+  ir::Kernel k = Parse(R"(
+kernel shallow {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = a[i] * 2.0;
+  }
+}
+)");
+  EXPECT_EQ(SplitExpressions(k, 4), 0);
+}
+
+TEST(Split, StatementIdsStayInProgramOrder) {
+  ir::Kernel k = Parse(R"(
+kernel order {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = (a[i] * 2.0 + 1.0) * (a[i] * 3.0 - 1.0) * (a[i] + 0.5) * (a[i] - 0.25);
+  }
+}
+)");
+  SplitExpressions(k, 2);
+  int last = -1;
+  ir::Kernel::VisitStmts(k.loop().body, [&](const ir::Stmt& s) {
+    EXPECT_GT(s.id, last);
+    last = s.id;
+  });
+}
+
+// ---- ApplySpeculation ----
+
+TEST(Speculate, HoistsPureAssignsFromMarkedIf) {
+  ir::Kernel k = Parse(R"(
+kernel spec {
+  array f64 x[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    @speculate if (x[i] < 1.0) {
+      f64 t2 = x[i] * 2.0;
+      o[i] = t2;
+    } else {
+      f64 t3 = x[i] * 3.0;
+      o[i] = t3;
+    }
+  }
+}
+)");
+  const int hoisted = ApplySpeculation(k);
+  EXPECT_EQ(hoisted, 2);
+  ir::CheckValid(k);
+  // The if is now preceded by the two hoisted assignments.
+  const auto& body = k.loop().body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0].kind, ir::StmtKind::kAssignTemp);
+  EXPECT_EQ(body[1].kind, ir::StmtKind::kAssignTemp);
+  EXPECT_EQ(body[2].kind, ir::StmtKind::kIf);
+  EXPECT_EQ(body[2].then_body.size(), 1u);  // only the store remains guarded
+  EXPECT_EQ(body[2].else_body.size(), 1u);
+}
+
+TEST(Speculate, UnmarkedIfUntouched) {
+  ir::Kernel k = Parse(R"(
+kernel nospec {
+  array f64 x[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    if (x[i] < 1.0) {
+      f64 t2 = x[i] * 2.0;
+      o[i] = t2;
+    }
+  }
+}
+)");
+  EXPECT_EQ(ApplySpeculation(k), 0);
+  EXPECT_EQ(k.loop().body.size(), 1u);
+}
+
+TEST(Speculate, CarriedUpdatesStayGuarded) {
+  ir::Kernel k = Parse(R"(
+kernel carriedspec {
+  array f64 x[8];
+  scalar f64 out;
+  carried f64 sum = 0.0;
+  loop i = 0 .. 8 {
+    @speculate if (x[i] < 1.0) {
+      f64 t = x[i] * 2.0;
+      sum = sum + t;
+    } else {
+      sum = sum + 1.0;
+    }
+  }
+  after {
+    out = sum;
+  }
+}
+)");
+  EXPECT_EQ(ApplySpeculation(k), 1);  // only t is hoisted
+  const ir::Stmt& if_stmt = k.loop().body[1];
+  ASSERT_EQ(if_stmt.kind, ir::StmtKind::kIf);
+  EXPECT_EQ(if_stmt.then_body.size(), 1u);  // sum update stays
+  EXPECT_EQ(if_stmt.else_body.size(), 1u);
+}
+
+// ---- ForwardStores ----
+
+TEST(Forward, SameIndexLoadForwarded) {
+  ir::Kernel k = Parse(R"(
+kernel fwd {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    a[i] = o[i] * 2.0;
+    o[i] = a[i] + 1.0;
+  }
+}
+)");
+  const int forwarded = ForwardStores(k);
+  EXPECT_EQ(forwarded, 1);
+  ir::CheckValid(k);
+  // The store's value went through a temp, and the load of a[i] is gone:
+  // only o[i] is loaded now.
+  int a_loads = 0;
+  ir::Kernel::VisitStmts(k.loop().body, [&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::kIf) {
+      return;
+    }
+    for (ir::SymbolId sym : k.SymbolsReadBy(s.value)) {
+      a_loads += k.symbol(sym).name == "a" ? 1 : 0;
+    }
+  });
+  EXPECT_EQ(a_loads, 0);
+}
+
+TEST(Forward, DifferentIndexNotForwarded) {
+  ir::Kernel k = Parse(R"(
+kernel nofwd {
+  array f64 a[10];
+  array f64 o[10];
+  loop i = 1 .. 9 {
+    a[i] = o[i] * 2.0;
+    o[i] = a[i-1] + 1.0;
+  }
+}
+)");
+  EXPECT_EQ(ForwardStores(k), 0);
+}
+
+TEST(Forward, ConditionalStoreDoesNotForwardToUnconditionalLoad) {
+  ir::Kernel k = Parse(R"(
+kernel condstore {
+  array f64 a[8];
+  array f64 o[8];
+  array i64 idx[8];
+  loop i = 0 .. 8 {
+    if (idx[i] < 4) {
+      a[i] = 1.0;
+    }
+    o[i] = a[i];
+  }
+}
+)");
+  EXPECT_EQ(ForwardStores(k), 0);
+}
+
+TEST(Forward, ScalarStoreForwarded) {
+  ir::Kernel k = Parse(R"(
+kernel scal {
+  array f64 a[8];
+  scalar f64 s;
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    s = a[i] * 2.0;
+    o[i] = s + 1.0;
+  }
+}
+)");
+  EXPECT_EQ(ForwardStores(k), 1);
+  ir::CheckValid(k);
+}
+
+TEST(Forward, InterveningStoreKillsForwarding) {
+  ir::Kernel k = Parse(R"(
+kernel kill {
+  array f64 a[10];
+  array i64 idx[10];
+  array f64 o[10];
+  loop i = 0 .. 10 {
+    a[i] = o[i] * 2.0;
+    a[idx[i]] = 3.0;
+    o[i] = a[i];
+  }
+}
+)");
+  EXPECT_EQ(ForwardStores(k), 0);
+}
+
+// ---- Fiberize ----
+
+TEST(Fiber, IndependentProductsBecomeSeparateFibers) {
+  // Figure 4's shape: two independent subtrees joined at the root.
+  ir::Kernel k = Parse(R"(
+kernel fig4 {
+  param i64 p1;
+  param i64 p2;
+  array i64 a[8];
+  array i64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = (p2 % 7) + a[i] * (p1 % 13);
+  }
+}
+)");
+  const FiberStats stats = Fiberize(k);
+  // Paper Figure 4: fibers C (p2%7), D (p1%13), B..A (the multiply+add
+  // continue fiber... the multiply's children are leaf + D -> new fiber is
+  // continued by the add? mul has one assigned child (D) -> continues D's
+  // fiber; add has children C-fiber and D-fiber -> new fiber A.  Total 3.
+  EXPECT_EQ(stats.initial_fibers, 3);
+  ir::CheckValid(k);
+}
+
+TEST(Fiber, SingleChainIsOneFiber) {
+  ir::Kernel k = Parse(R"(
+kernel chain {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = sqrt(abs(a[i] * 2.0 + 1.0));
+  }
+}
+)");
+  const FiberStats stats = Fiberize(k);
+  EXPECT_EQ(stats.initial_fibers, 1);
+}
+
+TEST(Fiber, StoreValueBecomesTemp) {
+  ir::Kernel k = Parse(R"(
+kernel sv {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = a[i] * 2.0;
+  }
+}
+)");
+  Fiberize(k);
+  const ir::Stmt& store = k.loop().body.back();
+  ASSERT_EQ(store.kind, ir::StmtKind::kStoreArray);
+  EXPECT_EQ(k.expr(store.value).kind, ir::ExprKind::kTempRef);
+}
+
+TEST(Fiber, IfConditionBecomesTemp) {
+  ir::Kernel k = Parse(R"(
+kernel cnd {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    if (a[i] < 1.0) {
+      o[i] = 1.0;
+    }
+  }
+}
+)");
+  Fiberize(k);
+  const ir::Stmt* if_stmt = nullptr;
+  for (const ir::Stmt& s : k.loop().body) {
+    if (s.kind == ir::StmtKind::kIf) {
+      if_stmt = &s;
+    }
+  }
+  ASSERT_NE(if_stmt, nullptr);
+  EXPECT_EQ(k.expr(if_stmt->value).kind, ir::ExprKind::kTempRef);
+}
+
+TEST(Fiber, SemanticsPreserved) {
+  // Fiberization must not change what the kernel computes.
+  ir::Kernel original = Parse(R"(
+kernel sem {
+  array f64 a[16];
+  array f64 o[16];
+  loop i = 1 .. 15 {
+    o[i] = (a[i] * 2.0 + a[i-1]) * (a[i+1] - 1.0) + (a[i] / (a[i] + 2.0));
+  }
+}
+)");
+  ir::Kernel fiberized = original;
+  Fiberize(fiberized);
+
+  auto run = [](const ir::Kernel& k) {
+    ir::DataLayout layout(k);
+    ir::ParamEnv env(k);
+    std::vector<std::uint64_t> memory(layout.end(), 0);
+    Rng rng(77);
+    for (int i = 0; i < 16; ++i) {
+      memory[layout.AddressOf(0) + static_cast<std::uint64_t>(i)] =
+          std::bit_cast<std::uint64_t>(rng.NextDouble(0.5, 2.0));
+    }
+    ir::Interpreter(k, layout, env, memory).Run();
+    return memory;
+  };
+  EXPECT_EQ(run(original), run(fiberized));
+}
+
+// ---- code graph + merge ----
+
+TEST(Graph, ReductionStatementsFuse) {
+  ir::Kernel k = Parse(R"(
+kernel red {
+  array f64 a[8];
+  scalar f64 out;
+  carried f64 sum = 0.0;
+  carried f64 sum2 = 0.0;
+  loop i = 0 .. 8 {
+    sum = sum + a[i];
+    sum2 = sum2 + a[i] * a[i];
+  }
+  after {
+    out = sum + sum2;
+  }
+}
+)");
+  Fiberize(k);
+  const analysis::KernelIndex index(k);
+  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const CodeGraph graph = BuildCodeGraph(index, cost);
+  // sum's chain fuses into one node; sum2's into another; they are
+  // independent reductions so they may be separate nodes.
+  for (const GraphNode& node : graph.nodes) {
+    EXPECT_FALSE(node.stmts.empty());
+  }
+  // sum's update and sum2's update must be in different-or-same nodes but
+  // each node must contain its own full carried chain.
+  const ir::StmtId sum_def = index.DefsOf(0).front();
+  const ir::StmtId sum2_def = index.DefsOf(1).front();
+  EXPECT_NE(graph.NodeOf(sum_def), -1);
+  EXPECT_NE(graph.NodeOf(sum2_def), -1);
+}
+
+TEST(Graph, ScalarWriteFusesAllAccessors) {
+  ir::Kernel k = Parse(R"(
+kernel scalfuse {
+  array f64 a[8];
+  scalar f64 s;
+  array f64 o[8];
+  array f64 p[8];
+  loop i = 0 .. 8 {
+    s = a[i] * 2.0;
+    o[i] = s + 1.0;
+    p[i] = s + 2.0;
+  }
+}
+)");
+  // Note: forwarding would remove the loads; build the graph WITHOUT
+  // forwarding to exercise the fusion path.
+  Fiberize(k);
+  const analysis::KernelIndex index(k);
+  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const CodeGraph graph = BuildCodeGraph(index, cost);
+  // The scalar store and both loads must share one node.
+  int node = -1;
+  for (const analysis::StmtEntry& entry : index.entries()) {
+    bool touches_s = false;
+    for (const analysis::MemAccess& access : entry.accesses) {
+      touches_s |= k.symbol(access.sym).name == "s";
+    }
+    if (touches_s) {
+      const int n = graph.NodeOf(entry.id);
+      if (node == -1) {
+        node = n;
+      }
+      EXPECT_EQ(n, node);
+    }
+  }
+}
+
+TEST(Graph, DisjointColumnsDoNotFuse) {
+  ir::Kernel k = Parse(R"(
+kernel cols {
+  array f64 a[32];
+  array f64 o[32];
+  loop i = 0 .. 8 {
+    o[2*i] = a[2*i] * 2.0;
+    o[2*i+1] = a[2*i+1] * 3.0;
+  }
+}
+)");
+  Fiberize(k);
+  const analysis::KernelIndex index(k);
+  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const CodeGraph graph = BuildCodeGraph(index, cost);
+  // The even and odd stores provably never collide: they can be separate.
+  ir::StmtId even = -1, odd = -1;
+  for (const analysis::StmtEntry& entry : index.entries()) {
+    if (entry.stmt->kind == ir::StmtKind::kStoreArray) {
+      (even == -1 ? even : odd) = entry.id;
+    }
+  }
+  ASSERT_NE(even, -1);
+  ASSERT_NE(odd, -1);
+  EXPECT_NE(graph.NodeOf(even), graph.NodeOf(odd));
+}
+
+TEST(Graph, ExclusiveBranchStoresDoNotFuse) {
+  ir::Kernel k = Parse(R"(
+kernel excl {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    if (a[i] < 1.0) {
+      o[i] = 1.0;
+    } else {
+      o[i] = 2.0;
+    }
+  }
+}
+)");
+  Fiberize(k);
+  const analysis::KernelIndex index(k);
+  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const CodeGraph graph = BuildCodeGraph(index, cost);
+  std::vector<ir::StmtId> stores;
+  for (const analysis::StmtEntry& entry : index.entries()) {
+    if (entry.stmt->kind == ir::StmtKind::kStoreArray) {
+      stores.push_back(entry.id);
+    }
+  }
+  ASSERT_EQ(stores.size(), 2u);
+  EXPECT_NE(graph.NodeOf(stores[0]), graph.NodeOf(stores[1]));
+}
+
+TEST(Merge, ReducesToTargetPartitionCount) {
+  ir::Kernel k = Parse(R"(
+kernel many {
+  array f64 a[16];
+  array f64 o1[16];
+  array f64 o2[16];
+  array f64 o3[16];
+  array f64 o4[16];
+  loop i = 1 .. 15 {
+    o1[i] = a[i] * 2.0 + a[i-1];
+    o2[i] = a[i] * 3.0 - a[i+1];
+    o3[i] = a[i] / (a[i] + 1.0);
+    o4[i] = sqrt(abs(a[i])) + 1.0;
+  }
+}
+)");
+  Fiberize(k);
+  const analysis::KernelIndex index(k);
+  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const CodeGraph graph = BuildCodeGraph(index, cost);
+  CompileOptions options;
+  options.num_cores = 2;
+  const auto partitions = MergeGraph(graph, options);
+  EXPECT_LE(partitions.size(), 2u);
+  EXPECT_GE(partitions.size(), 1u);
+  std::size_t total = 0;
+  for (const auto& p : partitions) {
+    total += p.stmts.size();
+  }
+  std::size_t graph_total = 0;
+  for (const auto& n : graph.nodes) {
+    graph_total += n.stmts.size();
+  }
+  EXPECT_EQ(total, graph_total);  // nothing lost or duplicated
+}
+
+TEST(Merge, ThroughputHeuristicYieldsAcyclicPartitions) {
+  ir::Kernel k = Parse(R"(
+kernel tp {
+  array f64 a[16];
+  array f64 o[16];
+  loop i = 1 .. 15 {
+    f64 t1 = a[i] * 2.0;
+    f64 t2 = t1 + a[i-1];
+    f64 t3 = t2 * t1;
+    o[i] = t3 + t2;
+  }
+}
+)");
+  Fiberize(k);
+  const analysis::KernelIndex index(k);
+  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{}, nullptr);
+  const CodeGraph graph = BuildCodeGraph(index, cost);
+  CompileOptions options;
+  options.num_cores = 4;
+  options.throughput_heuristic = true;
+  const auto partitions = MergeGraph(graph, options);
+  // Verify unidirectional dependences: build the partition-level dependence
+  // relation and check antisymmetry.
+  auto part_of = [&](ir::StmtId id) {
+    for (std::size_t p = 0; p < partitions.size(); ++p) {
+      for (ir::StmtId s : partitions[p].stmts) {
+        if (s == id) {
+          return static_cast<int>(p);
+        }
+      }
+    }
+    return -1;
+  };
+  std::set<std::pair<int, int>> directions;
+  for (const DepEdge& edge : graph.edges) {
+    const int u = part_of(edge.producer);
+    const int v = part_of(edge.consumer);
+    if (u != v && u >= 0 && v >= 0) {
+      directions.insert({u, v});
+    }
+  }
+  for (const auto& [u, v] : directions) {
+    EXPECT_FALSE(directions.contains({v, u}))
+        << "cycle between partitions " << u << " and " << v;
+  }
+}
+
+TEST(Partition, EndToEndStatsArePopulated) {
+  ir::Kernel k = Parse(R"(
+kernel stats {
+  param f64 c;
+  array f64 a[16];
+  array f64 o[16];
+  loop i = 1 .. 15 {
+    o[i] = (a[i] * c + a[i-1]) * (a[i+1] - c) + sqrt(abs(a[i]));
+  }
+}
+)");
+  CompileOptions options;
+  options.num_cores = 4;
+  const PartitionResult result = PartitionKernel(k, options, nullptr);
+  EXPECT_GT(result.initial_fibers, 0);
+  EXPECT_GE(result.data_deps, 0);
+  EXPECT_GE(result.load_balance, 1.0);
+  EXPECT_LE(result.partitions.size(), 4u);
+  EXPECT_GE(result.partitions.size(), 1u);
+  // Every loop-body non-if statement is assigned to exactly one core.
+  const analysis::KernelIndex index(result.kernel);
+  for (const analysis::StmtEntry& entry : index.entries()) {
+    if (!entry.in_epilogue && !entry.is_if) {
+      EXPECT_TRUE(result.core_of.contains(entry.id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fgpar::compiler

@@ -1,0 +1,145 @@
+// Integration guard for the paper experiments: the evaluation's key
+// *shape* properties must keep holding as the compiler evolves.  These run
+// a subset of the full benches (the full sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kernels/experiments.hpp"
+#include "support/stats.hpp"
+
+namespace fgpar::kernels {
+namespace {
+
+std::vector<harness::KernelRun> RunAll(int cores) {
+  ExperimentConfig config;
+  config.cores = cores;
+  return RunAllKernels(config);
+}
+
+const std::vector<harness::KernelRun>& Cached4() {
+  static const std::vector<harness::KernelRun> runs = RunAll(4);
+  return runs;
+}
+
+const std::vector<harness::KernelRun>& Cached2() {
+  static const std::vector<harness::KernelRun> runs = RunAll(2);
+  return runs;
+}
+
+double AverageSpeedup(const std::vector<harness::KernelRun>& runs) {
+  std::vector<double> s;
+  for (const harness::KernelRun& run : runs) {
+    s.push_back(run.speedup);
+  }
+  return Mean(s);
+}
+
+const harness::KernelRun& Find(const std::vector<harness::KernelRun>& runs,
+                               const std::string& id) {
+  for (const harness::KernelRun& run : runs) {
+    if (run.kernel_name == id) {
+      return run;
+    }
+  }
+  throw Error("missing run for " + id);
+}
+
+TEST(Experiments, Fig12AveragesInPaperBallpark) {
+  // Paper: 1.32 (2-core), 2.05 (4-core).  Guard a generous band so normal
+  // compiler evolution doesn't trip it, but regressions do.
+  EXPECT_GT(AverageSpeedup(Cached2()), 1.15);
+  EXPECT_LT(AverageSpeedup(Cached2()), 1.65);
+  EXPECT_GT(AverageSpeedup(Cached4()), 1.75);
+  EXPECT_LT(AverageSpeedup(Cached4()), 2.45);
+}
+
+TEST(Experiments, FourCoresBeatTwoCoresOnAverage) {
+  EXPECT_GT(AverageSpeedup(Cached4()), AverageSpeedup(Cached2()));
+}
+
+TEST(Experiments, Umt2k6IsTheWorstKernel) {
+  // Paper: the dependent-conditional chain shows no speedup (0.90).
+  const harness::KernelRun& run = Find(Cached4(), "umt2k-6");
+  EXPECT_LT(run.speedup, 1.25);
+  for (const harness::KernelRun& other : Cached4()) {
+    EXPECT_GE(other.speedup, run.speedup * 0.95) << other.kernel_name;
+  }
+}
+
+TEST(Experiments, Irs1IsAmongTheBestKernels) {
+  // Paper: the wide independent stencil is a top performer.
+  const harness::KernelRun& run = Find(Cached4(), "irs-1");
+  EXPECT_GT(run.speedup, 2.5);
+}
+
+TEST(Experiments, ConditionalReductionsShowWorstLoadBalance) {
+  // Paper Table III: umt2k-2/3 have pathological load-balance ratios.
+  double worst_other = 1.0;
+  for (const harness::KernelRun& run : Cached4()) {
+    if (run.kernel_name != "umt2k-2" && run.kernel_name != "umt2k-3") {
+      worst_other = std::max(worst_other, run.load_balance);
+    }
+  }
+  const double lb2 = Find(Cached4(), "umt2k-2").load_balance;
+  const double lb3 = Find(Cached4(), "umt2k-3").load_balance;
+  EXPECT_GT(std::max(lb2, lb3), 2.0);
+}
+
+TEST(Experiments, QueueCountsStaySmall) {
+  // Paper Table III: at most 8 of the 24 available 4-core queues are used.
+  for (const harness::KernelRun& run : Cached4()) {
+    EXPECT_LE(run.queues_used, 12) << run.kernel_name;
+  }
+}
+
+TEST(Experiments, LatencyDegradationIsMonotoneOnAverage) {
+  // Paper Figure 13 direction: higher transfer latency, lower speedup.
+  double previous = 1e9;
+  for (int latency : {5, 50}) {
+    ExperimentConfig config;
+    config.cores = 4;
+    config.transfer_latency = latency;
+    const double avg = AverageSpeedup(RunAllKernels(config));
+    EXPECT_LT(avg, previous + 0.02);
+    previous = avg;
+  }
+}
+
+TEST(Experiments, SpeculationHelpsTheCarriedConditionKernels) {
+  // Paper Figure 14 direction, on the kernels built for it.
+  for (const char* id : {"umt2k-3", "sphot-2"}) {
+    ExperimentConfig base;
+    base.cores = 4;
+    ExperimentConfig spec = base;
+    spec.speculation = true;
+    const double without = RunKernel(SequoiaKernelById(id), base).speedup;
+    const double with = RunKernel(SequoiaKernelById(id), spec).speedup;
+    EXPECT_GT(with, without * 1.05) << id;
+  }
+}
+
+TEST(Experiments, ApplicationProjectionUsesAmdahl) {
+  std::map<std::string, double> speedups;
+  for (const SequoiaApplication& app : SequoiaApplications()) {
+    for (const std::string& id : app.kernel_ids) {
+      speedups[id] = 2.0;  // uniform kernel speedup
+    }
+  }
+  // With every kernel at 2x, an app covering weight W speeds up by
+  // 1 / (1 - W/2).
+  const SequoiaApplication& lammps = SequoiaApplications()[0];
+  double weight = 0.0;
+  for (const std::string& id : lammps.kernel_ids) {
+    weight += SequoiaKernelById(id).pct_time / 100.0;
+  }
+  const double expected = 1.0 / ((1.0 - weight) + weight / 2.0);
+  EXPECT_NEAR(ApplicationSpeedup(lammps, speedups), expected, 1e-12);
+}
+
+TEST(Experiments, ApplicationSpeedupRejectsMissingKernel) {
+  EXPECT_THROW(ApplicationSpeedup(SequoiaApplications()[0], {}), Error);
+}
+
+}  // namespace
+}  // namespace fgpar::kernels

@@ -1,0 +1,401 @@
+// Tests for the IR: builder, validator, printer, interpreter.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::ir {
+namespace {
+
+// Builds: y[i] = alpha * x[i] + y[i] over [0, n)
+Kernel BuildAxpy(std::int64_t size) {
+  KernelBuilder kb("axpy");
+  Val alpha = kb.ParamF64("alpha");
+  Val n = kb.ParamI64("n");
+  ArrayHandle x = kb.ArrayF64("x", size);
+  ArrayHandle y = kb.ArrayF64("y", size);
+  kb.StartLoop("i", kb.ConstI(0), n);
+  kb.Store(y, kb.Iv(), alpha * kb.Load(x, kb.Iv()) + kb.Load(y, kb.Iv()));
+  return kb.Finish();
+}
+
+TEST(Builder, TypesArePropagated) {
+  KernelBuilder kb("t");
+  Val a = kb.ConstF(1.0);
+  Val b = kb.ConstI(2);
+  EXPECT_EQ(a.type(), ScalarType::kF64);
+  EXPECT_EQ(b.type(), ScalarType::kI64);
+  EXPECT_EQ((a + a).type(), ScalarType::kF64);
+  EXPECT_EQ((a < a).type(), ScalarType::kI64);  // comparisons are i64
+  EXPECT_EQ(kb.ToF64(b).type(), ScalarType::kF64);
+  EXPECT_EQ(kb.ToI64(a).type(), ScalarType::kI64);
+  EXPECT_EQ(kb.ToF64(a).id(), a.id());  // no-op cast is elided
+}
+
+TEST(Builder, MixedTypeArithmeticRejected) {
+  KernelBuilder kb("t");
+  Val a = kb.ConstF(1.0);
+  Val b = kb.ConstI(2);
+  EXPECT_THROW(a + b, Error);
+}
+
+TEST(Builder, IntOnlyOperatorsRejectF64) {
+  KernelBuilder kb("t");
+  Val a = kb.ConstF(1.0);
+  EXPECT_THROW(a % a, Error);
+  EXPECT_THROW(a & a, Error);
+  EXPECT_THROW(kb.ConstF(1.0) << kb.ConstF(2.0), Error);
+}
+
+TEST(Builder, SqrtRequiresF64) {
+  KernelBuilder kb("t");
+  EXPECT_THROW(kb.Sqrt(kb.ConstI(4)), Error);
+}
+
+TEST(Builder, DuplicateNamesRejected) {
+  KernelBuilder kb("t");
+  kb.ParamF64("x");
+  EXPECT_THROW(kb.ArrayF64("x", 8), Error);
+  EXPECT_THROW(kb.DeclTemp("x", ScalarType::kF64), Error);
+}
+
+TEST(Builder, StatementsOutsideLoopRejected) {
+  KernelBuilder kb("t");
+  ArrayHandle a = kb.ArrayF64("a", 8);
+  EXPECT_THROW(kb.Store(a, kb.ConstI(0), kb.ConstF(1.0)), Error);
+}
+
+TEST(Builder, StoreTypeMismatchRejected) {
+  KernelBuilder kb("t");
+  ArrayHandle a = kb.ArrayF64("a", 8);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  EXPECT_THROW(kb.Store(a, kb.Iv(), kb.ConstI(1)), Error);
+}
+
+TEST(Builder, FinishedKernelValidates) {
+  Kernel k = BuildAxpy(16);
+  EXPECT_TRUE(ValidateKernel(k).empty());
+  EXPECT_EQ(k.name(), "axpy");
+  EXPECT_EQ(k.loop().body.size(), 1u);
+}
+
+TEST(Validate, DoubleAssignmentOfPlainTempCaught) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kF64);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.Assign(t, kb.ConstF(1.0));
+  kb.Assign(t, kb.ConstF(2.0));
+  Kernel k = kb.Finish();
+  const auto problems = ValidateKernel(k);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("more than once"), std::string::npos);
+}
+
+TEST(Validate, CarriedTempMayBeReassigned) {
+  KernelBuilder kb("t");
+  TempHandle sum = kb.DeclCarriedF64("sum", 0.0);
+  ScalarHandle out = kb.ScalarF64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.Assign(sum, kb.Read(sum) + kb.ConstF(1.0));
+  kb.EndLoop();
+  kb.StoreScalar(out, kb.Read(sum));
+  Kernel k = kb.Finish();
+  EXPECT_TRUE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, UseBeforeDefCaught) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kF64);
+  ScalarHandle out = kb.ScalarF64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.StoreScalar(out, kb.Read(t));  // use
+  kb.Assign(t, kb.ConstF(1.0));     // def after use
+  Kernel k = kb.Finish();
+  EXPECT_FALSE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, UseOutsideDefiningBranchCaught) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kF64);
+  ScalarHandle out = kb.ScalarF64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.If(kb.Iv() < kb.ConstI(2), [&] { kb.Assign(t, kb.ConstF(1.0)); });
+  kb.StoreScalar(out, kb.Read(t));  // not dominated
+  Kernel k = kb.Finish();
+  EXPECT_FALSE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, UseInsideSameBranchAllowed) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kF64);
+  ScalarHandle out = kb.ScalarF64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.If(kb.Iv() < kb.ConstI(2), [&] {
+    kb.Assign(t, kb.ConstF(1.0));
+    kb.StoreScalar(out, kb.Read(t));
+  });
+  Kernel k = kb.Finish();
+  EXPECT_TRUE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, NestedBranchUseDominatedByOuterDefAllowed) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kF64);
+  ScalarHandle out = kb.ScalarF64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.Assign(t, kb.ConstF(1.0));
+  kb.If(kb.Iv() < kb.ConstI(2), [&] {
+    kb.If(kb.Iv() < kb.ConstI(1), [&] { kb.StoreScalar(out, kb.Read(t)); });
+  });
+  Kernel k = kb.Finish();
+  EXPECT_TRUE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, LoopBoundsMayNotReferenceTemps) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kI64);
+  kb.StartLoop("i", kb.ConstI(0), kb.Read(t));
+  kb.Assign(t, kb.ConstI(3));
+  Kernel k = kb.Finish();
+  EXPECT_FALSE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, EpilogueMayNotUseInductionVariable) {
+  KernelBuilder kb("t");
+  ScalarHandle out = kb.ScalarI64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.StoreScalar(out, kb.ConstI(1));
+  kb.EndLoop();
+  kb.StoreScalar(out, kb.Iv());
+  Kernel k = kb.Finish();
+  EXPECT_FALSE(ValidateKernel(k).empty());
+}
+
+TEST(Validate, EpilogueMayNotReadConditionalTemp) {
+  KernelBuilder kb("t");
+  TempHandle t = kb.DeclTemp("tmp", ScalarType::kF64);
+  ScalarHandle out = kb.ScalarF64("out");
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  kb.If(kb.Iv() < kb.ConstI(2), [&] { kb.Assign(t, kb.ConstF(1.0)); });
+  kb.EndLoop();
+  kb.StoreScalar(out, kb.Read(t));
+  Kernel k = kb.Finish();
+  EXPECT_FALSE(ValidateKernel(k).empty());
+}
+
+TEST(Printer, RendersAxpy) {
+  Kernel k = BuildAxpy(16);
+  const std::string text = PrintKernel(k);
+  EXPECT_NE(text.find("kernel axpy"), std::string::npos);
+  EXPECT_NE(text.find("param f64 alpha;"), std::string::npos);
+  EXPECT_NE(text.find("array f64 x[16];"), std::string::npos);
+  EXPECT_NE(text.find("y[i] = ((alpha * x[i]) + y[i]);"), std::string::npos);
+}
+
+TEST(Layout, AssignsDisjointAlignedAddresses) {
+  Kernel k = BuildAxpy(10);
+  DataLayout layout(k, 64, 8);
+  SymbolId x = -1;
+  SymbolId y = -1;
+  for (const Symbol& s : k.symbols()) {
+    if (s.name == "x") x = s.id;
+    if (s.name == "y") y = s.id;
+  }
+  const std::uint64_t ax = layout.AddressOf(x);
+  const std::uint64_t ay = layout.AddressOf(y);
+  EXPECT_EQ(ax % 8, 0u);
+  EXPECT_EQ(ay % 8, 0u);
+  EXPECT_GE(ay, ax + 10);  // no overlap (plus guard/alignment)
+  EXPECT_GT(layout.end(), ay + 10);
+}
+
+TEST(Layout, ParamsHaveNoAddress) {
+  Kernel k = BuildAxpy(4);
+  DataLayout layout(k);
+  EXPECT_THROW(layout.AddressOf(0), Error);  // alpha is symbol 0
+}
+
+TEST(ParamEnv, TypedAccessAndCompleteness) {
+  Kernel k = BuildAxpy(4);
+  ParamEnv env(k);
+  EXPECT_THROW(env.CheckComplete(k), Error);
+  env.SetF64(0, 2.5);
+  env.SetI64(1, 4);
+  env.CheckComplete(k);
+  EXPECT_DOUBLE_EQ(env.GetF64(0), 2.5);
+  EXPECT_EQ(env.GetI64(1), 4);
+  EXPECT_THROW(env.SetI64(0, 1), Error);  // alpha is f64
+}
+
+TEST(Interp, AxpyProducesExpectedValues) {
+  Kernel k = BuildAxpy(8);
+  DataLayout layout(k);
+  ParamEnv env(k);
+  env.SetF64(0, 3.0);  // alpha
+  env.SetI64(1, 8);    // n
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  SymbolId x = 2;
+  SymbolId y = 3;
+  for (int i = 0; i < 8; ++i) {
+    memory[layout.AddressOf(x) + static_cast<std::uint64_t>(i)] =
+        std::bit_cast<std::uint64_t>(static_cast<double>(i));
+    memory[layout.AddressOf(y) + static_cast<std::uint64_t>(i)] =
+        std::bit_cast<std::uint64_t>(1.0);
+  }
+  Interpreter interp(k, layout, env, memory);
+  const InterpStats stats = interp.Run();
+  EXPECT_EQ(stats.iterations, 8u);
+  for (int i = 0; i < 8; ++i) {
+    const double yi = std::bit_cast<double>(
+        memory[layout.AddressOf(y) + static_cast<std::uint64_t>(i)]);
+    EXPECT_DOUBLE_EQ(yi, 3.0 * i + 1.0);
+  }
+}
+
+TEST(Interp, ReductionWithCarriedTemp) {
+  KernelBuilder kb("dot");
+  Val n = kb.ParamI64("n");
+  ArrayHandle a = kb.ArrayF64("a", 16);
+  ArrayHandle b = kb.ArrayF64("b", 16);
+  ScalarHandle out = kb.ScalarF64("out");
+  TempHandle sum = kb.DeclCarriedF64("sum", 0.0);
+  kb.StartLoop("i", kb.ConstI(0), n);
+  kb.Assign(sum, kb.Read(sum) + kb.Load(a, kb.Iv()) * kb.Load(b, kb.Iv()));
+  kb.EndLoop();
+  kb.StoreScalar(out, kb.Read(sum));
+  Kernel k = kb.Finish();
+  CheckValid(k);
+
+  DataLayout layout(k);
+  ParamEnv env(k);
+  env.SetI64(0, 16);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  for (int i = 0; i < 16; ++i) {
+    memory[layout.AddressOf(1) + static_cast<std::uint64_t>(i)] =
+        std::bit_cast<std::uint64_t>(2.0);
+    memory[layout.AddressOf(2) + static_cast<std::uint64_t>(i)] =
+        std::bit_cast<std::uint64_t>(0.5);
+  }
+  Interpreter interp(k, layout, env, memory);
+  interp.Run();
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(memory[layout.AddressOf(3)]), 16.0);
+}
+
+TEST(Interp, ConditionalBranching) {
+  KernelBuilder kb("cond");
+  ArrayHandle out = kb.ArrayI64("out", 10);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(10));
+  kb.If(
+      (kb.Iv() % kb.ConstI(2)) == kb.ConstI(0),
+      [&] { kb.Store(out, kb.Iv(), kb.ConstI(100)); },
+      [&] { kb.Store(out, kb.Iv(), kb.ConstI(200)); });
+  Kernel k = kb.Finish();
+  CheckValid(k);
+
+  DataLayout layout(k);
+  ParamEnv env(k);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  Interpreter(k, layout, env, memory).Run();
+  for (int i = 0; i < 10; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(
+        memory[layout.AddressOf(0) + static_cast<std::uint64_t>(i)]);
+    EXPECT_EQ(v, i % 2 == 0 ? 100 : 200);
+  }
+}
+
+TEST(Interp, SelectEvaluatesBothArms) {
+  KernelBuilder kb("sel");
+  ArrayHandle out = kb.ArrayF64("out", 4);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(4));
+  Val cond = kb.Iv() < kb.ConstI(2);
+  kb.Store(out, kb.Iv(), kb.Select(cond, kb.ConstF(1.5), kb.ConstF(-1.5)));
+  Kernel k = kb.Finish();
+  DataLayout layout(k);
+  ParamEnv env(k);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  Interpreter(k, layout, env, memory).Run();
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(memory[layout.AddressOf(0)]), 1.5);
+  EXPECT_DOUBLE_EQ(std::bit_cast<double>(memory[layout.AddressOf(0) + 3]), -1.5);
+}
+
+TEST(Interp, ArrayOutOfBoundsFaults) {
+  KernelBuilder kb("oob");
+  ArrayHandle a = kb.ArrayF64("a", 4);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(8));  // runs past the array
+  kb.Store(a, kb.Iv(), kb.ConstF(0.0));
+  Kernel k = kb.Finish();
+  DataLayout layout(k);
+  ParamEnv env(k);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  Interpreter interp(k, layout, env, memory);
+  EXPECT_THROW(interp.Run(), Error);
+}
+
+TEST(Interp, ZeroIterationLoopLeavesTempsAtInit) {
+  KernelBuilder kb("empty");
+  TempHandle t = kb.DeclCarriedI64("acc", 42);
+  ScalarHandle out = kb.ScalarI64("out");
+  kb.StartLoop("i", kb.ConstI(5), kb.ConstI(5));
+  kb.Assign(t, kb.Read(t) + kb.ConstI(1));
+  kb.EndLoop();
+  kb.StoreScalar(out, kb.Read(t));
+  Kernel k = kb.Finish();
+  DataLayout layout(k);
+  ParamEnv env(k);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  Interpreter interp(k, layout, env, memory);
+  const InterpStats stats = interp.Run();
+  EXPECT_EQ(stats.iterations, 0u);
+  EXPECT_EQ(static_cast<std::int64_t>(memory[layout.AddressOf(0)]), 42);
+}
+
+TEST(Interp, IntegerSemanticsMatchIsa) {
+  // Shifts mask to 6 bits, shr is arithmetic, f2i truncates toward zero —
+  // the same rules the simulator implements.
+  KernelBuilder kb("sem");
+  ArrayHandle out = kb.ArrayI64("out", 4);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(1));
+  kb.Store(out, kb.ConstI(0), kb.ConstI(-16) >> kb.ConstI(2));
+  kb.Store(out, kb.ConstI(1), kb.ConstI(1) << kb.ConstI(66));  // masked: << 2
+  kb.Store(out, kb.ConstI(2), kb.ToI64(kb.ConstF(-2.9)));
+  kb.Store(out, kb.ConstI(3), kb.ConstI(-7) % kb.ConstI(3));
+  Kernel k = kb.Finish();
+  DataLayout layout(k);
+  ParamEnv env(k);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  Interpreter(k, layout, env, memory).Run();
+  const std::uint64_t base = layout.AddressOf(0);
+  EXPECT_EQ(static_cast<std::int64_t>(memory[base + 0]), -4);
+  EXPECT_EQ(static_cast<std::int64_t>(memory[base + 1]), 4);
+  EXPECT_EQ(static_cast<std::int64_t>(memory[base + 2]), -2);
+  EXPECT_EQ(static_cast<std::int64_t>(memory[base + 3]), -1);
+}
+
+TEST(Kernel, TraversalHelpers) {
+  KernelBuilder kb("trav");
+  Val p = kb.ParamF64("p");
+  ArrayHandle a = kb.ArrayF64("a", 8);
+  TempHandle t = kb.DeclTemp("t", ScalarType::kF64);
+  kb.StartLoop("i", kb.ConstI(0), kb.ConstI(8));
+  kb.Assign(t, kb.Load(a, kb.Iv()) * p);
+  Val expr = kb.Read(t) + kb.Read(t) * p;
+  kb.Store(a, kb.Iv(), expr);
+  Kernel k = kb.Finish();
+
+  const Stmt& store = k.loop().body[1];
+  const auto temps = k.TempsReadBy(store.value);
+  ASSERT_EQ(temps.size(), 1u);
+  EXPECT_EQ(temps[0], 0);
+  const auto syms = k.SymbolsReadBy(k.loop().body[0].value);
+  ASSERT_EQ(syms.size(), 1u);
+  EXPECT_EQ(k.symbol(syms[0]).name, "a");
+  EXPECT_TRUE(k.UsesIv(store.index));
+  EXPECT_EQ(k.ExprDepth(store.value), 3);      // (t + (t * p))
+  EXPECT_EQ(k.ComputeOpCount(store.value), 2); // + and *
+}
+
+}  // namespace
+}  // namespace fgpar::ir

@@ -1,0 +1,173 @@
+// Unit tests for the ISA: opcode metadata, assembler, program, disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::isa {
+namespace {
+
+TEST(Opcode, EveryOpcodeHasAName) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    EXPECT_FALSE(OpcodeName(static_cast<Opcode>(i)).empty());
+  }
+}
+
+TEST(Opcode, Classification) {
+  EXPECT_TRUE(IsBranch(Opcode::kJmp));
+  EXPECT_TRUE(IsBranch(Opcode::kBz));
+  EXPECT_FALSE(IsBranch(Opcode::kCall));
+  EXPECT_TRUE(IsLoad(Opcode::kLdF));
+  EXPECT_TRUE(IsStore(Opcode::kStIX));
+  EXPECT_FALSE(IsLoad(Opcode::kStI));
+  EXPECT_TRUE(IsQueueOp(Opcode::kEnqI));
+  EXPECT_TRUE(IsQueueOp(Opcode::kDeqF));
+  EXPECT_TRUE(IsEnqueue(Opcode::kEnqF));
+  EXPECT_FALSE(IsEnqueue(Opcode::kDeqF));
+  EXPECT_TRUE(IsDequeue(Opcode::kDeqI));
+  EXPECT_TRUE(IsFpQueueOp(Opcode::kEnqF));
+  EXPECT_FALSE(IsFpQueueOp(Opcode::kEnqI));
+}
+
+TEST(Assembler, ResolvesForwardBranch) {
+  Assembler a;
+  Label skip = a.NewLabel();
+  a.LiI(Gpr{1}, 5);
+  a.Jmp(skip);
+  a.LiI(Gpr{1}, 7);  // skipped
+  a.Bind(skip);
+  a.Halt();
+  Program p = a.Finish();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(1).op, Opcode::kJmp);
+  EXPECT_EQ(p.at(1).imm, 3);
+}
+
+TEST(Assembler, ResolvesBackwardBranch) {
+  Assembler a;
+  Label top = a.NewLabel();
+  a.Bind(top);
+  a.SubI(Gpr{1}, Gpr{1}, Gpr{2});
+  a.Bnz(Gpr{1}, top);
+  a.Halt();
+  Program p = a.Finish();
+  EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(Assembler, NamedLabelsBecomeSymbols) {
+  Assembler a;
+  Label main = a.NewNamedLabel("main");
+  Label f2 = a.NewNamedLabel("F2");
+  a.Bind(main);
+  a.Halt();
+  a.Bind(f2);
+  a.Ret();
+  Program p = a.Finish();
+  EXPECT_EQ(p.EntryOf("main"), 0);
+  EXPECT_EQ(p.EntryOf("F2"), 1);
+  EXPECT_TRUE(p.HasSymbol("F2"));
+  EXPECT_FALSE(p.HasSymbol("F3"));
+  EXPECT_THROW(p.EntryOf("F3"), Error);
+}
+
+TEST(Assembler, DuplicateNamedLabelThrows) {
+  Assembler a;
+  a.NewNamedLabel("x");
+  EXPECT_THROW(a.NewNamedLabel("x"), Error);
+}
+
+TEST(Assembler, UnboundLabelReferenceThrows) {
+  Assembler a;
+  Label never = a.NewLabel();
+  a.Jmp(never);
+  EXPECT_THROW(a.Finish(), Error);
+}
+
+TEST(Assembler, DoubleBindThrows) {
+  Assembler a;
+  Label l = a.NewLabel();
+  a.Bind(l);
+  EXPECT_THROW(a.Bind(l), Error);
+}
+
+TEST(Assembler, LiLabelLoadsEntryPc) {
+  Assembler a;
+  Label fn = a.NewNamedLabel("fn");
+  a.LiLabel(Gpr{3}, fn);
+  a.Halt();
+  a.Bind(fn);
+  a.Ret();
+  Program p = a.Finish();
+  EXPECT_EQ(p.at(0).op, Opcode::kLiI);
+  EXPECT_EQ(p.at(0).imm, p.EntryOf("fn"));
+}
+
+TEST(Assembler, QueueOperandEncoding) {
+  Assembler a;
+  a.EnqI(2, Gpr{5});
+  a.DeqI(1, Gpr{6});
+  a.EnqF(3, Fpr{7});
+  a.DeqF(0, Fpr{8});
+  a.Halt();
+  Program p = a.Finish();
+  EXPECT_EQ(p.at(0).queue, 2);
+  EXPECT_EQ(p.at(0).src1, 5);
+  EXPECT_EQ(p.at(1).queue, 1);
+  EXPECT_EQ(p.at(1).dst, 6);
+  EXPECT_EQ(p.at(2).queue, 3);
+  EXPECT_EQ(p.at(2).src1, 7);
+  EXPECT_EQ(p.at(3).queue, 0);
+  EXPECT_EQ(p.at(3).dst, 8);
+}
+
+TEST(Assembler, CommentsAttachToNextInstruction) {
+  Assembler a;
+  a.Comment("set up accumulator");
+  a.LiF(Fpr{0}, 0.0);
+  a.Halt();
+  Program p = a.Finish();
+  EXPECT_EQ(p.CommentAt(0), "set up accumulator");
+  EXPECT_EQ(p.CommentAt(1), "");
+}
+
+TEST(Program, PcOutOfRangeThrows) {
+  Assembler a;
+  a.Halt();
+  Program p = a.Finish();
+  EXPECT_THROW(p.at(5), Error);
+  EXPECT_THROW(p.at(-1), Error);
+}
+
+TEST(Disasm, RendersRepresentativeShapes) {
+  Assembler a;
+  a.AddF(Fpr{3}, Fpr{1}, Fpr{2});
+  a.LiI(Gpr{4}, -17);
+  a.LdFX(Fpr{0}, Gpr{1}, Gpr{2});
+  a.StI(Gpr{9}, Gpr{8}, 12);
+  a.EnqF(1, Fpr{6});
+  a.Halt();
+  Program p = a.Finish();
+  EXPECT_EQ(Disassemble(p.at(0)), "addf f3, f1, f2");
+  EXPECT_EQ(Disassemble(p.at(1)), "lii r4, -17");
+  EXPECT_EQ(Disassemble(p.at(2)), "ldfx f0, [r1 + r2]");
+  EXPECT_EQ(Disassemble(p.at(3)), "sti [r8 + 12], r9");
+  EXPECT_EQ(Disassemble(p.at(4)), "enqf q1, f6");
+}
+
+TEST(Disasm, ProgramListingIncludesSymbolsAndComments) {
+  Assembler a;
+  Label f = a.NewNamedLabel("F1");
+  a.Comment("entry");
+  a.Bind(f);
+  a.Halt();
+  Program p = a.Finish();
+  const std::string listing = DisassembleProgram(p);
+  EXPECT_NE(listing.find("F1:"), std::string::npos);
+  EXPECT_NE(listing.find("; entry"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fgpar::isa

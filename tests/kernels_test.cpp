@@ -1,0 +1,102 @@
+// Validation of the 18 Sequoia kernel reconstructions: every kernel must
+// pass the interpreter / sequential / parallel triple check on 2 and 4
+// cores, with and without speculation, and under the throughput heuristic.
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "kernels/sequoia.hpp"
+
+namespace fgpar::kernels {
+namespace {
+
+TEST(Sequoia, HasEighteenKernelsInTableOrder) {
+  const auto& kernels = SequoiaKernels();
+  ASSERT_EQ(kernels.size(), 18u);
+  EXPECT_EQ(kernels[0].id, "lammps-1");
+  EXPECT_EQ(kernels[5].id, "irs-1");
+  EXPECT_EQ(kernels[10].id, "umt2k-1");
+  EXPECT_EQ(kernels[17].id, "sphot-2");
+}
+
+TEST(Sequoia, PercentagesMatchTableOne) {
+  EXPECT_DOUBLE_EQ(SequoiaKernelById("lammps-1").pct_time, 30.0);
+  EXPECT_DOUBLE_EQ(SequoiaKernelById("lammps-3").pct_time, 49.5);
+  EXPECT_DOUBLE_EQ(SequoiaKernelById("irs-1").pct_time, 55.6);
+  EXPECT_DOUBLE_EQ(SequoiaKernelById("umt2k-4").pct_time, 22.6);
+  EXPECT_DOUBLE_EQ(SequoiaKernelById("sphot-2").pct_time, 37.5);
+}
+
+TEST(Sequoia, ApplicationsCoverAllKernels) {
+  std::size_t total = 0;
+  for (const SequoiaApplication& app : SequoiaApplications()) {
+    total += app.kernel_ids.size();
+    for (const std::string& id : app.kernel_ids) {
+      EXPECT_EQ(SequoiaKernelById(id).application, app.name);
+    }
+  }
+  EXPECT_EQ(total, 18u);
+}
+
+TEST(Sequoia, UnknownIdThrows) {
+  EXPECT_THROW(SequoiaKernelById("lammps-9"), Error);
+}
+
+class SequoiaKernelCheck : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SequoiaKernelCheck, TripleCheckTwoAndFourCores) {
+  const SequoiaKernel& spec = SequoiaKernelById(GetParam());
+  const ir::Kernel kernel = ParseSequoia(spec);
+  harness::KernelRunner runner(kernel, SequoiaInit(spec));
+  for (int cores : {2, 4}) {
+    harness::RunConfig config;
+    config.compile.num_cores = cores;
+    const harness::KernelRun run = runner.Run(config);  // throws on mismatch
+    EXPECT_GT(run.seq_cycles, 0u);
+    EXPECT_GT(run.par_cycles, 0u);
+  }
+}
+
+TEST_P(SequoiaKernelCheck, TripleCheckWithSpeculation) {
+  const SequoiaKernel& spec = SequoiaKernelById(GetParam());
+  const ir::Kernel kernel = ParseSequoia(spec);
+  harness::KernelRunner runner(kernel, SequoiaInit(spec));
+  harness::RunConfig config;
+  config.compile.num_cores = 4;
+  config.compile.speculation = true;
+  const harness::KernelRun run = runner.Run(config);
+  EXPECT_GT(run.seq_cycles, 0u);
+}
+
+TEST_P(SequoiaKernelCheck, TripleCheckWithThroughputHeuristic) {
+  const SequoiaKernel& spec = SequoiaKernelById(GetParam());
+  const ir::Kernel kernel = ParseSequoia(spec);
+  harness::KernelRunner runner(kernel, SequoiaInit(spec));
+  harness::RunConfig config;
+  config.compile.num_cores = 4;
+  config.compile.throughput_heuristic = true;
+  const harness::KernelRun run = runner.Run(config);
+  EXPECT_GT(run.seq_cycles, 0u);
+}
+
+std::vector<std::string> AllKernelIds() {
+  std::vector<std::string> ids;
+  for (const SequoiaKernel& kernel : SequoiaKernels()) {
+    ids.push_back(kernel.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SequoiaKernelCheck,
+                         ::testing::ValuesIn(AllKernelIds()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace fgpar::kernels

@@ -1,0 +1,215 @@
+// Unit tests for the merge stage: affinity heuristics, the balance cap,
+// candidate enumeration, the topological pipeline cut, refinement, and the
+// queue-budget constraint.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/cost.hpp"
+#include "analysis/index.hpp"
+#include "compiler/fiber.hpp"
+#include "compiler/forward.hpp"
+#include "compiler/graph.hpp"
+#include "compiler/merge.hpp"
+#include "compiler/split.hpp"
+#include "frontend/parser.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+struct GraphFixture {
+  ir::Kernel kernel;
+  std::unique_ptr<analysis::KernelIndex> index;
+  analysis::CostModel cost{sim::CoreTiming{}, sim::CacheConfig{}, nullptr};
+  CodeGraph graph;
+
+  explicit GraphFixture(const char* source)
+      : kernel(frontend::ParseKernel(source)) {
+    SplitExpressions(kernel, 4);
+    ForwardStores(kernel);
+    Fiberize(kernel);
+    index = std::make_unique<analysis::KernelIndex>(kernel);
+    graph = BuildCodeGraph(*index, cost);
+  }
+};
+
+constexpr const char* kWide = R"(
+kernel wide {
+  param i64 n;
+  array f64 a[64];
+  array f64 o1[64];
+  array f64 o2[64];
+  array f64 o3[64];
+  array f64 o4[64];
+  loop i = 2 .. n {
+    o1[i] = a[i] * 2.0 + a[i-1];
+    o2[i] = a[i] * 3.0 - a[i+1];
+    o3[i] = a[i] / (a[i] + 1.0) + a[i-2];
+    o4[i] = sqrt(abs(a[i])) * a[i+2];
+  }
+}
+)";
+
+std::size_t TotalStmts(const std::vector<MergedPartition>& parts) {
+  std::size_t total = 0;
+  for (const MergedPartition& p : parts) {
+    total += p.stmts.size();
+  }
+  return total;
+}
+
+std::size_t GraphStmts(const CodeGraph& graph) {
+  std::size_t total = 0;
+  for (const GraphNode& node : graph.nodes) {
+    total += node.stmts.size();
+  }
+  return total;
+}
+
+TEST(Merge, PartitionsPartitionTheStatements) {
+  GraphFixture f(kWide);
+  for (int cores : {1, 2, 3, 4, 8}) {
+    CompileOptions options;
+    options.num_cores = cores;
+    const auto parts = MergeGraph(f.graph, options);
+    EXPECT_LE(static_cast<int>(parts.size()), std::max(2, cores));
+    EXPECT_EQ(TotalStmts(parts), GraphStmts(f.graph));
+    // No statement appears twice.
+    std::set<ir::StmtId> seen;
+    for (const MergedPartition& p : parts) {
+      for (ir::StmtId s : p.stmts) {
+        EXPECT_TRUE(seen.insert(s).second);
+      }
+    }
+  }
+}
+
+TEST(Merge, BalanceCapPreventsSnowballing) {
+  GraphFixture f(kWide);
+  CompileOptions options;
+  options.num_cores = 4;
+  const auto parts = MergeGraph(f.graph, options);
+  ASSERT_GE(parts.size(), 2u);
+  double total = 0.0;
+  double max_cost = 0.0;
+  for (const MergedPartition& p : parts) {
+    total += p.cost;
+    max_cost = std::max(max_cost, p.cost);
+  }
+  // The biggest partition stays within (roughly) the configured factor of
+  // its fair share.  Allow slack for indivisible nodes.
+  EXPECT_LT(max_cost, options.balance_cap * total / parts.size() * 2.0);
+}
+
+TEST(Merge, EnumerationIsDeduplicatedAndComplete) {
+  GraphFixture f(kWide);
+  CompileOptions options;
+  options.num_cores = 4;
+  const auto candidates = EnumerateCandidates(f.graph, options);
+  EXPECT_GE(candidates.size(), 2u);  // at least one per shape
+  std::set<std::vector<std::vector<ir::StmtId>>> keys;
+  for (const auto& candidate : candidates) {
+    EXPECT_EQ(TotalStmts(candidate), GraphStmts(f.graph));
+    std::vector<std::vector<ir::StmtId>> key;
+    for (auto parts = candidate; auto& p : parts) {
+      std::sort(p.stmts.begin(), p.stmts.end());
+      key.push_back(p.stmts);
+    }
+    std::sort(key.begin(), key.end());
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate candidate";
+  }
+}
+
+TEST(Merge, ThroughputHeuristicProducesOneCandidate) {
+  GraphFixture f(kWide);
+  CompileOptions options;
+  options.num_cores = 4;
+  options.throughput_heuristic = true;
+  const auto candidates = EnumerateCandidates(f.graph, options);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(Merge, ObjectivePrefersAcyclicOverRoundTrips) {
+  // Two partitions with a mutual dependence must score worse than the same
+  // cost split one-way.
+  GraphFixture f(R"(
+kernel chainy {
+  param i64 n;
+  array f64 a[64];
+  array f64 o[64];
+  loop i = 0 .. n {
+    f64 t1 = a[i] * 2.0;
+    f64 t2 = t1 + 1.0;
+    f64 t3 = t2 * t1;
+    o[i] = t3 - t2;
+  }
+}
+)");
+  CompileOptions options;
+  options.num_cores = 2;
+  // Hand-build the two shapes from graph nodes.
+  auto part_of_nodes = [&](const std::set<int>& first) {
+    std::vector<MergedPartition> parts(2);
+    for (int node = 0; node < static_cast<int>(f.graph.nodes.size()); ++node) {
+      const GraphNode& gn = f.graph.nodes[static_cast<std::size_t>(node)];
+      MergedPartition& p = parts[first.contains(node) ? 0 : 1];
+      p.stmts.insert(p.stmts.end(), gn.stmts.begin(), gn.stmts.end());
+      p.cost += gn.cost;
+    }
+    return parts;
+  };
+  const int n = static_cast<int>(f.graph.nodes.size());
+  ASSERT_GE(n, 3);
+  // One-way: the first half of the chain vs the rest.
+  std::set<int> prefix;
+  for (int i = 0; i < n / 2; ++i) {
+    prefix.insert(i);
+  }
+  // Sandwich: first and last node together (forces values out and back).
+  std::set<int> sandwich = {0, n - 1};
+  const auto one_way = PartitionObjective(f.graph, part_of_nodes(prefix), options);
+  const auto round_trip =
+      PartitionObjective(f.graph, part_of_nodes(sandwich), options);
+  EXPECT_LT(std::get<0>(one_way), std::get<0>(round_trip));
+}
+
+TEST(Merge, QueueBudgetRespected) {
+  GraphFixture f(kWide);
+  for (int budget : {12, 6, 4, 2}) {
+    CompileOptions options;
+    options.num_cores = 4;
+    options.max_channels = budget;
+    const auto candidates = EnumerateCandidates(f.graph, options);
+    for (const auto& candidate : candidates) {
+      // Star channels alone need 2*(P-1) <= budget.
+      EXPECT_LE(2 * (static_cast<int>(candidate.size()) - 1), budget)
+          << "candidate with " << candidate.size()
+          << " partitions under budget " << budget;
+    }
+  }
+}
+
+TEST(Merge, ImpossibleBudgetFallsBackToSinglePartition) {
+  GraphFixture f(kWide);
+  CompileOptions options;
+  options.num_cores = 4;
+  options.max_channels = 1;  // can't even dispatch one secondary
+  const auto candidates = EnumerateCandidates(f.graph, options);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].size(), 1u);
+  EXPECT_EQ(TotalStmts(candidates[0]), GraphStmts(f.graph));
+}
+
+TEST(Refine, NeverLosesStatements) {
+  GraphFixture f(kWide);
+  CompileOptions options;
+  options.num_cores = 3;
+  auto parts = MergeGraph(f.graph, options);
+  const std::size_t before = TotalStmts(parts);
+  parts = RefinePartitions(f.graph, std::move(parts), options);
+  EXPECT_EQ(TotalStmts(parts), before);
+}
+
+}  // namespace
+}  // namespace fgpar::compiler

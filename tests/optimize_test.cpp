@@ -1,0 +1,173 @@
+// Unit tests for the scalar optimizer passes: constant folding and dead
+// temporary elimination.
+#include <gtest/gtest.h>
+
+#include "compiler/optimize.hpp"
+#include "frontend/parser.hpp"
+#include "ir/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace fgpar::compiler {
+namespace {
+
+ir::Kernel Parse(const char* source) { return frontend::ParseKernel(source); }
+
+std::vector<std::uint64_t> Interpret(const ir::Kernel& k) {
+  ir::DataLayout layout(k);
+  ir::ParamEnv env(k);
+  Rng rng(9);
+  for (const ir::Symbol& sym : k.symbols()) {
+    if (sym.kind == ir::SymbolKind::kParam) {
+      if (sym.type == ir::ScalarType::kI64) {
+        env.SetI64(sym.id, 12);
+      } else {
+        env.SetF64(sym.id, 1.5);
+      }
+    }
+  }
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+  for (const ir::Symbol& sym : k.symbols()) {
+    if (sym.kind == ir::SymbolKind::kArray) {
+      const std::uint64_t base = layout.AddressOf(sym.id);
+      for (std::int64_t i = 0; i < sym.array_size; ++i) {
+        memory[base + static_cast<std::uint64_t>(i)] =
+            sym.type == ir::ScalarType::kF64
+                ? std::bit_cast<std::uint64_t>(rng.NextDouble(0.5, 2.0))
+                : static_cast<std::uint64_t>(rng.NextInt(0, sym.array_size - 1));
+      }
+    }
+  }
+  ir::Interpreter(k, layout, env, memory).Run();
+  return memory;
+}
+
+TEST(Fold, ConstantSubtreesCollapse) {
+  ir::Kernel k = Parse(R"(
+kernel fold {
+  array f64 o[16];
+  loop i = 0 .. 16 {
+    o[i] = (2.0 * 3.0 + 1.0) * f64(i) + sqrt(4.0) - abs(-2.5);
+  }
+}
+)");
+  const auto before = Interpret(k);
+  const int folded = FoldConstants(k);
+  EXPECT_GT(folded, 0);
+  ir::CheckValid(k);
+  EXPECT_EQ(Interpret(k), before);
+  // The printed form should now contain the folded 7.0.
+  EXPECT_NE(ir::PrintKernel(k).find("7.0"), std::string::npos);
+}
+
+TEST(Fold, IntegerSemanticsMatchInterpreter) {
+  ir::Kernel k = Parse(R"(
+kernel foldint {
+  array i64 o[8];
+  loop i = 0 .. 8 {
+    o[i] = ((-16) >> 2) + (1 << 66) + i64(-2.9) + (7 % 3) + min(3, -5) + i;
+  }
+}
+)");
+  const auto before = Interpret(k);
+  EXPECT_GT(FoldConstants(k), 0);
+  EXPECT_EQ(Interpret(k), before);
+}
+
+TEST(Fold, DivisionByZeroTrapPreserved) {
+  ir::Kernel k = Parse(R"(
+kernel trap {
+  array i64 o[4];
+  loop i = 0 .. 4 {
+    o[i] = 1 / (i - i);
+  }
+}
+)");
+  FoldConstants(k);  // i - i is not constant, but even if simplified the
+                     // trap must stay: 1 / 0 is never folded.
+  EXPECT_THROW(Interpret(k), Error);
+}
+
+TEST(Fold, LoopBoundsFold) {
+  ir::Kernel k = Parse(R"(
+kernel bounds {
+  array f64 o[16];
+  loop i = 2 + 2 .. 2 * 8 {
+    o[i] = 1.0;
+  }
+}
+)");
+  FoldConstants(k);
+  EXPECT_EQ(k.expr(k.loop().lower).kind, ir::ExprKind::kConstI);
+  EXPECT_EQ(k.expr(k.loop().lower).const_i, 4);
+  EXPECT_EQ(k.expr(k.loop().upper).const_i, 16);
+}
+
+TEST(Dce, RemovesOrphanedChains) {
+  ir::Kernel k = Parse(R"(
+kernel dce {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    f64 dead1 = a[i] * 2.0;
+    f64 dead2 = dead1 + 1.0;
+    f64 live = a[i] + 3.0;
+    o[i] = live;
+  }
+}
+)");
+  const auto before = Interpret(k);
+  const int removed = EliminateDeadTemps(k);
+  EXPECT_EQ(removed, 2);  // dead2, then dead1 on the next sweep
+  ir::CheckValid(k);
+  EXPECT_EQ(Interpret(k), before);
+  int assigns = 0;
+  ir::Kernel::VisitStmts(k.loop().body, [&](const ir::Stmt& s) {
+    assigns += s.kind == ir::StmtKind::kAssignTemp ? 1 : 0;
+  });
+  EXPECT_EQ(assigns, 1);
+}
+
+TEST(Dce, KeepsCarriedTempsAndEpilogueInputs) {
+  ir::Kernel k = Parse(R"(
+kernel keep {
+  array f64 a[8];
+  scalar f64 out;
+  carried f64 sum = 0.0;
+  loop i = 0 .. 8 {
+    f64 live_out = a[i] * 2.0;
+    sum = sum + 1.0;
+  }
+  after {
+    out = sum + live_out;
+  }
+}
+)");
+  EXPECT_EQ(EliminateDeadTemps(k), 0);  // live_out is read by the epilogue
+  ir::CheckValid(k);
+}
+
+TEST(Dce, GuardedDeadAssignRemoved) {
+  ir::Kernel k = Parse(R"(
+kernel guarded {
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. 8 {
+    if (a[i] < 1.0) {
+      f64 dead = a[i] * 9.0;
+      o[i] = 1.0;
+    } else {
+      o[i] = 2.0;
+    }
+  }
+}
+)");
+  const auto before = Interpret(k);
+  EXPECT_EQ(EliminateDeadTemps(k), 1);
+  EXPECT_EQ(Interpret(k), before);
+}
+
+}  // namespace
+}  // namespace fgpar::compiler

@@ -1,0 +1,119 @@
+// Unit tests for the memory system and cache timing model.
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::sim {
+namespace {
+
+CacheConfig SmallCache() {
+  CacheConfig c;
+  c.line_words = 4;
+  c.l1_sets = 4;
+  c.l1_ways = 2;
+  c.l2_sets = 16;
+  c.l2_ways = 2;
+  c.l1_latency = 6;
+  c.l2_latency = 40;
+  c.mem_latency = 200;
+  return c;
+}
+
+TEST(Memory, FunctionalReadWriteRoundTrip) {
+  MemorySystem mem(SmallCache(), 2, 1024);
+  mem.WriteI64(10, -12345);
+  mem.WriteF64(11, 3.25);
+  EXPECT_EQ(mem.ReadI64(10), -12345);
+  EXPECT_DOUBLE_EQ(mem.ReadF64(11), 3.25);
+}
+
+TEST(Memory, RawPreservesBitPatterns) {
+  MemorySystem mem(SmallCache(), 1, 64);
+  mem.WriteF64(0, -0.0);
+  EXPECT_EQ(mem.ReadRaw(0), 0x8000000000000000ull);
+  mem.WriteRaw(1, 0x7ff8000000000001ull);  // a NaN payload survives
+  EXPECT_EQ(mem.ReadRaw(1), 0x7ff8000000000001ull);
+}
+
+TEST(Memory, OutOfRangeThrows) {
+  MemorySystem mem(SmallCache(), 1, 16);
+  EXPECT_THROW(mem.ReadI64(16), Error);
+  EXPECT_THROW(mem.WriteF64(100, 1.0), Error);
+  EXPECT_THROW(mem.AccessTimed(0, 16, false), Error);
+}
+
+TEST(Memory, ColdMissThenHit) {
+  MemorySystem mem(SmallCache(), 1, 1024);
+  EXPECT_EQ(mem.AccessTimed(0, 0, false), 200);  // cold: full miss
+  EXPECT_EQ(mem.AccessTimed(0, 0, false), 6);    // now in L1
+  EXPECT_EQ(mem.AccessTimed(0, 3, false), 6);    // same 4-word line
+  EXPECT_EQ(mem.AccessTimed(0, 4, false), 200);  // next line: cold again
+}
+
+TEST(Memory, L2CatchesL1Evictions) {
+  CacheConfig c = SmallCache();
+  MemorySystem mem(c, 1, 1u << 16);
+  // Fill L1 set 0 beyond its 2 ways: lines at stride sets*line_words map to
+  // the same L1 set.
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(c.l1_sets) * static_cast<std::uint64_t>(c.line_words);
+  mem.AccessTimed(0, 0 * stride, false);
+  mem.AccessTimed(0, 1 * stride, false);
+  mem.AccessTimed(0, 2 * stride, false);  // evicts line 0 from L1
+  // Line 0 is gone from L1 but still resident in the larger L2.
+  EXPECT_EQ(mem.AccessTimed(0, 0, false), c.l2_latency);
+}
+
+TEST(Memory, LruReplacementKeepsRecentlyUsedLine) {
+  CacheConfig c = SmallCache();
+  MemorySystem mem(c, 1, 1u << 16);
+  const std::uint64_t stride =
+      static_cast<std::uint64_t>(c.l1_sets) * static_cast<std::uint64_t>(c.line_words);
+  mem.AccessTimed(0, 0 * stride, false);
+  mem.AccessTimed(0, 1 * stride, false);
+  mem.AccessTimed(0, 0 * stride, false);  // touch line 0 again
+  mem.AccessTimed(0, 2 * stride, false);  // should evict line 1 (LRU)
+  EXPECT_EQ(mem.AccessTimed(0, 0, false), c.l1_latency);
+}
+
+TEST(Memory, WriteInvalidatesOtherCoresL1) {
+  CacheConfig c = SmallCache();
+  MemorySystem mem(c, 2, 1024);
+  mem.AccessTimed(0, 0, false);  // core 0 caches the line
+  mem.AccessTimed(0, 0, false);
+  EXPECT_EQ(mem.AccessTimed(0, 0, false), c.l1_latency);
+  mem.AccessTimed(1, 0, true);  // core 1 writes: invalidates core 0's copy
+  EXPECT_GT(mem.AccessTimed(0, 0, false), c.l1_latency);
+}
+
+TEST(Memory, PerCoreL1IsPrivate) {
+  CacheConfig c = SmallCache();
+  MemorySystem mem(c, 2, 1024);
+  mem.AccessTimed(0, 0, false);
+  // Core 1 never touched the line: it misses L1 but hits the shared L2.
+  EXPECT_EQ(mem.AccessTimed(1, 0, false), c.l2_latency);
+}
+
+TEST(Memory, StatsCountHitsAndMisses) {
+  MemorySystem mem(SmallCache(), 1, 1024);
+  mem.AccessTimed(0, 0, false);
+  mem.AccessTimed(0, 0, false);
+  mem.AccessTimed(0, 0, false);
+  EXPECT_EQ(mem.misses(), 1u);
+  EXPECT_EQ(mem.l1_hits(), 2u);
+}
+
+TEST(Memory, ClearCachesResetsTimingButNotContent) {
+  MemorySystem mem(SmallCache(), 1, 1024);
+  mem.WriteI64(5, 77);
+  mem.AccessTimed(0, 5, false);
+  mem.AccessTimed(0, 5, false);
+  mem.ClearCaches();
+  EXPECT_EQ(mem.ReadI64(5), 77);
+  EXPECT_EQ(mem.l1_hits(), 0u);
+  EXPECT_EQ(mem.AccessTimed(0, 5, false), 200);  // cold again
+}
+
+}  // namespace
+}  // namespace fgpar::sim

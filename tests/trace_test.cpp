@@ -1,0 +1,109 @@
+// Tests for the machine's trace facility.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/machine.hpp"
+
+namespace fgpar::sim {
+namespace {
+
+using isa::Assembler;
+using isa::Gpr;
+
+TEST(Trace, SeesEveryIssueInOrder) {
+  Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(Gpr{1}, 3);
+  a.LiI(Gpr{2}, 1);
+  isa::Label top = a.NewLabel();
+  a.Bind(top);
+  a.SubI(Gpr{1}, Gpr{1}, Gpr{2});
+  a.Bnz(Gpr{1}, top);
+  a.Halt();
+
+  MachineConfig config;
+  config.num_cores = 1;
+  config.memory_words = 1 << 12;
+  Machine machine(config, a.Finish());
+  std::vector<TraceEvent> events;
+  machine.SetTrace([&](const TraceEvent& event) { events.push_back(event); });
+  machine.StartCoreAt(0, "main");
+  const RunResult result = machine.Run();
+
+  ASSERT_EQ(events.size(), result.instructions);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].cycle, events[i - 1].cycle);  // monotone time
+  }
+  // First two issues are the immediates; last is the halt.
+  EXPECT_EQ(events[0].op, isa::Opcode::kLiI);
+  EXPECT_EQ(events[1].op, isa::Opcode::kLiI);
+  EXPECT_EQ(events.back().op, isa::Opcode::kHalt);
+  // The loop body (sub + bnz) executes 3 times.
+  int subs = 0;
+  for (const TraceEvent& event : events) {
+    subs += event.op == isa::Opcode::kSubI ? 1 : 0;
+  }
+  EXPECT_EQ(subs, 3);
+}
+
+TEST(Trace, MultiCoreEventsCarryCoreIds) {
+  Assembler a;
+  isa::Label t0 = a.NewNamedLabel("t0");
+  isa::Label t1 = a.NewNamedLabel("t1");
+  a.Bind(t0);
+  a.LiI(Gpr{1}, 5);
+  a.EnqI(1, Gpr{1});
+  a.Halt();
+  a.Bind(t1);
+  a.DeqI(0, Gpr{1});
+  a.Halt();
+
+  MachineConfig config;
+  config.num_cores = 2;
+  config.memory_words = 1 << 12;
+  Machine machine(config, a.Finish());
+  bool saw_core0 = false;
+  bool saw_core1 = false;
+  std::uint64_t enq_cycle = 0;
+  std::uint64_t deq_cycle = 0;
+  machine.SetTrace([&](const TraceEvent& event) {
+    saw_core0 |= event.core == 0;
+    saw_core1 |= event.core == 1;
+    if (event.op == isa::Opcode::kEnqI) {
+      enq_cycle = event.cycle;
+    }
+    if (event.op == isa::Opcode::kDeqI) {
+      deq_cycle = event.cycle;
+    }
+  });
+  machine.StartCoreAt(0, "t0");
+  machine.StartCoreAt(1, "t1");
+  machine.Run();
+  EXPECT_TRUE(saw_core0);
+  EXPECT_TRUE(saw_core1);
+  // The dequeue completes no earlier than enqueue + transfer latency.
+  EXPECT_GE(deq_cycle, enq_cycle +
+                           static_cast<std::uint64_t>(config.queue.transfer_latency));
+}
+
+TEST(Trace, DisablingStopsEvents) {
+  Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(Gpr{1}, 1);
+  a.Halt();
+  MachineConfig config;
+  config.num_cores = 1;
+  config.memory_words = 1 << 12;
+  Machine machine(config, a.Finish());
+  int count = 0;
+  machine.SetTrace([&](const TraceEvent&) { ++count; });
+  machine.SetTrace(nullptr);
+  machine.StartCoreAt(0, "main");
+  machine.Run();
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace fgpar::sim

@@ -1,0 +1,298 @@
+// fgparc — the fine-grained parallelizing compiler, as a command-line tool.
+//
+// Usage:
+//   fgparc <file.fk> [options]
+//
+// Options:
+//   --cores N          core budget (default 4)
+//   --latency N        queue transfer latency in cycles (default 5)
+//   --capacity N       queue slots (default 20)
+//   --speculate        apply Section III-H control-flow speculation
+//   --throughput       use the Section III-B acyclic "throughput" heuristic
+//   --tune             multi-version compilation with dynamic feedback
+//   --smt N            hardware threads per physical core (default 1)
+//   --trip N           value for every i64 parameter (default 400)
+//   --seed N           workload RNG seed (default 0x5EED)
+//   --trace N          print the first N instruction-issue events of the
+//                      parallel run (cycle, core, pc, disassembly)
+//   --print-ir         dump the rewritten (fiberized) kernel
+//   --print-plan       dump partitions and the communication plan
+//   --disasm           dump the generated machine code
+//   --run              compile sequential + parallel, verify, report speedup
+//                      (default if no print option is given)
+//
+// Arrays are initialized with deterministic values in [0.5, 2); i64 arrays
+// get in-range indices; f64 params get values in [0.5, 2); i64 params get
+// --trip.  Exit code 0 on success, 1 on any compile/verify error.
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/index.hpp"
+#include "compiler/compile.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "harness/runner.hpp"
+#include "ir/printer.hpp"
+#include "isa/disasm.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/str.hpp"
+
+namespace {
+
+using namespace fgpar;
+
+struct CliOptions {
+  std::string path;
+  int cores = 4;
+  int latency = 5;
+  int capacity = 20;
+  int smt = 1;
+  std::int64_t trip = 400;
+  std::uint64_t seed = 0x5EED;
+  bool speculate = false;
+  bool throughput = false;
+  bool tune = false;
+  std::int64_t trace = 0;
+  bool print_ir = false;
+  bool print_plan = false;
+  bool disasm = false;
+  bool run = false;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: fgparc <file.fk> [--cores N] [--latency N] [--capacity N]\n"
+               "              [--speculate] [--throughput] [--tune] [--smt N]\n"
+               "              [--trip N] [--seed N] [--trace N]\n"
+               "              [--print-ir] [--print-plan] [--disasm] [--run]\n");
+  std::exit(2);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  auto next_int = [&](int& i) {
+    if (i + 1 >= argc) {
+      Usage();
+    }
+    return std::atoll(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--cores") == 0) {
+      options.cores = static_cast<int>(next_int(i));
+    } else if (std::strcmp(arg, "--latency") == 0) {
+      options.latency = static_cast<int>(next_int(i));
+    } else if (std::strcmp(arg, "--capacity") == 0) {
+      options.capacity = static_cast<int>(next_int(i));
+    } else if (std::strcmp(arg, "--smt") == 0) {
+      options.smt = static_cast<int>(next_int(i));
+    } else if (std::strcmp(arg, "--trip") == 0) {
+      options.trip = next_int(i);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = static_cast<std::uint64_t>(next_int(i));
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options.trace = next_int(i);
+    } else if (std::strcmp(arg, "--speculate") == 0) {
+      options.speculate = true;
+    } else if (std::strcmp(arg, "--throughput") == 0) {
+      options.throughput = true;
+    } else if (std::strcmp(arg, "--tune") == 0) {
+      options.tune = true;
+    } else if (std::strcmp(arg, "--print-ir") == 0) {
+      options.print_ir = true;
+    } else if (std::strcmp(arg, "--print-plan") == 0) {
+      options.print_plan = true;
+    } else if (std::strcmp(arg, "--disasm") == 0) {
+      options.disasm = true;
+    } else if (std::strcmp(arg, "--run") == 0) {
+      options.run = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      Usage();
+    } else if (options.path.empty()) {
+      options.path = arg;
+    } else {
+      Usage();
+    }
+  }
+  if (options.path.empty()) {
+    Usage();
+  }
+  if (!options.print_ir && !options.print_plan && !options.disasm) {
+    options.run = true;
+  }
+  return options;
+}
+
+harness::WorkloadInit MakeInit(const CliOptions& options) {
+  const std::int64_t trip = options.trip;
+  const std::uint64_t seed = options.seed;
+  return [trip, seed](const ir::Kernel& kernel, const ir::DataLayout& layout,
+                      ir::ParamEnv& params, std::vector<std::uint64_t>& memory) {
+    Rng rng(seed);
+    for (const ir::Symbol& sym : kernel.symbols()) {
+      switch (sym.kind) {
+        case ir::SymbolKind::kParam:
+          if (sym.type == ir::ScalarType::kI64) {
+            params.SetI64(sym.id, trip);
+          } else {
+            params.SetF64(sym.id, rng.NextDouble(0.5, 2.0));
+          }
+          break;
+        case ir::SymbolKind::kArray: {
+          const std::uint64_t base = layout.AddressOf(sym.id);
+          for (std::int64_t i = 0; i < sym.array_size; ++i) {
+            memory[base + static_cast<std::uint64_t>(i)] =
+                sym.type == ir::ScalarType::kF64
+                    ? std::bit_cast<std::uint64_t>(rng.NextDouble(0.5, 2.0))
+                    : static_cast<std::uint64_t>(
+                          rng.NextInt(0, sym.array_size - 1));
+          }
+          break;
+        }
+        case ir::SymbolKind::kScalar:
+          break;
+      }
+    }
+  };
+}
+
+int Main(int argc, char** argv) {
+  const CliOptions options = ParseArgs(argc, argv);
+
+  std::ifstream in(options.path);
+  if (!in) {
+    std::fprintf(stderr, "fgparc: cannot open %s\n", options.path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const ir::Kernel kernel = frontend::ParseKernel(buffer.str());
+  const ir::DataLayout layout(kernel);
+
+  compiler::CompileOptions compile;
+  compile.num_cores = options.cores;
+  compile.speculation = options.speculate;
+  compile.throughput_heuristic = options.throughput;
+
+  const compiler::CompiledParallel compiled =
+      compiler::CompileParallel(kernel, layout, compile);
+
+  if (options.print_ir) {
+    std::printf("%s\n", ir::PrintKernel(compiled.partition.kernel).c_str());
+  }
+  if (options.print_plan) {
+    const analysis::KernelIndex index(compiled.partition.kernel);
+    std::printf("partitions (%d cores used):\n", compiled.cores_used);
+    for (std::size_t c = 0; c < compiled.partition.partitions.size(); ++c) {
+      std::printf("  core %zu:\n", c);
+      for (ir::StmtId id : compiled.partition.partitions[c]) {
+        std::string text =
+            ir::PrintStmts(compiled.partition.kernel, {*index.ByStmtId(id).stmt}, 0);
+        if (!text.empty() && text.back() == '\n') {
+          text.pop_back();
+        }
+        std::printf("    %s\n", text.c_str());
+      }
+    }
+    std::printf("loop transfers: %d\n", compiled.comm.com_ops());
+    for (const compiler::Transfer& t : compiled.comm.transfers) {
+      std::printf("  %s: core %d -> core %d\n",
+                  compiled.partition.kernel.temp(t.temp).name.c_str(), t.src_core,
+                  t.dst_core);
+    }
+  }
+  if (options.disasm) {
+    std::printf("%s\n", isa::DisassembleProgram(compiled.program).c_str());
+  }
+
+  if (options.trace > 0) {
+    // Re-run the parallel program on a fresh machine with tracing on.
+    sim::MachineConfig machine_config;
+    machine_config.num_cores = compiled.cores_used;
+    machine_config.threads_per_core = std::min(options.smt, compiled.cores_used);
+    machine_config.queue.transfer_latency = options.latency;
+    machine_config.queue.capacity = options.capacity;
+    std::uint64_t words = 1024;
+    while (words < layout.end() + 64) {
+      words *= 2;
+    }
+    machine_config.memory_words = words;
+    sim::Machine machine(machine_config, compiled.program);
+    {
+      ir::ParamEnv env(kernel);
+      std::vector<std::uint64_t> image(layout.end(), 0);
+      MakeInit(options)(kernel, layout, env, image);
+      for (const ir::Symbol& sym : kernel.symbols()) {
+        if (sym.kind == ir::SymbolKind::kParam) {
+          image[layout.ParamAddressOf(sym.id)] = env.GetRaw(sym.id);
+        }
+      }
+      for (std::uint64_t addr = 0; addr < image.size(); ++addr) {
+        machine.memory().WriteRaw(addr, image[addr]);
+      }
+    }
+    std::int64_t remaining = options.trace;
+    machine.SetTrace([&](const sim::TraceEvent& event) {
+      if (remaining-- > 0) {
+        std::printf("cycle %6llu  core %d  pc %4lld  %s\n",
+                    static_cast<unsigned long long>(event.cycle), event.core,
+                    static_cast<long long>(event.pc),
+                    isa::Disassemble(compiled.program.at(event.pc)).c_str());
+      }
+    });
+    machine.StartCoreAt(0, "main");
+    for (int c = 1; c < compiled.cores_used; ++c) {
+      machine.StartCoreAt(c, "driver");
+    }
+    machine.Run();
+  }
+
+  if (options.run) {
+    harness::KernelRunner runner(kernel, MakeInit(options));
+    harness::RunConfig config;
+    config.compile = compile;
+    config.queue.transfer_latency = options.latency;
+    config.queue.capacity = options.capacity;
+    config.threads_per_core = options.smt;
+    config.tune_by_simulation = options.tune;
+    const harness::KernelRun run = runner.Run(config);
+    std::printf("kernel:       %s\n", kernel.name().c_str());
+    std::printf("cores used:   %d (of %d budgeted", run.cores_used, options.cores);
+    if (options.smt > 1) {
+      std::printf(", %d threads/core", options.smt);
+    }
+    std::printf(")\n");
+    std::printf("sequential:   %s cycles\n",
+                FormatWithCommas(static_cast<long long>(run.seq_cycles)).c_str());
+    std::printf("parallel:     %s cycles\n",
+                FormatWithCommas(static_cast<long long>(run.par_cycles)).c_str());
+    std::printf("speedup:      %.2f\n", run.speedup);
+    std::printf("fibers:       %d (data deps %d, load balance %.2f)\n",
+                run.initial_fibers, run.data_deps, run.load_balance);
+    std::printf("comm:         %d loop transfers over %d queues\n", run.com_ops,
+                run.queues_used);
+    std::printf("verified:     memory bit-identical to the reference "
+                "interpreter\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Main(argc, argv);
+  } catch (const fgpar::Error& e) {
+    std::fprintf(stderr, "fgparc: %s\n", e.what());
+    return 1;
+  }
+}
