@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
   {
     ir::ParamEnv env(kernel);
     std::vector<std::uint64_t> image(layout.end(), 0);
-    kernels::SequoiaInit(spec)(kernel, layout, env, image);
+    kernels::SequoiaInit(spec)(0x5EED, kernel, layout, env, image);
     for (const ir::Symbol& sym : kernel.symbols()) {
       if (sym.kind == ir::SymbolKind::kParam) {
         image[layout.ParamAddressOf(sym.id)] = env.GetRaw(sym.id);

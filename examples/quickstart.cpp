@@ -47,7 +47,8 @@ int main() {
               ir::PrintKernel(kernel).c_str());
 
   // ---- workload ----
-  harness::WorkloadInit init = [](const ir::Kernel& k, const ir::DataLayout& layout,
+  harness::WorkloadInit init = [](std::uint64_t /*seed*/, const ir::Kernel& k,
+                                  const ir::DataLayout& layout,
                                   ir::ParamEnv& params,
                                   std::vector<std::uint64_t>& memory) {
     Rng rng(2024);

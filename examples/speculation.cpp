@@ -43,7 +43,8 @@ int main() {
   using namespace fgpar;
 
   ir::Kernel kernel = frontend::ParseKernel(kKernel);
-  harness::WorkloadInit init = [](const ir::Kernel& k, const ir::DataLayout& layout,
+  harness::WorkloadInit init = [](std::uint64_t /*seed*/, const ir::Kernel& k,
+                                  const ir::DataLayout& layout,
                                   ir::ParamEnv& params,
                                   std::vector<std::uint64_t>& memory) {
     Rng rng(99);

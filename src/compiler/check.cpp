@@ -1,5 +1,6 @@
 #include "compiler/check.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -64,22 +65,143 @@ void Trace(const std::vector<PlanItem>& items, int core, const CommPlan& comm,
   }
 }
 
-}  // namespace
+/// One queue operation of one core, in program order, with branches
+/// resolved.  The unit of the capacity-deadlock simulation.
+struct QueueOp {
+  bool is_enq = false;
+  QueueKey key{};
+  int transfer = -1;
+};
 
-void CheckCommunicationPairing(const ir::Kernel& kernel, const ProgramPlan& plan) {
-  (void)kernel;
+void CollectOps(const std::vector<PlanItem>& items, const CommPlan& comm,
+                const std::map<ir::StmtId, bool>& branch,
+                std::vector<QueueOp>& out) {
+  for (const PlanItem& item : items) {
+    switch (item.kind) {
+      case PlanItem::Kind::kStmt:
+        break;
+      case PlanItem::Kind::kIf: {
+        const auto it = branch.find(item.stmt->id);
+        FGPAR_CHECK_MSG(it != branch.end(), "if without a branch assignment");
+        CollectOps(it->second ? item.then_items : item.else_items, comm, branch,
+                   out);
+        break;
+      }
+      case PlanItem::Kind::kEnq: {
+        const Transfer& t = comm.transfers[static_cast<std::size_t>(item.transfer)];
+        out.push_back(QueueOp{
+            true, {t.src_core, t.dst_core, t.type == ir::ScalarType::kF64},
+            t.id});
+        break;
+      }
+      case PlanItem::Kind::kDeq: {
+        const Transfer& t = comm.transfers[static_cast<std::size_t>(item.transfer)];
+        out.push_back(QueueOp{
+            false, {t.src_core, t.dst_core, t.type == ir::ScalarType::kF64},
+            t.id});
+        break;
+      }
+    }
+  }
+}
+
+/// Greedily executes every core's queue-op sequence against capacity-
+/// bounded occupancy counters.  Returns true when every core completes its
+/// iteration; on failure, `diag` (if non-null) receives one line per
+/// blocked core.  Greedy maximal progress decides deadlock exactly here:
+/// each queue has a single sender and a single receiver, so firing one
+/// enabled op can never disable another (see the header comment).
+bool SimulateIterationAtCapacity(const ProgramPlan& plan,
+                                 const std::vector<std::vector<QueueOp>>& ops,
+                                 int capacity, std::string* diag) {
+  std::vector<std::size_t> pos(ops.size(), 0);
+  std::map<QueueKey, int> occupancy;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t c = 0; c < ops.size(); ++c) {
+      while (pos[c] < ops[c].size()) {
+        const QueueOp& op = ops[c][pos[c]];
+        if (op.is_enq) {
+          int& occ = occupancy[op.key];
+          if (occ >= capacity) {
+            break;
+          }
+          ++occ;
+        } else {
+          int& occ = occupancy[op.key];
+          if (occ <= 0) {
+            break;
+          }
+          --occ;
+        }
+        ++pos[c];
+        progress = true;
+      }
+    }
+  }
+  bool complete = true;
+  std::ostringstream os;
+  for (std::size_t c = 0; c < ops.size(); ++c) {
+    if (pos[c] >= ops[c].size()) {
+      continue;
+    }
+    complete = false;
+    const QueueOp& op = ops[c][pos[c]];
+    os << "  core " << plan.cores[c].core << ": blocked "
+       << (op.is_enq ? "enqueuing transfer " : "dequeuing transfer ")
+       << op.transfer << " on " << (op.key.is_fp ? "fp" : "int") << " queue "
+       << op.key.src << "->" << op.key.dst << " (occupancy "
+       << occupancy[op.key] << "/" << capacity << ", op " << pos[c] + 1
+       << " of " << ops[c].size() << ")\n";
+  }
+  if (!complete && diag != nullptr) {
+    *diag = os.str();
+  }
+  return complete;
+}
+
+/// Resolves each core's queue-op sequence under one branch assignment.
+std::vector<std::vector<QueueOp>> ResolveOps(
+    const ProgramPlan& plan, const std::map<ir::StmtId, bool>& branch) {
+  std::vector<std::vector<QueueOp>> ops;
+  ops.reserve(plan.cores.size());
+  for (const CorePlan& core : plan.cores) {
+    std::vector<QueueOp> seq;
+    CollectOps(core.body, plan.comm, branch, seq);
+    ops.push_back(std::move(seq));
+  }
+  return ops;
+}
+
+/// Enumerates the branch assignments of a plan (shared by both checkers).
+std::vector<ir::StmtId> PlanIfs(const ProgramPlan& plan) {
   std::vector<ir::StmtId> ifs;
   for (const CorePlan& core : plan.cores) {
     CollectIfs(core.body, ifs);
   }
   FGPAR_CHECK_MSG(ifs.size() <= 20, "too many conditionals to check exhaustively");
+  return ifs;
+}
+
+std::map<ir::StmtId, bool> BranchAssignment(const std::vector<ir::StmtId>& ifs,
+                                            std::uint64_t mask) {
+  std::map<ir::StmtId, bool> branch;
+  for (std::size_t i = 0; i < ifs.size(); ++i) {
+    branch[ifs[i]] = ((mask >> i) & 1) != 0;
+  }
+  return branch;
+}
+
+}  // namespace
+
+void CheckCommunicationPairing(const ir::Kernel& kernel, const ProgramPlan& plan) {
+  (void)kernel;
+  const std::vector<ir::StmtId> ifs = PlanIfs(plan);
 
   const std::uint64_t combos = 1ull << ifs.size();
   for (std::uint64_t mask = 0; mask < combos; ++mask) {
-    std::map<ir::StmtId, bool> branch;
-    for (std::size_t i = 0; i < ifs.size(); ++i) {
-      branch[ifs[i]] = ((mask >> i) & 1) != 0;
-    }
+    const std::map<ir::StmtId, bool> branch = BranchAssignment(ifs, mask);
     std::map<QueueKey, std::vector<int>> enq_seq;
     std::map<QueueKey, std::vector<int>> deq_seq;
     for (const CorePlan& core : plan.cores) {
@@ -115,6 +237,64 @@ void CheckCommunicationPairing(const ir::Kernel& kernel, const ProgramPlan& plan
       }
     }
   }
+}
+
+void CheckQueueCapacity(const ProgramPlan& plan, int capacity) {
+  if (capacity <= 0) {
+    return;  // unlimited capacity: bounded-buffer deadlock is impossible
+  }
+  const std::vector<ir::StmtId> ifs = PlanIfs(plan);
+  const std::uint64_t combos = 1ull << ifs.size();
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    const std::vector<std::vector<QueueOp>> ops =
+        ResolveOps(plan, BranchAssignment(ifs, mask));
+    std::string diag;
+    if (!SimulateIterationAtCapacity(plan, ops, capacity, &diag)) {
+      std::ostringstream os;
+      os << "queue capacity deadlock: with capacity " << capacity
+         << " the plan reaches a cyclic wait under branch mask " << mask;
+      const int required = RequiredQueueCapacity(plan);
+      if (required > 0) {
+        os << " (plan requires capacity >= " << required << ")";
+      } else {
+        os << " (no finite capacity suffices: ordering deadlock)";
+      }
+      os << ":\n" << diag;
+      throw Error(os.str());
+    }
+  }
+}
+
+int RequiredQueueCapacity(const ProgramPlan& plan) {
+  const std::vector<ir::StmtId> ifs = PlanIfs(plan);
+  const std::uint64_t combos = 1ull << ifs.size();
+  int required = 1;
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    const std::vector<std::vector<QueueOp>> ops =
+        ResolveOps(plan, BranchAssignment(ifs, mask));
+    // The worst-case need never exceeds the longest per-queue enqueue
+    // sequence of the iteration: with that many slots the sender can run
+    // its whole iteration without blocking.
+    std::map<QueueKey, int> enq_counts;
+    int bound = 1;
+    for (const std::vector<QueueOp>& seq : ops) {
+      for (const QueueOp& op : seq) {
+        if (op.is_enq) {
+          bound = std::max(bound, ++enq_counts[op.key]);
+        }
+      }
+    }
+    int cap = required;  // monotone: smaller masks' result is a floor
+    while (cap <= bound &&
+           !SimulateIterationAtCapacity(plan, ops, cap, nullptr)) {
+      ++cap;
+    }
+    if (cap > bound) {
+      return -1;  // deadlocks even with enough slots for every enqueue
+    }
+    required = std::max(required, cap);
+  }
+  return required;
 }
 
 }  // namespace fgpar::compiler

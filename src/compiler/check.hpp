@@ -1,4 +1,4 @@
-// Static communication checker.
+// Static communication checkers.
 //
 // The paper (Section III-I): "the compiler has to statically ensure that
 // senders and receivers are always paired at runtime."  This pass proves it
@@ -9,6 +9,20 @@
 // register class), the sequence of transfers enqueued equals the sequence
 // dequeued.  A violated plan would deadlock or cross values at runtime;
 // here it becomes a compile-time error.
+//
+// Pairing alone is not enough once queues have bounded capacity: a paired
+// plan can still wedge when a cycle of cores blocks on full queues (or on
+// dequeues whose producers sit behind a full queue).  CheckQueueCapacity
+// proves this cannot happen by greedily executing each branch assignment's
+// per-core queue-operation sequences against capacity-bounded counters.
+// The system is a Kahn network in which every queue has exactly one sender
+// and one receiver, so enabled operations stay enabled until executed
+// (persistence); greedy maximal progress is therefore a sound *and
+// complete* deadlock decision procedure.  One iteration from empty queues
+// suffices: a pairing-checked iteration returns every queue to empty, so
+// by induction (and persistence) no deadlock is reachable at any iteration
+// count or cross-iteration pipelining skew.  Timing (transfer latency,
+// issue stalls) only delays operations and cannot create new deadlocks.
 #pragma once
 
 #include "compiler/plan.hpp"
@@ -17,5 +31,17 @@ namespace fgpar::compiler {
 
 /// Throws fgpar::Error with a diagnostic if the plan can unpair.
 void CheckCommunicationPairing(const ir::Kernel& kernel, const ProgramPlan& plan);
+
+/// Throws fgpar::Error with a diagnostic if the plan can reach a cyclic
+/// wait across full queues with the given per-queue capacity.  Requires a
+/// plan that already passed CheckCommunicationPairing.  `capacity` <= 0
+/// means unlimited (the check is skipped).
+void CheckQueueCapacity(const ProgramPlan& plan, int capacity);
+
+/// The smallest per-queue capacity under which the plan provably completes
+/// an iteration (1 is the hardware minimum).  Returns -1 for plans that
+/// deadlock at every capacity (a pure ordering deadlock).  Diagnostic
+/// companion to CheckQueueCapacity.
+int RequiredQueueCapacity(const ProgramPlan& plan);
 
 }  // namespace fgpar::compiler

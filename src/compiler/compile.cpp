@@ -51,6 +51,7 @@ CompiledParallel CompileParallel(const ir::Kernel& kernel,
       CommPlan comm = BuildCommPlan(index, trial);
       ProgramPlan plan = BuildProgramPlan(index, trial, std::move(comm));
       CheckCommunicationPairing(trial.kernel, plan);
+      CheckQueueCapacity(plan, options.assumed_queue_capacity);
       Built built{LowerParallel(trial.kernel, layout, plan), std::move(plan.comm),
                   std::move(candidate), 0};
       if (evaluator != nullptr) {

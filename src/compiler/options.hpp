@@ -26,6 +26,14 @@ struct CompileOptions {
   double cost_scale = 40.0;   // cycles
   double line_scale = 4.0;    // source lines
 
+  /// Hardware queue capacity (slots) assumed by the static capacity-
+  /// deadlock checker (check.cpp): plans whose per-iteration queue traffic
+  /// can reach a cyclic wait across full queues at this capacity are
+  /// rejected at compile time instead of wedging the machine.  The harness
+  /// keeps this in sync with the actual QueueConfig::capacity.  <= 0
+  /// disables the check (unlimited capacity).
+  int assumed_queue_capacity = 20;
+
   /// Transfer latency (cycles) the partitioner *assumes* when weighing
   /// cyclic dependences between partitions.  This mirrors the paper's
   /// methodology: the compiler's heuristics are tuned for the default

@@ -166,8 +166,11 @@ RandomKernelCase GenerateRandomKernel(std::uint64_t seed, bool with_conditionals
                                       bool with_reduction) {
   Generator generator(seed, with_conditionals, with_reduction);
   RandomKernelCase out{generator.Build(), nullptr};
-  out.init = [seed](const ir::Kernel& kernel, const ir::DataLayout& layout,
-                    ir::ParamEnv& params, std::vector<std::uint64_t>& memory) {
+  // The workload is a property of the generated case, so its data derives
+  // from the case seed, not the run seed.
+  out.init = [seed](std::uint64_t /*run_seed*/, const ir::Kernel& kernel,
+                    const ir::DataLayout& layout, ir::ParamEnv& params,
+                    std::vector<std::uint64_t>& memory) {
     Rng rng(seed ^ 0xDA7A0123);
     for (const ir::Symbol& sym : kernel.symbols()) {
       switch (sym.kind) {

@@ -1,10 +1,12 @@
 #include "harness/runner.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <sstream>
 
 #include "ir/validate.hpp"
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 namespace fgpar::harness {
 
@@ -13,10 +15,10 @@ KernelRunner::KernelRunner(const ir::Kernel& kernel, WorkloadInit init)
   ir::CheckValid(kernel_);
 }
 
-KernelRunner::Prepared KernelRunner::Prepare() const {
+KernelRunner::Prepared KernelRunner::Prepare(const RunConfig& config) const {
   Prepared prepared{ir::ParamEnv(kernel_),
                     std::vector<std::uint64_t>(layout_.end(), 0)};
-  init_(kernel_, layout_, prepared.params, prepared.image);
+  init_(config.seed, kernel_, layout_, prepared.params, prepared.image);
   prepared.params.CheckComplete(kernel_);
   // Publish parameter values into the layout's parameter block so compiled
   // code can load them at startup.
@@ -43,6 +45,7 @@ sim::MachineConfig KernelRunner::MachineConfigFor(const RunConfig& config,
   machine.timing = config.timing;
   machine.cache = config.cache;
   machine.queue = config.queue;
+  machine.stall_watchdog_cycles = config.stall_watchdog_cycles;
   // Round the data region up to a power-of-two-ish budget with headroom.
   std::uint64_t words = 1024;
   while (words < layout_.end() + 64) {
@@ -84,13 +87,13 @@ void KernelRunner::CompareMemory(const sim::Machine& machine,
           break;
         }
       }
-      throw Error(os.str());
+      throw VerifyError(os.str());
     }
   }
 }
 
 std::uint64_t KernelRunner::MeasureSequential(const RunConfig& config) const {
-  const Prepared prepared = Prepare();
+  const Prepared prepared = Prepare(config);
   const isa::Program program =
       compiler::CompileSequential(kernel_, layout_, config.compile);
   sim::Machine machine(MachineConfigFor(config, 1), program);
@@ -104,7 +107,7 @@ std::uint64_t KernelRunner::MeasureSequential(const RunConfig& config) const {
 }
 
 KernelRun KernelRunner::Run(const RunConfig& config) const {
-  const Prepared prepared = Prepare();
+  const Prepared prepared = Prepare(config);
   const std::vector<std::uint64_t> golden = GoldenMemory(prepared);
 
   // ---- profile feedback (Section III-I.3) ----
@@ -117,10 +120,15 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
   KernelRun run;
   run.kernel_name = kernel_.name();
 
+  // The static capacity-deadlock checker must reason about the queues the
+  // code will actually run on.
+  compiler::CompileOptions compile_options = config.compile;
+  compile_options.assumed_queue_capacity = config.queue.capacity;
+
   // ---- sequential baseline ----
   {
     const isa::Program program =
-        compiler::CompileSequential(kernel_, layout_, config.compile);
+        compiler::CompileSequential(kernel_, layout_, compile_options);
     sim::Machine machine(MachineConfigFor(config, 1), program);
     LoadImage(machine, prepared.image);
     machine.StartCoreAt(0, "main");
@@ -140,7 +148,8 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
         [&](const isa::Program& program, int cores) -> std::uint64_t {
       // Train on the hardware the compiler assumes (paper methodology:
       // heuristics are tuned for the default 5-cycle queues even when the
-      // deployment hardware differs, as in the Figure 13 sweep).
+      // deployment hardware differs, as in the Figure 13 sweep).  Training
+      // is always fault-free: it ranks candidates, it does not stress them.
       RunConfig training = config;
       training.queue.transfer_latency = config.compile.assumed_transfer_latency;
       sim::Machine machine(MachineConfigFor(training, cores), program);
@@ -152,7 +161,7 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
       return machine.Run().core0_halt_cycle;
     };
     const compiler::CompiledParallel compiled = compiler::CompileParallel(
-        kernel_, layout_, config.compile,
+        kernel_, layout_, compile_options,
         config.collect_profile ? &profile : nullptr,
         config.tune_by_simulation ? &evaluator : nullptr);
     run.cores_used = compiled.cores_used;
@@ -161,24 +170,86 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
     run.load_balance = compiled.partition.load_balance;
     run.com_ops = compiled.comm.com_ops();
 
-    sim::Machine machine(MachineConfigFor(config, compiled.cores_used),
-                         compiled.program);
-    LoadImage(machine, prepared.image);
-    machine.StartCoreAt(0, compiler::CompiledParallel::kPrimaryEntry);
-    for (int c = 1; c < compiled.cores_used; ++c) {
-      machine.StartCoreAt(c, compiler::CompiledParallel::kDriverEntry);
+    // Measured parallel run, optionally under injected faults.  A failed
+    // attempt (deadlock, watchdog trip, verification mismatch, or any
+    // fault-induced error) is retried with a reseeded fault schedule; when
+    // the budget is exhausted the runner degrades to the already-verified
+    // sequential execution instead of throwing.
+    const bool faults_on = config.faults.AnyEnabled();
+    const int attempts =
+        faults_on ? 1 + std::max(0, config.fallback.max_retries) : 1;
+    bool parallel_ok = false;
+    std::exception_ptr last_failure;
+    for (int attempt = 0; attempt < attempts && !parallel_ok; ++attempt) {
+      sim::MachineConfig mc = MachineConfigFor(config, compiled.cores_used);
+      if (faults_on) {
+        mc.faults = config.faults;
+        mc.faults.seed =
+            MixSeed(MixSeed(config.seed, config.faults.seed),
+                    static_cast<std::uint64_t>(attempt));
+      }
+      sim::Machine machine(mc, compiled.program);
+      LoadImage(machine, prepared.image);
+      machine.StartCoreAt(0, compiler::CompiledParallel::kPrimaryEntry);
+      for (int c = 1; c < compiled.cores_used; ++c) {
+        machine.StartCoreAt(c, compiler::CompiledParallel::kDriverEntry);
+      }
+      const auto record_failure = [&](const Error& e) {
+        last_failure = std::current_exception();
+        run.failure_reason = e.what();
+        run.fault_stats = machine.fault_injector().stats();
+        ++run.retries;
+      };
+      try {
+        const sim::RunResult result = machine.Run();
+        // Under injected faults, verify even when config.verify is off: a
+        // silently corrupted result must trigger retry/fallback, never be
+        // reported as a speedup.
+        if (config.verify || faults_on) {
+          CompareMemory(machine, golden,
+                        "parallel codegen (" +
+                            std::to_string(compiled.cores_used) + " cores)");
+        }
+        run.par_cycles = result.core0_halt_cycle;
+        run.par_instructions = result.instructions;
+        run.par_queue_transfers = machine.queues().TotalTransfers();
+        run.queues_used = machine.queues().UsedChannelCount();
+        run.max_queue_occupancy = machine.queues().MaxOccupancy();
+        run.fault_stats = machine.fault_injector().stats();
+        parallel_ok = true;
+      } catch (const sim::DeadlockError& e) {
+        record_failure(e);
+      } catch (const sim::StallError& e) {
+        record_failure(e);
+      } catch (const VerifyError& e) {
+        // A mismatch without faults is a real compiler bug: surface it.
+        if (!faults_on) {
+          throw;
+        }
+        record_failure(e);
+      } catch (const Error& e) {
+        // Injected bit flips can trip arbitrary machine checks (bad
+        // addresses, division by zero, ...).  Without faults such errors
+        // are genuine and must propagate.
+        if (!faults_on) {
+          throw;
+        }
+        record_failure(e);
+      }
     }
-    const sim::RunResult result = machine.Run();
-    if (config.verify) {
-      CompareMemory(machine, golden, "parallel codegen (" +
-                                         std::to_string(compiled.cores_used) +
-                                         " cores)");
+    if (!parallel_ok) {
+      if (!config.fallback.fall_back_to_sequential) {
+        std::rethrow_exception(last_failure);
+      }
+      // Graceful degradation: report the verified sequential execution.
+      run.fallback_used = true;
+      run.cores_used = 1;
+      run.par_cycles = run.seq_cycles;
+      run.par_instructions = run.seq_instructions;
+      run.par_queue_transfers = 0;
+      run.queues_used = 0;
+      run.max_queue_occupancy = 0;
     }
-    run.par_cycles = result.core0_halt_cycle;
-    run.par_instructions = result.instructions;
-    run.par_queue_transfers = machine.queues().TotalTransfers();
-    run.queues_used = machine.queues().UsedChannelCount();
-    run.max_queue_occupancy = machine.queues().MaxOccupancy();
   }
 
   run.speedup = static_cast<double>(run.seq_cycles) /

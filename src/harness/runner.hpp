@@ -7,6 +7,17 @@
 // parallel program on 2..N cores must all leave bit-identical memory.
 // Speedup is sequential cycles / parallel cycles, measured at core 0's
 // halt, exactly like the paper's "speedup over sequential execution time".
+//
+// Resilience: the parallel measurement may be run under deterministic
+// fault injection (RunConfig::faults) and a stall watchdog.  When the
+// parallel machine deadlocks, trips the watchdog, or fails verification,
+// the runner retries with reseeded faults up to FallbackPolicy::max_retries
+// times and then degrades gracefully to the already-verified sequential
+// execution instead of throwing — KernelRun records `fallback_used`,
+// `retries`, and `failure_reason` so degraded-mode numbers stay visible.
+// Everything — workload initialization, fault schedules, multi-version
+// tuning — is derived from the single RunConfig::seed, so any run
+// (including a fault-injected one) is bit-reproducible from one integer.
 #pragma once
 
 #include <cstdint>
@@ -19,15 +30,41 @@
 #include "ir/interp.hpp"
 #include "ir/kernel.hpp"
 #include "ir/layout.hpp"
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 
 namespace fgpar::harness {
 
-/// Fills parameter values and initial array contents.  Receives the kernel,
-/// its layout, the parameter environment to populate, and the raw memory
-/// image (sized layout.end()) to initialize.
-using WorkloadInit = std::function<void(const ir::Kernel&, const ir::DataLayout&,
-                                        ir::ParamEnv&, std::vector<std::uint64_t>&)>;
+/// Fills parameter values and initial array contents.  Receives the run's
+/// deterministic seed (RunConfig::seed), the kernel, its layout, the
+/// parameter environment to populate, and the raw memory image (sized
+/// layout.end()) to initialize.  Initializers are free to ignore the seed,
+/// but seed-honouring initializers make the whole run reproducible from
+/// RunConfig::seed alone.
+using WorkloadInit =
+    std::function<void(std::uint64_t seed, const ir::Kernel&,
+                       const ir::DataLayout&, ir::ParamEnv&,
+                       std::vector<std::uint64_t>&)>;
+
+/// Thrown when a simulated execution's memory differs from the golden
+/// model.  Distinguished from other errors so the fallback logic can
+/// classify fault-induced corruption.
+class VerifyError : public Error {
+ public:
+  explicit VerifyError(std::string message) : Error(std::move(message)) {}
+};
+
+/// What the runner does when the parallel execution fails (deadlock,
+/// watchdog trip, verify mismatch, or any fault-induced error).
+struct FallbackPolicy {
+  /// Failed parallel runs are retried this many times with reseeded fault
+  /// schedules before falling back.  Retries are skipped when fault
+  /// injection is off (reruns would fail identically).
+  int max_retries = 2;
+  /// After the retry budget: degrade to the verified sequential execution
+  /// (true) or rethrow the failure (false).
+  bool fall_back_to_sequential = true;
+};
 
 struct RunConfig {
   compiler::CompileOptions compile;
@@ -45,6 +82,21 @@ struct RunConfig {
   /// training workload.  When false, the compiler's static makespan
   /// objective chooses.
   bool tune_by_simulation = true;
+  /// The single deterministic seed for the run: workload initialization and
+  /// each attempt's fault schedule derive from it (multi-version tuning is
+  /// already deterministic).  The default reproduces the historical
+  /// SequoiaInit workloads.
+  std::uint64_t seed = 0x5EED;
+  /// Fault injection for the measured parallel machine (disabled by
+  /// default).  The golden model, the sequential baseline, and the tuning
+  /// evaluator always run fault-free: they are the trusted reference the
+  /// degraded parallel execution is judged against.  FaultConfig::seed is
+  /// ignored here; each attempt uses MixSeed(seed, attempt).
+  sim::FaultConfig faults;
+  /// Stall watchdog for simulated machines (0 = disabled; see
+  /// MachineConfig::stall_watchdog_cycles).
+  std::uint64_t stall_watchdog_cycles = 0;
+  FallbackPolicy fallback;
 };
 
 struct KernelRun {
@@ -66,14 +118,21 @@ struct KernelRun {
   std::uint64_t par_instructions = 0;
   std::uint64_t par_queue_transfers = 0;
   int max_queue_occupancy = 0;  // high-water mark of any single queue
+
+  // Resilience diagnostics.
+  bool fallback_used = false;      // parallel failed; sequential numbers used
+  int retries = 0;                 // failed parallel attempts before success/fallback
+  std::string failure_reason;      // empty on a clean run
+  sim::FaultStats fault_stats;     // injected-fault counters (last attempt)
 };
 
 class KernelRunner {
  public:
   KernelRunner(const ir::Kernel& kernel, WorkloadInit init);
 
-  /// Runs the full pipeline for `config`; throws on any mismatch between
-  /// the interpreter, sequential, and parallel executions.
+  /// Runs the full pipeline for `config`.  Throws on golden/sequential
+  /// mismatches and compile errors; parallel-execution failures follow
+  /// config.fallback (by default they degrade to sequential, never throw).
   KernelRun Run(const RunConfig& config) const;
 
   /// Sequential-only measurement (golden-checked).
@@ -87,7 +146,7 @@ class KernelRunner {
     ir::ParamEnv params;
     std::vector<std::uint64_t> image;  // initial memory incl. param block
   };
-  Prepared Prepare() const;
+  Prepared Prepare(const RunConfig& config) const;
   std::vector<std::uint64_t> GoldenMemory(const Prepared& prepared) const;
   sim::MachineConfig MachineConfigFor(const RunConfig& config, int cores) const;
   void LoadImage(sim::Machine& machine, const std::vector<std::uint64_t>& image) const;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "support/error.hpp"
 
@@ -100,15 +101,22 @@ std::uint64_t Interpreter::Eval(ExprId id) {
       if (in == ScalarType::kI64) {
         const std::int64_t l = AsI(lraw);
         const std::int64_t r = AsI(rraw);
+        // Add/sub/mul wrap (two's complement) to match the simulated
+        // machine; uint64 arithmetic keeps the wrap defined in C++.
+        const std::uint64_t lu = static_cast<std::uint64_t>(l);
+        const std::uint64_t ru = static_cast<std::uint64_t>(r);
         switch (node.bin) {
-          case BinOp::kAdd: return RawI(l + r);
-          case BinOp::kSub: return RawI(l - r);
-          case BinOp::kMul: return RawI(l * r);
+          case BinOp::kAdd: return RawI(static_cast<std::int64_t>(lu + ru));
+          case BinOp::kSub: return RawI(static_cast<std::int64_t>(lu - ru));
+          case BinOp::kMul: return RawI(static_cast<std::int64_t>(lu * ru));
           case BinOp::kDiv:
             FGPAR_CHECK_MSG(r != 0, "integer divide by zero");
+            FGPAR_CHECK_MSG(l != INT64_MIN || r != -1, "integer divide overflow");
             return RawI(l / r);
           case BinOp::kRem:
             FGPAR_CHECK_MSG(r != 0, "integer remainder by zero");
+            FGPAR_CHECK_MSG(l != INT64_MIN || r != -1,
+                            "integer remainder overflow");
             return RawI(l % r);
           case BinOp::kMin: return RawI(std::min(l, r));
           case BinOp::kMax: return RawI(std::max(l, r));

@@ -697,12 +697,12 @@ ir::Kernel ParseSequoia(const SequoiaKernel& kernel) {
   return frontend::ParseKernel(kernel.source);
 }
 
-harness::WorkloadInit SequoiaInit(const SequoiaKernel& kernel, std::uint64_t seed) {
+harness::WorkloadInit SequoiaInit(const SequoiaKernel& kernel) {
   const std::map<std::string, double> f64_params = kernel.f64_params;
   const std::int64_t trip = kernel.trip;
-  return [f64_params, trip, seed](const ir::Kernel& k, const ir::DataLayout& layout,
-                                  ir::ParamEnv& params,
-                                  std::vector<std::uint64_t>& memory) {
+  return [f64_params, trip](std::uint64_t seed, const ir::Kernel& k,
+                            const ir::DataLayout& layout, ir::ParamEnv& params,
+                            std::vector<std::uint64_t>& memory) {
     Rng rng(seed);
     for (const ir::Symbol& sym : k.symbols()) {
       switch (sym.kind) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "isa/opcode.hpp"
+#include "sim/fault.hpp"
 
 namespace fgpar::sim {
 
@@ -74,6 +75,14 @@ struct MachineConfig {
   std::uint64_t max_cycles = 1ull << 40;
   /// Depth limit of the per-core call stack.
   int call_stack_limit = 64;
+  /// Stall watchdog: if no core issues an instruction for this many cycles,
+  /// the machine throws a structured StallError (see machine.hpp) instead
+  /// of waiting for no_progress_limit / max_cycles.  0 disables the
+  /// watchdog.  Must be much larger than the longest legitimate no-issue
+  /// stretch (an L2 miss plus unpipelined latencies, a few hundred cycles).
+  std::uint64_t stall_watchdog_cycles = 0;
+  /// Deterministic fault injection (disabled by default; see sim/fault.hpp).
+  FaultConfig faults;
 };
 
 }  // namespace fgpar::sim

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "isa/disasm.hpp"
@@ -77,6 +78,15 @@ int QueueMatrix::MaxOccupancy() const {
   return max_occupancy;
 }
 
+void QueueMatrix::SetFaultInjector(FaultInjector* faults) {
+  for (HardwareQueue& q : int_queues_) {
+    q.SetFaultInjector(faults);
+  }
+  for (HardwareQueue& q : fp_queues_) {
+    q.SetFaultInjector(faults);
+  }
+}
+
 std::uint64_t QueueMatrix::TotalTransfers() const {
   std::uint64_t total = 0;
   for (const HardwareQueue& q : int_queues_) {
@@ -98,6 +108,8 @@ void Core::Start(std::int64_t pc) {
   halted_ = false;
   pc_ = pc;
   stalled_deq_remote_ = -1;
+  stalled_enq_remote_ = -1;
+  stalled_enq_injected_ = false;
 }
 
 bool Core::stalled_on_deq(int& remote, bool& is_fp) const {
@@ -106,6 +118,15 @@ bool Core::stalled_on_deq(int& remote, bool& is_fp) const {
   }
   remote = stalled_deq_remote_;
   is_fp = stalled_deq_fp_;
+  return true;
+}
+
+bool Core::stalled_on_enq(int& remote, bool& is_fp) const {
+  if (stalled_enq_remote_ < 0) {
+    return false;
+  }
+  remote = stalled_enq_remote_;
+  is_fp = stalled_enq_fp_;
   return true;
 }
 
@@ -209,8 +230,11 @@ std::uint64_t Core::SourcesReadyAt(const Instruction& instr) const {
 }
 
 StepOutcome Core::Step(std::uint64_t now, const isa::Program& program,
-                       MemorySystem& memory, QueueMatrix& queues) {
+                       MemorySystem& memory, QueueMatrix& queues,
+                       FaultInjector* faults) {
   stalled_deq_remote_ = -1;
+  stalled_enq_remote_ = -1;
+  stalled_enq_injected_ = false;
   if (!started_) {
     return StepOutcome::kIdle;
   }
@@ -239,6 +263,17 @@ StepOutcome Core::Step(std::uint64_t now, const isa::Program& program,
                            ? queues.FpQueue(id_, instr.queue)
                            : queues.IntQueue(id_, instr.queue);
     if (!q.CanEnqueue()) {
+      stalled_enq_remote_ = instr.queue;
+      stalled_enq_fp_ = isa::IsFpQueueOp(instr.op);
+      return StepOutcome::kStallEnqFull;
+    }
+    if (faults != nullptr && faults->enabled() && faults->RejectEnqueue()) {
+      // Transient flow-control fault: stall exactly like a full queue, but
+      // flag it so the machine schedules a retry next cycle (the queue has
+      // space; no peer needs to make progress first).
+      stalled_enq_remote_ = instr.queue;
+      stalled_enq_fp_ = isa::IsFpQueueOp(instr.op);
+      stalled_enq_injected_ = true;
       return StepOutcome::kStallEnqFull;
     }
   } else if (isa::IsDequeue(instr.op)) {
@@ -278,16 +313,31 @@ void Core::Execute(std::uint64_t now, const Instruction& instr, MemorySystem& me
                       ? 0  // determined below
                       : ResultLatency(t, instr.op);
 
+  // Integer add/sub/mul wrap (two's complement), like the modeled hardware;
+  // computing through uint64 keeps the wrap defined in C++.
+  auto wrap = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  auto u = [&g](std::uint8_t r) { return static_cast<std::uint64_t>(g(r)); };
+
   switch (instr.op) {
-    case Opcode::kAddI: set_g(instr.dst, g(instr.src1) + g(instr.src2), lat); break;
-    case Opcode::kSubI: set_g(instr.dst, g(instr.src1) - g(instr.src2), lat); break;
-    case Opcode::kMulI: set_g(instr.dst, g(instr.src1) * g(instr.src2), lat); break;
+    case Opcode::kAddI:
+      set_g(instr.dst, wrap(u(instr.src1) + u(instr.src2)), lat);
+      break;
+    case Opcode::kSubI:
+      set_g(instr.dst, wrap(u(instr.src1) - u(instr.src2)), lat);
+      break;
+    case Opcode::kMulI:
+      set_g(instr.dst, wrap(u(instr.src1) * u(instr.src2)), lat);
+      break;
     case Opcode::kDivI:
       FGPAR_CHECK_MSG(g(instr.src2) != 0, "integer divide by zero");
+      FGPAR_CHECK_MSG(g(instr.src1) != INT64_MIN || g(instr.src2) != -1,
+                      "integer divide overflow");
       set_g(instr.dst, g(instr.src1) / g(instr.src2), lat);
       break;
     case Opcode::kRemI:
       FGPAR_CHECK_MSG(g(instr.src2) != 0, "integer remainder by zero");
+      FGPAR_CHECK_MSG(g(instr.src1) != INT64_MIN || g(instr.src2) != -1,
+                      "integer remainder overflow");
       set_g(instr.dst, g(instr.src1) % g(instr.src2), lat);
       break;
     case Opcode::kAndI: set_g(instr.dst, g(instr.src1) & g(instr.src2), lat); break;

@@ -52,6 +52,9 @@ class QueueMatrix {
   /// uses.
   int MaxOccupancy() const;
 
+  /// Installs the fault injector on every queue (nullptr to clear).
+  void SetFaultInjector(FaultInjector* faults);
+
  private:
   int Index(int src, int dst) const;
 
@@ -95,9 +98,12 @@ class Core {
   std::int64_t pc() const { return pc_; }
   int id() const { return id_; }
 
-  /// Attempts to issue one instruction at cycle `now`.
+  /// Attempts to issue one instruction at cycle `now`.  `faults`, when
+  /// non-null and enabled, may transiently reject an enqueue (the core
+  /// stalls as if the queue were full and retries next cycle).
   StepOutcome Step(std::uint64_t now, const isa::Program& program,
-                   MemorySystem& memory, QueueMatrix& queues);
+                   MemorySystem& memory, QueueMatrix& queues,
+                   FaultInjector* faults = nullptr);
 
   /// Earliest cycle at which the issue stage is free again.
   std::uint64_t next_issue_cycle() const { return next_issue_; }
@@ -105,6 +111,15 @@ class Core {
   /// When the core is stalled on a dequeue, identifies the source core and
   /// register class so the machine can compute the next arrival event.
   bool stalled_on_deq(int& remote, bool& is_fp) const;
+
+  /// When the core is stalled on an enqueue, identifies the destination
+  /// core and register class (for stall/deadlock reports).
+  bool stalled_on_enq(int& remote, bool& is_fp) const;
+
+  /// True if the last enqueue stall was injected by the fault injector
+  /// rather than a genuinely full queue; the machine must then schedule a
+  /// retry event instead of treating the core as dependent on its peer.
+  bool last_enq_stall_injected() const { return stalled_enq_injected_; }
 
   // ---- architectural state (tests / harness) ----
   std::int64_t gpr(int index) const;
@@ -139,6 +154,9 @@ class Core {
   // Set while the last Step returned a queue stall.
   int stalled_deq_remote_ = -1;
   bool stalled_deq_fp_ = false;
+  int stalled_enq_remote_ = -1;
+  bool stalled_enq_fp_ = false;
+  bool stalled_enq_injected_ = false;
   CoreStats stats_;
 };
 

@@ -1,0 +1,66 @@
+#include "sim/fault.hpp"
+
+#include "support/error.hpp"
+
+namespace fgpar::sim {
+
+int FaultInjector::PerturbTransferLatency(int base_latency) {
+  if (!enabled_ || config_.queue_jitter_prob <= 0.0) {
+    return base_latency;
+  }
+  if (!rng_.NextBool(config_.queue_jitter_prob)) {
+    return base_latency;
+  }
+  FGPAR_CHECK(config_.queue_jitter_max_cycles >= 1);
+  const int extra = static_cast<int>(
+      rng_.NextInt(1, config_.queue_jitter_max_cycles));
+  ++stats_.latency_jitters;
+  stats_.jitter_cycles_added += static_cast<std::uint64_t>(extra);
+  return base_latency + extra;
+}
+
+bool FaultInjector::RejectEnqueue() {
+  if (!enabled_ || config_.queue_reject_prob <= 0.0) {
+    return false;
+  }
+  if (!rng_.NextBool(config_.queue_reject_prob)) {
+    return false;
+  }
+  ++stats_.enqueue_rejects;
+  return true;
+}
+
+std::uint64_t FaultInjector::PerturbPayload(std::uint64_t payload) {
+  if (!enabled_ || config_.payload_flip_prob <= 0.0) {
+    return payload;
+  }
+  if (!rng_.NextBool(config_.payload_flip_prob)) {
+    return payload;
+  }
+  ++stats_.payload_flips;
+  return payload ^ (1ull << rng_.NextBelow(64));
+}
+
+int FaultInjector::PerturbMemoryLatency(int base_latency) {
+  if (!enabled_ || config_.mem_fault_prob <= 0.0) {
+    return base_latency;
+  }
+  if (!rng_.NextBool(config_.mem_fault_prob)) {
+    return base_latency;
+  }
+  ++stats_.mem_inflations;
+  return base_latency + config_.mem_fault_extra_cycles;
+}
+
+bool FaultInjector::ShouldFreezeCore() {
+  if (!enabled_ || config_.core_freeze_prob <= 0.0) {
+    return false;
+  }
+  if (!rng_.NextBool(config_.core_freeze_prob)) {
+    return false;
+  }
+  ++stats_.core_freezes;
+  return true;
+}
+
+}  // namespace fgpar::sim

@@ -1,0 +1,123 @@
+// Deterministic fault injection for the simulated machine.
+//
+// The paper's design assumes a perfectly reliable queue fabric: Section
+// III-I's static pairing guarantee is only useful if the hardware underneath
+// it never misbehaves.  To grow toward a production posture the simulator
+// can optionally perturb itself in seeded, fully reproducible ways:
+//
+//  * transfer-latency jitter — an enqueue's arrival is delayed by a random
+//    number of extra cycles (a congested or degraded link);
+//  * transient enqueue rejection — an enqueue attempt is refused even
+//    though a slot is free (flow-control glitch); the core simply retries
+//    next cycle, exactly like a genuine full-queue stall;
+//  * payload bit flips — a single random bit of a value in transit flips
+//    (soft error); caught downstream by the harness's bit-exact verify;
+//  * memory-latency inflation — a timed access costs extra cycles
+//    (contention, ECC retry);
+//  * core freezes — a core issues nothing for a window of cycles
+//    (thermal throttling, interrupt storm).
+//
+// All draws flow through one Rng seeded from FaultConfig::seed, and the
+// simulator is single-threaded and deterministic, so a (seed, config,
+// program, workload) tuple always reproduces the same faults at the same
+// cycles.  Every hook is behind a cheap `enabled()` test: with the default
+// all-zero probabilities the simulator's behaviour and cycle counts are
+// bit-identical to a build without fault injection.
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace fgpar::sim {
+
+/// Probabilities and magnitudes for each fault kind.  All probabilities
+/// default to zero, which disables injection entirely (zero-overhead fast
+/// path).
+struct FaultConfig {
+  std::uint64_t seed = 0;
+
+  /// Per-enqueue probability of adding extra transfer latency, and the
+  /// maximum number of extra cycles (uniform in [1, max]).
+  double queue_jitter_prob = 0.0;
+  int queue_jitter_max_cycles = 8;
+
+  /// Per-attempt probability that an enqueue is transiently rejected even
+  /// though the queue has space; the core stalls and retries next cycle.
+  double queue_reject_prob = 0.0;
+
+  /// Per-enqueue probability of flipping one random bit of the payload.
+  double payload_flip_prob = 0.0;
+
+  /// Per-access probability of inflating a timed memory access, and the
+  /// extra cycles added.
+  double mem_fault_prob = 0.0;
+  int mem_fault_extra_cycles = 100;
+
+  /// Per-core, per-stepped-cycle probability of freezing the core (it
+  /// issues nothing) for the given window.
+  double core_freeze_prob = 0.0;
+  int core_freeze_cycles = 50;
+
+  /// True if any fault kind can fire.
+  bool AnyEnabled() const {
+    return queue_jitter_prob > 0.0 || queue_reject_prob > 0.0 ||
+           payload_flip_prob > 0.0 || mem_fault_prob > 0.0 ||
+           core_freeze_prob > 0.0;
+  }
+};
+
+/// Per-fault-kind event counters, surfaced through Machine/KernelRun stats.
+struct FaultStats {
+  std::uint64_t latency_jitters = 0;
+  std::uint64_t jitter_cycles_added = 0;
+  std::uint64_t enqueue_rejects = 0;
+  std::uint64_t payload_flips = 0;
+  std::uint64_t mem_inflations = 0;
+  std::uint64_t core_freezes = 0;
+
+  std::uint64_t TotalEvents() const {
+    return latency_jitters + enqueue_rejects + payload_flips + mem_inflations +
+           core_freezes;
+  }
+};
+
+/// The machine-owned injector.  One instance is shared by the queues, the
+/// memory system, and the machine's core-stepping loop; because they are
+/// all driven from the single-threaded simulation loop, the draw order —
+/// and therefore the whole fault schedule — is deterministic.
+class FaultInjector {
+ public:
+  /// Disabled injector (the default for every machine).
+  FaultInjector() : rng_(0) {}
+  explicit FaultInjector(const FaultConfig& config)
+      : config_(config), enabled_(config.AnyEnabled()), rng_(config.seed) {}
+
+  bool enabled() const { return enabled_; }
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Returns `base_latency` possibly inflated by jitter.
+  int PerturbTransferLatency(int base_latency);
+
+  /// True if this enqueue attempt should be transiently rejected.
+  bool RejectEnqueue();
+
+  /// Returns the payload with at most one injected bit flip.
+  std::uint64_t PerturbPayload(std::uint64_t payload);
+
+  /// Returns `base_latency` possibly inflated by a memory fault.
+  int PerturbMemoryLatency(int base_latency);
+
+  /// True if the core being stepped should freeze now.
+  bool ShouldFreezeCore();
+  int freeze_cycles() const { return config_.core_freeze_cycles; }
+
+ private:
+  FaultConfig config_;
+  bool enabled_ = false;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace fgpar::sim

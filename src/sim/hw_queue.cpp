@@ -1,5 +1,7 @@
 #include "sim/hw_queue.hpp"
 
+#include <string>
+
 #include "support/error.hpp"
 
 namespace fgpar::sim {
@@ -14,9 +16,29 @@ bool HardwareQueue::CanEnqueue() const {
   return static_cast<int>(slots_.size()) < capacity_;
 }
 
+int HardwareQueue::InFlight(std::uint64_t now) const {
+  int in_flight = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.arrival_cycle > now) {
+      ++in_flight;
+    }
+  }
+  return in_flight;
+}
+
 void HardwareQueue::Enqueue(std::uint64_t payload, std::uint64_t now) {
-  FGPAR_CHECK_MSG(CanEnqueue(), "enqueue into full hardware queue");
-  slots_.push_back(Slot{payload, now + static_cast<std::uint64_t>(transfer_latency_)});
+  FGPAR_CHECK_MSG(CanEnqueue(),
+                  "enqueue into full hardware queue at cycle " +
+                      std::to_string(now) + " (capacity " +
+                      std::to_string(capacity_) + ", occupancy " +
+                      std::to_string(slots_.size()) + ", " +
+                      std::to_string(InFlight(now)) + " in flight)");
+  int latency = transfer_latency_;
+  if (faults_ != nullptr && faults_->enabled()) {
+    payload = faults_->PerturbPayload(payload);
+    latency = faults_->PerturbTransferLatency(latency);
+  }
+  slots_.push_back(Slot{payload, now + static_cast<std::uint64_t>(latency)});
   max_occupancy_ = std::max(max_occupancy_, static_cast<int>(slots_.size()));
 }
 
@@ -25,7 +47,14 @@ bool HardwareQueue::CanDequeue(std::uint64_t now) const {
 }
 
 std::uint64_t HardwareQueue::Dequeue(std::uint64_t now) {
-  FGPAR_CHECK_MSG(CanDequeue(now), "dequeue from empty/not-yet-arrived queue");
+  if (slots_.empty()) {
+    FGPAR_CHECK_MSG(false, "dequeue from empty hardware queue at cycle " +
+                               std::to_string(now));
+  }
+  FGPAR_CHECK_MSG(slots_.front().arrival_cycle <= now,
+                  "dequeue before arrival: head value arrives at cycle " +
+                      std::to_string(slots_.front().arrival_cycle) +
+                      ", now " + std::to_string(now));
   const std::uint64_t payload = slots_.front().payload;
   slots_.pop_front();
   ++total_transfers_;

@@ -13,10 +13,20 @@
 //
 // Values are stored as raw 64-bit payloads; the int/fp distinction lives in
 // the queue *identity*, matching the paper's separate GPR and FPR queues.
+//
+// Enqueue/Dequeue enforce their preconditions (CanEnqueue/CanDequeue) with
+// diagnostic FGPAR_CHECK_MSG failures that describe the queue state, so
+// caller bugs throw instead of silently corrupting FIFO state.
+//
+// An optional FaultInjector (sim/fault.hpp) may perturb transfers: latency
+// jitter delays a value's arrival and a payload bit may flip in transit.
+// Both hooks cost one null/enabled check when injection is off.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+
+#include "sim/fault.hpp"
 
 namespace fgpar::sim {
 
@@ -27,19 +37,28 @@ class HardwareQueue {
   /// True if an enqueue can be accepted this cycle.
   bool CanEnqueue() const;
 
-  /// Inserts a payload at cycle `now`; caller must have checked CanEnqueue.
+  /// Inserts a payload at cycle `now`; caller must have checked CanEnqueue
+  /// (throws a diagnostic Error otherwise).
   void Enqueue(std::uint64_t payload, std::uint64_t now);
 
   /// True if the head value exists and has arrived by cycle `now`.
   bool CanDequeue(std::uint64_t now) const;
 
   /// Removes and returns the head payload; caller must have checked
-  /// CanDequeue.
+  /// CanDequeue (throws a diagnostic Error otherwise).
   std::uint64_t Dequeue(std::uint64_t now);
 
   int size() const { return static_cast<int>(slots_.size()); }
   int capacity() const { return capacity_; }
   bool empty() const { return slots_.empty(); }
+
+  /// Number of occupants still in flight at cycle `now` (enqueued but not
+  /// yet visible to the receiver).
+  int InFlight(std::uint64_t now) const;
+
+  /// Installs (or clears, with nullptr) the fault injector consulted on
+  /// every enqueue for latency jitter and payload corruption.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
 
   /// Lifetime statistics.
   std::uint64_t total_transfers() const { return total_transfers_; }
@@ -54,6 +73,7 @@ class HardwareQueue {
   int capacity_;
   int transfer_latency_;
   std::deque<Slot> slots_;
+  FaultInjector* faults_ = nullptr;
   std::uint64_t total_transfers_ = 0;
   int max_occupancy_ = 0;
 };

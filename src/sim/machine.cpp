@@ -14,15 +14,60 @@ int PhysicalCoreCount(const MachineConfig& config) {
 }
 }  // namespace
 
+std::string StallReport::Describe() const {
+  std::ostringstream os;
+  if (provable_deadlock) {
+    os << "hardware queue deadlock at cycle " << cycle;
+  } else {
+    os << "stall watchdog tripped at cycle " << cycle
+       << " (no instruction issued for " << stalled_cycles << " cycles)";
+  }
+  os << ":\n";
+  for (const CoreState& c : cores) {
+    os << "  " << c.detail;
+    switch (c.wait) {
+      case CoreState::Wait::kDeqEmpty:
+        os << " -- waiting on " << (c.queue_is_fp ? "fp" : "int") << " queue "
+           << c.remote_core << "->" << c.core << " (occupancy "
+           << c.queue_occupancy << ", " << c.queue_in_flight << " in flight)";
+        break;
+      case CoreState::Wait::kEnqFull:
+        os << " -- blocked enqueuing to " << (c.queue_is_fp ? "fp" : "int")
+           << " queue " << c.core << "->" << c.remote_core << " (occupancy "
+           << c.queue_occupancy << ", " << c.queue_in_flight << " in flight)";
+        break;
+      case CoreState::Wait::kFrozen:
+        os << " -- frozen until cycle " << c.frozen_until;
+        break;
+      case CoreState::Wait::kNone:
+        break;
+    }
+    os << '\n';
+  }
+  os << "queue occupancy:\n";
+  for (const QueueState& q : queues) {
+    os << "  " << q.src << "->" << q.dst << ": int=" << q.int_occupancy
+       << " fp=" << q.fp_occupancy << " (in flight int=" << q.int_in_flight
+       << " fp=" << q.fp_in_flight << ")\n";
+  }
+  return os.str();
+}
+
 Machine::Machine(MachineConfig config, isa::Program program)
     : config_(config),
       program_(std::move(program)),
       memory_(config.cache, PhysicalCoreCount(config), config.memory_words),
-      queues_(config.num_cores, config.queue) {
+      queues_(config.num_cores, config.queue),
+      injector_(config.faults),
+      frozen_until_(static_cast<std::size_t>(config.num_cores), 0) {
   FGPAR_CHECK(config_.num_cores >= 1);
   cores_.reserve(static_cast<std::size_t>(config_.num_cores));
   for (int c = 0; c < config_.num_cores; ++c) {
     cores_.emplace_back(c, config_, c / config_.threads_per_core);
+  }
+  if (injector_.enabled()) {
+    memory_.SetFaultInjector(&injector_);
+    queues_.SetFaultInjector(&injector_);
   }
 }
 
@@ -76,8 +121,19 @@ RunResult Machine::Run() {
       bool slot_taken = false;
       for (int k = 0; k < count && !slot_taken; ++k) {
         const std::size_t c = static_cast<std::size_t>(base + (start + k) % count);
+        if (injector_.enabled() && cores_[c].started() && !cores_[c].halted()) {
+          if (frozen_until_[c] > now_) {
+            continue;  // frozen core: no issue attempt, slot stays free
+          }
+          if (injector_.ShouldFreezeCore()) {
+            frozen_until_[c] =
+                now_ + static_cast<std::uint64_t>(injector_.freeze_cycles());
+            continue;
+          }
+        }
         const std::int64_t pc_before = cores_[c].pc();
-        outcomes[c] = cores_[c].Step(now_, program_, memory_, queues_);
+        outcomes[c] = cores_[c].Step(now_, program_, memory_, queues_,
+                                     injector_.enabled() ? &injector_ : nullptr);
         switch (outcomes[c]) {
           case StepOutcome::kIssued:
             issued_any = true;
@@ -108,6 +164,11 @@ RunResult Machine::Run() {
       ++now_;
       continue;
     }
+    if (config_.stall_watchdog_cycles > 0 &&
+        now_ - last_issue_cycle >= config_.stall_watchdog_cycles) {
+      throw StallError(BuildStallReport(now_ - last_issue_cycle,
+                                        /*provable_deadlock=*/false));
+    }
     FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
                     "no core issued for no_progress_limit cycles");
 
@@ -116,6 +177,11 @@ RunResult Machine::Run() {
     for (std::size_t c = 0; c < cores_.size(); ++c) {
       const Core& core = cores_[c];
       if (!core.started() || core.halted()) {
+        continue;
+      }
+      if (frozen_until_[c] > now_) {
+        // A frozen core resumes on its own; its unfreeze is an event.
+        next_event = std::min(next_event, frozen_until_[c]);
         continue;
       }
       if (core.next_issue_cycle() > now_) {
@@ -135,13 +201,26 @@ RunResult Machine::Run() {
           next_event = std::min(next_event, now_ + 1);
         }
       }
+      if (outcomes[c] == StepOutcome::kStallEnqFull &&
+          core.last_enq_stall_injected()) {
+        // The stall was a transient injected rejection, not a full queue;
+        // the core retries next cycle without waiting on any peer.
+        next_event = std::min(next_event, now_ + 1);
+      }
       // Cores stalled on a full queue (or an empty queue with nothing in
       // flight) depend on another core's progress; they contribute no event
       // of their own.
     }
 
     if (next_event == kNoEvent) {
-      throw DeadlockError(DescribeDeadlock());
+      throw DeadlockError(BuildStallReport(now_ - last_issue_cycle,
+                                           /*provable_deadlock=*/true));
+    }
+    if (config_.stall_watchdog_cycles > 0) {
+      // Never fast-forward past the watchdog deadline: land on it so the
+      // check above can fire if the stall persists.
+      next_event = std::min(next_event,
+                            last_issue_cycle + config_.stall_watchdog_cycles);
     }
     // Account the skipped cycles as queue-stall time where applicable.
     const std::uint64_t skipped = next_event - now_;
@@ -165,13 +244,43 @@ RunResult Machine::Run() {
   return result;
 }
 
-std::string Machine::DescribeDeadlock() const {
-  std::ostringstream os;
-  os << "hardware queue deadlock at cycle " << now_ << ":\n";
+StallReport Machine::BuildStallReport(std::uint64_t stalled_cycles,
+                                      bool provable_deadlock) const {
+  StallReport report;
+  report.cycle = now_;
+  report.stalled_cycles = stalled_cycles;
+  report.provable_deadlock = provable_deadlock;
   for (const Core& c : cores_) {
-    os << "  " << c.Describe(program_) << '\n';
+    StallReport::CoreState state;
+    state.core = c.id();
+    state.started = c.started();
+    state.halted = c.halted();
+    state.pc = c.pc();
+    state.detail = c.Describe(program_);
+    int remote = -1;
+    bool is_fp = false;
+    if (frozen_until_[static_cast<std::size_t>(c.id())] > now_) {
+      state.wait = StallReport::CoreState::Wait::kFrozen;
+      state.frozen_until = frozen_until_[static_cast<std::size_t>(c.id())];
+    } else if (c.stalled_on_deq(remote, is_fp)) {
+      state.wait = StallReport::CoreState::Wait::kDeqEmpty;
+      state.remote_core = remote;
+      state.queue_is_fp = is_fp;
+      const HardwareQueue& q = is_fp ? queues_.FpQueue(remote, c.id())
+                                     : queues_.IntQueue(remote, c.id());
+      state.queue_occupancy = q.size();
+      state.queue_in_flight = q.InFlight(now_);
+    } else if (c.stalled_on_enq(remote, is_fp)) {
+      state.wait = StallReport::CoreState::Wait::kEnqFull;
+      state.remote_core = remote;
+      state.queue_is_fp = is_fp;
+      const HardwareQueue& q = is_fp ? queues_.FpQueue(c.id(), remote)
+                                     : queues_.IntQueue(c.id(), remote);
+      state.queue_occupancy = q.size();
+      state.queue_in_flight = q.InFlight(now_);
+    }
+    report.cores.push_back(std::move(state));
   }
-  os << "queue occupancy:\n";
   for (int src = 0; src < config_.num_cores; ++src) {
     for (int dst = 0; dst < config_.num_cores; ++dst) {
       if (src == dst) {
@@ -180,12 +289,13 @@ std::string Machine::DescribeDeadlock() const {
       const HardwareQueue& qi = queues_.IntQueue(src, dst);
       const HardwareQueue& qf = queues_.FpQueue(src, dst);
       if (qi.size() > 0 || qf.size() > 0) {
-        os << "  " << src << "->" << dst << ": int=" << qi.size()
-           << " fp=" << qf.size() << '\n';
+        report.queues.push_back(StallReport::QueueState{
+            src, dst, qi.size(), qf.size(), qi.InFlight(now_),
+            qf.InFlight(now_)});
       }
     }
   }
-  return os.str();
+  return report;
 }
 
 }  // namespace fgpar::sim

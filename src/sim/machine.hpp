@@ -1,11 +1,23 @@
 // The whole simulated machine: N cores, shared memory, queue matrix.
 //
 // The machine steps all cores in lockstep cycles.  When no core can issue
-// in a cycle, time fast-forwards to the next event (pipeline free or queue
-// arrival); if no future event exists the machine is provably deadlocked
-// and a DeadlockError describing every core is thrown — this catches
-// compiler bugs that break the paper's "senders and receivers are always
-// paired at runtime" requirement immediately instead of hanging.
+// in a cycle, time fast-forwards to the next event (pipeline free, queue
+// arrival, or core unfreeze); if no future event exists the machine is
+// provably deadlocked and a DeadlockError describing every core is thrown —
+// this catches compiler bugs that break the paper's "senders and receivers
+// are always paired at runtime" requirement immediately instead of hanging.
+//
+// Two softer failure-containment mechanisms layer on top (both off by
+// default, with zero effect on the fast path):
+//
+//  * a stall watchdog (MachineConfig::stall_watchdog_cycles): if no core
+//    issues for that many cycles — even though future events still exist,
+//    e.g. under injected faults — a StallError carrying a structured
+//    StallReport fires long before max_cycles;
+//  * deterministic fault injection (MachineConfig::faults): the machine
+//    owns a FaultInjector shared by the queues, the memory system, and its
+//    own core-stepping loop (core freezes), so degraded-hardware behaviour
+//    is reproducible from one seed.
 #pragma once
 
 #include <cstdint>
@@ -15,15 +27,72 @@
 #include "isa/program.hpp"
 #include "sim/config.hpp"
 #include "sim/core.hpp"
+#include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "support/error.hpp"
 
 namespace fgpar::sim {
 
+/// Structured snapshot of a wedged (or suspiciously quiet) machine: which
+/// core is blocked where, on which queue, and what is in flight.  Produced
+/// for both provable deadlocks and watchdog trips.
+struct StallReport {
+  std::uint64_t cycle = 0;           // when the report was taken
+  std::uint64_t stalled_cycles = 0;  // cycles since the last issue
+  bool provable_deadlock = false;    // true: no future event exists
+
+  struct CoreState {
+    int core = -1;
+    bool started = false;
+    bool halted = false;
+    std::int64_t pc = 0;
+    std::string detail;  // "core N: pc=.. [disasm] ; comment"
+    enum class Wait { kNone, kDeqEmpty, kEnqFull, kFrozen } wait = Wait::kNone;
+    // For kDeqEmpty/kEnqFull: the other end of the blocking queue.
+    int remote_core = -1;
+    bool queue_is_fp = false;
+    int queue_occupancy = 0;
+    int queue_in_flight = 0;  // enqueued but not yet arrived
+    std::uint64_t frozen_until = 0;  // for kFrozen
+  };
+  std::vector<CoreState> cores;
+
+  struct QueueState {
+    int src = -1;
+    int dst = -1;
+    int int_occupancy = 0;
+    int fp_occupancy = 0;
+    int int_in_flight = 0;
+    int fp_in_flight = 0;
+  };
+  std::vector<QueueState> queues;  // non-empty queues only
+
+  /// Human-readable rendering (the text of DeadlockError/StallError).
+  std::string Describe() const;
+};
+
 /// Thrown when all active cores are permanently blocked on queues.
 class DeadlockError : public Error {
  public:
-  explicit DeadlockError(std::string message) : Error(std::move(message)) {}
+  explicit DeadlockError(StallReport report)
+      : Error(report.Describe()), report_(std::move(report)) {}
+  const StallReport& report() const { return report_; }
+
+ private:
+  StallReport report_;
+};
+
+/// Thrown when the stall watchdog fires: no core has issued for
+/// stall_watchdog_cycles, but future events may still exist (the stall may
+/// be fault-induced or livelock-like rather than provable deadlock).
+class StallError : public Error {
+ public:
+  explicit StallError(StallReport report)
+      : Error(report.Describe()), report_(std::move(report)) {}
+  const StallReport& report() const { return report_; }
+
+ private:
+  StallReport report_;
 };
 
 struct RunResult {
@@ -51,7 +120,8 @@ class Machine {
   void StartCoreAtPc(int core, std::int64_t pc);
 
   /// Runs until every started core halts.  Throws DeadlockError on queue
-  /// deadlock and Error if config limits are exceeded.
+  /// deadlock, StallError on a watchdog trip, and Error if config limits
+  /// are exceeded.
   RunResult Run();
 
   /// Installs a per-issue trace callback (pass nullptr to disable).  The
@@ -69,15 +139,21 @@ class Machine {
   const QueueMatrix& queues() const { return queues_; }
   const isa::Program& program() const { return program_; }
   const MachineConfig& config() const { return config_; }
+  const FaultInjector& fault_injector() const { return injector_; }
 
  private:
-  std::string DescribeDeadlock() const;
+  /// Snapshot of every core's blocking state plus queue occupancy, shared
+  /// by the deadlock describer and the stall watchdog.
+  StallReport BuildStallReport(std::uint64_t stalled_cycles,
+                               bool provable_deadlock) const;
 
   MachineConfig config_;
   isa::Program program_;
   MemorySystem memory_;
   QueueMatrix queues_;
   std::vector<Core> cores_;
+  FaultInjector injector_;
+  std::vector<std::uint64_t> frozen_until_;  // per core; 0 = not frozen
   std::uint64_t now_ = 0;
   TraceSink trace_;
 };

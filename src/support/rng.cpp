@@ -66,4 +66,10 @@ double Rng::NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDoubl
 
 bool Rng::NextBool(double p) { return NextDouble() < p; }
 
+std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ RotL(b, 32);
+  std::uint64_t mixed = SplitMix64(s);
+  return SplitMix64(s) ^ mixed;
+}
+
 }  // namespace fgpar

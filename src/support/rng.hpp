@@ -38,4 +38,9 @@ class Rng {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Deterministically combines two seeds into a new one (SplitMix64-based).
+/// Used to derive per-component streams (workload init, fault injection,
+/// per-retry reseeding) from the single RunConfig seed without correlation.
+std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b);
+
 }  // namespace fgpar

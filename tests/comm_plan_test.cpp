@@ -309,5 +309,161 @@ kernel wrongbranch {
   GTEST_SKIP() << "no suitable enqueue/if pair in this plan";
 }
 
+// ---- the capacity-deadlock checker ----
+
+// Builds a 2-core plan where each core enqueues `burst` transfers to the
+// other and then dequeues the other's burst.  Paired (every enq has a
+// matching in-order deq) but wedges when capacity < burst: both senders
+// fill their outgoing queue and block before reaching their dequeues.
+ProgramPlan BurstExchangePlan(int burst, ir::ScalarType type) {
+  ProgramPlan plan;
+  CorePlan core0;
+  core0.core = 0;
+  CorePlan core1;
+  core1.core = 1;
+  int next_id = 0;
+  std::vector<PlanItem> deqs0;
+  std::vector<PlanItem> deqs1;
+  const auto add_pair = [&](int src, int dst, CorePlan& sender,
+                            std::vector<PlanItem>& receiver_deqs) {
+    Transfer t;
+    t.id = next_id;
+    t.temp = next_id;
+    t.type = type;
+    t.src_core = src;
+    t.dst_core = dst;
+    ++next_id;
+    plan.comm.transfers.push_back(t);
+    PlanItem enq;
+    enq.kind = PlanItem::Kind::kEnq;
+    enq.transfer = t.id;
+    PlanItem deq;
+    deq.kind = PlanItem::Kind::kDeq;
+    deq.transfer = t.id;
+    sender.body.push_back(enq);
+    receiver_deqs.push_back(deq);
+  };
+  for (int i = 0; i < burst; ++i) {
+    add_pair(0, 1, core0, deqs1);
+  }
+  for (int i = 0; i < burst; ++i) {
+    add_pair(1, 0, core1, deqs0);
+  }
+  // Each core's body is [its whole enqueue burst..., then its dequeues]:
+  // both senders must finish their burst before either drains the other's.
+  core0.body.insert(core0.body.end(), deqs0.begin(), deqs0.end());
+  core1.body.insert(core1.body.end(), deqs1.begin(), deqs1.end());
+  plan.cores = {core0, core1};
+  return plan;
+}
+
+TEST(Capacity, CyclicWaitRejectedBelowRequiredCapacity) {
+  const ProgramPlan plan = BurstExchangePlan(2, ir::ScalarType::kI64);
+  EXPECT_EQ(RequiredQueueCapacity(plan), 2);
+  EXPECT_NO_THROW(CheckQueueCapacity(plan, 2));
+  EXPECT_NO_THROW(CheckQueueCapacity(plan, 20));
+  try {
+    CheckQueueCapacity(plan, 1);
+    FAIL() << "capacity-1 deadlock not detected";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("queue capacity deadlock"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("requires capacity >= 2"), std::string::npos) << msg;
+    // The diagnostic names the blocked cores, direction, and register class.
+    EXPECT_NE(msg.find("core 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("core 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("int queue 0->1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("int queue 1->0"), std::string::npos) << msg;
+  }
+}
+
+TEST(Capacity, FpQueuesNamedInDiagnostic) {
+  const ProgramPlan plan = BurstExchangePlan(3, ir::ScalarType::kF64);
+  EXPECT_EQ(RequiredQueueCapacity(plan), 3);
+  try {
+    CheckQueueCapacity(plan, 2);
+    FAIL() << "capacity-2 deadlock not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fp queue 0->1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Capacity, OrderingDeadlockHasNoFiniteCapacity) {
+  // Both cores dequeue before enqueuing: paired in sequence, but no slot
+  // count can break the wait cycle.
+  ProgramPlan plan = BurstExchangePlan(1, ir::ScalarType::kI64);
+  for (CorePlan& core : plan.cores) {
+    std::swap(core.body[0], core.body[1]);  // [enq, deq] -> [deq, enq]
+  }
+  EXPECT_EQ(RequiredQueueCapacity(plan), -1);
+  try {
+    CheckQueueCapacity(plan, 20);
+    FAIL() << "ordering deadlock not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("no finite capacity suffices"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Capacity, ZeroCapacityDisablesCheck) {
+  const ProgramPlan plan = BurstExchangePlan(2, ir::ScalarType::kI64);
+  EXPECT_NO_THROW(CheckQueueCapacity(plan, 0));
+  EXPECT_NO_THROW(CheckQueueCapacity(plan, -1));
+}
+
+TEST(Capacity, BuiltPlansPassAtPaperCapacity) {
+  for (int cores : {2, 3, 4}) {
+    Pipeline p(kTwoChains, cores);
+    ProgramPlan plan = BuildProgramPlan(*p.index, p.partition, p.comm);
+    EXPECT_NO_THROW(CheckQueueCapacity(plan, 20));
+    const int required = RequiredQueueCapacity(plan);
+    EXPECT_GE(required, 1);
+    EXPECT_LE(required, 20);
+  }
+}
+
+TEST(Capacity, BranchMaskNamedWhenDeadlockIsConditional) {
+  // The deadlocking burst only happens on the taken path of an if, so the
+  // diagnostic must point at a specific branch mask.
+  ProgramPlan plan = BurstExchangePlan(2, ir::ScalarType::kI64);
+  const ir::Kernel kernel = frontend::ParseKernel(R"(
+kernel masked {
+  param i64 n;
+  array f64 a[8];
+  array f64 o[8];
+  loop i = 0 .. n {
+    f64 v = a[i];
+    if (v < 1.0) {
+      o[i] = v;
+    }
+  }
+}
+)");
+  const ir::Stmt* if_stmt = nullptr;
+  for (const ir::Stmt& stmt : kernel.loop().body) {
+    if (stmt.kind == ir::StmtKind::kIf) {
+      if_stmt = &stmt;
+    }
+  }
+  ASSERT_NE(if_stmt, nullptr);
+  for (CorePlan& core : plan.cores) {
+    PlanItem wrapped;
+    wrapped.kind = PlanItem::Kind::kIf;
+    wrapped.stmt = if_stmt;
+    wrapped.then_items = std::move(core.body);
+    core.body = {wrapped};
+  }
+  EXPECT_NO_THROW(CheckQueueCapacity(plan, 2));
+  try {
+    CheckQueueCapacity(plan, 1);
+    FAIL() << "conditional capacity deadlock not detected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("branch mask 1"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace fgpar::compiler

@@ -19,7 +19,8 @@ namespace {
 /// Default workload: deterministic pseudo-random doubles in [0.5, 2), index
 /// arrays in range, all i64 params = the named loop trip bound.
 WorkloadInit DefaultInit(std::uint64_t seed, std::int64_t int_param_value) {
-  return [seed, int_param_value](const ir::Kernel& kernel,
+  return [seed, int_param_value](std::uint64_t /*run_seed*/,
+                                 const ir::Kernel& kernel,
                                  const ir::DataLayout& layout, ir::ParamEnv& params,
                                  std::vector<std::uint64_t>& memory) {
     Rng rng(seed);

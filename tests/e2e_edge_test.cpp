@@ -15,8 +15,9 @@ namespace {
 
 WorkloadInit Init(std::int64_t trip, double lo = 0.5, double hi = 2.0,
                   std::uint64_t seed = 0xE2E) {
-  return [=](const ir::Kernel& kernel, const ir::DataLayout& layout,
-             ir::ParamEnv& params, std::vector<std::uint64_t>& memory) {
+  return [=](std::uint64_t /*run_seed*/, const ir::Kernel& kernel,
+             const ir::DataLayout& layout, ir::ParamEnv& params,
+             std::vector<std::uint64_t>& memory) {
     Rng rng(seed);
     for (const ir::Symbol& sym : kernel.symbols()) {
       if (sym.kind == ir::SymbolKind::kParam) {

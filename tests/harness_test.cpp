@@ -17,8 +17,9 @@ namespace fgpar::harness {
 namespace {
 
 WorkloadInit SimpleInit(std::int64_t trip) {
-  return [trip](const ir::Kernel& kernel, const ir::DataLayout& layout,
-                ir::ParamEnv& params, std::vector<std::uint64_t>& memory) {
+  return [trip](std::uint64_t /*seed*/, const ir::Kernel& kernel,
+                const ir::DataLayout& layout, ir::ParamEnv& params,
+                std::vector<std::uint64_t>& memory) {
     Rng rng(42);
     for (const ir::Symbol& sym : kernel.symbols()) {
       if (sym.kind == ir::SymbolKind::kParam) {
@@ -70,8 +71,8 @@ TEST(Runner, MeasureSequentialAgreesWithRun) {
 
 TEST(Runner, MissingParamFailsLoudly) {
   KernelRunner runner(frontend::ParseKernel(kKernel),
-                      [](const ir::Kernel&, const ir::DataLayout&, ir::ParamEnv&,
-                         std::vector<std::uint64_t>&) {
+                      [](std::uint64_t, const ir::Kernel&, const ir::DataLayout&,
+                         ir::ParamEnv&, std::vector<std::uint64_t>&) {
                         // deliberately sets nothing
                       });
   RunConfig config;

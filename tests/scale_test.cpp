@@ -12,8 +12,9 @@ namespace fgpar::harness {
 namespace {
 
 WorkloadInit GenericInit(std::int64_t trip) {
-  return [trip](const ir::Kernel& kernel, const ir::DataLayout& layout,
-                ir::ParamEnv& params, std::vector<std::uint64_t>& memory) {
+  return [trip](std::uint64_t /*seed*/, const ir::Kernel& kernel,
+                const ir::DataLayout& layout, ir::ParamEnv& params,
+                std::vector<std::uint64_t>& memory) {
     Rng rng(17);
     for (const ir::Symbol& sym : kernel.symbols()) {
       if (sym.kind == ir::SymbolKind::kParam) {

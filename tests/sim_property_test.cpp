@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 
 #include "isa/assembler.hpp"
 #include "sim/machine.hpp"
@@ -37,18 +38,21 @@ bool EmitRandom(Rng& rng, Assembler& a, RefState& ref) {
   switch (rng.NextBelow(18)) {
     case 0:
       a.AddI(Gpr{d}, Gpr{s1}, Gpr{s2});
-      ref.g[d] = ref.g[s1] + ref.g[s2];
+      ref.g[d] = static_cast<std::int64_t>(static_cast<std::uint64_t>(ref.g[s1]) +
+                                           static_cast<std::uint64_t>(ref.g[s2]));
       return true;
     case 1:
       a.SubI(Gpr{d}, Gpr{s1}, Gpr{s2});
-      ref.g[d] = ref.g[s1] - ref.g[s2];
+      ref.g[d] = static_cast<std::int64_t>(static_cast<std::uint64_t>(ref.g[s1]) -
+                                           static_cast<std::uint64_t>(ref.g[s2]));
       return true;
     case 2:
       a.MulI(Gpr{d}, Gpr{s1}, Gpr{s2});
-      ref.g[d] = ref.g[s1] * ref.g[s2];
+      ref.g[d] = static_cast<std::int64_t>(static_cast<std::uint64_t>(ref.g[s1]) *
+                                           static_cast<std::uint64_t>(ref.g[s2]));
       return true;
     case 3:
-      if (ref.g[s2] == 0) {
+      if (ref.g[s2] == 0 || (ref.g[s1] == INT64_MIN && ref.g[s2] == -1)) {
         return false;
       }
       a.DivI(Gpr{d}, Gpr{s1}, Gpr{s2});

@@ -133,9 +133,9 @@ CliOptions ParseArgs(int argc, char** argv) {
 
 harness::WorkloadInit MakeInit(const CliOptions& options) {
   const std::int64_t trip = options.trip;
-  const std::uint64_t seed = options.seed;
-  return [trip, seed](const ir::Kernel& kernel, const ir::DataLayout& layout,
-                      ir::ParamEnv& params, std::vector<std::uint64_t>& memory) {
+  return [trip](std::uint64_t seed, const ir::Kernel& kernel,
+                const ir::DataLayout& layout, ir::ParamEnv& params,
+                std::vector<std::uint64_t>& memory) {
     Rng rng(seed);
     for (const ir::Symbol& sym : kernel.symbols()) {
       switch (sym.kind) {
@@ -230,7 +230,7 @@ int Main(int argc, char** argv) {
     {
       ir::ParamEnv env(kernel);
       std::vector<std::uint64_t> image(layout.end(), 0);
-      MakeInit(options)(kernel, layout, env, image);
+      MakeInit(options)(options.seed, kernel, layout, env, image);
       for (const ir::Symbol& sym : kernel.symbols()) {
         if (sym.kind == ir::SymbolKind::kParam) {
           image[layout.ParamAddressOf(sym.id)] = env.GetRaw(sym.id);
@@ -264,6 +264,7 @@ int Main(int argc, char** argv) {
     config.queue.capacity = options.capacity;
     config.threads_per_core = options.smt;
     config.tune_by_simulation = options.tune;
+    config.seed = options.seed;
     const harness::KernelRun run = runner.Run(config);
     std::printf("kernel:       %s\n", kernel.name().c_str());
     std::printf("cores used:   %d (of %d budgeted", run.cores_used, options.cores);
