@@ -13,10 +13,14 @@
 // (jitter, rejection, freezes, slow memory) merely erode speedup; payload
 // flips corrupt results, fail verification, and drive the fallback rate.
 // The whole table is a pure function of the fixed seed: two runs of this
-// binary must produce byte-identical output.
+// binary must produce byte-identical output, with any number of host
+// sweep threads.  BENCH_ext_fault_sweep.json records every (fault scale,
+// kernel) point including the injected-fault counters.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "kernels/experiments.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -25,11 +29,14 @@
 int main() {
   using namespace fgpar;
 
+  const auto start = std::chrono::steady_clock::now();
   // Fault intensity multipliers applied to a base fault mix.
   const std::vector<double> scales = {0.0, 0.25, 1.0, 4.0, 16.0};
-  TextTable table({"fault scale", "avg speedup", "fallbacks", "retries",
-                   "timing faults", "payload flips"});
-  for (double scale : scales) {
+  const std::vector<kernels::SequoiaKernel>& all = kernels::SequoiaKernels();
+  const std::size_t kernel_count = all.size();
+  const int threads = harness::ResolveSweepThreads(0);
+
+  const auto config_for = [](double scale) {
     kernels::ExperimentConfig config;
     config.cores = 4;
     harness::RunConfig run_config = kernels::ToRunConfig(config);
@@ -41,16 +48,35 @@ int main() {
     // Trip long before max_cycles if an injected fault wedges the machine.
     run_config.stall_watchdog_cycles = 200000;
     run_config.fallback.max_retries = 2;
+    return run_config;
+  };
 
+  const std::size_t grid = scales.size() * kernel_count;
+  const auto timed = harness::RunSweep(grid, threads, [&](std::size_t i) {
+    const harness::RunConfig run_config = config_for(scales[i / kernel_count]);
+    const kernels::SequoiaKernel& spec = all[i % kernel_count];
+    benchutil::TimedRun result;
+    const auto t0 = std::chrono::steady_clock::now();
+    const ir::Kernel kernel = kernels::ParseSequoia(spec);
+    harness::KernelRunner runner(kernel, kernels::SequoiaInit(spec));
+    result.run = runner.Run(run_config);
+    result.run.kernel_name = spec.id;
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  });
+
+  TextTable table({"fault scale", "avg speedup", "fallbacks", "retries",
+                   "timing faults", "payload flips"});
+  for (std::size_t s = 0; s < scales.size(); ++s) {
     std::vector<double> speedups;
     int fallbacks = 0;
     int retries = 0;
     std::uint64_t timing_faults = 0;
     std::uint64_t payload_flips = 0;
-    for (const kernels::SequoiaKernel& spec : kernels::SequoiaKernels()) {
-      const ir::Kernel kernel = kernels::ParseSequoia(spec);
-      harness::KernelRunner runner(kernel, kernels::SequoiaInit(spec));
-      const harness::KernelRun run = runner.Run(run_config);
+    for (std::size_t i = 0; i < kernel_count; ++i) {
+      const harness::KernelRun& run = timed[s * kernel_count + i].run;
       speedups.push_back(run.speedup);
       fallbacks += run.fallback_used ? 1 : 0;
       retries += run.retries;
@@ -60,7 +86,7 @@ int main() {
                        run.fault_stats.core_freezes;
       payload_flips += run.fault_stats.payload_flips;
     }
-    table.AddRow({FormatFixed(scale, 2), FormatFixed(Mean(speedups), 2),
+    table.AddRow({FormatFixed(scales[s], 2), FormatFixed(Mean(speedups), 2),
                   std::to_string(fallbacks), std::to_string(retries),
                   std::to_string(static_cast<long long>(timing_faults)),
                   std::to_string(static_cast<long long>(payload_flips))});
@@ -72,5 +98,25 @@ int main() {
                           "(deterministic fault schedules; failed runs retry "
                           "reseeded, then fall back to verified sequential)")
                   .c_str());
+
+  harness::BenchArtifact artifact;
+  artifact.name = "ext_fault_sweep";
+  for (std::size_t i = 0; i < grid; ++i) {
+    harness::BenchArtifact::Point point = benchutil::MakePoint(
+        timed[i], {{"cores", "4"},
+                   {"fault_scale", FormatFixed(scales[i / kernel_count], 2)}});
+    const sim::FaultStats& fs = timed[i].run.fault_stats;
+    point.counters["fault_latency_jitters"] = fs.latency_jitters;
+    point.counters["fault_enqueue_rejects"] = fs.enqueue_rejects;
+    point.counters["fault_mem_inflations"] = fs.mem_inflations;
+    point.counters["fault_core_freezes"] = fs.core_freezes;
+    point.counters["fault_payload_flips"] = fs.payload_flips;
+    artifact.points.push_back(std::move(point));
+  }
+  artifact.host["sweep_threads"] = threads;
+  artifact.host["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchutil::EmitArtifact(artifact);
   return 0;
 }

@@ -5,32 +5,54 @@
 // defaults) and prints the per-kernel speedups plus the averages the paper
 // reports (2-core avg 1.32, range 1.03-1.76; 4-core avg 2.05, range
 // 0.90-2.98).
+//
+// The full (kernel x cores) grid is fanned across host threads by the
+// harness sweep engine (FGPAR_SWEEP_THREADS overrides the worker count);
+// the table and the deterministic portion of BENCH_fig12.json are
+// byte-identical for any thread count.  `--smoke` runs a 3-kernel subset
+// for CI.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "kernels/experiments.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fgpar;
 
-  kernels::ExperimentConfig config2;
-  config2.cores = 2;
-  kernels::ExperimentConfig config4;
-  config4.cores = 4;
+  const bool smoke = benchutil::HasFlag(argc, argv, "--smoke");
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<kernels::SequoiaKernel>& all = kernels::SequoiaKernels();
+  const std::size_t kernel_count =
+      smoke ? std::min<std::size_t>(3, all.size()) : all.size();
+  const std::vector<int> core_counts = {2, 4};
+  const int threads = harness::ResolveSweepThreads(0);
 
-  const auto runs2 = kernels::RunAllKernels(config2);
-  const auto runs4 = kernels::RunAllKernels(config4);
+  // One grid point per (cores, kernel) pair, swept in one pool so a slow
+  // kernel at one core count overlaps with everything else.
+  const std::size_t grid = core_counts.size() * kernel_count;
+  const auto timed = harness::RunSweep(grid, threads, [&](std::size_t i) {
+    kernels::ExperimentConfig config;
+    config.cores = core_counts[i / kernel_count];
+    config.sweep_threads = 1;  // the grid is already parallel
+    return benchutil::TimedKernelRun(all[i % kernel_count], config);
+  });
+  const benchutil::TimedRun* runs2 = &timed[0];
+  const benchutil::TimedRun* runs4 = &timed[kernel_count];
 
   TextTable table({"Kernel", "2-core speedup", "4-core speedup"});
   std::vector<double> s2, s4;
-  for (std::size_t i = 0; i < runs2.size(); ++i) {
-    table.AddRow({runs2[i].kernel_name, FormatFixed(runs2[i].speedup, 2),
-                  FormatFixed(runs4[i].speedup, 2)});
-    s2.push_back(runs2[i].speedup);
-    s4.push_back(runs4[i].speedup);
+  for (std::size_t i = 0; i < kernel_count; ++i) {
+    table.AddRow({runs2[i].run.kernel_name,
+                  FormatFixed(runs2[i].run.speedup, 2),
+                  FormatFixed(runs4[i].run.speedup, 2)});
+    s2.push_back(runs2[i].run.speedup);
+    s4.push_back(runs4[i].run.speedup);
   }
   table.AddSeparator();
   table.AddRow({"average", FormatFixed(Mean(s2), 2), FormatFixed(Mean(s4), 2)});
@@ -44,5 +66,17 @@ int main() {
                           "[1.03, 1.76]; 4-core avg 2.05 in [0.90, 2.98])")
                   .c_str());
   std::printf("All runs verified bit-exact against the reference interpreter.\n");
+
+  harness::BenchArtifact artifact;
+  artifact.name = "fig12";
+  for (std::size_t i = 0; i < grid; ++i) {
+    artifact.points.push_back(benchutil::MakePoint(
+        timed[i], {{"cores", std::to_string(core_counts[i / kernel_count])}}));
+  }
+  artifact.host["sweep_threads"] = threads;
+  artifact.host["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchutil::EmitArtifact(artifact);
   return 0;
 }

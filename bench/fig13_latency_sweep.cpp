@@ -6,10 +6,16 @@
 // below 1); at 100 cycles there is no speedup on average and only 2 of 18
 // kernels still gain.  "The technique is inherently sensitive to
 // communication latencies."
+//
+// The (kernel x latency) grid runs through the harness sweep engine; the
+// table and the deterministic portion of BENCH_fig13.json are independent
+// of the host thread count.
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "kernels/experiments.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -18,13 +24,22 @@
 int main() {
   using namespace fgpar;
 
+  const auto start = std::chrono::steady_clock::now();
   const std::vector<int> latencies = {5, 20, 50, 100};
-  std::map<int, std::vector<harness::KernelRun>> by_latency;
-  for (int latency : latencies) {
+  const std::vector<kernels::SequoiaKernel>& all = kernels::SequoiaKernels();
+  const std::size_t kernel_count = all.size();
+  const int threads = harness::ResolveSweepThreads(0);
+
+  const std::size_t grid = latencies.size() * kernel_count;
+  const auto timed = harness::RunSweep(grid, threads, [&](std::size_t i) {
     kernels::ExperimentConfig config;
     config.cores = 4;
-    config.transfer_latency = latency;
-    by_latency[latency] = kernels::RunAllKernels(config);
+    config.transfer_latency = latencies[i / kernel_count];
+    return benchutil::TimedKernelRun(all[i % kernel_count], config);
+  });
+  std::map<int, const benchutil::TimedRun*> by_latency;
+  for (std::size_t l = 0; l < latencies.size(); ++l) {
+    by_latency[latencies[l]] = &timed[l * kernel_count];
   }
 
   std::vector<std::string> header = {"Kernel"};
@@ -32,11 +47,10 @@ int main() {
     header.push_back(std::to_string(latency) + " cyc");
   }
   TextTable table(header);
-  const std::size_t kernel_count = by_latency[5].size();
   for (std::size_t i = 0; i < kernel_count; ++i) {
-    std::vector<std::string> row = {by_latency[5][i].kernel_name};
+    std::vector<std::string> row = {by_latency[5][i].run.kernel_name};
     for (int latency : latencies) {
-      row.push_back(FormatFixed(by_latency[latency][i].speedup, 2));
+      row.push_back(FormatFixed(by_latency[latency][i].run.speedup, 2));
     }
     table.AddRow(row);
   }
@@ -46,9 +60,10 @@ int main() {
   for (int latency : latencies) {
     std::vector<double> speedups;
     int losers = 0;
-    for (const harness::KernelRun& run : by_latency[latency]) {
-      speedups.push_back(run.speedup);
-      losers += run.speedup <= 1.0 ? 1 : 0;
+    for (std::size_t i = 0; i < kernel_count; ++i) {
+      const double s = by_latency[latency][i].run.speedup;
+      speedups.push_back(s);
+      losers += s <= 1.0 ? 1 : 0;
     }
     avg_row.push_back(FormatFixed(Mean(speedups), 2));
     losers_row.push_back(std::to_string(losers));
@@ -62,5 +77,19 @@ int main() {
                           "(paper averages: 2.05 @5, 1.85 @20, 1.36 @50, ~1.0 "
                           "@100; losers 1/4/6/16)")
                   .c_str());
+
+  harness::BenchArtifact artifact;
+  artifact.name = "fig13";
+  for (std::size_t i = 0; i < grid; ++i) {
+    artifact.points.push_back(benchutil::MakePoint(
+        timed[i],
+        {{"cores", "4"},
+         {"transfer_latency", std::to_string(latencies[i / kernel_count])}}));
+  }
+  artifact.host["sweep_threads"] = threads;
+  artifact.host["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchutil::EmitArtifact(artifact);
   return 0;
 }

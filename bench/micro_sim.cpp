@@ -2,8 +2,26 @@
 // raw simulation throughput of the core model, the hardware queues, and
 // the cache hierarchy.  These measure the *host* cost of simulation, not
 // simulated time — useful for sizing experiment sweeps.
+//
+// Coverage of the dual run loops (see docs/INTERNALS.md):
+//  * BM_CoreIssueThroughput          — fast path, predecoded dispatch;
+//  * BM_CoreIssueThroughputSlowPath  — same program on the instrumented
+//    reference loop (force_slow_path), i.e. the decoded-cache off
+//    configuration; the ratio of the two is the fast-path speedup;
+//  * BM_MachineFastForward           — a machine that is mostly idle
+//    (long unpipelined latencies on one core, the rest blocked on
+//    queues), exercising the event fast-forward and blocked-core skip;
+//  * BM_QueuePingPong                — queue-bound two-core traffic.
+//
+// A custom main additionally writes BENCH_sim_throughput.json with
+// wall-clock simulation rates for the fast and slow loops, so CI archives
+// machine-readable simulator-performance numbers alongside the figures.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "harness/bench_artifact.hpp"
 #include "isa/assembler.hpp"
 #include "sim/machine.hpp"
 
@@ -11,12 +29,12 @@ namespace {
 
 using namespace fgpar;
 
-void BM_CoreIssueThroughput(benchmark::State& state) {
+isa::Program IssueLoopProgram(std::int64_t iterations) {
   // A tight arithmetic loop; measures simulated instructions per host second.
   isa::Assembler a;
   isa::Label main = a.NewNamedLabel("main");
   a.Bind(main);
-  a.LiI(isa::Gpr{1}, static_cast<std::int64_t>(state.range(0)));
+  a.LiI(isa::Gpr{1}, iterations);
   a.LiI(isa::Gpr{2}, 1);
   a.LiI(isa::Gpr{3}, 0);
   isa::Label top = a.NewLabel();
@@ -27,22 +45,92 @@ void BM_CoreIssueThroughput(benchmark::State& state) {
   a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
   a.Bnz(isa::Gpr{1}, top);
   a.Halt();
-  const isa::Program program = a.Finish();
+  return a.Finish();
+}
 
+sim::RunResult RunIssueLoop(const isa::Program& program, bool force_slow) {
+  sim::MachineConfig config;
+  config.num_cores = 1;
+  config.memory_words = 1 << 12;
+  config.force_slow_path = force_slow;
+  sim::Machine machine(config, program);
+  machine.StartCoreAt(0, "main");
+  return machine.Run();
+}
+
+void BM_CoreIssueThroughput(benchmark::State& state) {
+  const isa::Program program = IssueLoopProgram(state.range(0));
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    sim::MachineConfig config;
-    config.num_cores = 1;
-    config.memory_words = 1 << 12;
-    sim::Machine machine(config, program);
-    machine.StartCoreAt(0, "main");
-    const sim::RunResult result = machine.Run();
-    instructions += result.instructions;
+    instructions += RunIssueLoop(program, /*force_slow=*/false).instructions;
   }
   state.counters["sim_instr/s"] = benchmark::Counter(
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoreIssueThroughput)->Arg(1000)->Arg(10000);
+
+void BM_CoreIssueThroughputSlowPath(benchmark::State& state) {
+  // The instrumented reference loop on the same program: decoded-cache and
+  // issue-skip off.  Compare against BM_CoreIssueThroughput for the
+  // fast-path speedup.
+  const isa::Program program = IssueLoopProgram(state.range(0));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    instructions += RunIssueLoop(program, /*force_slow=*/true).instructions;
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreIssueThroughputSlowPath)->Arg(1000)->Arg(10000);
+
+isa::Program FastForwardProgram(std::int64_t rounds, int consumers) {
+  // Core 0 grinds through unpipelined divides (32-cycle issue occupancy),
+  // then feeds one value to each consumer core; consumers spend almost the
+  // whole run blocked on their empty queue.  Most simulated cycles have no
+  // issue anywhere — the run loop must fast-forward cheaply.
+  isa::Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(isa::Gpr{1}, rounds);
+  a.LiI(isa::Gpr{2}, 1);
+  a.LiI(isa::Gpr{3}, 1000000);
+  isa::Label top = a.NewLabel();
+  a.Bind(top);
+  a.DivI(isa::Gpr{4}, isa::Gpr{3}, isa::Gpr{2});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top);
+  for (int c = 1; c <= consumers; ++c) {
+    a.EnqI(c, isa::Gpr{4});
+  }
+  a.Halt();
+  for (int c = 1; c <= consumers; ++c) {
+    isa::Label consumer = a.NewNamedLabel("consumer" + std::to_string(c));
+    a.Bind(consumer);
+    a.DeqI(0, isa::Gpr{1});
+    a.Halt();
+  }
+  return a.Finish();
+}
+
+void BM_MachineFastForward(benchmark::State& state) {
+  constexpr int kConsumers = 3;
+  const isa::Program program = FastForwardProgram(state.range(0), kConsumers);
+  sim::MachineConfig config;
+  config.num_cores = 1 + kConsumers;
+  config.memory_words = 1 << 12;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::Machine machine(config, program);
+    machine.StartCoreAt(0, "main");
+    for (int c = 1; c <= kConsumers; ++c) {
+      machine.StartCoreAt(c, "consumer" + std::to_string(c));
+    }
+    cycles += machine.Run().cycles;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineFastForward)->Arg(256)->Arg(1024);
 
 void BM_QueuePingPong(benchmark::State& state) {
   // Two cores bouncing a value; measures queue-op simulation cost.
@@ -101,6 +189,74 @@ void BM_CacheAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAccess);
 
+/// Wall-clock measurement of one run-loop flavour, repeated until
+/// min_seconds of host time accumulate.  Returns simulated instructions
+/// per host second plus the deterministic per-run counts.
+struct ThroughputSample {
+  std::uint64_t instructions_per_run = 0;
+  std::uint64_t cycles_per_run = 0;
+  double sim_instr_per_s = 0.0;
+};
+
+ThroughputSample MeasureIssueLoop(const isa::Program& program, bool force_slow,
+                                  double min_seconds) {
+  ThroughputSample sample;
+  std::uint64_t instructions = 0;
+  double elapsed = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  do {
+    const sim::RunResult result = RunIssueLoop(program, force_slow);
+    sample.instructions_per_run = result.instructions;
+    sample.cycles_per_run = result.cycles;
+    instructions += result.instructions;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < min_seconds);
+  sample.sim_instr_per_s = static_cast<double>(instructions) / elapsed;
+  return sample;
+}
+
+void WriteThroughputArtifact() {
+  const isa::Program program = IssueLoopProgram(10000);
+  constexpr double kMinSeconds = 0.2;
+  const ThroughputSample fast =
+      MeasureIssueLoop(program, /*force_slow=*/false, kMinSeconds);
+  const ThroughputSample slow =
+      MeasureIssueLoop(program, /*force_slow=*/true, kMinSeconds);
+
+  harness::BenchArtifact artifact;
+  artifact.name = "sim_throughput";
+  const auto add = [&](const char* label, const ThroughputSample& sample,
+                       const char* path) {
+    harness::BenchArtifact::Point point;
+    point.label = label;
+    point.params["run_loop"] = path;
+    point.counters["instructions_per_run"] = sample.instructions_per_run;
+    point.counters["cycles_per_run"] = sample.cycles_per_run;
+    point.host["sim_instr_per_s"] = sample.sim_instr_per_s;
+    artifact.points.push_back(std::move(point));
+  };
+  add("issue_loop fast", fast, "fast");
+  add("issue_loop slow", slow, "slow");
+  artifact.host["fast_over_slow"] =
+      slow.sim_instr_per_s > 0.0 ? fast.sim_instr_per_s / slow.sim_instr_per_s
+                                 : 0.0;
+  const std::string path = artifact.WriteFile();
+  std::fprintf(stderr, "wrote %s (fast %.1fM sim-instr/s, slow %.1fM, %.2fx)\n",
+               path.c_str(), fast.sim_instr_per_s / 1e6,
+               slow.sim_instr_per_s / 1e6, artifact.host["fast_over_slow"]);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteThroughputArtifact();
+  return 0;
+}

@@ -2,9 +2,16 @@
 // speedups of Figure 12 with Table I's runtime percentages via Amdahl's
 // law (paper: lammps 1.05/1.70, irs 1.24/1.79, umt2k 1.16/1.51, sphot
 // 1.25/1.92, average 1.18/1.73).
+//
+// The underlying (kernel x cores) grid runs through the harness sweep
+// engine; BENCH_table2.json records both the per-kernel points and the
+// derived per-application speedups.
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "kernels/experiments.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -13,18 +20,32 @@
 int main() {
   using namespace fgpar;
 
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<kernels::SequoiaKernel>& all = kernels::SequoiaKernels();
+  const std::size_t kernel_count = all.size();
+  const std::vector<int> core_counts = {2, 4};
+  const int threads = harness::ResolveSweepThreads(0);
+
+  const std::size_t grid = core_counts.size() * kernel_count;
+  const auto timed = harness::RunSweep(grid, threads, [&](std::size_t i) {
+    kernels::ExperimentConfig config;
+    config.cores = core_counts[i / kernel_count];
+    return benchutil::TimedKernelRun(all[i % kernel_count], config);
+  });
+
   std::map<std::string, double> speedups2;
   std::map<std::string, double> speedups4;
-  {
-    kernels::ExperimentConfig config;
-    config.cores = 2;
-    for (const harness::KernelRun& run : kernels::RunAllKernels(config)) {
-      speedups2[run.kernel_name] = run.speedup;
-    }
-    config.cores = 4;
-    for (const harness::KernelRun& run : kernels::RunAllKernels(config)) {
-      speedups4[run.kernel_name] = run.speedup;
-    }
+  for (std::size_t i = 0; i < kernel_count; ++i) {
+    speedups2[timed[i].run.kernel_name] = timed[i].run.speedup;
+    speedups4[timed[kernel_count + i].run.kernel_name] =
+        timed[kernel_count + i].run.speedup;
+  }
+
+  harness::BenchArtifact artifact;
+  artifact.name = "table2";
+  for (std::size_t i = 0; i < grid; ++i) {
+    artifact.points.push_back(benchutil::MakePoint(
+        timed[i], {{"cores", std::to_string(core_counts[i / kernel_count])}}));
   }
 
   TextTable table({"Application", "2-core", "4-core"});
@@ -35,6 +56,12 @@ int main() {
     table.AddRow({app.name, FormatFixed(s2, 2), FormatFixed(s4, 2)});
     app2.push_back(s2);
     app4.push_back(s4);
+    harness::BenchArtifact::Point point;
+    point.label = "app:" + app.name;
+    point.params["application"] = app.name;
+    point.metrics["speedup_2core"] = s2;
+    point.metrics["speedup_4core"] = s4;
+    artifact.points.push_back(std::move(point));
   }
   table.AddSeparator();
   table.AddRow({"average", FormatFixed(Mean(app2), 2), FormatFixed(Mean(app4), 2)});
@@ -46,5 +73,11 @@ int main() {
                           "1.05/1.70, irs 1.24/1.79, umt2k 1.16/1.51, sphot "
                           "1.25/1.92, average 1.18/1.73)")
                   .c_str());
+
+  artifact.host["sweep_threads"] = threads;
+  artifact.host["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchutil::EmitArtifact(artifact);
   return 0;
 }

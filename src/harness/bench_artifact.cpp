@@ -1,0 +1,110 @@
+#include "harness/bench_artifact.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "harness/runner.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace fgpar::harness {
+
+namespace {
+
+void WriteStringMap(JsonWriter& w, const std::map<std::string, std::string>& m) {
+  w.BeginObject();
+  for (const auto& [key, value] : m) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+}
+
+void WriteDoubleMap(JsonWriter& w, const std::map<std::string, double>& m) {
+  w.BeginObject();
+  for (const auto& [key, value] : m) {
+    w.Key(key);
+    w.Double(value);
+  }
+  w.EndObject();
+}
+
+void WriteCounterMap(JsonWriter& w,
+                     const std::map<std::string, std::uint64_t>& m) {
+  w.BeginObject();
+  for (const auto& [key, value] : m) {
+    w.Key(key);
+    w.UInt(value);
+  }
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string BenchArtifact::ToJson(bool include_host) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("fgpar-bench-v1");
+  w.Key("name");
+  w.String(name);
+  w.Key("points");
+  w.BeginArray();
+  for (const Point& point : points) {
+    w.BeginObject();
+    w.Key("label");
+    w.String(point.label);
+    w.Key("params");
+    WriteStringMap(w, point.params);
+    w.Key("metrics");
+    WriteDoubleMap(w, point.metrics);
+    w.Key("counters");
+    WriteCounterMap(w, point.counters);
+    if (include_host) {
+      w.Key("host");
+      WriteDoubleMap(w, point.host);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  if (include_host) {
+    w.Key("host");
+    WriteDoubleMap(w, host);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::string BenchArtifact::WriteFile() const {
+  FGPAR_CHECK_MSG(!name.empty(), "BenchArtifact::WriteFile without a name");
+  std::string dir = ".";
+  if (const char* env = std::getenv("FGPAR_BENCH_DIR")) {
+    if (*env != '\0') {
+      dir = env;
+    }
+  }
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FGPAR_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  out << ToJson(/*include_host=*/true);
+  out.close();
+  FGPAR_CHECK_MSG(out.good(), "failed writing " + path);
+  return path;
+}
+
+void AddKernelRunFields(const KernelRun& run, BenchArtifact::Point& point) {
+  point.metrics["speedup"] = run.speedup;
+  point.metrics["load_balance"] = run.load_balance;
+  point.counters["seq_cycles"] = run.seq_cycles;
+  point.counters["par_cycles"] = run.par_cycles;
+  point.counters["seq_instructions"] = run.seq_instructions;
+  point.counters["par_instructions"] = run.par_instructions;
+  point.counters["queue_transfers"] = run.par_queue_transfers;
+  point.counters["cores_used"] = static_cast<std::uint64_t>(run.cores_used);
+  point.counters["com_ops"] = static_cast<std::uint64_t>(run.com_ops);
+  point.counters["queues_used"] = static_cast<std::uint64_t>(run.queues_used);
+  point.counters["fallback_used"] = run.fallback_used ? 1 : 0;
+  point.counters["retries"] = static_cast<std::uint64_t>(run.retries);
+}
+
+}  // namespace fgpar::harness

@@ -1,0 +1,72 @@
+// Machine-readable bench artifacts (BENCH_*.json).
+//
+// Every experiment binary emits, next to its human-readable table, one
+// JSON document describing the full result grid: one point per (kernel,
+// machine configuration) pair with its deterministic simulation results
+// (speedup, simulated cycles, instruction counts) and, separately, host
+// measurements (wall-clock seconds, simulated instructions per host
+// second).  The split matters: with host fields excluded, the document is
+// a pure function of the experiment inputs — byte-identical across runs,
+// hosts, and sweep thread counts — which is what the determinism tests
+// assert.  Host fields are confined to the top-level "host" object and the
+// per-point "host" objects so consumers (and tests) can strip them
+// structurally.
+//
+// Schema "fgpar-bench-v1" (all keys in lexicographic order):
+//   {
+//     "schema": "fgpar-bench-v1",
+//     "name": "<experiment>",            // e.g. "fig12"
+//     "points": [
+//       {
+//         "label":    "<human label>",   // e.g. "lammps-1 cores=2"
+//         "params":   { "<k>": "<v>", ... },   // configuration, strings
+//         "metrics":  { "<k>": <double>, ... } // deterministic results
+//         "counters": { "<k>": <uint64>, ... } // deterministic counts
+//         "host":     { "<k>": <double>, ... } // wall-clock measurements
+//       }, ...
+//     ],
+//     "host": {                          // whole-run host measurements
+//       "sweep_threads": <int>,
+//       "wall_seconds": <double>, ...
+//     }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fgpar::harness {
+
+struct KernelRun;
+
+struct BenchArtifact {
+  struct Point {
+    std::string label;
+    std::map<std::string, std::string> params;
+    std::map<std::string, double> metrics;
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> host;
+  };
+
+  std::string name;  // experiment id, also names the output file
+  std::vector<Point> points;
+  std::map<std::string, double> host;  // whole-run host measurements
+
+  /// Renders the document.  With include_host=false the top-level "host"
+  /// object and every point's "host" object are omitted, leaving only the
+  /// deterministic portion.
+  std::string ToJson(bool include_host = true) const;
+
+  /// Writes BENCH_<name>.json into $FGPAR_BENCH_DIR (default: the current
+  /// directory) and returns the path written.
+  std::string WriteFile() const;
+};
+
+/// Fills a point's deterministic fields from one verified kernel run:
+/// speedup, sequential/parallel cycles and instruction counts, queue
+/// traffic, and the resilience counters.
+void AddKernelRunFields(const KernelRun& run, BenchArtifact::Point& point);
+
+}  // namespace fgpar::harness

@@ -46,6 +46,7 @@ sim::MachineConfig KernelRunner::MachineConfigFor(const RunConfig& config,
   machine.cache = config.cache;
   machine.queue = config.queue;
   machine.stall_watchdog_cycles = config.stall_watchdog_cycles;
+  machine.force_slow_path = config.force_slow_path;
   // Round the data region up to a power-of-two-ish budget with headroom.
   std::uint64_t words = 1024;
   while (words < layout_.end() + 64) {

@@ -96,6 +96,10 @@ struct RunConfig {
   /// Stall watchdog for simulated machines (0 = disabled; see
   /// MachineConfig::stall_watchdog_cycles).
   std::uint64_t stall_watchdog_cycles = 0;
+  /// Forces every simulated machine onto the instrumented reference run
+  /// loop (see MachineConfig::force_slow_path).  Results are bit-identical
+  /// either way; used by the fast/slow equivalence tests and benchmarks.
+  bool force_slow_path = false;
   FallbackPolicy fallback;
 };
 

@@ -1,0 +1,93 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+
+namespace fgpar::harness {
+
+int ResolveSweepThreads(int requested) {
+  if (requested >= 1) {
+    return requested;
+  }
+  if (const char* env = std::getenv("FGPAR_SWEEP_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1 && value <= 1024) {
+      return static_cast<int>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+void RunSweepIndices(std::size_t count, int threads,
+                     const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(threads < 1 ? 1 : static_cast<std::size_t>(threads),
+                            count);
+  if (workers <= 1) {
+    // Inline: identical semantics (including first-failure-by-index) with
+    // no thread overhead; also the deterministic reference the sweep tests
+    // compare multi-threaded runs against.
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<bool> failed{false};
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      if (failed.load(std::memory_order_relaxed)) {
+        // A point already failed; finish fast.  Skipped points keep a null
+        // exception slot, and the rethrow below picks the smallest failed
+        // index, so the observable error matches a sequential run whenever
+        // the first failure is the first index to fail.
+        continue;
+      }
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  if (failed.load()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (errors[i]) {
+        std::rethrow_exception(errors[i]);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace fgpar::harness

@@ -1,0 +1,55 @@
+// Host-parallel sweep engine for independent simulation points.
+//
+// Every experiment in bench/ is a grid of independent (kernel, machine
+// configuration) points; each point runs a complete compile–simulate–
+// verify pipeline with no shared mutable state (the pipeline owns all of
+// its machines, and the kernel tables are immutable after first use).
+// RunSweep fans such a grid across std::threads and collects results in
+// index order, so the output of a sweep is a pure function of its inputs:
+// running with 1 thread or N threads produces identical result vectors.
+//
+// Work distribution is a shared atomic cursor (work stealing at the
+// granularity of one point), which keeps long-running points from
+// serializing behind a static partition.  Exceptions thrown by a point are
+// captured per index and the lowest-index failure is rethrown after all
+// workers drain — again matching what a sequential loop would have thrown
+// first.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace fgpar::harness {
+
+/// Number of worker threads a sweep should use.
+///
+///  * requested >= 1: use exactly that;
+///  * otherwise: the FGPAR_SWEEP_THREADS environment variable if set to a
+///    positive integer, else std::thread::hardware_concurrency (at least 1).
+int ResolveSweepThreads(int requested);
+
+namespace detail {
+/// Runs body(0..count-1), each index exactly once, on `threads` workers
+/// (clamped to count; <= 1 runs inline on the calling thread).  If any
+/// body invocation throws, the exception for the smallest index is
+/// rethrown after all workers finish.
+void RunSweepIndices(std::size_t count, int threads,
+                     const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+/// Evaluates fn(i) for i in [0, count) on `threads` host threads and
+/// returns the results in index order.  fn must be callable concurrently
+/// from multiple threads; results are deterministic and independent of the
+/// thread count.
+template <typename Fn>
+auto RunSweep(std::size_t count, int threads, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> results(count);
+  detail::RunSweepIndices(count, threads,
+                          [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace fgpar::harness

@@ -1,0 +1,83 @@
+#include "isa/decode.hpp"
+
+namespace fgpar::isa {
+
+DecodedOperands OperandsOf(const Instruction& instr) {
+  DecodedOperands ops;
+  auto g = [&ops](std::uint8_t r) { ops.gpr[ops.num_gpr++] = r; };
+  auto f = [&ops](std::uint8_t r) { ops.fpr[ops.num_fpr++] = r; };
+  switch (instr.op) {
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI: case Opcode::kDivI:
+    case Opcode::kRemI: case Opcode::kAndI: case Opcode::kOrI: case Opcode::kXorI:
+    case Opcode::kShlI: case Opcode::kShrI: case Opcode::kMinI: case Opcode::kMaxI:
+    case Opcode::kCeqI: case Opcode::kCneI: case Opcode::kCltI: case Opcode::kCleI:
+      g(instr.src1);
+      g(instr.src2);
+      break;
+    case Opcode::kMovI:
+      g(instr.src1);
+      break;
+    case Opcode::kLiI: case Opcode::kLiF: case Opcode::kJmp: case Opcode::kCall:
+    case Opcode::kRet: case Opcode::kHalt: case Opcode::kNop:
+      break;
+    case Opcode::kAddF: case Opcode::kSubF: case Opcode::kMulF: case Opcode::kDivF:
+    case Opcode::kMinF: case Opcode::kMaxF: case Opcode::kCeqF: case Opcode::kCltF:
+    case Opcode::kCleF:
+      f(instr.src1);
+      f(instr.src2);
+      break;
+    case Opcode::kFmaF:
+      f(instr.src1);
+      f(instr.src2);
+      f(instr.dst);  // accumulator is read-modify-write
+      break;
+    case Opcode::kNegF: case Opcode::kAbsF: case Opcode::kSqrtF: case Opcode::kMovF:
+      f(instr.src1);
+      break;
+    case Opcode::kItoF:
+      g(instr.src1);
+      break;
+    case Opcode::kFtoI:
+      f(instr.src1);
+      break;
+    case Opcode::kLdI: case Opcode::kLdF:
+      g(instr.src1);
+      break;
+    case Opcode::kLdIX: case Opcode::kLdFX:
+      g(instr.src1);
+      g(instr.src2);
+      break;
+    case Opcode::kStI:
+      g(instr.src1);
+      g(instr.dst);  // value register
+      break;
+    case Opcode::kStIX:
+      g(instr.src1);
+      g(instr.src2);
+      g(instr.dst);
+      break;
+    case Opcode::kStF:
+      g(instr.src1);
+      f(instr.dst);
+      break;
+    case Opcode::kStFX:
+      g(instr.src1);
+      g(instr.src2);
+      f(instr.dst);
+      break;
+    case Opcode::kBz: case Opcode::kBnz: case Opcode::kCallR:
+      g(instr.src1);
+      break;
+    case Opcode::kEnqI:
+      g(instr.src1);
+      break;
+    case Opcode::kEnqF:
+      f(instr.src1);
+      break;
+    case Opcode::kDeqI: case Opcode::kDeqF:
+      break;
+  }
+  return ops;
+}
+
+}  // namespace fgpar::isa

@@ -1,0 +1,35 @@
+// Static per-instruction operand metadata, used by the simulator's
+// predecoded fast path (sim/decoded.hpp).
+//
+// The slow (instrumented) simulator path re-derives an instruction's source
+// registers from a switch on every issue attempt (Core::SourcesReadyAt);
+// the fast path asks once, at Machine construction, via OperandsOf and then
+// iterates flat arrays.  Both must agree exactly — the golden cycle tests
+// (tests/sim_golden_test.cpp) and the fast/slow equivalence tests lock this.
+//
+// When adding an opcode: extend the switch in decode.cpp (it has no default
+// case, so -Wswitch flags the omission), mirror the change in
+// Core::SourcesReadyAt, and re-run the golden tests.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace fgpar::isa {
+
+/// The source registers an instruction reads before it can issue.  For
+/// stores, the value register (`dst`) is a source; for fused multiply-add,
+/// the accumulator (`dst`) is read-modify-write.
+struct DecodedOperands {
+  std::uint8_t gpr[3] = {0, 0, 0};  // gpr indices read at issue
+  std::uint8_t num_gpr = 0;
+  std::uint8_t fpr[3] = {0, 0, 0};  // fpr indices read at issue
+  std::uint8_t num_fpr = 0;
+};
+
+/// Extracts the issue-time source registers of `instr`.
+DecodedOperands OperandsOf(const Instruction& instr);
+
+}  // namespace fgpar::isa

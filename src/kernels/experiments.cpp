@@ -1,5 +1,6 @@
 #include "kernels/experiments.hpp"
 
+#include "harness/sweep.hpp"
 #include "support/error.hpp"
 
 namespace fgpar::kernels {
@@ -13,6 +14,7 @@ harness::RunConfig ToRunConfig(const ExperimentConfig& config) {
   run.queue.transfer_latency = config.transfer_latency;
   run.verify = config.verify;
   run.tune_by_simulation = config.tune_by_simulation;
+  run.force_slow_path = config.force_slow_path;
   return run;
 }
 
@@ -26,12 +28,10 @@ harness::KernelRun RunKernel(const SequoiaKernel& kernel,
 }
 
 std::vector<harness::KernelRun> RunAllKernels(const ExperimentConfig& config) {
-  std::vector<harness::KernelRun> runs;
-  runs.reserve(SequoiaKernels().size());
-  for (const SequoiaKernel& kernel : SequoiaKernels()) {
-    runs.push_back(RunKernel(kernel, config));
-  }
-  return runs;
+  const std::vector<SequoiaKernel>& kernels = SequoiaKernels();
+  return harness::RunSweep(
+      kernels.size(), harness::ResolveSweepThreads(config.sweep_threads),
+      [&](std::size_t i) { return RunKernel(kernels[i], config); });
 }
 
 double ApplicationSpeedup(const SequoiaApplication& app,

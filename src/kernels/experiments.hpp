@@ -27,6 +27,13 @@ struct ExperimentConfig {
   /// dynamic-feedback version selection (Section III-I.1) is measured
   /// separately by bench/ablation_dynamic_feedback.
   bool tune_by_simulation = false;
+  /// Host threads used by RunAllKernels to fan independent kernel
+  /// pipelines across cores (results are deterministic regardless).
+  /// <= 0 resolves via harness::ResolveSweepThreads: FGPAR_SWEEP_THREADS
+  /// if set, else the host's hardware concurrency.
+  int sweep_threads = 0;
+  /// See harness::RunConfig::force_slow_path.
+  bool force_slow_path = false;
 };
 
 harness::RunConfig ToRunConfig(const ExperimentConfig& config);

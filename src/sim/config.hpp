@@ -83,6 +83,12 @@ struct MachineConfig {
   std::uint64_t stall_watchdog_cycles = 0;
   /// Deterministic fault injection (disabled by default; see sim/fault.hpp).
   FaultConfig faults;
+  /// Forces the instrumented reference run loop even when the fast path is
+  /// eligible (no faults, no watchdog, no trace).  Cycle counts, final
+  /// memory, and stall statistics are bit-identical either way — this knob
+  /// exists for the fast/slow equivalence tests and the decoded-cache
+  /// on/off microbenchmarks, not for correctness.
+  bool force_slow_path = false;
 };
 
 }  // namespace fgpar::sim

@@ -295,6 +295,24 @@ StepOutcome Core::Step(std::uint64_t now, const isa::Program& program,
 void Core::Execute(std::uint64_t now, const Instruction& instr, MemorySystem& memory,
                    QueueMatrix& queues) {
   const CoreTiming& t = config_.timing;
+  const int lat = isa::IsLoad(instr.op) || isa::IsStore(instr.op)
+                      ? 0  // determined inside ExecuteImpl
+                      : ResultLatency(t, instr.op);
+  const std::uint64_t unpipelined_busy =
+      IsUnpipelined(instr.op)
+          ? static_cast<std::uint64_t>(ResultLatency(t, instr.op))
+          : 0;
+  ExecuteImpl(now, instr, lat, unpipelined_busy,
+              1 + static_cast<std::uint64_t>(t.taken_branch_penalty), memory,
+              queues);
+}
+
+template <typename InstrT>
+void Core::ExecuteImpl(std::uint64_t now, const InstrT& instr,
+                       int result_latency, std::uint64_t unpipelined_busy,
+                       std::uint64_t taken_branch_busy, MemorySystem& memory,
+                       QueueMatrix& queues) {
+  const CoreTiming& t = config_.timing;
   std::int64_t next_pc = pc_ + 1;
   std::uint64_t issue_busy = 1;  // default: fully pipelined, 1 instr/cycle
   bool taken_branch = false;
@@ -309,9 +327,7 @@ void Core::Execute(std::uint64_t now, const Instruction& instr, MemorySystem& me
   };
   auto g = [&](std::uint8_t r) { return gpr_[r]; };
   auto f = [&](std::uint8_t r) { return fpr_[r]; };
-  const int lat = isa::IsLoad(instr.op) || isa::IsStore(instr.op)
-                      ? 0  // determined below
-                      : ResultLatency(t, instr.op);
+  const int lat = result_latency;
 
   // Integer add/sub/mul wrap (two's complement), like the modeled hardware;
   // computing through uint64 keeps the wrap defined in C++.
@@ -478,13 +494,59 @@ void Core::Execute(std::uint64_t now, const Instruction& instr, MemorySystem& me
     }
   }
 
-  if (IsUnpipelined(instr.op)) {
-    issue_busy = static_cast<std::uint64_t>(ResultLatency(t, instr.op));
+  if (unpipelined_busy != 0) {
+    issue_busy = unpipelined_busy;
   } else if (taken_branch) {
-    issue_busy = 1 + static_cast<std::uint64_t>(t.taken_branch_penalty);
+    issue_busy = taken_branch_busy;
   }
   next_issue_ = now + issue_busy;
   pc_ = next_pc;
+}
+
+StepOutcome Core::StepFast(std::uint64_t now, const DecodedProgram& program,
+                           MemorySystem& memory, QueueMatrix& queues) {
+  stalled_deq_remote_ = -1;
+  stalled_enq_remote_ = -1;
+  stalled_enq_injected_ = false;
+  const DecodedInstruction& di = program.at(pc_);
+
+  // Register scoreboard over the predecoded source lists.
+  std::uint64_t ready = 0;
+  for (int i = 0; i < di.num_gpr_srcs; ++i) {
+    ready = std::max(ready, gpr_ready_[di.gpr_srcs[i]]);
+  }
+  for (int i = 0; i < di.num_fpr_srcs; ++i) {
+    ready = std::max(ready, fpr_ready_[di.fpr_srcs[i]]);
+  }
+  if (ready > now) {
+    stats_.stall_raw += ready - now;
+    next_issue_ = ready;
+    return StepOutcome::kPipelineBusy;
+  }
+
+  if (di.is_enqueue) {
+    HardwareQueue& q = di.is_fp_queue ? queues.FpQueue(id_, di.queue)
+                                      : queues.IntQueue(id_, di.queue);
+    if (!q.CanEnqueue()) {
+      stalled_enq_remote_ = di.queue;
+      stalled_enq_fp_ = di.is_fp_queue;
+      return StepOutcome::kStallEnqFull;
+    }
+  } else if (di.is_dequeue) {
+    HardwareQueue& q = di.is_fp_queue ? queues.FpQueue(di.queue, id_)
+                                      : queues.IntQueue(di.queue, id_);
+    if (!q.CanDequeue(now)) {
+      stalled_deq_remote_ = di.queue;
+      stalled_deq_fp_ = di.is_fp_queue;
+      return StepOutcome::kStallDeqEmpty;
+    }
+  }
+
+  ExecuteImpl(now, di, di.result_latency,
+              static_cast<std::uint64_t>(di.unpipelined_busy),
+              program.taken_branch_busy(), memory, queues);
+  ++stats_.instructions;
+  return StepOutcome::kIssued;
 }
 
 std::string Core::Describe(const isa::Program& program) const {

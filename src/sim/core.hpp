@@ -20,6 +20,7 @@
 
 #include "isa/program.hpp"
 #include "sim/config.hpp"
+#include "sim/decoded.hpp"
 #include "sim/hw_queue.hpp"
 #include "sim/memory.hpp"
 
@@ -105,6 +106,16 @@ class Core {
                    MemorySystem& memory, QueueMatrix& queues,
                    FaultInjector* faults = nullptr);
 
+  /// Fast-path issue attempt against a predecoded program: no fault hooks,
+  /// no per-issue opcode re-classification.  The caller (Machine's fast
+  /// run loop) must guarantee the core is started, not halted, and its
+  /// issue stage is free (next_issue_cycle() <= now); Step's corresponding
+  /// early-outs are deliberately absent here.  Timing and functional
+  /// behaviour are bit-identical to Step without faults — the golden cycle
+  /// tests lock this equivalence.
+  StepOutcome StepFast(std::uint64_t now, const DecodedProgram& program,
+                       MemorySystem& memory, QueueMatrix& queues);
+
   /// Earliest cycle at which the issue stage is free again.
   std::uint64_t next_issue_cycle() const { return next_issue_; }
 
@@ -138,6 +149,19 @@ class Core {
   std::uint64_t SourcesReadyAt(const isa::Instruction& instr) const;
   void Execute(std::uint64_t now, const isa::Instruction& instr,
                MemorySystem& memory, QueueMatrix& queues);
+
+  /// The single functional+timing execute switch, shared by Step (which
+  /// derives latencies per issue) and StepFast (which reads them from the
+  /// DecodedInstruction).  `result_latency` is the non-memory result
+  /// latency, `unpipelined_busy` is the issue-stage occupancy for
+  /// unpipelined ops (0 = pipelined), `taken_branch_busy` the occupancy of
+  /// a taken branch.  Sharing one switch means the two simulator paths can
+  /// never diverge on architectural state, only on (golden-tested) timing.
+  template <typename InstrT>
+  void ExecuteImpl(std::uint64_t now, const InstrT& instr, int result_latency,
+                   std::uint64_t unpipelined_busy,
+                   std::uint64_t taken_branch_busy, MemorySystem& memory,
+                   QueueMatrix& queues);
 
   int id_;
   int physical_core_;

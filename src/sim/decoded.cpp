@@ -1,0 +1,42 @@
+#include "sim/decoded.hpp"
+
+#include "isa/decode.hpp"
+
+namespace fgpar::sim {
+
+DecodedProgram::DecodedProgram(const isa::Program& program,
+                               const CoreTiming& timing)
+    : taken_branch_busy_(1 +
+                         static_cast<std::uint64_t>(timing.taken_branch_penalty)) {
+  code_.reserve(program.size());
+  for (const isa::Instruction& instr : program.code()) {
+    DecodedInstruction di;
+    di.op = instr.op;
+    di.dst = instr.dst;
+    di.src1 = instr.src1;
+    di.src2 = instr.src2;
+    di.queue = instr.queue;
+    di.imm = instr.imm;
+    di.fimm = instr.fimm;
+
+    const isa::DecodedOperands ops = isa::OperandsOf(instr);
+    di.num_gpr_srcs = ops.num_gpr;
+    di.num_fpr_srcs = ops.num_fpr;
+    for (int i = 0; i < 3; ++i) {
+      di.gpr_srcs[i] = ops.gpr[i];
+      di.fpr_srcs[i] = ops.fpr[i];
+    }
+
+    di.is_enqueue = isa::IsEnqueue(instr.op);
+    di.is_dequeue = isa::IsDequeue(instr.op);
+    di.is_fp_queue = isa::IsFpQueueOp(instr.op);
+    di.result_latency = isa::IsLoad(instr.op) || isa::IsStore(instr.op)
+                            ? 0
+                            : ResultLatency(timing, instr.op);
+    di.unpipelined_busy =
+        IsUnpipelined(instr.op) ? ResultLatency(timing, instr.op) : 0;
+    code_.push_back(di);
+  }
+}
+
+}  // namespace fgpar::sim

@@ -56,6 +56,11 @@ class HardwareQueue {
   /// yet visible to the receiver).
   int InFlight(std::uint64_t now) const;
 
+  /// Arrival cycle of the head value.  Precondition: !empty().  Used by the
+  /// fast run loop to jump a dequeue-blocked machine straight to the cycle
+  /// where the head becomes visible.
+  std::uint64_t HeadArrival() const { return slots_.front().arrival_cycle; }
+
   /// Installs (or clears, with nullptr) the fault injector consulted on
   /// every enqueue for latency jitter and payload corruption.
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }

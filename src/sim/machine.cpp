@@ -89,29 +89,44 @@ void Machine::StartCoreAtPc(int core_index, std::int64_t pc) {
   core(core_index).Start(pc);
 }
 
+int Machine::RunningCores() const {
+  int running = 0;
+  for (const Core& c : cores_) {
+    if (c.started() && !c.halted()) {
+      ++running;
+    }
+  }
+  return running;
+}
+
 RunResult Machine::Run() {
+  const bool slow = injector_.enabled() || trace_ != nullptr ||
+                    config_.stall_watchdog_cycles > 0 ||
+                    config_.force_slow_path;
+  return slow ? RunSlow() : RunFast();
+}
+
+RunResult Machine::RunSlow() {
   constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
   RunResult result;
   bool core0_recorded = false;
   std::uint64_t last_issue_cycle = now_;
+  int running = RunningCores();
 
-  auto all_done = [&] {
-    for (const Core& c : cores_) {
-      if (c.started() && !c.halted()) {
-        return false;
-      }
-    }
-    return true;
-  };
+  // `outcomes_` is only cleared once per Run, not once per cycle: a slot is
+  // rewritten whenever its core is evaluated, and stale slots are only ever
+  // read in the fast-forward accounting below, which runs when *no* core
+  // issued — a cycle in which every active core was evaluated.  The two
+  // skip paths (frozen cores) write kIdle explicitly to keep the invariant.
+  outcomes_.assign(cores_.size(), StepOutcome::kIdle);
+  std::vector<StepOutcome>& outcomes = outcomes_;
+  const int tpc = config_.threads_per_core;
+  const int physical = (config_.num_cores + tpc - 1) / tpc;
 
-  std::vector<StepOutcome> outcomes(cores_.size(), StepOutcome::kIdle);
-  while (!all_done()) {
+  while (running > 0) {
     FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
 
     bool issued_any = false;
-    std::fill(outcomes.begin(), outcomes.end(), StepOutcome::kIdle);
-    const int tpc = config_.threads_per_core;
-    const int physical = (config_.num_cores + tpc - 1) / tpc;
     for (int p = 0; p < physical; ++p) {
       // SMT arbitration: the hardware threads of one physical core share a
       // single issue slot per cycle, round-robin priority.
@@ -123,11 +138,13 @@ RunResult Machine::Run() {
         const std::size_t c = static_cast<std::size_t>(base + (start + k) % count);
         if (injector_.enabled() && cores_[c].started() && !cores_[c].halted()) {
           if (frozen_until_[c] > now_) {
+            outcomes[c] = StepOutcome::kIdle;
             continue;  // frozen core: no issue attempt, slot stays free
           }
           if (injector_.ShouldFreezeCore()) {
             frozen_until_[c] =
                 now_ + static_cast<std::uint64_t>(injector_.freeze_cycles());
+            outcomes[c] = StepOutcome::kIdle;
             continue;
           }
         }
@@ -138,6 +155,9 @@ RunResult Machine::Run() {
           case StepOutcome::kIssued:
             issued_any = true;
             slot_taken = true;
+            if (cores_[c].halted()) {
+              --running;
+            }
             if (trace_) {
               trace_(TraceEvent{now_, static_cast<int>(c), pc_before,
                                 program_.at(pc_before).op});
@@ -241,6 +261,234 @@ RunResult Machine::Run() {
   for (const Core& c : cores_) {
     result.instructions += c.stats().instructions;
   }
+  return result;
+}
+
+RunResult Machine::RunFast() {
+  // Fast path: no fault injection, no watchdog, no trace sink.  The loop
+  // mirrors RunSlow cycle-for-cycle — same SMT slot arbitration, same
+  // intra-cycle core order, same fast-forward events, same stall
+  // accounting — but (a) issues through the predecoded instruction cache
+  // and (b) skips the full issue attempt for cores that provably cannot
+  // issue this cycle: pipeline-busy cores and cores still blocked on the
+  // same queue condition that stalled them last evaluation.  A skipped
+  // blocked core costs two loads and a compare instead of a Step call.
+  //
+  // The skip is sound because a queue-stalled core's state is frozen until
+  // its queue condition changes: its pc is unchanged, its source operands
+  // were ready when the stall was diagnosed (ready-cycles only move when
+  // the core itself issues), and its issue stage is free.  Re-evaluating
+  // CanEnqueue/CanDequeue at the core's exact position in the cycle order
+  // therefore reproduces precisely what Step would have concluded.
+  if (!decoded_) {
+    decoded_ = std::make_unique<DecodedProgram>(program_, config_.timing);
+  }
+  if (config_.num_cores == 1) {
+    return RunFastSingle();
+  }
+  const DecodedProgram& dp = *decoded_;
+
+  constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
+  RunResult result;
+  bool core0_recorded = false;
+  std::uint64_t last_issue_cycle = now_;
+  int running = RunningCores();
+
+  // Same once-per-Run clear as RunSlow; stale slots are only read in the
+  // no-issue fast-forward, when every active core was evaluated this cycle.
+  outcomes_.assign(cores_.size(), StepOutcome::kIdle);
+  std::vector<StepOutcome>& outcomes = outcomes_;
+  const int tpc = config_.threads_per_core;
+  const int physical = (config_.num_cores + tpc - 1) / tpc;
+
+  while (running > 0) {
+    FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
+
+    bool issued_any = false;
+    for (int p = 0; p < physical; ++p) {
+      const int base = p * tpc;
+      const int count = std::min(tpc, config_.num_cores - base);
+      const int start =
+          count == 1 ? 0 : static_cast<int>(now_ % static_cast<std::uint64_t>(count));
+      for (int k = 0; k < count; ++k) {
+        const std::size_t c = static_cast<std::size_t>(base + (start + k) % count);
+        Core& core = cores_[c];
+        if (!core.started() || core.halted()) {
+          continue;  // outcome slot stays non-stall forever; never re-read
+        }
+        if (core.next_issue_cycle() > now_) {
+          outcomes[c] = StepOutcome::kPipelineBusy;
+          continue;
+        }
+        int remote = -1;
+        bool is_fp = false;
+        if (core.stalled_on_deq(remote, is_fp)) {
+          const HardwareQueue& q = is_fp ? queues_.FpQueue(remote, core.id())
+                                         : queues_.IntQueue(remote, core.id());
+          if (!q.CanDequeue(now_)) {
+            outcomes[c] = StepOutcome::kStallDeqEmpty;
+            ++core.mutable_stats().stall_queue_empty;
+            continue;
+          }
+        } else if (core.stalled_on_enq(remote, is_fp)) {
+          const HardwareQueue& q = is_fp ? queues_.FpQueue(core.id(), remote)
+                                         : queues_.IntQueue(core.id(), remote);
+          if (!q.CanEnqueue()) {
+            outcomes[c] = StepOutcome::kStallEnqFull;
+            ++core.mutable_stats().stall_queue_full;
+            continue;
+          }
+        }
+        const StepOutcome outcome = core.StepFast(now_, dp, memory_, queues_);
+        outcomes[c] = outcome;
+        switch (outcome) {
+          case StepOutcome::kIssued:
+            issued_any = true;
+            if (core.halted()) {
+              --running;
+              if (c == 0 && !core0_recorded) {
+                core0_recorded = true;
+                result.core0_halt_cycle = now_;
+              }
+            }
+            break;
+          case StepOutcome::kStallDeqEmpty:
+            ++core.mutable_stats().stall_queue_empty;
+            break;
+          case StepOutcome::kStallEnqFull:
+            ++core.mutable_stats().stall_queue_full;
+            break;
+          default:
+            break;
+        }
+        if (outcome == StepOutcome::kIssued) {
+          break;  // SMT: the physical core's single issue slot is taken
+        }
+      }
+    }
+
+    if (issued_any) {
+      last_issue_cycle = now_;
+      ++now_;
+      continue;
+    }
+    FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
+                    "no core issued for no_progress_limit cycles");
+
+    // No core issued: fast-forward to the next event (same event model as
+    // RunSlow minus the fault-only cases — no frozen cores and no injected
+    // enqueue rejections exist on this path).  Unlike the reference loop,
+    // which advances one cycle at a time while any dequeue-blocked queue
+    // has a value in flight, this loop jumps straight to the head's
+    // arrival: nothing can issue in between (queue contents are frozen
+    // while no core issues, and every pipeline-free cycle is in the event
+    // set), so the only observable difference is the stall accounting,
+    // compensated for exactly below.
+    std::uint64_t next_event = kNoEvent;
+    bool crawl = false;  // would the reference loop advance cycle-by-cycle?
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      const Core& core = cores_[c];
+      if (!core.started() || core.halted()) {
+        continue;
+      }
+      if (core.next_issue_cycle() > now_) {
+        next_event = std::min(next_event, core.next_issue_cycle());
+        continue;
+      }
+      int remote = -1;
+      bool is_fp = false;
+      if (core.stalled_on_deq(remote, is_fp)) {
+        const HardwareQueue& q = is_fp ? queues_.FpQueue(remote, core.id())
+                                       : queues_.IntQueue(remote, core.id());
+        // CanDequeue(now_) was false, so a non-empty queue's head arrives
+        // strictly in the future; its arrival is this core's next event.
+        if (!q.empty()) {
+          next_event = std::min(next_event, q.HeadArrival());
+          crawl = true;
+        }
+      }
+      // Cores stalled on a full queue depend on another core's progress;
+      // they contribute no event of their own.
+    }
+
+    if (next_event == kNoEvent) {
+      throw DeadlockError(BuildStallReport(now_ - last_issue_cycle,
+                                           /*provable_deadlock=*/true));
+    }
+    // Stall accounting, matched to the reference loop.  Jumping k cycles
+    // with no in-flight value pending charges each stalled core k (one per
+    // skipped fast-forward).  When a value is in flight, the reference
+    // loop instead crawls those k cycles one at a time, so each stalled
+    // core is charged twice per cycle — once by its re-check and once by
+    // the single-cycle fast-forward — except the landing cycle's re-check,
+    // which both loops perform normally: 2k - 1.
+    const std::uint64_t skipped = next_event - now_;
+    const std::uint64_t charge = crawl ? 2 * skipped - 1 : skipped;
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      if (outcomes[c] == StepOutcome::kStallDeqEmpty) {
+        cores_[c].mutable_stats().stall_queue_empty += charge;
+      } else if (outcomes[c] == StepOutcome::kStallEnqFull) {
+        cores_[c].mutable_stats().stall_queue_full += charge;
+      }
+    }
+    now_ = next_event;
+  }
+
+  result.cycles = now_;
+  if (!core0_recorded) {
+    result.core0_halt_cycle = now_;
+  }
+  for (const Core& c : cores_) {
+    result.instructions += c.stats().instructions;
+  }
+  return result;
+}
+
+RunResult Machine::RunFastSingle() {
+  // Single-core specialization of the fast path.  A hardware queue needs
+  // two distinct cores (QueueMatrix rejects self-queues), so on one core a
+  // step can only issue or wait on its own pipeline — no SMT arbitration,
+  // no queue-stall bookkeeping, no fast-forward event scan.  The loop jumps
+  // straight to next_issue_cycle() instead of polling intermediate cycles.
+  // This visits exactly the reference loop's Step call sites that mutate
+  // state: the reference polls once right after the previous issue (where
+  // Step either issues, or accrues stall_raw and publishes the true
+  // next_issue_cycle) and then fast-forwards to that same cycle; the polls
+  // it makes in between hit Step's next_issue early-out, which touches
+  // nothing.  Cycle counts and statistics are therefore bit-identical
+  // (tests/sim_golden_test.cpp).
+  const DecodedProgram& dp = *decoded_;
+  RunResult result;
+  Core& core = cores_.front();
+  bool halted_this_run = false;
+  std::uint64_t last_issue_cycle = now_;
+
+  while (core.started() && !core.halted()) {
+    const std::uint64_t next = core.next_issue_cycle();
+    if (next > now_) {
+      now_ = next;
+    }
+    FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
+    if (core.StepFast(now_, dp, memory_, queues_) == StepOutcome::kIssued) {
+      if (core.halted()) {
+        result.core0_halt_cycle = now_;
+        halted_this_run = true;
+      }
+      last_issue_cycle = now_;
+      ++now_;
+    } else {
+      // kPipelineBusy with a strictly future next_issue_cycle; queue stalls
+      // are unreachable on one core, so the next iteration always advances.
+      FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
+                      "no core issued for no_progress_limit cycles");
+    }
+  }
+
+  result.cycles = now_;
+  if (!halted_this_run) {
+    result.core0_halt_cycle = now_;
+  }
+  result.instructions = core.stats().instructions;
   return result;
 }
 

@@ -24,9 +24,12 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "isa/program.hpp"
 #include "sim/config.hpp"
 #include "sim/core.hpp"
+#include "sim/decoded.hpp"
 #include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "support/error.hpp"
@@ -122,6 +125,17 @@ class Machine {
   /// Runs until every started core halts.  Throws DeadlockError on queue
   /// deadlock, StallError on a watchdog trip, and Error if config limits
   /// are exceeded.
+  ///
+  /// Two run loops exist behind this call.  The *fast path* steps against a
+  /// predecoded instruction cache (built lazily, once per Machine) and
+  /// skips cores that provably cannot issue this cycle; it is used whenever
+  /// no instrumentation is attached.  The *slow path* is the reference
+  /// implementation: it polls every core every cycle and carries the fault
+  /// injector, the stall watchdog, and the trace sink.  A run uses the slow
+  /// path iff fault injection is enabled, stall_watchdog_cycles > 0, a
+  /// trace sink is installed, or MachineConfig::force_slow_path is set.
+  /// Simulated cycle counts, final memory, and per-core statistics are
+  /// bit-identical between the two (tests/sim_golden_test.cpp).
   RunResult Run();
 
   /// Installs a per-issue trace callback (pass nullptr to disable).  The
@@ -147,6 +161,19 @@ class Machine {
   StallReport BuildStallReport(std::uint64_t stalled_cycles,
                                bool provable_deadlock) const;
 
+  /// Fast run loop: predecoded dispatch, issue-skip for blocked cores, no
+  /// instrumentation hooks.  Bit-identical timing/state to RunSlow.
+  RunResult RunFast();
+  /// Single-core specialization of RunFast: no SMT arbitration, no queue
+  /// stalls (a 1-core machine has no queues), so the loop is just
+  /// issue / jump-to-next-issue-cycle.  Bit-identical to RunSlow.
+  RunResult RunFastSingle();
+  /// Reference run loop: polls every core every cycle; carries fault
+  /// injection, the stall watchdog, and the trace sink.
+  RunResult RunSlow();
+  /// Count of started-and-not-halted cores (loop-termination bookkeeping).
+  int RunningCores() const;
+
   MachineConfig config_;
   isa::Program program_;
   MemorySystem memory_;
@@ -156,6 +183,12 @@ class Machine {
   std::vector<std::uint64_t> frozen_until_;  // per core; 0 = not frozen
   std::uint64_t now_ = 0;
   TraceSink trace_;
+  /// Predecoded instruction cache; built on the first fast-path Run.
+  std::unique_ptr<DecodedProgram> decoded_;
+  /// Per-core outcome of the current cycle, reused across Run calls to
+  /// avoid per-cycle clears (only slots of cores evaluated this cycle are
+  /// written; stale slots are never read — see the run-loop comments).
+  std::vector<StepOutcome> outcomes_;
 };
 
 }  // namespace fgpar::sim

@@ -1,0 +1,138 @@
+#include "support/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace fgpar {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma and indentation
+  }
+  if (need_comma_) {
+    out_ += ',';
+  }
+  if (depth_ > 0) {
+    out_ += '\n';
+    Indent();
+  }
+}
+
+void JsonWriter::Indent() {
+  out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  FGPAR_CHECK(depth_ > 0 && !pending_key_);
+  --depth_;
+  if (need_comma_) {  // object had at least one member
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  ++depth_;
+  need_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  FGPAR_CHECK(depth_ > 0 && !pending_key_);
+  --depth_;
+  if (need_comma_) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  FGPAR_CHECK(!pending_key_);
+  String(key);
+  out_ += ": ";
+  need_comma_ = false;
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  need_comma_ = true;
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+}
+
+void JsonWriter::UInt(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+  } else {
+    char buf[64];
+    const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+    FGPAR_CHECK(result.ec == std::errc());
+    out_.append(buf, result.ptr);
+  }
+  need_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+}
+
+std::string JsonWriter::Take() {
+  FGPAR_CHECK_MSG(depth_ == 0 && !pending_key_,
+                  "JsonWriter::Take with unterminated containers");
+  out_ += '\n';
+  std::string result = std::move(out_);
+  out_.clear();
+  need_comma_ = false;
+  return result;
+}
+
+}  // namespace fgpar

@@ -1,0 +1,56 @@
+// Minimal deterministic JSON emitter for machine-readable bench artifacts.
+//
+// The goal is byte-for-byte reproducible output, not generality:
+//
+//  * keys are emitted in the order the caller writes them (callers that
+//    need canonical order sort before writing, e.g. via std::map);
+//  * doubles are rendered with std::to_chars shortest round-trip form, so
+//    the same value always produces the same bytes on every run and every
+//    standard library that implements to_chars correctly;
+//  * output is pretty-printed with two-space indentation so artifacts
+//    diff cleanly in review.
+//
+// Only the subset of JSON the artifacts need is supported: objects,
+// arrays, strings, signed/unsigned integers, doubles, and booleans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fgpar {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be followed by exactly one value (or
+  /// container) before the next Key call.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  /// Shortest round-trip form; non-finite values are emitted as null
+  /// (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+
+  /// Returns the completed document (with a trailing newline) and resets
+  /// the writer.
+  std::string Take();
+
+ private:
+  void BeforeValue();
+  void Indent();
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;   // a value was emitted at this depth
+  bool pending_key_ = false;  // the next value completes a key
+};
+
+}  // namespace fgpar
