@@ -8,7 +8,7 @@
 namespace fgpar::compiler {
 
 CommPlan BuildCommPlan(const analysis::KernelIndex& index,
-                       const PartitionResult& partition) {
+                       const CoreAssignment& partition) {
   const ir::Kernel& kernel = index.kernel();
   CommPlan plan;
   const int num_cores = static_cast<int>(partition.partitions.size());

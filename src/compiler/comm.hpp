@@ -52,7 +52,10 @@ struct CommPlan {
   int com_ops() const { return static_cast<int>(transfers.size()); }
 };
 
+/// Plans all communication for one statement→core mapping.  Accepts the
+/// bare CoreAssignment so the multi-version candidate loop can plan many
+/// candidates against one shared kernel/index without copying either.
 CommPlan BuildCommPlan(const analysis::KernelIndex& index,
-                       const PartitionResult& partition);
+                       const CoreAssignment& assignment);
 
 }  // namespace fgpar::compiler

@@ -1,15 +1,6 @@
 #include "compiler/compile.hpp"
 
-#include "analysis/cost.hpp"
-#include "analysis/index.hpp"
-#include "compiler/check.hpp"
-#include "compiler/comm.hpp"
-#include "compiler/forward.hpp"
-#include "compiler/graph.hpp"
-#include "compiler/lower.hpp"
-#include "compiler/optimize.hpp"
-#include "compiler/split.hpp"
-#include "ir/validate.hpp"
+#include "compiler/pipeline.hpp"
 #include "support/error.hpp"
 
 namespace fgpar::compiler {
@@ -18,73 +9,26 @@ CompiledParallel CompileParallel(const ir::Kernel& kernel,
                                  const ir::DataLayout& layout,
                                  const CompileOptions& options,
                                  const analysis::ProfileData* profile,
-                                 const PartitionEvaluator* evaluator) {
-  PartitionResult partition(kernel);
-  ApplyRewritePasses(partition, options);
+                                 const PartitionEvaluator* evaluator,
+                                 const PipelineInstrumentation* instrumentation) {
+  CompileState state(kernel, &layout, options);  // copies; passes rewrite in place
+  state.profile = profile;
+  state.evaluator = evaluator;
+  BuildParallelPipeline(options).Run(state, instrumentation);
 
-  const analysis::KernelIndex index(partition.kernel);
-  const analysis::CostModel cost(sim::CoreTiming{}, sim::CacheConfig{},
-                                 options.use_profile ? profile : nullptr);
-  const CodeGraph graph = BuildCodeGraph(index, cost);
-  partition.data_deps = graph.data_dep_count;
-
-  // Multi-version compilation (Section III-I.1): build every candidate
-  // partitioning into a full program; pick by dynamic feedback when an
-  // evaluator is supplied, by the static objective otherwise.
-  std::vector<std::vector<MergedPartition>> candidates =
-      evaluator != nullptr
-          ? EnumerateCandidates(graph, options)
-          : std::vector<std::vector<MergedPartition>>{MergeGraph(graph, options)};
-
-  struct Built {
-    isa::Program program;
-    CommPlan comm;
-    std::vector<MergedPartition> parts;
-    std::uint64_t measured = 0;
-  };
-  std::optional<Built> best;
-  std::string last_error;
-  for (std::vector<MergedPartition>& candidate : candidates) {
-    try {
-      PartitionResult trial = partition;  // shares rewrite stats; new mapping
-      AssignPartitionsToCores(trial, index, candidate);
-      CommPlan comm = BuildCommPlan(index, trial);
-      ProgramPlan plan = BuildProgramPlan(index, trial, std::move(comm));
-      CheckCommunicationPairing(trial.kernel, plan);
-      CheckQueueCapacity(plan, options.assumed_queue_capacity);
-      Built built{LowerParallel(trial.kernel, layout, plan), std::move(plan.comm),
-                  std::move(candidate), 0};
-      if (evaluator != nullptr) {
-        built.measured =
-            (*evaluator)(built.program, static_cast<int>(built.parts.size()));
-      }
-      if (!best.has_value() || built.measured < best->measured) {
-        best = std::move(built);
-      }
-    } catch (const Error& e) {
-      last_error = e.what();  // candidate rejected; try the next one
-    }
-  }
-  FGPAR_CHECK_MSG(best.has_value(),
-                  "no candidate partitioning compiled successfully: " + last_error);
-
-  AssignPartitionsToCores(partition, index, std::move(best->parts));
-  CompiledParallel out{std::move(best->program),
-                       static_cast<int>(partition.partitions.size()),
-                       std::move(partition), std::move(best->comm)};
+  CompiledParallel out{std::move(*state.program),
+                       static_cast<int>(state.partition.partitions.size()),
+                       std::move(state.partition), std::move(state.plan->comm)};
   return out;
 }
 
 isa::Program CompileSequential(const ir::Kernel& kernel,
                                const ir::DataLayout& layout,
-                               const CompileOptions& options) {
-  ir::Kernel scalar = kernel;  // copy; passes rewrite in place
-  SplitExpressions(scalar, options.max_expr_depth);
-  FoldConstants(scalar);
-  ForwardStores(scalar);
-  EliminateDeadTemps(scalar);
-  ir::CheckValid(scalar);
-  return LowerSequential(scalar, layout);
+                               const CompileOptions& options,
+                               const PipelineInstrumentation* instrumentation) {
+  CompileState state(kernel, &layout, options);  // copies; passes rewrite in place
+  BuildSequentialPipeline(options).Run(state, instrumentation);
+  return std::move(*state.program);
 }
 
 }  // namespace fgpar::compiler

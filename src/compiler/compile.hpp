@@ -1,4 +1,11 @@
 // Top-level compiler entry points.
+//
+// Both entry points are thin configurations of the PassManager
+// (pipeline.hpp): they build the appropriate pipeline, run it over a
+// CompileState, and package the state's outputs.  Callers that want
+// per-pass observability (IR dumps, statistics, --print-pipeline) pass a
+// PipelineInstrumentation; the defaults still verify the IR after every
+// IR-mutating pass.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +15,7 @@
 #include "analysis/profile.hpp"
 #include "compiler/options.hpp"
 #include "compiler/partition.hpp"
+#include "compiler/pass.hpp"
 #include "compiler/plan.hpp"
 #include "ir/layout.hpp"
 #include "isa/program.hpp"
@@ -25,30 +33,24 @@ struct CompiledParallel {
   static constexpr const char* kDriverEntry = "driver";
 };
 
-/// Dynamic-feedback hook for multi-version compilation (paper Section
-/// III-I.1: "the compiler can generate multiple code versions for regions
-/// with potential, and rely on a runtime system with dynamic feedback to
-/// decide which code version to execute").  Given a compiled candidate and
-/// the number of cores it uses, returns its measured cost (lower is
-/// better), e.g. simulated cycles on a training workload.
-using PartitionEvaluator =
-    std::function<std::uint64_t(const isa::Program& program, int cores_used)>;
-
 /// Full Section III pipeline: split -> (speculate) -> forward -> fiberize
 /// -> code graph -> merge -> communication plan -> pairing check -> lower.
 /// With an evaluator, every candidate partitioning (partition counts
 /// 2..num_cores, both merge shapes) is compiled and the measured best is
 /// kept; without one, the static makespan objective chooses.
-CompiledParallel CompileParallel(const ir::Kernel& kernel,
-                                 const ir::DataLayout& layout,
-                                 const CompileOptions& options,
-                                 const analysis::ProfileData* profile = nullptr,
-                                 const PartitionEvaluator* evaluator = nullptr);
+/// (PartitionEvaluator is declared in pass.hpp.)
+CompiledParallel CompileParallel(
+    const ir::Kernel& kernel, const ir::DataLayout& layout,
+    const CompileOptions& options,
+    const analysis::ProfileData* profile = nullptr,
+    const PartitionEvaluator* evaluator = nullptr,
+    const PipelineInstrumentation* instrumentation = nullptr);
 
 /// Baseline: the same scalar pipeline (split + forwarding, no fiberize or
 /// partitioning) compiled for a single core.
-isa::Program CompileSequential(const ir::Kernel& kernel,
-                               const ir::DataLayout& layout,
-                               const CompileOptions& options);
+isa::Program CompileSequential(
+    const ir::Kernel& kernel, const ir::DataLayout& layout,
+    const CompileOptions& options,
+    const PipelineInstrumentation* instrumentation = nullptr);
 
 }  // namespace fgpar::compiler

@@ -1,4 +1,5 @@
 #include "compiler/fiber.hpp"
+#include "compiler/pass.hpp"
 
 #include <map>
 #include <vector>
@@ -202,5 +203,48 @@ class Fiberizer {
 }  // namespace
 
 FiberStats Fiberize(ir::Kernel& kernel) { return Fiberizer(kernel).Run(); }
+
+
+namespace {
+
+/// Pipeline registration (see pass.hpp / pipeline.cpp).
+class FiberizePass final : public Pass {
+ public:
+  const char* name() const override { return "fiberize"; }
+  const char* description() const override {
+    return "materialize every fiber as its own statement so partitioning "
+           "and communication operate at statement granularity "
+           "(Section III-A)";
+  }
+  bool mutates_ir() const override { return true; }
+  void Run(CompileState& state) override {
+    const FiberStats stats = Fiberize(state.kernel());
+    state.partition.initial_fibers = stats.initial_fibers;
+    state.Note("initial_fibers", stats.initial_fibers);
+    state.Note("fiber_statements", stats.fiber_statements);
+  }
+  void CheckInvariants(const CompileState& state) const override {
+    // After fiberization every loop-body store value and if condition is a
+    // bare temp reference, so all cross-fiber dataflow (including branch
+    // conditions, Section III-E) is queue-transferable.
+    const ir::Kernel& kernel = state.kernel();
+    ir::Kernel::VisitStmts(kernel.loop().body, [&](const ir::Stmt& stmt) {
+      if (stmt.kind == ir::StmtKind::kStoreScalar ||
+          stmt.kind == ir::StmtKind::kStoreArray ||
+          stmt.kind == ir::StmtKind::kIf) {
+        FGPAR_CHECK_MSG(
+            kernel.expr(stmt.value).kind == ir::ExprKind::kTempRef,
+            "statement s" + std::to_string(stmt.id) +
+                " kept a compound value/condition through fiberization");
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeFiberizePass() {
+  return std::make_unique<FiberizePass>();
+}
 
 }  // namespace fgpar::compiler

@@ -1,4 +1,5 @@
 #include "compiler/forward.hpp"
+#include "compiler/pass.hpp"
 
 #include <map>
 #include <optional>
@@ -224,5 +225,29 @@ class Forwarder {
 }  // namespace
 
 int ForwardStores(ir::Kernel& kernel) { return Forwarder(kernel).Run(); }
+
+
+namespace {
+
+/// Pipeline registration (see pass.hpp / pipeline.cpp).
+class ForwardPass final : public Pass {
+ public:
+  const char* name() const override { return "forward"; }
+  const char* description() const override {
+    return "forward must-alias stores to later reloads, turning memory RAW "
+           "dependences into queueable register dataflow (Section III-I.2)";
+  }
+  bool mutates_ir() const override { return true; }
+  void Run(CompileState& state) override {
+    state.partition.loads_forwarded = ForwardStores(state.kernel());
+    state.Note("loads_forwarded", state.partition.loads_forwarded);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeForwardPass() {
+  return std::make_unique<ForwardPass>();
+}
 
 }  // namespace fgpar::compiler

@@ -1,4 +1,5 @@
 #include "compiler/optimize.hpp"
+#include "compiler/pass.hpp"
 
 #include <cmath>
 #include <map>
@@ -271,5 +272,39 @@ int EliminateDeadTemps(ir::Kernel& kernel) {
   }
   return removed;
 }
+
+
+namespace {
+
+/// Pipeline registrations (see pass.hpp / pipeline.cpp).
+class FoldPass final : public Pass {
+ public:
+  const char* name() const override { return "fold"; }
+  const char* description() const override {
+    return "fold constant subexpressions with the interpreter's exact "
+           "arithmetic (traps preserved)";
+  }
+  bool mutates_ir() const override { return true; }
+  void Run(CompileState& state) override {
+    state.Note("folded", FoldConstants(state.kernel()));
+  }
+};
+
+class DcePass final : public Pass {
+ public:
+  const char* name() const override { return "dce"; }
+  const char* description() const override {
+    return "remove assignments to plain temporaries that are never read";
+  }
+  bool mutates_ir() const override { return true; }
+  void Run(CompileState& state) override {
+    state.Note("removed", EliminateDeadTemps(state.kernel()));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeFoldPass() { return std::make_unique<FoldPass>(); }
+std::unique_ptr<Pass> MakeDcePass() { return std::make_unique<DcePass>(); }
 
 }  // namespace fgpar::compiler

@@ -5,38 +5,27 @@
 
 #include "analysis/cost.hpp"
 #include "analysis/index.hpp"
-#include "compiler/forward.hpp"
 #include "compiler/graph.hpp"
 #include "compiler/merge.hpp"
-#include "compiler/optimize.hpp"
-#include "compiler/speculate.hpp"
-#include "compiler/split.hpp"
-#include "ir/validate.hpp"
+#include "compiler/pipeline.hpp"
 #include "support/error.hpp"
 
 namespace fgpar::compiler {
 
 void ApplyRewritePasses(PartitionResult& result, const CompileOptions& options) {
-  ir::Kernel& kernel = result.kernel;
-  result.split_added = SplitExpressions(kernel, options.max_expr_depth);
-  FoldConstants(kernel);
-  if (options.speculation) {
-    result.speculation_hoisted = ApplySpeculation(kernel);
-  }
-  result.loads_forwarded = ForwardStores(kernel);
-  EliminateDeadTemps(kernel);
-  const FiberStats fiber_stats = Fiberize(kernel);
-  result.initial_fibers = fiber_stats.initial_fibers;
-  ir::CheckValid(kernel);
+  // One canonical definition of the split/fold/(speculate)/forward/dce/
+  // fiberize ordering: the same pipeline CompileParallel runs (pipeline.cpp),
+  // minus the partitioning stages.  The manager validates the IR after
+  // every pass.
+  CompileState state(std::move(result), /*layout=*/nullptr, options);
+  BuildRewritePipeline(options).Run(state);
+  result = std::move(state.partition);
 }
 
-void AssignPartitionsToCores(PartitionResult& result,
-                             const analysis::KernelIndex& index,
-                             std::vector<MergedPartition> merged) {
+CoreAssignment AssignCores(const analysis::KernelIndex& index,
+                           std::vector<MergedPartition> merged) {
   FGPAR_CHECK_MSG(!merged.empty(), "kernel produced no partitionable statements");
-  result.partitions.clear();
-  result.core_of.clear();
-  result.compute_ops_per_core.clear();
+  CoreAssignment result;
 
   // The primary core hosts the partition producing the most values the
   // epilogue consumes (minimizing Section III-F live-variable transfers);
@@ -82,6 +71,13 @@ void AssignPartitionsToCores(PartitionResult& result,
   }
   result.load_balance =
       static_cast<double>(max_ops) / static_cast<double>(std::max(1, min_ops));
+  return result;
+}
+
+void AssignPartitionsToCores(PartitionResult& result,
+                             const analysis::KernelIndex& index,
+                             std::vector<MergedPartition> merged) {
+  static_cast<CoreAssignment&>(result) = AssignCores(index, std::move(merged));
 }
 
 PartitionResult PartitionKernel(const ir::Kernel& input,

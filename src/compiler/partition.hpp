@@ -16,12 +16,10 @@
 
 namespace fgpar::compiler {
 
-struct PartitionResult {
-  explicit PartitionResult(ir::Kernel k) : kernel(std::move(k)) {}
-
-  /// The rewritten kernel (split + speculation + forwarding + fiberized).
-  ir::Kernel kernel;
-
+/// The statement→core mapping a chosen candidate partitioning induces.
+/// Deliberately kernel-free: the multi-version candidate loop builds one of
+/// these per candidate without ever copying the (much larger) kernel.
+struct CoreAssignment {
   /// partitions[c] = loop-body statement ids owned by core c.  partitions[0]
   /// is the primary core's.  May have fewer entries than requested cores if
   /// the kernel has fewer fibers.
@@ -30,11 +28,19 @@ struct PartitionResult {
   /// Core owning each statement.
   std::map<ir::StmtId, int> core_of;
 
+  std::vector<int> compute_ops_per_core;
+  double load_balance = 0.0;  // max/min compute ops across partitions
+};
+
+struct PartitionResult : CoreAssignment {
+  explicit PartitionResult(ir::Kernel k) : kernel(std::move(k)) {}
+
+  /// The rewritten kernel (split + speculation + forwarding + fiberized).
+  ir::Kernel kernel;
+
   // ---- Table III statistics ----
   int initial_fibers = 0;
   int data_deps = 0;
-  double load_balance = 0.0;  // max/min compute ops across partitions
-  std::vector<int> compute_ops_per_core;
 
   // ---- pass statistics ----
   int split_added = 0;
@@ -55,9 +61,14 @@ PartitionResult PartitionKernel(const ir::Kernel& input,
 /// validates the result.
 void ApplyRewritePasses(PartitionResult& result, const CompileOptions& options);
 
-/// Fills result.partitions / core_of / load-balance fields from a chosen
-/// candidate partitioning, placing the partition that produces the most
-/// epilogue-consumed values on the primary core.
+/// Builds the statement→core mapping for a chosen candidate partitioning,
+/// placing the partition that produces the most epilogue-consumed values on
+/// the primary core.
+CoreAssignment AssignCores(const analysis::KernelIndex& index,
+                           std::vector<MergedPartition> chosen);
+
+/// Fills result's CoreAssignment fields from a chosen candidate
+/// partitioning (AssignCores + store).
 void AssignPartitionsToCores(PartitionResult& result,
                              const analysis::KernelIndex& index,
                              std::vector<MergedPartition> chosen);

@@ -1,0 +1,242 @@
+#include "compiler/pass.hpp"
+
+#include <algorithm>
+
+#include "compiler/check.hpp"
+#include "compiler/lower.hpp"
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace fgpar::compiler {
+
+void CompileState::Note(const std::string& key, std::int64_t value) {
+  if (current_counters != nullptr) {
+    (*current_counters)[key] = value;
+  }
+}
+
+void Pass::CheckInvariants(const CompileState& state) const {
+  (void)state;  // no invariants by default
+}
+
+std::string PassStatistics::ToString() const {
+  std::string out = "compile pipeline '" + pipeline + "': " +
+                    std::to_string(passes.size()) + " passes, " +
+                    FormatFixed(total_wall_seconds * 1e3, 3) + " ms total\n";
+  auto pad = [](std::string s, std::size_t width) {
+    if (s.size() < width) {
+      s.insert(0, width - s.size(), ' ');
+    }
+    return s;
+  };
+  out += "  pass        wall_ms      stmts      temps      exprs  counters\n";
+  for (const PassStat& stat : passes) {
+    auto delta = [&](int before, int after) {
+      return std::to_string(before) + "->" + std::to_string(after);
+    };
+    std::string counters;
+    for (const auto& [key, value] : stat.counters) {
+      if (!counters.empty()) {
+        counters += " ";
+      }
+      counters += key + "=" + std::to_string(value);
+    }
+    out += "  " + stat.pass + std::string(stat.pass.size() < 10 ? 10 - stat.pass.size() : 1, ' ') +
+           pad(FormatFixed(stat.wall_seconds * 1e3, 3), 9) +
+           pad(delta(stat.stmts_before, stat.stmts_after), 11) +
+           pad(delta(stat.temps_before, stat.temps_after), 11) +
+           pad(delta(stat.exprs_before, stat.exprs_after), 11) + "  " +
+           counters + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds the KernelIndex, the CostModel, and the code graph (Section
+/// III-B) from the fully rewritten kernel.  Later stages read all three
+/// from the state.
+class GraphPass final : public Pass {
+ public:
+  const char* name() const override { return "graph"; }
+  const char* description() const override {
+    return "build the code graph: KernelIndex + CostModel + fused "
+           "dependence graph (Section III-B)";
+  }
+  void Run(CompileState& state) override {
+    state.index.emplace(state.kernel());
+    state.cost.emplace(sim::CoreTiming{}, sim::CacheConfig{},
+                       state.options.use_profile ? state.profile : nullptr);
+    state.graph.emplace(BuildCodeGraph(*state.index, *state.cost));
+    state.partition.data_deps = state.graph->data_dep_count;
+    state.Note("graph_nodes",
+               static_cast<std::int64_t>(state.graph->nodes.size()));
+    state.Note("dep_edges",
+               static_cast<std::int64_t>(state.graph->edges.size()));
+    state.Note("data_deps", state.graph->data_dep_count);
+  }
+  void CheckInvariants(const CompileState& state) const override {
+    FGPAR_CHECK_MSG(state.graph.has_value() && state.index.has_value(),
+                    "graph stage left no code graph in the state");
+  }
+};
+
+/// Merges the code graph into candidate partitionings.  With an evaluator
+/// the full Section III-I.1 candidate set is enumerated for dynamic
+/// feedback; without one, the static heuristics produce the single best
+/// merge.
+class MergePass final : public Pass {
+ public:
+  const char* name() const override { return "merge"; }
+  const char* description() const override {
+    return "merge the code graph into candidate partitionings "
+           "(Section III-B heuristics; III-I.1 multi-version set)";
+  }
+  void Run(CompileState& state) override {
+    FGPAR_CHECK_MSG(state.graph.has_value(),
+                    "merge stage requires the graph stage");
+    state.candidates =
+        state.evaluator != nullptr
+            ? EnumerateCandidates(*state.graph, state.options)
+            : std::vector<std::vector<MergedPartition>>{
+                  MergeGraph(*state.graph, state.options)};
+    state.Note("candidates",
+               static_cast<std::int64_t>(state.candidates.size()));
+  }
+  void CheckInvariants(const CompileState& state) const override {
+    FGPAR_CHECK_MSG(!state.candidates.empty(),
+                    "merge stage produced no candidate partitionings");
+  }
+};
+
+/// The multi-version candidate loop (Section III-I.1): every candidate
+/// partitioning is assigned to cores, communication-planned, proven
+/// pairable and capacity-deadlock-free, and lowered; the evaluator (when
+/// present) measures each built program and the best one wins.  Only the
+/// per-candidate mapping state (CoreAssignment) is materialized — the
+/// kernel and its index are shared read-only across all candidates.
+class SelectPass final : public Pass {
+ public:
+  const char* name() const override { return "select"; }
+  const char* description() const override {
+    return "build every candidate (cores -> comm plan -> pairing/capacity "
+           "proofs -> lower), pick by dynamic feedback or static objective";
+  }
+  void Run(CompileState& state) override {
+    FGPAR_CHECK_MSG(state.index.has_value() && !state.candidates.empty(),
+                    "select stage requires the graph and merge stages");
+    FGPAR_CHECK_MSG(state.layout != nullptr,
+                    "select stage requires a data layout to lower against");
+    const analysis::KernelIndex& index = *state.index;
+    const ir::Kernel& kernel = state.kernel();
+
+    struct Built {
+      isa::Program program;
+      ProgramPlan plan;
+      CoreAssignment assignment;
+      std::uint64_t measured = 0;
+    };
+    std::optional<Built> best;
+    state.rejected_candidates.clear();
+    int built_count = 0;
+    for (std::size_t i = 0; i < state.candidates.size(); ++i) {
+      try {
+        CoreAssignment assignment = AssignCores(index, state.candidates[i]);
+        CommPlan comm = BuildCommPlan(index, assignment);
+        ProgramPlan plan = BuildProgramPlan(index, assignment, std::move(comm));
+        CheckCommunicationPairing(kernel, plan);
+        CheckQueueCapacity(plan, state.options.assumed_queue_capacity);
+        Built built{LowerParallel(kernel, *state.layout, plan),
+                    std::move(plan), std::move(assignment), 0};
+        if (state.evaluator != nullptr) {
+          built.measured = (*state.evaluator)(
+              built.program,
+              static_cast<int>(built.assignment.partitions.size()));
+        }
+        ++built_count;
+        if (!best.has_value() || built.measured < best->measured) {
+          best = std::move(built);
+        }
+      } catch (const Error& e) {
+        // Candidate rejected (pairing/capacity/lowering); try the next one
+        // and keep the diagnostic for the aggregate error and --compile-stats.
+        state.rejected_candidates.push_back(
+            "candidate " + std::to_string(i + 1) + "/" +
+            std::to_string(state.candidates.size()) + " (" +
+            std::to_string(state.candidates[i].size()) +
+            " partitions): " + e.what());
+      }
+    }
+    state.Note("candidates_built", built_count);
+    state.Note("candidates_rejected",
+               static_cast<std::int64_t>(state.rejected_candidates.size()));
+    if (!best.has_value()) {
+      std::string message =
+          "no candidate partitioning compiled successfully (" +
+          std::to_string(state.candidates.size()) + " candidates)";
+      for (const std::string& reason : state.rejected_candidates) {
+        message += "\n  " + reason;
+      }
+      throw Error(message);
+    }
+    state.Note("partitions",
+               static_cast<std::int64_t>(best->assignment.partitions.size()));
+    state.Note("com_ops", best->plan.comm.com_ops());
+    if (state.evaluator != nullptr) {
+      state.Note("best_measured_cycles",
+                 static_cast<std::int64_t>(best->measured));
+    }
+    static_cast<CoreAssignment&>(state.partition) = std::move(best->assignment);
+    state.plan = std::move(best->plan);
+    state.program = std::move(best->program);
+  }
+  void CheckInvariants(const CompileState& state) const override {
+    FGPAR_CHECK_MSG(state.plan.has_value() && state.program.has_value(),
+                    "select stage left no chosen plan/program");
+    // Every loop-body statement must be owned by exactly one core.
+    for (const analysis::StmtEntry& entry : state.index->entries()) {
+      if (entry.in_epilogue || entry.is_if) {
+        continue;
+      }
+      FGPAR_CHECK_MSG(state.partition.core_of.contains(entry.id),
+                      "statement s" + std::to_string(entry.id) +
+                          " not assigned to any core");
+    }
+    // Pairing-after-comm: re-prove that the chosen plan's queue operations
+    // pair on every control path (the per-candidate proof ran on the same
+    // plan; this guards future stages that might reorder plan items).
+    CheckCommunicationPairing(state.kernel(), *state.plan);
+  }
+};
+
+/// Lowers the scalar kernel for a single core (the paper's sequential
+/// baseline).
+class LowerSequentialPass final : public Pass {
+ public:
+  const char* name() const override { return "lower"; }
+  const char* description() const override {
+    return "lower the scalar kernel to the single-core baseline program";
+  }
+  void Run(CompileState& state) override {
+    FGPAR_CHECK_MSG(state.layout != nullptr,
+                    "lower stage requires a data layout");
+    state.program = LowerSequential(state.kernel(), *state.layout);
+    state.Note("code_words",
+               static_cast<std::int64_t>(state.program->size()));
+  }
+  void CheckInvariants(const CompileState& state) const override {
+    FGPAR_CHECK_MSG(state.program.has_value(),
+                    "lower stage produced no program");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeGraphPass() { return std::make_unique<GraphPass>(); }
+std::unique_ptr<Pass> MakeMergePass() { return std::make_unique<MergePass>(); }
+std::unique_ptr<Pass> MakeSelectPass() { return std::make_unique<SelectPass>(); }
+std::unique_ptr<Pass> MakeLowerSequentialPass() {
+  return std::make_unique<LowerSequentialPass>();
+}
+
+}  // namespace fgpar::compiler

@@ -1,0 +1,177 @@
+// The compile pipeline's pass interface.
+//
+// Every stage of the Section III compilation — the scalar rewrites
+// (splitting, folding, speculation, forwarding, dead-temp elimination),
+// fiber formation, code-graph construction, candidate merging,
+// multi-version selection, and lowering — is a named Pass over one shared
+// CompileState.  The PassManager (pipeline.hpp) runs a pipeline of passes,
+// re-validates the IR after every IR-mutating pass, checks pass-declared
+// invariants, and records per-pass wall time and IR-delta statistics, so
+// the whole compile is observable (`fgparc --dump-after=<pass|all>`,
+// `--print-pipeline`, `--compile-stats`) and verifiable at every step.
+//
+// CompileState threads everything a stage may need: the kernel being
+// rewritten (inside PartitionResult, with its Table III statistics), the
+// data layout, the options, the profile feedback, and the derived
+// analyses (KernelIndex, CostModel, CodeGraph), the multi-version
+// candidate set, and the chosen plan/program.  Stages fill the state
+// monotonically; a pass that needs an analysis a previous stage did not
+// produce is a pipeline-construction bug and throws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cost.hpp"
+#include "analysis/index.hpp"
+#include "compiler/graph.hpp"
+#include "compiler/merge.hpp"
+#include "compiler/options.hpp"
+#include "compiler/partition.hpp"
+#include "compiler/plan.hpp"
+#include "ir/layout.hpp"
+#include "isa/program.hpp"
+
+namespace fgpar::analysis {
+struct ProfileData;
+}
+
+namespace fgpar::compiler {
+
+/// Dynamic-feedback hook for multi-version compilation (paper Section
+/// III-I.1: "the compiler can generate multiple code versions for regions
+/// with potential, and rely on a runtime system with dynamic feedback to
+/// decide which code version to execute").  Given a compiled candidate and
+/// the number of cores it uses, returns its measured cost (lower is
+/// better), e.g. simulated cycles on a training workload.
+using PartitionEvaluator =
+    std::function<std::uint64_t(const isa::Program& program, int cores_used)>;
+
+/// Everything the pipeline threads between passes.
+struct CompileState {
+  /// `layout` may be null for rewrite-only pipelines (no lowering stage).
+  CompileState(ir::Kernel kernel, const ir::DataLayout* layout,
+               const CompileOptions& options)
+      : layout(layout), options(options), partition(std::move(kernel)) {}
+  CompileState(PartitionResult partition, const ir::DataLayout* layout,
+               const CompileOptions& options)
+      : layout(layout), options(options), partition(std::move(partition)) {}
+
+  // ---- immutable inputs ----
+  const ir::DataLayout* layout = nullptr;
+  CompileOptions options;
+  const analysis::ProfileData* profile = nullptr;   // may be null
+  const PartitionEvaluator* evaluator = nullptr;    // may be null
+
+  // ---- the kernel being rewritten, plus Table III bookkeeping ----
+  PartitionResult partition;
+
+  ir::Kernel& kernel() { return partition.kernel; }
+  const ir::Kernel& kernel() const { return partition.kernel; }
+
+  // ---- derived analyses (filled by the graph stage) ----
+  std::optional<analysis::KernelIndex> index;
+  std::optional<analysis::CostModel> cost;
+  std::optional<CodeGraph> graph;
+
+  // ---- multi-version candidates (filled by the merge stage) ----
+  std::vector<std::vector<MergedPartition>> candidates;
+
+  // ---- selection outputs (filled by the select / lower stages) ----
+  std::optional<ProgramPlan> plan;      // chosen candidate's plan (parallel)
+  std::optional<isa::Program> program;  // final machine code
+  /// Diagnostics for every candidate the select stage rejected.
+  std::vector<std::string> rejected_candidates;
+
+  /// Per-pass deterministic counters; a pass calls Note() to report what it
+  /// did ("split_added", "candidates_rejected", ...).  No-op unless the
+  /// manager is collecting statistics for the current pass.
+  void Note(const std::string& key, std::int64_t value);
+
+  /// Set by the PassManager around each pass; passes use Note() instead.
+  std::map<std::string, std::int64_t>* current_counters = nullptr;
+};
+
+/// One pipeline stage.  Implementations live next to the transformation
+/// they wrap (split.cpp, optimize.cpp, ...) and are registered into
+/// pipelines by pipeline.cpp.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  /// Stable name used by --dump-after, --print-pipeline, and statistics.
+  virtual const char* name() const = 0;
+  /// One-line description for --print-pipeline and the docs.
+  virtual const char* description() const = 0;
+
+  virtual void Run(CompileState& state) = 0;
+
+  /// True when Run may rewrite the kernel IR.  The manager re-validates
+  /// the kernel (ir::CheckValid) after every IR-mutating pass.
+  virtual bool mutates_ir() const { return false; }
+
+  /// Pass-declared structural invariants, checked by the manager right
+  /// after Run (and after the IR validator).  Throw fgpar::Error on
+  /// violation; the manager attributes the failure to this pass.
+  virtual void CheckInvariants(const CompileState& state) const;
+};
+
+/// Per-pass record: host wall time, IR size before/after, and the pass's
+/// own deterministic counters.  Wall time is a host measurement and must
+/// never enter the deterministic portion of a bench artifact.
+struct PassStat {
+  std::string pass;
+  double wall_seconds = 0.0;
+  int stmts_before = 0;
+  int stmts_after = 0;
+  int temps_before = 0;
+  int temps_after = 0;
+  int exprs_before = 0;
+  int exprs_after = 0;
+  std::map<std::string, std::int64_t> counters;
+};
+
+/// The whole pipeline's record, exportable as a human-readable block and
+/// (via harness/bench_artifact) as a fgpar-bench-v1 JSON artifact.
+struct PassStatistics {
+  std::string pipeline;  // "parallel" / "sequential" / "rewrite"
+  std::vector<PassStat> passes;
+  double total_wall_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Observability hooks for one pipeline run.
+struct PipelineInstrumentation {
+  /// Dump the kernel IR (ir/printer) after the named pass ("all" dumps
+  /// after every pass).  Empty disables dumping.
+  std::string dump_after;
+  /// Receives (pass name, rendered kernel) for each requested dump.
+  std::function<void(const std::string& pass, const std::string& text)>
+      dump_sink;
+  /// When set, filled with per-pass wall time, IR deltas, and counters.
+  PassStatistics* statistics = nullptr;
+  /// Run ir::CheckValid after every IR-mutating pass.  On by default (and
+  /// in every production compile); off only for experiments that want the
+  /// pre-pass-manager behaviour of validating once at the end.
+  bool verify_each_pass = true;
+};
+
+// ---- pass factories (each defined next to the code it wraps) ----
+std::unique_ptr<Pass> MakeSplitPass();        // split.cpp
+std::unique_ptr<Pass> MakeFoldPass();         // optimize.cpp
+std::unique_ptr<Pass> MakeDcePass();          // optimize.cpp
+std::unique_ptr<Pass> MakeSpeculatePass();    // speculate.cpp
+std::unique_ptr<Pass> MakeForwardPass();      // forward.cpp
+std::unique_ptr<Pass> MakeFiberizePass();     // fiber.cpp
+std::unique_ptr<Pass> MakeGraphPass();        // pass.cpp (graph + index + cost)
+std::unique_ptr<Pass> MakeMergePass();        // pass.cpp (candidate merging)
+std::unique_ptr<Pass> MakeSelectPass();       // pass.cpp (multi-version select)
+std::unique_ptr<Pass> MakeLowerSequentialPass();  // pass.cpp
+
+}  // namespace fgpar::compiler

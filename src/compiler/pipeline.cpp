@@ -1,0 +1,166 @@
+#include "compiler/pipeline.hpp"
+
+#include <chrono>
+
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::compiler {
+
+namespace {
+
+int CountStmts(const ir::Kernel& kernel) {
+  int count = 0;
+  kernel.VisitAllStmts([&](const ir::Stmt&) { ++count; });
+  return count;
+}
+
+}  // namespace
+
+PassManager& PassManager::Add(std::unique_ptr<Pass> pass) {
+  FGPAR_CHECK_MSG(!HasPass(pass->name()),
+                  "duplicate pass '" + std::string(pass->name()) +
+                      "' in pipeline '" + name_ + "'");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+std::vector<std::string> PassManager::PassNames() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) {
+    names.emplace_back(pass->name());
+  }
+  return names;
+}
+
+bool PassManager::HasPass(const std::string& name) const {
+  for (const auto& pass : passes_) {
+    if (name == pass->name()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string PassManager::Describe() const {
+  std::string out = "pipeline '" + name_ + "' (" +
+                    std::to_string(passes_.size()) + " passes):\n";
+  for (const auto& pass : passes_) {
+    std::string name = pass->name();
+    if (name.size() < 10) {
+      name.append(10 - name.size(), ' ');
+    }
+    out += "  " + name + " " + pass->description() + "\n";
+  }
+  return out;
+}
+
+void PassManager::Run(CompileState& state,
+                      const PipelineInstrumentation* instrumentation) const {
+  static const PipelineInstrumentation kDefaults;
+  const PipelineInstrumentation& instr =
+      instrumentation != nullptr ? *instrumentation : kDefaults;
+  PassStatistics* stats = instr.statistics;
+  if (stats != nullptr) {
+    stats->pipeline = name_;
+    stats->passes.clear();
+    stats->total_wall_seconds = 0.0;
+  }
+  for (const auto& pass : passes_) {
+    PassStat stat;
+    stat.pass = pass->name();
+    stat.stmts_before = CountStmts(state.kernel());
+    stat.temps_before = static_cast<int>(state.kernel().temps().size());
+    stat.exprs_before = static_cast<int>(state.kernel().expr_count());
+
+    state.current_counters = &stat.counters;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      pass->Run(state);
+    } catch (...) {
+      state.current_counters = nullptr;
+      throw;
+    }
+    stat.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    state.current_counters = nullptr;
+
+    stat.stmts_after = CountStmts(state.kernel());
+    stat.temps_after = static_cast<int>(state.kernel().temps().size());
+    stat.exprs_after = static_cast<int>(state.kernel().expr_count());
+
+    // The manager, not the next pass, is what catches a broken rewrite:
+    // every IR-mutating pass is followed by the full kernel validator, and
+    // failures are attributed to the pass that produced the invalid IR.
+    if (instr.verify_each_pass && pass->mutates_ir()) {
+      try {
+        ir::CheckValid(state.kernel());
+      } catch (const Error& e) {
+        throw Error("pass '" + stat.pass + "' (pipeline '" + name_ +
+                    "') produced invalid IR: " + e.what());
+      }
+    }
+    try {
+      pass->CheckInvariants(state);
+    } catch (const Error& e) {
+      throw Error("pass '" + stat.pass + "' (pipeline '" + name_ +
+                  "') violated its invariants: " + e.what());
+    }
+
+    if (instr.dump_sink &&
+        (instr.dump_after == "all" || instr.dump_after == stat.pass)) {
+      instr.dump_sink(stat.pass, ir::PrintKernel(state.kernel()));
+    }
+    if (stats != nullptr) {
+      stats->total_wall_seconds += stat.wall_seconds;
+      stats->passes.push_back(std::move(stat));
+    }
+  }
+}
+
+void AddScalarRewritePasses(PassManager& manager, const CompileOptions& options,
+                            bool parallel) {
+  manager.Add(MakeSplitPass());
+  manager.Add(MakeFoldPass());
+  if (parallel && options.speculation) {
+    manager.Add(MakeSpeculatePass());
+  }
+  manager.Add(MakeForwardPass());
+  manager.Add(MakeDcePass());
+}
+
+std::vector<std::string> ScalarRewritePassNames(const CompileOptions& options,
+                                                bool parallel) {
+  PassManager manager("scalar");
+  AddScalarRewritePasses(manager, options, parallel);
+  return manager.PassNames();
+}
+
+PassManager BuildSequentialPipeline(const CompileOptions& options) {
+  PassManager manager("sequential");
+  AddScalarRewritePasses(manager, options, /*parallel=*/false);
+  manager.Add(MakeLowerSequentialPass());
+  return manager;
+}
+
+PassManager BuildRewritePipeline(const CompileOptions& options) {
+  PassManager manager("rewrite");
+  AddScalarRewritePasses(manager, options, /*parallel=*/true);
+  manager.Add(MakeFiberizePass());
+  return manager;
+}
+
+PassManager BuildParallelPipeline(const CompileOptions& options) {
+  PassManager manager("parallel");
+  AddScalarRewritePasses(manager, options, /*parallel=*/true);
+  manager.Add(MakeFiberizePass());
+  manager.Add(MakeGraphPass());
+  manager.Add(MakeMergePass());
+  manager.Add(MakeSelectPass());
+  return manager;
+}
+
+}  // namespace fgpar::compiler

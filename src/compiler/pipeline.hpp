@@ -1,0 +1,77 @@
+// The PassManager and the canonical pipeline configurations.
+//
+// CompileSequential and CompileParallel (compile.cpp) are two
+// configurations of the same manager over the same pass objects; the
+// scalar rewrite prefix (split → fold → [speculate] → forward → dce) is
+// defined once in AddScalarRewritePasses and consumed by both, by
+// ApplyRewritePasses, and by the ordering-lock test — there is exactly one
+// place in the codebase that knows the Section III pass order.
+//
+// The manager instruments every run:
+//  * ir::CheckValid after every IR-mutating pass (on by default), with
+//    failures attributed to the pass that produced the invalid IR;
+//  * pass-declared invariants (Pass::CheckInvariants), e.g. the select
+//    stage re-proves communication pairing on the chosen plan;
+//  * per-pass wall time and IR-delta statistics (PassStatistics);
+//  * textual IR dumps after any pass (ir/printer) via
+//    PipelineInstrumentation::dump_sink.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pass.hpp"
+
+namespace fgpar::compiler {
+
+class PassManager {
+ public:
+  explicit PassManager(std::string pipeline_name)
+      : name_(std::move(pipeline_name)) {}
+
+  PassManager& Add(std::unique_ptr<Pass> pass);
+
+  /// Runs every pass in order over `state`, applying the instrumentation
+  /// (null = defaults: verify after each IR-mutating pass, no dumps, no
+  /// statistics).  Throws fgpar::Error naming the offending pass when a
+  /// pass produces invalid IR or violates its declared invariants.
+  void Run(CompileState& state,
+           const PipelineInstrumentation* instrumentation = nullptr) const;
+
+  const std::string& pipeline_name() const { return name_; }
+  std::vector<std::string> PassNames() const;
+  bool HasPass(const std::string& name) const;
+
+  /// Human-readable pipeline listing (--print-pipeline): one line per pass
+  /// with its name and description.
+  std::string Describe() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Appends the canonical scalar rewrite sequence — the single definition of
+/// the split/fold/forward/dce ordering both pipelines share.  `parallel`
+/// additionally enables Section III-H speculation when the options ask for
+/// it (the sequential baseline never speculates).
+void AddScalarRewritePasses(PassManager& manager, const CompileOptions& options,
+                            bool parallel);
+
+/// The names AddScalarRewritePasses would register, for ordering tests.
+std::vector<std::string> ScalarRewritePassNames(const CompileOptions& options,
+                                                bool parallel);
+
+/// Scalar rewrites + lower-sequential: the CompileSequential pipeline.
+PassManager BuildSequentialPipeline(const CompileOptions& options);
+
+/// Scalar rewrites + fiberize + graph + merge + multi-version select: the
+/// CompileParallel pipeline.
+PassManager BuildParallelPipeline(const CompileOptions& options);
+
+/// Scalar rewrites + fiberize, no layout needed: the ApplyRewritePasses /
+/// PartitionKernel front half.
+PassManager BuildRewritePipeline(const CompileOptions& options);
+
+}  // namespace fgpar::compiler

@@ -57,7 +57,7 @@ bool ContainsConsumer(const ir::Kernel& kernel, const PlanItem& item,
 
 class PlanBuilder {
  public:
-  PlanBuilder(const KernelIndex& index, const PartitionResult& partition,
+  PlanBuilder(const KernelIndex& index, const CoreAssignment& partition,
               const CommPlan& comm)
       : index_(index), partition_(partition), comm_(comm) {}
 
@@ -225,7 +225,7 @@ class PlanBuilder {
   }
 
   const KernelIndex& index_;
-  const PartitionResult& partition_;
+  const CoreAssignment& partition_;
   const CommPlan& comm_;
   int core_ = -1;
   std::set<ir::StmtId> replicated_;
@@ -234,7 +234,7 @@ class PlanBuilder {
 }  // namespace
 
 ProgramPlan BuildProgramPlan(const KernelIndex& index,
-                             const PartitionResult& partition, CommPlan comm) {
+                             const CoreAssignment& partition, CommPlan comm) {
   ProgramPlan plan;
   plan.comm = std::move(comm);
   PlanBuilder builder(index, partition, plan.comm);

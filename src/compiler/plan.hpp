@@ -46,6 +46,6 @@ struct ProgramPlan {
 };
 
 ProgramPlan BuildProgramPlan(const analysis::KernelIndex& index,
-                             const PartitionResult& partition, CommPlan comm);
+                             const CoreAssignment& partition, CommPlan comm);
 
 }  // namespace fgpar::compiler

@@ -1,4 +1,5 @@
 #include "compiler/speculate.hpp"
+#include "compiler/pass.hpp"
 
 namespace fgpar::compiler {
 namespace {
@@ -55,6 +56,30 @@ int ApplySpeculation(ir::Kernel& kernel) {
   const int hoisted = RewriteList(kernel, kernel.mutable_loop().body);
   kernel.RenumberStmts();
   return hoisted;
+}
+
+
+namespace {
+
+/// Pipeline registration (see pass.hpp / pipeline.cpp).
+class SpeculatePass final : public Pass {
+ public:
+  const char* name() const override { return "speculate"; }
+  const char* description() const override {
+    return "hoist pure computations out of @speculate branches so they can "
+           "run ahead-of-time on other cores (Section III-H)";
+  }
+  bool mutates_ir() const override { return true; }
+  void Run(CompileState& state) override {
+    state.partition.speculation_hoisted = ApplySpeculation(state.kernel());
+    state.Note("hoisted", state.partition.speculation_hoisted);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeSpeculatePass() {
+  return std::make_unique<SpeculatePass>();
 }
 
 }  // namespace fgpar::compiler

@@ -1,4 +1,5 @@
 #include "compiler/split.hpp"
+#include "compiler/pass.hpp"
 
 #include "support/error.hpp"
 
@@ -117,5 +118,28 @@ class Splitter {
 int SplitExpressions(ir::Kernel& kernel, int max_depth) {
   return Splitter(kernel, max_depth).Run();
 }
+
+
+namespace {
+
+/// Pipeline registration (see pass.hpp / pipeline.cpp).
+class SplitPass final : public Pass {
+ public:
+  const char* name() const override { return "split"; }
+  const char* description() const override {
+    return "bound expression-tree depth by peeling compound subtrees into "
+           "fresh temporaries (Section III-A preprocessing)";
+  }
+  bool mutates_ir() const override { return true; }
+  void Run(CompileState& state) override {
+    state.partition.split_added =
+        SplitExpressions(state.kernel(), state.options.max_expr_depth);
+    state.Note("split_added", state.partition.split_added);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> MakeSplitPass() { return std::make_unique<SplitPass>(); }
 
 }  // namespace fgpar::compiler

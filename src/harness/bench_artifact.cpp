@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "compiler/pass.hpp"
 #include "harness/runner.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -83,10 +84,20 @@ std::string BenchArtifact::WriteFile() const {
       dir = env;
     }
   }
+  // FGPAR_BENCH_DETERMINISTIC=1 strips the host objects from the written
+  // file, leaving only the portion that is a pure function of the
+  // experiment inputs — used by the golden-output guard tests to diff
+  // artifacts byte-for-byte across hosts and refactors.
+  bool include_host = true;
+  if (const char* env = std::getenv("FGPAR_BENCH_DETERMINISTIC")) {
+    if (*env != '\0' && *env != '0') {
+      include_host = false;
+    }
+  }
   const std::string path = dir + "/BENCH_" + name + ".json";
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   FGPAR_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
-  out << ToJson(/*include_host=*/true);
+  out << ToJson(include_host);
   out.close();
   FGPAR_CHECK_MSG(out.good(), "failed writing " + path);
   return path;
@@ -105,6 +116,34 @@ void AddKernelRunFields(const KernelRun& run, BenchArtifact::Point& point) {
   point.counters["queues_used"] = static_cast<std::uint64_t>(run.queues_used);
   point.counters["fallback_used"] = run.fallback_used ? 1 : 0;
   point.counters["retries"] = static_cast<std::uint64_t>(run.retries);
+}
+
+BenchArtifact MakeCompileStatsArtifact(const std::string& kernel,
+                                       const compiler::PassStatistics& stats) {
+  BenchArtifact artifact;
+  artifact.name = "compile_" + kernel;
+  int index = 0;
+  for (const compiler::PassStat& pass : stats.passes) {
+    BenchArtifact::Point point;
+    point.label = kernel + " " + stats.pipeline + ":" + pass.pass;
+    point.params["kernel"] = kernel;
+    point.params["pipeline"] = stats.pipeline;
+    point.params["pass"] = pass.pass;
+    point.params["index"] = std::to_string(index++);
+    point.counters["stmts_before"] = static_cast<std::uint64_t>(pass.stmts_before);
+    point.counters["stmts_after"] = static_cast<std::uint64_t>(pass.stmts_after);
+    point.counters["temps_before"] = static_cast<std::uint64_t>(pass.temps_before);
+    point.counters["temps_after"] = static_cast<std::uint64_t>(pass.temps_after);
+    point.counters["exprs_before"] = static_cast<std::uint64_t>(pass.exprs_before);
+    point.counters["exprs_after"] = static_cast<std::uint64_t>(pass.exprs_after);
+    for (const auto& [key, value] : pass.counters) {
+      point.counters[key] = static_cast<std::uint64_t>(value);
+    }
+    point.host["wall_seconds"] = pass.wall_seconds;
+    artifact.points.push_back(std::move(point));
+  }
+  artifact.host["wall_seconds"] = stats.total_wall_seconds;
+  return artifact;
 }
 
 }  // namespace fgpar::harness

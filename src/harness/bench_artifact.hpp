@@ -37,6 +37,10 @@
 #include <string>
 #include <vector>
 
+namespace fgpar::compiler {
+struct PassStatistics;
+}
+
 namespace fgpar::harness {
 
 struct KernelRun;
@@ -68,5 +72,14 @@ struct BenchArtifact {
 /// speedup, sequential/parallel cycles and instruction counts, queue
 /// traffic, and the resilience counters.
 void AddKernelRunFields(const KernelRun& run, BenchArtifact::Point& point);
+
+/// Builds a "compile_<kernel>" artifact from one pipeline run's
+/// PassStatistics: one point per pass, in pipeline order, with the IR
+/// sizes before/after and the pass's own deterministic counters.  Per-pass
+/// wall time goes into each point's "host" object and the pipeline total
+/// into the top-level "host" object, so the deterministic portion stays
+/// byte-identical across runs and hosts.
+BenchArtifact MakeCompileStatsArtifact(const std::string& kernel,
+                                       const compiler::PassStatistics& stats);
 
 }  // namespace fgpar::harness

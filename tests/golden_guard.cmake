@@ -1,0 +1,69 @@
+# Golden-output guard, run as a ctest entry (cmake -P).
+#
+# Runs COMMAND and byte-compares its stdout against GOLDEN.  Optionally
+# points FGPAR_BENCH_DIR at a scratch directory (BENCH_DIR) with
+# FGPAR_BENCH_DETERMINISTIC=1 and FGPAR_SWEEP_THREADS=2 set, then
+# byte-compares each produced artifact named in ARTIFACTS
+# ("<file>=<golden>" pairs, <file> relative to BENCH_DIR).
+#
+# These tests are the refactoring safety net: the goldens were captured
+# from the pre-pass-manager pipeline, so a pass reordering or codegen
+# change that alters a single byte of compiler output fails here even if
+# the result still verifies against the reference interpreter.
+#
+# Usage:
+#   cmake -DCOMMAND="<exe> <arg>..." -DGOLDEN=<file>
+#         [-DBENCH_DIR=<dir>] [-DARTIFACTS="a.json=golden_a.json;..."]
+#         -P golden_guard.cmake
+
+if(NOT DEFINED COMMAND OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "golden_guard.cmake requires -DCOMMAND and -DGOLDEN")
+endif()
+
+if(DEFINED BENCH_DIR)
+  file(MAKE_DIRECTORY "${BENCH_DIR}")
+  set(ENV{FGPAR_BENCH_DIR} "${BENCH_DIR}")
+  set(ENV{FGPAR_BENCH_DETERMINISTIC} "1")
+  set(ENV{FGPAR_SWEEP_THREADS} "2")
+endif()
+
+separate_arguments(command_list UNIX_COMMAND "${COMMAND}")
+execute_process(
+  COMMAND ${command_list}
+  OUTPUT_VARIABLE actual
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "command failed (${status}): ${COMMAND}\n${stderr_text}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  set(actual_path "${GOLDEN}.actual")
+  if(DEFINED BENCH_DIR)
+    get_filename_component(golden_name "${GOLDEN}" NAME)
+    set(actual_path "${BENCH_DIR}/${golden_name}.actual")
+  endif()
+  file(WRITE "${actual_path}" "${actual}")
+  message(FATAL_ERROR
+    "stdout differs from golden ${GOLDEN}\n"
+    "actual output written to ${actual_path}\n"
+    "If the change is intended, re-capture the golden and say why in the "
+    "commit message.")
+endif()
+
+if(DEFINED ARTIFACTS)
+  foreach(pair IN LISTS ARTIFACTS)
+    string(FIND "${pair}" "=" sep)
+    string(SUBSTRING "${pair}" 0 ${sep} produced)
+    math(EXPR after "${sep} + 1")
+    string(SUBSTRING "${pair}" ${after} -1 golden_artifact)
+    file(READ "${BENCH_DIR}/${produced}" actual_artifact)
+    file(READ "${golden_artifact}" expected_artifact)
+    if(NOT actual_artifact STREQUAL expected_artifact)
+      message(FATAL_ERROR
+        "artifact ${BENCH_DIR}/${produced} differs from golden "
+        "${golden_artifact}")
+    endif()
+  endforeach()
+endif()

@@ -18,6 +18,10 @@
 //   --print-ir         dump the rewritten (fiberized) kernel
 //   --print-plan       dump partitions and the communication plan
 //   --disasm           dump the generated machine code
+//   --print-pipeline   list the passes the parallel pipeline will run
+//   --dump-after=P     dump the kernel IR after pass P ("all": every pass)
+//   --compile-stats    print per-pass statistics (wall time, IR deltas,
+//                      pass counters) and write BENCH_compile_<kernel>.json
 //   --run              compile sequential + parallel, verify, report speedup
 //                      (default if no print option is given)
 //
@@ -34,8 +38,10 @@
 
 #include "analysis/index.hpp"
 #include "compiler/compile.hpp"
+#include "compiler/pipeline.hpp"
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
+#include "harness/bench_artifact.hpp"
 #include "harness/runner.hpp"
 #include "ir/printer.hpp"
 #include "isa/disasm.hpp"
@@ -63,6 +69,9 @@ struct CliOptions {
   bool print_ir = false;
   bool print_plan = false;
   bool disasm = false;
+  bool print_pipeline = false;
+  std::string dump_after;
+  bool compile_stats = false;
   bool run = false;
 };
 
@@ -71,7 +80,9 @@ struct CliOptions {
                "usage: fgparc <file.fk> [--cores N] [--latency N] [--capacity N]\n"
                "              [--speculate] [--throughput] [--tune] [--smt N]\n"
                "              [--trip N] [--seed N] [--trace N]\n"
-               "              [--print-ir] [--print-plan] [--disasm] [--run]\n");
+               "              [--print-ir] [--print-plan] [--disasm] [--run]\n"
+               "              [--print-pipeline] [--dump-after=<pass|all>]\n"
+               "              [--compile-stats]\n");
   std::exit(2);
 }
 
@@ -111,6 +122,17 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.print_plan = true;
     } else if (std::strcmp(arg, "--disasm") == 0) {
       options.disasm = true;
+    } else if (std::strcmp(arg, "--print-pipeline") == 0) {
+      options.print_pipeline = true;
+    } else if (std::strncmp(arg, "--dump-after=", 13) == 0) {
+      options.dump_after = arg + 13;
+    } else if (std::strcmp(arg, "--dump-after") == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      options.dump_after = argv[++i];
+    } else if (std::strcmp(arg, "--compile-stats") == 0) {
+      options.compile_stats = true;
     } else if (std::strcmp(arg, "--run") == 0) {
       options.run = true;
     } else if (arg[0] == '-') {
@@ -125,7 +147,9 @@ CliOptions ParseArgs(int argc, char** argv) {
   if (options.path.empty()) {
     Usage();
   }
-  if (!options.print_ir && !options.print_plan && !options.disasm) {
+  if (!options.print_ir && !options.print_plan && !options.disasm &&
+      !options.print_pipeline && options.dump_after.empty() &&
+      !options.compile_stats) {
     options.run = true;
   }
   return options;
@@ -183,8 +207,39 @@ int Main(int argc, char** argv) {
   compile.speculation = options.speculate;
   compile.throughput_heuristic = options.throughput;
 
-  const compiler::CompiledParallel compiled =
-      compiler::CompileParallel(kernel, layout, compile);
+  if (options.print_pipeline) {
+    std::printf("%s", compiler::BuildParallelPipeline(compile).Describe().c_str());
+  }
+  if (!options.dump_after.empty() && options.dump_after != "all" &&
+      !compiler::BuildParallelPipeline(compile).HasPass(options.dump_after)) {
+    std::fprintf(stderr, "fgparc: --dump-after=%s: no such pass (see --print-pipeline)\n",
+                 options.dump_after.c_str());
+    return 2;
+  }
+
+  compiler::PassStatistics stats;
+  compiler::PipelineInstrumentation instrumentation;
+  instrumentation.dump_after = options.dump_after;
+  if (!options.dump_after.empty()) {
+    instrumentation.dump_sink = [](const std::string& pass,
+                                   const std::string& text) {
+      std::printf("=== IR after '%s' ===\n%s\n", pass.c_str(), text.c_str());
+    };
+  }
+  if (options.compile_stats) {
+    instrumentation.statistics = &stats;
+  }
+
+  const compiler::CompiledParallel compiled = compiler::CompileParallel(
+      kernel, layout, compile, /*profile=*/nullptr, /*evaluator=*/nullptr,
+      &instrumentation);
+
+  if (options.compile_stats) {
+    std::printf("%s", stats.ToString().c_str());
+    const std::string path =
+        harness::MakeCompileStatsArtifact(kernel.name(), stats).WriteFile();
+    std::printf("compile stats written: %s\n", path.c_str());
+  }
 
   if (options.print_ir) {
     std::printf("%s\n", ir::PrintKernel(compiled.partition.kernel).c_str());
