@@ -30,6 +30,29 @@ inline bool HasFlag(int argc, char** argv, std::string_view flag) {
   return false;
 }
 
+/// Returns the operand of `--flag value`, or `fallback` when absent.
+inline std::string FlagValue(int argc, char** argv, std::string_view flag,
+                             const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+inline long long FlagInt(int argc, char** argv, std::string_view flag,
+                         long long fallback) {
+  const std::string text = FlagValue(argc, argv, flag);
+  return text.empty() ? fallback : std::stoll(text);
+}
+
+inline double FlagDouble(int argc, char** argv, std::string_view flag,
+                         double fallback) {
+  const std::string text = FlagValue(argc, argv, flag);
+  return text.empty() ? fallback : std::stod(text);
+}
+
 /// One kernel pipeline execution plus its host wall-clock cost.
 struct TimedRun {
   harness::KernelRun run;

@@ -6,17 +6,32 @@
 // reports (2-core avg 1.32, range 1.03-1.76; 4-core avg 2.05, range
 // 0.90-2.98).
 //
-// The full (kernel x cores) grid is fanned across host threads by the
-// harness sweep engine (FGPAR_SWEEP_THREADS overrides the worker count);
-// the table and the deterministic portion of BENCH_fig12.json are
-// byte-identical for any thread count.  `--smoke` runs a 3-kernel subset
-// for CI.
+// The (kernel x cores) grid runs under the resilient sweep supervisor
+// (harness/supervisor.hpp): points are fanned across host threads
+// (FGPAR_SWEEP_THREADS overrides the worker count), and the table plus the
+// deterministic portion of BENCH_fig12.json are byte-identical for any
+// thread count, with or without an interruption-and-resume in between.
+//
+// Flags:
+//   --smoke              3-kernel subset for CI
+//   --checkpoint <path>  journal completed points ("fgpar-ckpt-v1")
+//   --resume             skip points already in the checkpoint journal
+//   --deadline <s>       per-point host wall-clock budget
+//   --cycle-budget <n>   per-point simulated-cycle budget
+//   --max-retries <n>    supervisor retries per failed point
+//   --failure-budget <n> quarantined failures tolerated before exit 1
+//   --fault-point <i>    injects an unrecoverable fault at grid point i
+//                        (resilience drills; quarantines that point)
+//   --repro-dir <dir>    emit a repro bundle per quarantined point
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "harness/repro.hpp"
+#include "harness/supervisor.hpp"
 #include "kernels/experiments.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
@@ -36,28 +51,139 @@ int main(int argc, char** argv) {
   // One grid point per (cores, kernel) pair, swept in one pool so a slow
   // kernel at one core count overlaps with everything else.
   const std::size_t grid = core_counts.size() * kernel_count;
-  const auto timed = harness::RunSweep(grid, threads, [&](std::size_t i) {
-    kernels::ExperimentConfig config;
-    config.cores = core_counts[i / kernel_count];
-    config.sweep_threads = 1;  // the grid is already parallel
-    return benchutil::TimedKernelRun(all[i % kernel_count], config);
-  });
-  const benchutil::TimedRun* runs2 = &timed[0];
-  const benchutil::TimedRun* runs4 = &timed[kernel_count];
+  const long long fault_point =
+      benchutil::FlagInt(argc, argv, "--fault-point", -1);
+  const std::string repro_dir =
+      benchutil::FlagValue(argc, argv, "--repro-dir");
+
+  harness::SupervisorConfig supervision;
+  supervision.name = "fig12";
+  for (std::size_t i = 0; i < grid; ++i) {
+    supervision.labels.push_back(all[i % kernel_count].id + " cores=" +
+                                 std::to_string(core_counts[i / kernel_count]));
+  }
+  supervision.checkpoint_path =
+      benchutil::FlagValue(argc, argv, "--checkpoint");
+  supervision.resume = benchutil::HasFlag(argc, argv, "--resume");
+  supervision.point_deadline_seconds =
+      benchutil::FlagDouble(argc, argv, "--deadline", 0.0);
+  supervision.point_cycle_budget = static_cast<std::uint64_t>(
+      benchutil::FlagInt(argc, argv, "--cycle-budget", 0));
+  supervision.max_retries =
+      static_cast<int>(benchutil::FlagInt(argc, argv, "--max-retries", 0));
+  supervision.failure_budget = static_cast<std::size_t>(
+      benchutil::FlagInt(argc, argv, "--failure-budget", 0));
+
+  // Host-only observations, one slot per point (each slot is written by
+  // exactly one worker at a time).  Failure snapshots feed repro bundles.
+  std::vector<double> wall(grid, 0.0);
+  std::vector<std::vector<std::uint8_t>> snapshots(grid);
+
+  const auto config_for = [&](const harness::PointContext& ctx) {
+    kernels::ExperimentConfig experiment;
+    experiment.cores = core_counts[ctx.index / kernel_count];
+    harness::RunConfig config = kernels::ToRunConfig(experiment);
+    config.seed = ctx.seed;
+    config.max_cycles = ctx.cycle_budget;
+    if (fault_point >= 0 && ctx.index == static_cast<std::size_t>(fault_point)) {
+      // An unrecoverable injected failure: every payload in transit is
+      // flipped, so verification can never pass; no sequential fallback,
+      // so the point fails hard and gets quarantined.
+      config.faults.payload_flip_prob = 1.0;
+      config.stall_watchdog_cycles = 200000;
+      config.fallback.max_retries = 0;
+      config.fallback.fall_back_to_sequential = false;
+    }
+    return config;
+  };
+
+  harness::SweepSupervisor supervisor(supervision);
+  const harness::SweepOutcome outcome = supervisor.Run(
+      [&](const harness::PointContext& ctx) {
+        harness::RunConfig config = config_for(ctx);
+        config.on_parallel_failure = [&](const sim::Machine& machine,
+                                         const Error&, int) {
+          snapshots[ctx.index] = machine.Snapshot();
+        };
+        const auto point_start = std::chrono::steady_clock::now();
+        const harness::KernelRun run =
+            kernels::RunKernel(all[ctx.index % kernel_count], config);
+        wall[ctx.index] = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - point_start)
+                              .count();
+        return harness::EncodeKernelRun(run);
+      },
+      [&](const harness::PointContext& ctx,
+          const harness::PointFailure& failure) -> std::string {
+        if (repro_dir.empty()) {
+          return "";
+        }
+        const kernels::SequoiaKernel& kernel = all[ctx.index % kernel_count];
+        harness::ReproBundle bundle;
+        bundle.experiment = "fig12";
+        bundle.label = failure.label;
+        bundle.point_index = failure.index;
+        bundle.attempt = ctx.attempt;
+        bundle.kernel_id = kernel.id;
+        bundle.kernel_source = kernel.source;
+        bundle.trip = kernel.trip;
+        bundle.f64_params = kernel.f64_params;
+        bundle.config = config_for(ctx);
+        bundle.failure_message = failure.message;
+        bundle.failure_attempts = failure.attempts;
+        bundle.snapshot = snapshots[ctx.index];
+        const std::string name =
+            "repro_fig12_point" + std::to_string(ctx.index);
+        harness::WriteReproBundle(repro_dir, name, bundle);
+        return name;
+      });
+
+  if (outcome.resumed_points > 0) {
+    std::fprintf(stderr, "resumed %zu completed points from %s\n",
+                 outcome.resumed_points, supervision.checkpoint_path.c_str());
+  }
+  for (const harness::PointFailure& failure : outcome.failures) {
+    std::fprintf(stderr, "quarantined point %zu (%s) after %d attempts: %s\n",
+                 failure.index, failure.label.c_str(), failure.attempts,
+                 failure.message.c_str());
+  }
+
+  // Decode the journal payloads back into KernelRuns; quarantined points
+  // have no run and render as placeholder rows.
+  std::vector<harness::KernelRun> runs(grid);
+  for (std::size_t i = 0; i < grid; ++i) {
+    if (outcome.completed[i]) {
+      runs[i] = harness::DecodeKernelRun(outcome.payloads[i]);
+    }
+  }
 
   TextTable table({"Kernel", "2-core speedup", "4-core speedup"});
   std::vector<double> s2, s4;
   for (std::size_t i = 0; i < kernel_count; ++i) {
-    table.AddRow({runs2[i].run.kernel_name,
-                  FormatFixed(runs2[i].run.speedup, 2),
-                  FormatFixed(runs4[i].run.speedup, 2)});
-    s2.push_back(runs2[i].run.speedup);
-    s4.push_back(runs4[i].run.speedup);
+    const bool ok2 = outcome.completed[i] != 0;
+    const bool ok4 = outcome.completed[kernel_count + i] != 0;
+    table.AddRow({all[i].id,
+                  ok2 ? FormatFixed(runs[i].speedup, 2) : "quarantined",
+                  ok4 ? FormatFixed(runs[kernel_count + i].speedup, 2)
+                      : "quarantined"});
+    if (ok2) {
+      s2.push_back(runs[i].speedup);
+    }
+    if (ok4) {
+      s4.push_back(runs[kernel_count + i].speedup);
+    }
   }
+  // Aggregates skip quarantined points; a column with no completed point
+  // at all (every point quarantined) renders as "n/a" rather than
+  // asserting on the empty set.
+  const auto agg = [](const std::vector<double>& v,
+                      double (*fn)(std::span<const double>)) {
+    return v.empty() ? std::string("n/a") : FormatFixed(fn(v), 2);
+  };
   table.AddSeparator();
-  table.AddRow({"average", FormatFixed(Mean(s2), 2), FormatFixed(Mean(s4), 2)});
-  table.AddRow({"min", FormatFixed(Min(s2), 2), FormatFixed(Min(s4), 2)});
-  table.AddRow({"max", FormatFixed(Max(s2), 2), FormatFixed(Max(s4), 2)});
+  table.AddRow({"average", agg(s2, Mean), agg(s4, Mean)});
+  table.AddRow({"min", agg(s2, Min), agg(s4, Min)});
+  table.AddRow({"max", agg(s2, Max), agg(s4, Max)});
 
   std::printf("%s\n",
               table
@@ -70,13 +196,18 @@ int main(int argc, char** argv) {
   harness::BenchArtifact artifact;
   artifact.name = "fig12";
   for (std::size_t i = 0; i < grid; ++i) {
+    if (!outcome.completed[i]) {
+      continue;  // quarantined: recorded in the failures section instead
+    }
     artifact.points.push_back(benchutil::MakePoint(
-        timed[i], {{"cores", std::to_string(core_counts[i / kernel_count])}}));
+        benchutil::TimedRun{runs[i], wall[i]},
+        {{"cores", std::to_string(core_counts[i / kernel_count])}}));
   }
+  harness::AddFailurePoints(outcome, artifact);
   artifact.host["sweep_threads"] = threads;
   artifact.host["wall_seconds"] =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   benchutil::EmitArtifact(artifact);
-  return 0;
+  return supervisor.WithinFailureBudget(outcome) ? 0 : 1;
 }

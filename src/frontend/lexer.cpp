@@ -203,7 +203,13 @@ class LexerImpl {
     }
     if (is_float) {
       Token t = Make(TokenKind::kFloatLit);
-      t.float_value = std::stod(text);
+      // from_chars, not stod: an overflowing literal like 1e400 must be a
+      // ParseError with a location, never a raw std::out_of_range.
+      const auto [ptr, ec] = std::from_chars(
+          text.data(), text.data() + text.size(), t.float_value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        Fail("float literal out of range: " + text);
+      }
       return t;
     }
     Token t = Make(TokenKind::kIntLit);

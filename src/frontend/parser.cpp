@@ -73,6 +73,23 @@ class ParserImpl {
     throw ParseError(message, Peek().line, Peek().column);
   }
 
+  // ---- recursion guard ----
+  // Expressions and statements recurse; pathological nesting ("((((..." or
+  // a tower of ifs) must surface as a ParseError with a location, never as
+  // a stack overflow.  The parser abandons the token stream on throw, so a
+  // plain RAII counter is enough.
+  static constexpr int kMaxNestingDepth = 256;
+  struct DepthGuard {
+    explicit DepthGuard(ParserImpl* p) : parser(p) {
+      if (++parser->depth_ > kMaxNestingDepth) {
+        parser->Fail("nesting too deep (limit " +
+                     std::to_string(kMaxNestingDepth) + " levels)");
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    ParserImpl* parser;
+  };
+
   // ---- name table ----
   enum class NameKind { kParam, kArray, kScalar, kTemp };
   struct Entity {
@@ -204,6 +221,7 @@ class ParserImpl {
 
   // ---- statements ----
   void ParseStatement() {
+    DepthGuard guard(this);
     kb_->SetLine(Peek().line);
     switch (Peek().kind) {
       case TokenKind::kI64:
@@ -311,7 +329,10 @@ class ParserImpl {
   }
 
   // ---- expressions (precedence climbing) ----
-  Val ParseExpr() { return ParseBitOr(); }
+  Val ParseExpr() {
+    DepthGuard guard(this);
+    return ParseBitOr();
+  }
 
   Val ParseBitOr() {
     Val lhs = ParseBitXor();
@@ -414,6 +435,7 @@ class ParserImpl {
   }
 
   Val ParseUnary() {
+    DepthGuard guard(this);
     if (Accept(TokenKind::kMinus)) {
       return kb_->Unary(UnOp::kNeg, ParseUnary());
     }
@@ -525,6 +547,7 @@ class ParserImpl {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::unique_ptr<KernelBuilder> kb_;
   std::map<std::string, Entity> names_;
   std::string iv_name_;

@@ -68,6 +68,29 @@ std::string BenchArtifact::ToJson(bool include_host) const {
     w.EndObject();
   }
   w.EndArray();
+  if (!failures.empty()) {
+    w.Key("failures");
+    w.BeginArray();
+    for (const Failure& failure : failures) {
+      w.BeginObject();
+      w.Key("attempts");
+      w.UInt(failure.attempts);
+      w.Key("deadline_exceeded");
+      w.Bool(failure.deadline_exceeded);
+      w.Key("index");
+      w.UInt(failure.index);
+      w.Key("label");
+      w.String(failure.label);
+      w.Key("message");
+      w.String(failure.message);
+      w.Key("repro_bundle");
+      w.String(failure.repro_bundle);
+      w.Key("seed");
+      w.UInt(failure.seed);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
   if (include_host) {
     w.Key("host");
     WriteDoubleMap(w, host);

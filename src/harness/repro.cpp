@@ -1,0 +1,206 @@
+#include "harness/repro.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace fgpar::harness {
+
+namespace {
+
+constexpr const char kSchema[] = "fgpar-repro-v1";
+
+void WriteWholeFile(const std::filesystem::path& path,
+                    const char* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FGPAR_CHECK_MSG(out.good(), "cannot open " + path.string() + " for writing");
+  out.write(data, static_cast<std::streamsize>(size));
+  out.close();
+  FGPAR_CHECK_MSG(out.good(), "failed writing " + path.string());
+}
+
+std::string ReadWholeFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  FGPAR_CHECK_MSG(in.good(), "cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string WriteReproBundle(const std::string& dir, const std::string& name,
+                             const ReproBundle& bundle) {
+  const std::filesystem::path root = std::filesystem::path(dir) / name;
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  FGPAR_CHECK_MSG(!ec, "cannot create repro bundle directory " + root.string() +
+                           ": " + ec.message());
+
+  WriteWholeFile(root / "kernel.fk", bundle.kernel_source.data(),
+                 bundle.kernel_source.size());
+  WriteWholeFile(root / "snapshot.bin",
+                 reinterpret_cast<const char*>(bundle.snapshot.data()),
+                 bundle.snapshot.size());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kSchema);
+  w.Key("experiment");
+  w.String(bundle.experiment);
+  w.Key("label");
+  w.String(bundle.label);
+  w.Key("point_index");
+  w.UInt(bundle.point_index);
+  w.Key("attempt");
+  w.Int(bundle.attempt);
+  w.Key("kernel");
+  w.BeginObject();
+  w.Key("id");
+  w.String(bundle.kernel_id);
+  w.Key("trip");
+  w.Int(bundle.trip);
+  w.Key("f64_params");
+  w.BeginObject();
+  for (const auto& [key, value] : bundle.f64_params) {
+    w.Key(key);
+    w.Double(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  w.Key("config");
+  w.BeginObject();
+  w.Key("cores");
+  w.Int(bundle.config.compile.num_cores);
+  w.Key("speculation");
+  w.Bool(bundle.config.compile.speculation);
+  w.Key("throughput_heuristic");
+  w.Bool(bundle.config.compile.throughput_heuristic);
+  w.Key("queue_capacity");
+  w.Int(bundle.config.queue.capacity);
+  w.Key("transfer_latency");
+  w.Int(bundle.config.queue.transfer_latency);
+  w.Key("threads_per_core");
+  w.Int(bundle.config.threads_per_core);
+  w.Key("tune_by_simulation");
+  w.Bool(bundle.config.tune_by_simulation);
+  w.Key("seed");
+  w.UInt(bundle.config.seed);
+  w.Key("stall_watchdog_cycles");
+  w.UInt(bundle.config.stall_watchdog_cycles);
+  w.Key("max_cycles");
+  w.UInt(bundle.config.max_cycles);
+  w.Key("runner_max_retries");
+  w.Int(bundle.config.fallback.max_retries);
+  w.Key("faults");
+  w.BeginObject();
+  w.Key("seed");
+  w.UInt(bundle.config.faults.seed);
+  w.Key("queue_jitter_prob");
+  w.Double(bundle.config.faults.queue_jitter_prob);
+  w.Key("queue_jitter_max_cycles");
+  w.Int(bundle.config.faults.queue_jitter_max_cycles);
+  w.Key("queue_reject_prob");
+  w.Double(bundle.config.faults.queue_reject_prob);
+  w.Key("payload_flip_prob");
+  w.Double(bundle.config.faults.payload_flip_prob);
+  w.Key("mem_fault_prob");
+  w.Double(bundle.config.faults.mem_fault_prob);
+  w.Key("mem_fault_extra_cycles");
+  w.Int(bundle.config.faults.mem_fault_extra_cycles);
+  w.Key("core_freeze_prob");
+  w.Double(bundle.config.faults.core_freeze_prob);
+  w.Key("core_freeze_cycles");
+  w.Int(bundle.config.faults.core_freeze_cycles);
+  w.EndObject();
+  w.EndObject();
+  w.Key("failure");
+  w.BeginObject();
+  w.Key("message");
+  w.String(bundle.failure_message);
+  w.Key("attempts");
+  w.Int(bundle.failure_attempts);
+  w.EndObject();
+  w.EndObject();
+  const std::string manifest = w.Take();
+  WriteWholeFile(root / "manifest.json", manifest.data(), manifest.size());
+  return root.string();
+}
+
+ReproBundle LoadReproBundle(const std::string& dir) {
+  const std::filesystem::path root(dir);
+  const JsonValue manifest = ParseJson(ReadWholeFile(root / "manifest.json"));
+  FGPAR_CHECK_MSG(manifest.Get("schema").AsString() == kSchema,
+                  dir + "/manifest.json: unsupported schema '" +
+                      manifest.Get("schema").AsString() + "' (this build reads " +
+                      kSchema + ")");
+
+  ReproBundle bundle;
+  bundle.experiment = manifest.Get("experiment").AsString();
+  bundle.label = manifest.Get("label").AsString();
+  bundle.point_index = manifest.Get("point_index").AsU64();
+  bundle.attempt = static_cast<int>(manifest.Get("attempt").AsI64());
+
+  const JsonValue& kernel = manifest.Get("kernel");
+  bundle.kernel_id = kernel.Get("id").AsString();
+  bundle.trip = kernel.Get("trip").AsI64();
+  for (const auto& [key, value] : kernel.Get("f64_params").AsObject()) {
+    bundle.f64_params[key] = value.AsDouble();
+  }
+  bundle.kernel_source = ReadWholeFile(root / "kernel.fk");
+
+  const JsonValue& config = manifest.Get("config");
+  bundle.config.compile.num_cores =
+      static_cast<int>(config.Get("cores").AsI64());
+  bundle.config.compile.speculation = config.Get("speculation").AsBool();
+  bundle.config.compile.throughput_heuristic =
+      config.Get("throughput_heuristic").AsBool();
+  bundle.config.queue.capacity =
+      static_cast<int>(config.Get("queue_capacity").AsI64());
+  bundle.config.queue.transfer_latency =
+      static_cast<int>(config.Get("transfer_latency").AsI64());
+  bundle.config.threads_per_core =
+      static_cast<int>(config.Get("threads_per_core").AsI64());
+  bundle.config.tune_by_simulation = config.Get("tune_by_simulation").AsBool();
+  bundle.config.seed = config.Get("seed").AsU64();
+  bundle.config.stall_watchdog_cycles =
+      config.Get("stall_watchdog_cycles").AsU64();
+  bundle.config.max_cycles = config.Get("max_cycles").AsU64();
+  bundle.config.fallback.max_retries =
+      static_cast<int>(config.Get("runner_max_retries").AsI64());
+
+  const JsonValue& faults = config.Get("faults");
+  bundle.config.faults.seed = faults.Get("seed").AsU64();
+  bundle.config.faults.queue_jitter_prob =
+      faults.Get("queue_jitter_prob").AsDouble();
+  bundle.config.faults.queue_jitter_max_cycles =
+      static_cast<int>(faults.Get("queue_jitter_max_cycles").AsI64());
+  bundle.config.faults.queue_reject_prob =
+      faults.Get("queue_reject_prob").AsDouble();
+  bundle.config.faults.payload_flip_prob =
+      faults.Get("payload_flip_prob").AsDouble();
+  bundle.config.faults.mem_fault_prob = faults.Get("mem_fault_prob").AsDouble();
+  bundle.config.faults.mem_fault_extra_cycles =
+      static_cast<int>(faults.Get("mem_fault_extra_cycles").AsI64());
+  bundle.config.faults.core_freeze_prob =
+      faults.Get("core_freeze_prob").AsDouble();
+  bundle.config.faults.core_freeze_cycles =
+      static_cast<int>(faults.Get("core_freeze_cycles").AsI64());
+  // The checker must assume the queues the code will run on, exactly like
+  // the runner does.
+  bundle.config.compile.assumed_queue_capacity = bundle.config.queue.capacity;
+
+  const JsonValue& failure = manifest.Get("failure");
+  bundle.failure_message = failure.Get("message").AsString();
+  bundle.failure_attempts = static_cast<int>(failure.Get("attempts").AsI64());
+
+  const std::string snapshot = ReadWholeFile(root / "snapshot.bin");
+  bundle.snapshot.assign(snapshot.begin(), snapshot.end());
+  return bundle;
+}
+
+}  // namespace fgpar::harness

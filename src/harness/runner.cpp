@@ -10,6 +10,29 @@
 
 namespace fgpar::harness {
 
+namespace {
+
+/// Run-to-completion under RunConfig::max_cycles: a machine still going at
+/// the budget is paused at the next loop boundary and reported as a
+/// CycleBudgetError instead of spinning until Machine's own hard limit.
+sim::RunResult RunBounded(sim::Machine& machine, std::uint64_t max_cycles,
+                          const std::string& kernel, const char* what) {
+  if (max_cycles == 0) {
+    return machine.Run();
+  }
+  const sim::PauseResult outcome = machine.RunUntil(max_cycles);
+  if (!outcome.finished) {
+    throw CycleBudgetError(
+        "kernel '" + kernel + "': " + what +
+        " exceeded the cycle budget: paused at cycle " +
+        std::to_string(machine.now()) + " (budget " +
+        std::to_string(max_cycles) + ")");
+  }
+  return outcome.result;
+}
+
+}  // namespace
+
 KernelRunner::KernelRunner(const ir::Kernel& kernel, WorkloadInit init)
     : kernel_(kernel), layout_(kernel_, /*base=*/64), init_(std::move(init)) {
   ir::CheckValid(kernel_);
@@ -100,7 +123,8 @@ std::uint64_t KernelRunner::MeasureSequential(const RunConfig& config) const {
   sim::Machine machine(MachineConfigFor(config, 1), program);
   LoadImage(machine, prepared.image);
   machine.StartCoreAt(0, "main");
-  const sim::RunResult result = machine.Run();
+  const sim::RunResult result =
+      RunBounded(machine, config.max_cycles, kernel_.name(), "sequential execution");
   if (config.verify) {
     CompareMemory(machine, GoldenMemory(prepared), "sequential codegen");
   }
@@ -133,7 +157,8 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
     sim::Machine machine(MachineConfigFor(config, 1), program);
     LoadImage(machine, prepared.image);
     machine.StartCoreAt(0, "main");
-    const sim::RunResult result = machine.Run();
+    const sim::RunResult result =
+        RunBounded(machine, config.max_cycles, kernel_.name(), "sequential execution");
     if (config.verify) {
       CompareMemory(machine, golden, "sequential codegen");
     }
@@ -195,14 +220,24 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
       for (int c = 1; c < compiled.cores_used; ++c) {
         machine.StartCoreAt(c, compiler::CompiledParallel::kDriverEntry);
       }
+      // The observation hook sees every failed attempt — including ones
+      // that will propagate — so a repro bundle can capture the machine
+      // state at the exact failure point.
+      const auto note_failure = [&](const Error& e) {
+        if (config.on_parallel_failure) {
+          config.on_parallel_failure(machine, e, attempt);
+        }
+      };
       const auto record_failure = [&](const Error& e) {
+        note_failure(e);
         last_failure = std::current_exception();
         run.failure_reason = e.what();
         run.fault_stats = machine.fault_injector().stats();
         ++run.retries;
       };
       try {
-        const sim::RunResult result = machine.Run();
+        const sim::RunResult result = RunBounded(
+            machine, config.max_cycles, kernel_.name(), "parallel execution");
         // Under injected faults, verify even when config.verify is off: a
         // silently corrupted result must trigger retry/fallback, never be
         // reported as a speedup.
@@ -225,6 +260,7 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
       } catch (const VerifyError& e) {
         // A mismatch without faults is a real compiler bug: surface it.
         if (!faults_on) {
+          note_failure(e);
           throw;
         }
         record_failure(e);
@@ -233,6 +269,7 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
         // addresses, division by zero, ...).  Without faults such errors
         // are genuine and must propagate.
         if (!faults_on) {
+          note_failure(e);
           throw;
         }
         record_failure(e);

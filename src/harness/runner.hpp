@@ -54,6 +54,15 @@ class VerifyError : public Error {
   explicit VerifyError(std::string message) : Error(std::move(message)) {}
 };
 
+/// Thrown when a measured execution exceeds RunConfig::max_cycles: the
+/// machine was paused at the budget boundary instead of being allowed to
+/// run (or hang) further.  Distinguished so sweep supervision can treat
+/// budget overruns as deadline-class failures.
+class CycleBudgetError : public Error {
+ public:
+  explicit CycleBudgetError(std::string message) : Error(std::move(message)) {}
+};
+
 /// What the runner does when the parallel execution fails (deadlock,
 /// watchdog trip, verify mismatch, or any fault-induced error).
 struct FallbackPolicy {
@@ -100,6 +109,18 @@ struct RunConfig {
   /// loop (see MachineConfig::force_slow_path).  Results are bit-identical
   /// either way; used by the fast/slow equivalence tests and benchmarks.
   bool force_slow_path = false;
+  /// Simulated-cycle budget for the measured sequential and parallel
+  /// executions (0 = unlimited).  A run still going at this cycle is
+  /// paused at the next loop boundary and reported as a CycleBudgetError —
+  /// the per-point deadline mechanism for sweep supervision.  Golden-model
+  /// interpretation and multi-version tuning are never budgeted.
+  std::uint64_t max_cycles = 0;
+  /// Observation hook invoked after each failed parallel attempt (before
+  /// any retry), with the failed machine still intact — used to capture a
+  /// state snapshot for repro bundles.  Hook errors propagate.
+  std::function<void(const sim::Machine& machine, const Error& error,
+                     int attempt)>
+      on_parallel_failure;
   FallbackPolicy fallback;
 };
 

@@ -4,10 +4,42 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <sstream>
 #include <string>
 #include <thread>
 
 namespace fgpar::harness {
+
+namespace {
+
+std::string MessageOf(const std::exception_ptr& exception) {
+  try {
+    std::rethrow_exception(exception);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+std::string DescribeFailures(const std::vector<SweepPointFailure>& failures,
+                             std::size_t total_points) {
+  std::ostringstream os;
+  os << "sweep failed: " << failures.size() << " of " << total_points
+     << " points";
+  for (const SweepPointFailure& f : failures) {
+    os << "\n  point " << f.index << ": " << f.message;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SweepError::SweepError(std::vector<SweepPointFailure> failures,
+                       std::size_t total_points)
+    : Error(DescribeFailures(failures, total_points)),
+      failures_(std::move(failures)),
+      total_points_(total_points) {}
 
 int ResolveSweepThreads(int requested) {
   if (requested >= 1) {
@@ -34,58 +66,56 @@ void RunSweepIndices(std::size_t count, int threads,
   const std::size_t workers =
       std::min<std::size_t>(threads < 1 ? 1 : static_cast<std::size_t>(threads),
                             count);
-  if (workers <= 1) {
-    // Inline: identical semantics (including first-failure-by-index) with
-    // no thread overhead; also the deterministic reference the sweep tests
-    // compare multi-threaded runs against.
-    for (std::size_t i = 0; i < count; ++i) {
-      body(i);
-    }
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
+  // One exception slot per point; a failure never stops the sweep, so the
+  // failure set (like the result vector) is deterministic and identical
+  // for every thread count.
   std::vector<std::exception_ptr> errors(count);
-  std::atomic<bool> failed{false};
 
-  const auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) {
-        return;
-      }
-      if (failed.load(std::memory_order_relaxed)) {
-        // A point already failed; finish fast.  Skipped points keep a null
-        // exception slot, and the rethrow below picks the smallest failed
-        // index, so the observable error matches a sequential run whenever
-        // the first failure is the first index to fail.
-        continue;
-      }
+  if (workers <= 1) {
+    // Inline: no thread overhead; also the deterministic reference the
+    // sweep tests compare multi-threaded runs against.
+    for (std::size_t i = 0; i < count; ++i) {
       try {
         body(i);
       } catch (...) {
         errors[i] = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
       }
     }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  for (std::size_t w = 1; w < workers; ++w) {
-    pool.emplace_back(worker);
-  }
-  worker();  // the calling thread is worker 0
-  for (std::thread& t : pool) {
-    t.join();
-  }
-
-  if (failed.load()) {
-    for (std::size_t i = 0; i < count; ++i) {
-      if (errors[i]) {
-        std::rethrow_exception(errors[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+          return;
+        }
+        try {
+          body(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
       }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      pool.emplace_back(worker);
     }
+    worker();  // the calling thread is worker 0
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  std::vector<SweepPointFailure> failures;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) {
+      failures.push_back(SweepPointFailure{i, MessageOf(errors[i]), errors[i]});
+    }
+  }
+  if (!failures.empty()) {
+    throw SweepError(std::move(failures), count);
   }
 }
 

@@ -10,18 +10,50 @@
 //
 // Work distribution is a shared atomic cursor (work stealing at the
 // granularity of one point), which keeps long-running points from
-// serializing behind a static partition.  Exceptions thrown by a point are
-// captured per index and the lowest-index failure is rethrown after all
-// workers drain — again matching what a sequential loop would have thrown
-// first.
+// serializing behind a static partition.  Failure handling is aggregate
+// and deterministic: every point runs to completion (or failure) even
+// after another point has failed, every failure is captured with its grid
+// index, and the sweep then throws one SweepError describing all of them
+// in index order.  The failure set — like the result vector — is a pure
+// function of the grid, independent of the thread count; and a resilient
+// caller (the sweep supervisor) gets per-point attribution instead of
+// losing every failure after the first.
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace fgpar::harness {
+
+/// One failed sweep point: its grid index, the human-readable message of
+/// the exception it threw, and the original exception (rethrowable for
+/// callers that need the concrete type).
+struct SweepPointFailure {
+  std::size_t index = 0;
+  std::string message;
+  std::exception_ptr exception;
+};
+
+/// Aggregate failure of a sweep: every point that threw, in index order.
+/// what() lists all of them, so even an unaware catch-and-print caller
+/// reports the full picture instead of the first casualty.
+class SweepError : public Error {
+ public:
+  SweepError(std::vector<SweepPointFailure> failures, std::size_t total_points);
+
+  const std::vector<SweepPointFailure>& failures() const { return failures_; }
+  std::size_t total_points() const { return total_points_; }
+
+ private:
+  std::vector<SweepPointFailure> failures_;
+  std::size_t total_points_;
+};
 
 /// Number of worker threads a sweep should use.
 ///
@@ -32,9 +64,9 @@ int ResolveSweepThreads(int requested);
 
 namespace detail {
 /// Runs body(0..count-1), each index exactly once, on `threads` workers
-/// (clamped to count; <= 1 runs inline on the calling thread).  If any
-/// body invocation throws, the exception for the smallest index is
-/// rethrown after all workers finish.
+/// (clamped to count; <= 1 runs inline on the calling thread).  Every
+/// index runs even if earlier ones throw; after all workers drain, any
+/// failures are thrown together as one SweepError in index order.
 void RunSweepIndices(std::size_t count, int threads,
                      const std::function<void(std::size_t)>& body);
 }  // namespace detail

@@ -20,9 +20,14 @@ harness::RunConfig ToRunConfig(const ExperimentConfig& config) {
 
 harness::KernelRun RunKernel(const SequoiaKernel& kernel,
                              const ExperimentConfig& config) {
+  return RunKernel(kernel, ToRunConfig(config));
+}
+
+harness::KernelRun RunKernel(const SequoiaKernel& kernel,
+                             const harness::RunConfig& config) {
   const ir::Kernel parsed = ParseSequoia(kernel);
   harness::KernelRunner runner(parsed, SequoiaInit(kernel));
-  harness::KernelRun run = runner.Run(ToRunConfig(config));
+  harness::KernelRun run = runner.Run(config);
   run.kernel_name = kernel.id;
   return run;
 }

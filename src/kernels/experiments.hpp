@@ -42,6 +42,11 @@ harness::RunConfig ToRunConfig(const ExperimentConfig& config);
 harness::KernelRun RunKernel(const SequoiaKernel& kernel,
                              const ExperimentConfig& config);
 
+/// Runs one kernel under a fully specified RunConfig (seed, faults, cycle
+/// budget, failure hooks, ...) — the entry point sweep supervision uses.
+harness::KernelRun RunKernel(const SequoiaKernel& kernel,
+                             const harness::RunConfig& config);
+
 /// Runs all 18 kernels in Table I order.
 std::vector<harness::KernelRun> RunAllKernels(const ExperimentConfig& config);
 

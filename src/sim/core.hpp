@@ -24,6 +24,11 @@
 #include "sim/hw_queue.hpp"
 #include "sim/memory.hpp"
 
+namespace fgpar {
+class ByteReader;
+class ByteWriter;
+}  // namespace fgpar
+
 namespace fgpar::sim {
 
 /// All point-to-point queues of the machine: for every ordered core pair
@@ -55,6 +60,10 @@ class QueueMatrix {
 
   /// Installs the fault injector on every queue (nullptr to clear).
   void SetFaultInjector(FaultInjector* faults);
+
+  /// Serializes/restores every queue's state.  Defined in sim/snapshot.cpp.
+  void SaveState(ByteWriter& w) const;
+  void LoadState(ByteReader& r);
 
  private:
   int Index(int src, int dst) const;
@@ -143,6 +152,12 @@ class Core {
 
   /// One-line state description for deadlock diagnostics.
   std::string Describe(const isa::Program& program) const;
+
+  /// Serializes/restores the full architectural and timing state (id and
+  /// config travel with the machine identity, not the snapshot).  Defined
+  /// in sim/snapshot.cpp.
+  void SaveState(ByteWriter& w) const;
+  void LoadState(ByteReader& r);
 
  private:
   /// Latest ready-cycle among the instruction's source registers.

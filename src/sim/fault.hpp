@@ -29,6 +29,11 @@
 
 #include "support/rng.hpp"
 
+namespace fgpar {
+class ByteReader;
+class ByteWriter;
+}  // namespace fgpar
+
 namespace fgpar::sim {
 
 /// Probabilities and magnitudes for each fault kind.  All probabilities
@@ -112,6 +117,12 @@ class FaultInjector {
   /// True if the core being stepped should freeze now.
   bool ShouldFreezeCore();
   int freeze_cycles() const { return config_.core_freeze_cycles; }
+
+  /// Serializes/restores the mutable state (RNG position and counters);
+  /// the config itself travels with the machine identity, not the
+  /// snapshot.  Defined in sim/snapshot.cpp.
+  void SaveState(ByteWriter& w) const;
+  void LoadState(ByteReader& r);
 
  private:
   FaultConfig config_;

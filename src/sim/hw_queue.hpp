@@ -28,6 +28,11 @@
 
 #include "sim/fault.hpp"
 
+namespace fgpar {
+class ByteReader;
+class ByteWriter;
+}  // namespace fgpar
+
 namespace fgpar::sim {
 
 class HardwareQueue {
@@ -68,6 +73,11 @@ class HardwareQueue {
   /// Lifetime statistics.
   std::uint64_t total_transfers() const { return total_transfers_; }
   int max_occupancy() const { return max_occupancy_; }
+
+  /// Serializes/restores slots and statistics (capacity and latency come
+  /// from the machine config).  Defined in sim/snapshot.cpp.
+  void SaveState(ByteWriter& w) const;
+  void LoadState(ByteReader& r);
 
  private:
   struct Slot {

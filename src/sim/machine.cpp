@@ -100,17 +100,47 @@ int Machine::RunningCores() const {
 }
 
 RunResult Machine::Run() {
+  const PauseResult outcome =
+      RunUntil(std::numeric_limits<std::uint64_t>::max());
+  // stop_at_ is max and max_cycles is checked first, so a pause is
+  // impossible: the run either finishes or throws.
+  FGPAR_CHECK(outcome.finished);
+  return outcome.result;
+}
+
+PauseResult Machine::RunUntil(std::uint64_t stop_cycle) {
+  stop_at_ = stop_cycle;
+  if (!paused_) {
+    // A fresh run (not a resume): reset the per-run bookkeeping exactly as
+    // the loop-local variables used to be.
+    last_issue_cycle_ = now_;
+    core0_halt_recorded_ = false;
+    core0_halt_cycle_ = 0;
+  }
+  paused_ = false;
   const bool slow = injector_.enabled() || trace_ != nullptr ||
                     config_.stall_watchdog_cycles > 0 ||
                     config_.force_slow_path;
   return slow ? RunSlow() : RunFast();
 }
 
-RunResult Machine::RunSlow() {
-  constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
+RunResult Machine::FinishResult() const {
   RunResult result;
-  bool core0_recorded = false;
-  std::uint64_t last_issue_cycle = now_;
+  result.cycles = now_;
+  result.core0_halt_cycle = core0_halt_recorded_ ? core0_halt_cycle_ : now_;
+  for (const Core& c : cores_) {
+    result.instructions += c.stats().instructions;
+  }
+  return result;
+}
+
+PauseResult Machine::PauseHere() {
+  paused_ = true;
+  return PauseResult{};
+}
+
+PauseResult Machine::RunSlow() {
+  constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
   int running = RunningCores();
 
   // `outcomes_` is only cleared once per Run, not once per cycle: a slot is
@@ -124,6 +154,9 @@ RunResult Machine::RunSlow() {
   const int physical = (config_.num_cores + tpc - 1) / tpc;
 
   while (running > 0) {
+    if (now_ >= stop_at_) {
+      return PauseHere();  // natural loop boundary: all state consistent
+    }
     FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
 
     bool issued_any = false;
@@ -172,24 +205,24 @@ RunResult Machine::RunSlow() {
           default:
             break;
         }
-        if (cores_[c].halted() && c == 0 && !core0_recorded) {
-          core0_recorded = true;
-          result.core0_halt_cycle = now_;
+        if (cores_[c].halted() && c == 0 && !core0_halt_recorded_) {
+          core0_halt_recorded_ = true;
+          core0_halt_cycle_ = now_;
         }
       }
     }
 
     if (issued_any) {
-      last_issue_cycle = now_;
+      last_issue_cycle_ = now_;
       ++now_;
       continue;
     }
     if (config_.stall_watchdog_cycles > 0 &&
-        now_ - last_issue_cycle >= config_.stall_watchdog_cycles) {
-      throw StallError(BuildStallReport(now_ - last_issue_cycle,
+        now_ - last_issue_cycle_ >= config_.stall_watchdog_cycles) {
+      throw StallError(BuildStallReport(now_ - last_issue_cycle_,
                                         /*provable_deadlock=*/false));
     }
-    FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
+    FGPAR_CHECK_MSG(now_ - last_issue_cycle_ < config_.no_progress_limit,
                     "no core issued for no_progress_limit cycles");
 
     // No core issued: fast-forward to the next event.
@@ -233,14 +266,14 @@ RunResult Machine::RunSlow() {
     }
 
     if (next_event == kNoEvent) {
-      throw DeadlockError(BuildStallReport(now_ - last_issue_cycle,
+      throw DeadlockError(BuildStallReport(now_ - last_issue_cycle_,
                                            /*provable_deadlock=*/true));
     }
     if (config_.stall_watchdog_cycles > 0) {
       // Never fast-forward past the watchdog deadline: land on it so the
       // check above can fire if the stall persists.
       next_event = std::min(next_event,
-                            last_issue_cycle + config_.stall_watchdog_cycles);
+                            last_issue_cycle_ + config_.stall_watchdog_cycles);
     }
     // Account the skipped cycles as queue-stall time where applicable.
     const std::uint64_t skipped = next_event - now_;
@@ -254,17 +287,10 @@ RunResult Machine::RunSlow() {
     now_ = next_event;
   }
 
-  result.cycles = now_;
-  if (!core0_recorded) {
-    result.core0_halt_cycle = now_;
-  }
-  for (const Core& c : cores_) {
-    result.instructions += c.stats().instructions;
-  }
-  return result;
+  return PauseResult{true, FinishResult()};
 }
 
-RunResult Machine::RunFast() {
+PauseResult Machine::RunFast() {
   // Fast path: no fault injection, no watchdog, no trace sink.  The loop
   // mirrors RunSlow cycle-for-cycle — same SMT slot arbitration, same
   // intra-cycle core order, same fast-forward events, same stall
@@ -289,9 +315,6 @@ RunResult Machine::RunFast() {
   const DecodedProgram& dp = *decoded_;
 
   constexpr std::uint64_t kNoEvent = std::numeric_limits<std::uint64_t>::max();
-  RunResult result;
-  bool core0_recorded = false;
-  std::uint64_t last_issue_cycle = now_;
   int running = RunningCores();
 
   // Same once-per-Run clear as RunSlow; stale slots are only read in the
@@ -302,6 +325,9 @@ RunResult Machine::RunFast() {
   const int physical = (config_.num_cores + tpc - 1) / tpc;
 
   while (running > 0) {
+    if (now_ >= stop_at_) {
+      return PauseHere();  // natural loop boundary: all state consistent
+    }
     FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
 
     bool issued_any = false;
@@ -346,9 +372,9 @@ RunResult Machine::RunFast() {
             issued_any = true;
             if (core.halted()) {
               --running;
-              if (c == 0 && !core0_recorded) {
-                core0_recorded = true;
-                result.core0_halt_cycle = now_;
+              if (c == 0 && !core0_halt_recorded_) {
+                core0_halt_recorded_ = true;
+                core0_halt_cycle_ = now_;
               }
             }
             break;
@@ -368,11 +394,11 @@ RunResult Machine::RunFast() {
     }
 
     if (issued_any) {
-      last_issue_cycle = now_;
+      last_issue_cycle_ = now_;
       ++now_;
       continue;
     }
-    FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
+    FGPAR_CHECK_MSG(now_ - last_issue_cycle_ < config_.no_progress_limit,
                     "no core issued for no_progress_limit cycles");
 
     // No core issued: fast-forward to the next event (same event model as
@@ -412,7 +438,7 @@ RunResult Machine::RunFast() {
     }
 
     if (next_event == kNoEvent) {
-      throw DeadlockError(BuildStallReport(now_ - last_issue_cycle,
+      throw DeadlockError(BuildStallReport(now_ - last_issue_cycle_,
                                            /*provable_deadlock=*/true));
     }
     // Stall accounting, matched to the reference loop.  Jumping k cycles
@@ -434,17 +460,10 @@ RunResult Machine::RunFast() {
     now_ = next_event;
   }
 
-  result.cycles = now_;
-  if (!core0_recorded) {
-    result.core0_halt_cycle = now_;
-  }
-  for (const Core& c : cores_) {
-    result.instructions += c.stats().instructions;
-  }
-  return result;
+  return PauseResult{true, FinishResult()};
 }
 
-RunResult Machine::RunFastSingle() {
+PauseResult Machine::RunFastSingle() {
   // Single-core specialization of the fast path.  A hardware queue needs
   // two distinct cores (QueueMatrix rejects self-queues), so on one core a
   // step can only issue or wait on its own pipeline — no SMT arbitration,
@@ -458,38 +477,33 @@ RunResult Machine::RunFastSingle() {
   // nothing.  Cycle counts and statistics are therefore bit-identical
   // (tests/sim_golden_test.cpp).
   const DecodedProgram& dp = *decoded_;
-  RunResult result;
   Core& core = cores_.front();
-  bool halted_this_run = false;
-  std::uint64_t last_issue_cycle = now_;
 
   while (core.started() && !core.halted()) {
+    if (now_ >= stop_at_) {
+      return PauseHere();  // natural loop boundary: all state consistent
+    }
     const std::uint64_t next = core.next_issue_cycle();
     if (next > now_) {
       now_ = next;
     }
     FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
     if (core.StepFast(now_, dp, memory_, queues_) == StepOutcome::kIssued) {
-      if (core.halted()) {
-        result.core0_halt_cycle = now_;
-        halted_this_run = true;
+      if (core.halted() && !core0_halt_recorded_) {
+        core0_halt_recorded_ = true;
+        core0_halt_cycle_ = now_;
       }
-      last_issue_cycle = now_;
+      last_issue_cycle_ = now_;
       ++now_;
     } else {
       // kPipelineBusy with a strictly future next_issue_cycle; queue stalls
       // are unreachable on one core, so the next iteration always advances.
-      FGPAR_CHECK_MSG(now_ - last_issue_cycle < config_.no_progress_limit,
+      FGPAR_CHECK_MSG(now_ - last_issue_cycle_ < config_.no_progress_limit,
                       "no core issued for no_progress_limit cycles");
     }
   }
 
-  result.cycles = now_;
-  if (!halted_this_run) {
-    result.core0_halt_cycle = now_;
-  }
-  result.instructions = core.stats().instructions;
-  return result;
+  return PauseResult{true, FinishResult()};
 }
 
 StallReport Machine::BuildStallReport(std::uint64_t stalled_cycles,

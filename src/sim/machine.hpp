@@ -104,6 +104,14 @@ struct RunResult {
   std::uint64_t instructions = 0;      // total across cores
 };
 
+/// Outcome of RunUntil: either the program ran to completion (`finished`,
+/// with `result` valid) or the machine paused at a natural loop boundary
+/// at or after the requested cycle and can be snapshotted or continued.
+struct PauseResult {
+  bool finished = false;
+  RunResult result;  // valid only when finished
+};
+
 /// One instruction-issue event for tracing (see Machine::SetTrace).
 struct TraceEvent {
   std::uint64_t cycle = 0;
@@ -138,6 +146,37 @@ class Machine {
   /// bit-identical between the two (tests/sim_golden_test.cpp).
   RunResult Run();
 
+  /// Like Run, but pauses once now() reaches `stop_cycle`.  The pause
+  /// happens only at a natural run-loop boundary (just before a cycle is
+  /// evaluated), so the machine may stop strictly after `stop_cycle` when
+  /// a fast-forward jump lands past it; this is what makes pause/resume
+  /// bit-identical to an uninterrupted run — mid-jump state never exists
+  /// and is never approximated.  Calling Run or RunUntil again continues
+  /// exactly where the machine paused, as does Restore on a Snapshot taken
+  /// while paused.
+  PauseResult RunUntil(std::uint64_t stop_cycle);
+
+  /// Serializes the complete mutable machine state — cycle clock, cores
+  /// (registers, scoreboards, call stacks, stall latches, statistics),
+  /// queue contents, functional memory, cache timing state, fault-injector
+  /// RNG position, and run-loop bookkeeping — as a versioned, host-
+  /// independent byte stream ("fgpar-snap-v1").  The stream embeds an
+  /// identity hash of the program and MachineConfig; Restore into a
+  /// machine built from anything else is rejected.  The decoded
+  /// instruction cache is intentionally not serialized: it is a pure
+  /// function of (program, timing), both covered by the identity hash, and
+  /// is rebuilt lazily after Restore.
+  std::vector<std::uint8_t> Snapshot() const;
+
+  /// Restores state from a Snapshot byte stream.  Throws fgpar::Error on a
+  /// version mismatch, an identity mismatch (different program or config),
+  /// or a truncated/corrupt stream.  Defined in sim/snapshot.cpp.
+  void Restore(const std::vector<std::uint8_t>& bytes);
+
+  /// Stable fingerprint of this machine's program and configuration (the
+  /// snapshot compatibility identity).
+  std::uint64_t IdentityHash() const;
+
   /// Installs a per-issue trace callback (pass nullptr to disable).  The
   /// sink sees every instruction issue in deterministic (cycle, core)
   /// order; it may stop the trace cheaply by ignoring events.
@@ -163,16 +202,20 @@ class Machine {
 
   /// Fast run loop: predecoded dispatch, issue-skip for blocked cores, no
   /// instrumentation hooks.  Bit-identical timing/state to RunSlow.
-  RunResult RunFast();
+  PauseResult RunFast();
   /// Single-core specialization of RunFast: no SMT arbitration, no queue
   /// stalls (a 1-core machine has no queues), so the loop is just
   /// issue / jump-to-next-issue-cycle.  Bit-identical to RunSlow.
-  RunResult RunFastSingle();
+  PauseResult RunFastSingle();
   /// Reference run loop: polls every core every cycle; carries fault
   /// injection, the stall watchdog, and the trace sink.
-  RunResult RunSlow();
+  PauseResult RunSlow();
   /// Count of started-and-not-halted cores (loop-termination bookkeeping).
   int RunningCores() const;
+  /// Completes a finished run's RunResult from the bookkeeping members.
+  RunResult FinishResult() const;
+  /// Marks the machine paused at `now_` (run-loop pause bookkeeping).
+  PauseResult PauseHere();
 
   MachineConfig config_;
   isa::Program program_;
@@ -182,6 +225,16 @@ class Machine {
   FaultInjector injector_;
   std::vector<std::uint64_t> frozen_until_;  // per core; 0 = not frozen
   std::uint64_t now_ = 0;
+  // Run-loop bookkeeping, promoted to members (and into snapshots) so a
+  // paused machine resumes with the same watchdog phase and core-0 halt
+  // record as an uninterrupted run.  Reset at Run entry unless resuming
+  // from a pause.
+  std::uint64_t last_issue_cycle_ = 0;
+  bool core0_halt_recorded_ = false;
+  std::uint64_t core0_halt_cycle_ = 0;
+  bool paused_ = false;
+  /// Cycle at which the active RunUntil pauses (kNoStop for plain Run).
+  std::uint64_t stop_at_ = 0;
   TraceSink trace_;
   /// Predecoded instruction cache; built on the first fast-path Run.
   std::unique_ptr<DecodedProgram> decoded_;

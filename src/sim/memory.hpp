@@ -17,6 +17,11 @@
 #include "sim/config.hpp"
 #include "sim/fault.hpp"
 
+namespace fgpar {
+class ByteReader;
+class ByteWriter;
+}  // namespace fgpar
+
 namespace fgpar::sim {
 
 /// Set-associative tag array with LRU replacement (timing state only).
@@ -32,6 +37,11 @@ class CacheTagArray {
   void Invalidate(std::uint64_t addr);
 
   void Clear();
+
+  /// Serializes/restores tags, validity, and LRU state (geometry comes
+  /// from the machine config).  Defined in sim/snapshot.cpp.
+  void SaveState(ByteWriter& w) const;
+  void LoadState(ByteReader& r);
 
  private:
   struct Way {
@@ -82,6 +92,11 @@ class MemorySystem {
   std::uint64_t l1_hits() const { return l1_hits_; }
   std::uint64_t l2_hits() const { return l2_hits_; }
   std::uint64_t misses() const { return misses_; }
+
+  /// Serializes/restores functional words, cache timing state, and hit
+  /// counters.  Defined in sim/snapshot.cpp.
+  void SaveState(ByteWriter& w) const;
+  void LoadState(ByteReader& r);
 
  private:
   void CheckAddr(std::uint64_t addr) const;

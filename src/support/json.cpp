@@ -1,5 +1,6 @@
 #include "support/json.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -134,5 +135,235 @@ std::string JsonWriter::Take() {
   need_comma_ = false;
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+bool JsonValue::AsBool() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kBool, "JSON value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::AsI64() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  FGPAR_CHECK_MSG(ec == std::errc() && ptr == text_.data() + text_.size(),
+                  "JSON number '" + text_ + "' is not an integer");
+  return value;
+}
+
+std::uint64_t JsonValue::AsU64() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kNumber, "JSON value is not a number");
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text_.data(), text_.data() + text_.size(), value);
+  FGPAR_CHECK_MSG(ec == std::errc() && ptr == text_.data() + text_.size(),
+                  "JSON number '" + text_ + "' is not an unsigned integer");
+  return value;
+}
+
+const std::string& JsonValue::AsString() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kString, "JSON value is not a string");
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kArray, "JSON value is not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kObject, "JSON value is not an object");
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  FGPAR_CHECK_MSG(kind_ == Kind::kObject, "JSON value is not an object");
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  const JsonValue* value = Find(key);
+  FGPAR_CHECK_MSG(value != nullptr, "JSON object has no member '" + key + "'");
+  return *value;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue(0);
+    SkipWhitespace();
+    Expect(pos_ == text_.size(), "trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  // Deep enough for any artifact/manifest, shallow enough that malicious
+  // nesting cannot overflow the stack.
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                message);
+  }
+  void Expect(bool ok, const char* message) const {
+    if (!ok) {
+      Fail(message);
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        return;
+      }
+      ++pos_;
+    }
+  }
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue ParseValue(int depth) {
+    Expect(depth < kMaxDepth, "nesting too deep");
+    SkipWhitespace();
+    Expect(pos_ < text_.size(), "unexpected end of input");
+    JsonValue value;
+    const char c = Peek();
+    if (c == '{') {
+      ++pos_;
+      value.kind_ = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (!Consume('}')) {
+        do {
+          SkipWhitespace();
+          Expect(Peek() == '"', "expected object key string");
+          const std::string key = ParseString();
+          SkipWhitespace();
+          Expect(Consume(':'), "expected ':' after object key");
+          value.object_[key] = ParseValue(depth + 1);
+          SkipWhitespace();
+        } while (Consume(','));
+        Expect(Consume('}'), "expected ',' or '}' in object");
+      }
+    } else if (c == '[') {
+      ++pos_;
+      value.kind_ = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (!Consume(']')) {
+        do {
+          value.array_.push_back(ParseValue(depth + 1));
+          SkipWhitespace();
+        } while (Consume(','));
+        Expect(Consume(']'), "expected ',' or ']' in array");
+      }
+    } else if (c == '"') {
+      value.kind_ = JsonValue::Kind::kString;
+      value.text_ = ParseString();
+    } else if (ConsumeLiteral("true")) {
+      value.kind_ = JsonValue::Kind::kBool;
+      value.bool_ = true;
+    } else if (ConsumeLiteral("false")) {
+      value.kind_ = JsonValue::Kind::kBool;
+      value.bool_ = false;
+    } else if (ConsumeLiteral("null")) {
+      value.kind_ = JsonValue::Kind::kNull;
+    } else {
+      value.kind_ = JsonValue::Kind::kNumber;
+      const std::size_t start = pos_;
+      if (Peek() == '-') {
+        ++pos_;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0 ||
+             Peek() == '.' || Peek() == 'e' || Peek() == 'E' || Peek() == '+' ||
+             Peek() == '-') {
+        ++pos_;
+      }
+      Expect(pos_ > start, "expected a JSON value");
+      value.text_ = std::string(text_.substr(start, pos_ - start));
+      const auto [ptr, ec] = std::from_chars(
+          value.text_.data(), value.text_.data() + value.text_.size(),
+          value.number_);
+      if (ec != std::errc() ||
+          ptr != value.text_.data() + value.text_.size()) {
+        Fail("malformed number '" + value.text_ + "'");
+      }
+    }
+    return value;
+  }
+
+  std::string ParseString() {
+    Expect(Consume('"'), "expected '\"'");
+    std::string out;
+    for (;;) {
+      Expect(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      Expect(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          Expect(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          const auto [ptr, ec] =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4,
+                              code, 16);
+          Expect(ec == std::errc() && ptr == text_.data() + pos_ + 4,
+                 "malformed \\u escape");
+          pos_ += 4;
+          // The writer only emits \u00xx for control bytes; reject the
+          // rest rather than mis-decode multi-byte code points.
+          Expect(code < 0x80, "unsupported \\u escape beyond U+007F");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          Fail(std::string("unknown escape '\\") + e + "'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue ParseJson(std::string_view text) { return JsonParser(text).Parse(); }
 
 }  // namespace fgpar

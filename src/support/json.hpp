@@ -12,11 +12,20 @@
 //
 // Only the subset of JSON the artifacts need is supported: objects,
 // arrays, strings, signed/unsigned integers, doubles, and booleans.
+//
+// ParseJson is the matching reader, used by the repro tool to load bundle
+// manifests.  It accepts exactly the documents the writer (or a careful
+// human) produces — objects, arrays, strings with the writer's escapes,
+// numbers, booleans, null — and throws fgpar::Error with an offset on
+// malformed input.  Object keys keep last-wins semantics on duplicates.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace fgpar {
 
@@ -52,5 +61,45 @@ class JsonWriter {
   bool need_comma_ = false;   // a value was emitted at this depth
   bool pending_key_ = false;  // the next value completes a key
 };
+
+/// A parsed JSON document.  Numbers are stored as doubles (the artifacts'
+/// integer fields are all exactly representable) with the original text
+/// kept for exact u64 round-trips via AsU64.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw fgpar::Error when the kind does not match.
+  bool AsBool() const;
+  double AsDouble() const;
+  std::int64_t AsI64() const;
+  std::uint64_t AsU64() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member lookup; throws when absent (Get) or returns nullptr
+  /// (Find).
+  const JsonValue& Get(const std::string& key) const;
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  friend JsonValue ParseJson(std::string_view text);
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string text_;  // string value, or the raw literal of a number
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document; throws fgpar::Error (with a byte
+/// offset) on malformed input or trailing garbage.
+JsonValue ParseJson(std::string_view text);
 
 }  // namespace fgpar

@@ -34,6 +34,12 @@ class Rng {
   /// Bernoulli draw with probability p of returning true.
   bool NextBool(double p = 0.5);
 
+  /// Raw generator state, exposed for machine snapshots: restoring the
+  /// state and continuing must reproduce the exact draw sequence of an
+  /// uninterrupted run.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -49,18 +49,43 @@ TEST(Sweep, EmptyAndSingleElementGrids) {
   EXPECT_EQ(single[0], 41u);
 }
 
-TEST(Sweep, ExceptionFromPointIsRethrown) {
+TEST(Sweep, FailuresAggregateWithPerPointAttribution) {
+  // Two points fail; the sweep must still run every point, then throw one
+  // SweepError naming both failures in index order — identically for the
+  // inline and the multi-threaded path.
   for (int threads : {1, 4}) {
+    std::vector<std::atomic<int>> hits(32);
     try {
-      harness::RunSweep(32, threads, [](std::size_t i) -> int {
-        if (i == 13) {
-          throw std::runtime_error("point 13 failed");
+      harness::RunSweep(32, threads, [&](std::size_t i) -> int {
+        ++hits[i];
+        if (i == 13 || i == 17) {
+          throw std::runtime_error("point " + std::to_string(i) + " failed");
         }
         return static_cast<int>(i);
       });
-      FAIL() << "expected the point's exception (threads=" << threads << ")";
-    } catch (const std::runtime_error& e) {
-      EXPECT_STREQ(e.what(), "point 13 failed");
+      FAIL() << "expected a SweepError (threads=" << threads << ")";
+    } catch (const harness::SweepError& e) {
+      ASSERT_EQ(e.failures().size(), 2u) << "threads=" << threads;
+      EXPECT_EQ(e.failures()[0].index, 13u);
+      EXPECT_EQ(e.failures()[0].message, "point 13 failed");
+      EXPECT_EQ(e.failures()[1].index, 17u);
+      EXPECT_EQ(e.failures()[1].message, "point 17 failed");
+      EXPECT_EQ(e.total_points(), 32u);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("2 of 32 points"), std::string::npos) << what;
+      EXPECT_NE(what.find("point 13: point 13 failed"), std::string::npos);
+      EXPECT_NE(what.find("point 17: point 17 failed"), std::string::npos);
+      // The original exceptions stay rethrowable with their concrete type.
+      try {
+        std::rethrow_exception(e.failures()[0].exception);
+        FAIL() << "expected the original runtime_error";
+      } catch (const std::runtime_error& orig) {
+        EXPECT_STREQ(orig.what(), "point 13 failed");
+      }
+    }
+    // A failure must not skip any other point.
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
     }
   }
 }

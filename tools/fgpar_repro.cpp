@@ -1,0 +1,105 @@
+// fgpar-repro — replays a quarantined-point repro bundle.
+//
+// Usage:
+//   fgpar-repro <bundle-dir>
+//
+// A bundle (see harness/repro.hpp) holds the kernel source, the exact
+// RunConfig of the failed attempt (seed, faults, watchdog, budgets), the
+// recorded failure text, and the Machine::Snapshot() taken at the instant
+// the parallel attempt failed.  This tool rebuilds the workload from the
+// manifest, replays the verifying pipeline with the recorded
+// configuration — the fault/watchdog settings force the instrumented
+// reference loop — and checks the failure reproduces bit-exactly:
+//
+//   * the replay must fail (a clean completion means no repro);
+//   * the exception text must match the recorded failure message;
+//   * the machine snapshot at failure must byte-compare equal to the
+//     bundled snapshot.bin (skipped when the bundle has no snapshot,
+//     e.g. for failures outside a parallel attempt).
+//
+// Exit code 0 and a final "reproduced" line when all checks pass; exit 1
+// otherwise, with the mismatch on stderr.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/repro.hpp"
+#include "harness/runner.hpp"
+#include "kernels/sequoia.hpp"
+#include "support/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fgpar;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fgpar-repro <bundle-dir>\n");
+    return 2;
+  }
+
+  try {
+    const harness::ReproBundle bundle = harness::LoadReproBundle(argv[1]);
+    std::printf("bundle: %s point %llu (%s), attempt %d of %d\n",
+                bundle.experiment.c_str(),
+                static_cast<unsigned long long>(bundle.point_index),
+                bundle.label.c_str(), bundle.attempt, bundle.failure_attempts);
+    std::printf("kernel: %s (trip %lld), seed 0x%llx\n",
+                bundle.kernel_id.c_str(),
+                static_cast<long long>(bundle.trip),
+                static_cast<unsigned long long>(bundle.config.seed));
+    std::printf("recorded failure: %s\n", bundle.failure_message.c_str());
+
+    kernels::SequoiaKernel kernel;
+    kernel.id = bundle.kernel_id;
+    kernel.source = bundle.kernel_source;
+    kernel.trip = bundle.trip;
+    kernel.f64_params = bundle.f64_params;
+
+    harness::RunConfig config = bundle.config;
+    // Replay must fail loudly, not degrade: never fall back to sequential
+    // numbers, and capture the machine state at the failing attempt.
+    config.fallback.fall_back_to_sequential = false;
+    std::vector<std::uint8_t> replay_snapshot;
+    config.on_parallel_failure = [&](const sim::Machine& machine, const Error&,
+                                     int) {
+      replay_snapshot = machine.Snapshot();
+    };
+
+    const ir::Kernel parsed = kernels::ParseSequoia(kernel);
+    harness::KernelRunner runner(parsed, kernels::SequoiaInit(kernel));
+
+    std::string replay_message;
+    try {
+      (void)runner.Run(config);
+      std::fprintf(stderr,
+                   "NOT reproduced: the replay completed without failing\n");
+      return 1;
+    } catch (const Error& e) {
+      replay_message = e.what();
+    }
+
+    bool ok = true;
+    if (replay_message != bundle.failure_message) {
+      std::fprintf(stderr,
+                   "NOT reproduced: failure text differs\n  recorded: %s\n"
+                   "  replayed: %s\n",
+                   bundle.failure_message.c_str(), replay_message.c_str());
+      ok = false;
+    }
+    if (!bundle.snapshot.empty() && replay_snapshot != bundle.snapshot) {
+      std::fprintf(stderr,
+                   "NOT reproduced: machine snapshot at failure differs "
+                   "(recorded %zu bytes, replayed %zu bytes)\n",
+                   bundle.snapshot.size(), replay_snapshot.size());
+      ok = false;
+    }
+    if (!ok) {
+      return 1;
+    }
+    std::printf("reproduced: failure text%s match the recorded run\n",
+                bundle.snapshot.empty() ? "" : " and machine snapshot");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fgpar-repro: %s\n", e.what());
+    return 2;
+  }
+}
