@@ -23,6 +23,11 @@
 //   --fault-point <i>    injects an unrecoverable fault at grid point i
 //                        (resilience drills; quarantines that point)
 //   --repro-dir <dir>    emit a repro bundle per quarantined point
+//   --trace <path>       write a Chrome trace_event capture of the whole
+//                        sweep (per-point "point"/"retry" host spans plus
+//                        each measured run's sim events, one stream lane
+//                        per grid point) to <path>; open it at
+//                        ui.perfetto.dev or chrome://tracing
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +41,7 @@
 #include "support/stats.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
+#include "support/telemetry/sinks.hpp"
 
 int main(int argc, char** argv) {
   using namespace fgpar;
@@ -74,6 +80,17 @@ int main(int argc, char** argv) {
   supervision.failure_budget = static_cast<std::size_t>(
       benchutil::FlagInt(argc, argv, "--failure-budget", 0));
 
+  // --trace routes the whole sweep through one shared Chrome-trace sink
+  // (the supervisor re-stamps each point onto its own stream lane) and
+  // keeps a forensic ring of each point's last sim events for quarantine
+  // reports.  Untraced sweeps stay on the simulator fast path.
+  const std::string trace_path = benchutil::FlagValue(argc, argv, "--trace");
+  telemetry::ChromeTraceSink trace_sink;
+  if (!trace_path.empty()) {
+    supervision.telemetry = &trace_sink;
+    supervision.failure_ring_capacity = 256;
+  }
+
   // Host-only observations, one slot per point (each slot is written by
   // exactly one worker at a time).  Failure snapshots feed repro bundles.
   std::vector<double> wall(grid, 0.0);
@@ -101,6 +118,7 @@ int main(int argc, char** argv) {
   const harness::SweepOutcome outcome = supervisor.Run(
       [&](const harness::PointContext& ctx) {
         harness::RunConfig config = config_for(ctx);
+        config.telemetry = ctx.telemetry;
         config.on_parallel_failure = [&](const sim::Machine& machine,
                                          const Error&, int) {
           snapshots[ctx.index] = machine.Snapshot();
@@ -209,5 +227,10 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   benchutil::EmitArtifact(artifact);
+  if (!trace_path.empty()) {
+    trace_sink.WriteFile(trace_path);
+    std::printf("trace written: %s (open at ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return supervisor.WithinFailureBudget(outcome) ? 0 : 1;
 }

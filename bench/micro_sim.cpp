@@ -12,10 +12,15 @@
 //    (long unpipelined latencies on one core, the rest blocked on
 //    queues), exercising the event fast-forward and blocked-core skip;
 //  * BM_QueuePingPong                — queue-bound two-core traffic.
+//  * BM_CoreIssueThroughputTraced    — the reference loop with a telemetry
+//    sink installed (AggregatingSink), i.e. the cost of emitting one
+//    issue event per instruction on top of the slow loop.
 //
 // A custom main additionally writes BENCH_sim_throughput.json with
-// wall-clock simulation rates for the fast and slow loops, so CI archives
-// machine-readable simulator-performance numbers alongside the figures.
+// wall-clock simulation rates for the fast loop, the slow loop, and the
+// slow loop under each telemetry sink (aggregating, Chrome trace), so CI
+// archives machine-readable simulator-performance numbers — including
+// the tracing overhead — alongside the figures.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -24,6 +29,7 @@
 #include "harness/bench_artifact.hpp"
 #include "isa/assembler.hpp"
 #include "sim/machine.hpp"
+#include "support/telemetry/sinks.hpp"
 
 namespace {
 
@@ -48,12 +54,14 @@ isa::Program IssueLoopProgram(std::int64_t iterations) {
   return a.Finish();
 }
 
-sim::RunResult RunIssueLoop(const isa::Program& program, bool force_slow) {
+sim::RunResult RunIssueLoop(const isa::Program& program, bool force_slow,
+                            telemetry::TelemetrySink* sink = nullptr) {
   sim::MachineConfig config;
   config.num_cores = 1;
   config.memory_words = 1 << 12;
   config.force_slow_path = force_slow;
   sim::Machine machine(config, program);
+  machine.SetTelemetry(sink);
   machine.StartCoreAt(0, "main");
   return machine.Run();
 }
@@ -82,6 +90,23 @@ void BM_CoreIssueThroughputSlowPath(benchmark::State& state) {
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoreIssueThroughputSlowPath)->Arg(1000)->Arg(10000);
+
+void BM_CoreIssueThroughputTraced(benchmark::State& state) {
+  // The reference loop with an AggregatingSink installed: one issue event
+  // per instruction on top of BM_CoreIssueThroughputSlowPath.  The delta
+  // against the slow path is the telemetry emission cost; the delta
+  // against the fast path is the full price of turning tracing on.
+  const isa::Program program = IssueLoopProgram(state.range(0));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    telemetry::AggregatingSink sink;
+    instructions +=
+        RunIssueLoop(program, /*force_slow=*/false, &sink).instructions;
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreIssueThroughputTraced)->Arg(1000)->Arg(10000);
 
 isa::Program FastForwardProgram(std::int64_t rounds, int consumers) {
   // Core 0 grinds through unpipelined divides (32-cycle issue occupancy),
@@ -198,14 +223,34 @@ struct ThroughputSample {
   double sim_instr_per_s = 0.0;
 };
 
+/// Which telemetry sink (if any) the measured machine carries.  A fresh
+/// sink is built per run, so accumulating sinks (Chrome trace) pay their
+/// real allocation cost instead of amortizing one giant buffer.
+enum class SinkMode { kNone, kAggregating, kChromeTrace };
+
 ThroughputSample MeasureIssueLoop(const isa::Program& program, bool force_slow,
-                                  double min_seconds) {
+                                  SinkMode mode, double min_seconds) {
   ThroughputSample sample;
   std::uint64_t instructions = 0;
   double elapsed = 0.0;
   const auto start = std::chrono::steady_clock::now();
   do {
-    const sim::RunResult result = RunIssueLoop(program, force_slow);
+    sim::RunResult result;
+    switch (mode) {
+      case SinkMode::kNone:
+        result = RunIssueLoop(program, force_slow);
+        break;
+      case SinkMode::kAggregating: {
+        telemetry::AggregatingSink sink;
+        result = RunIssueLoop(program, force_slow, &sink);
+        break;
+      }
+      case SinkMode::kChromeTrace: {
+        telemetry::ChromeTraceSink sink;
+        result = RunIssueLoop(program, force_slow, &sink);
+        break;
+      }
+    }
     sample.instructions_per_run = result.instructions;
     sample.cycles_per_run = result.cycles;
     instructions += result.instructions;
@@ -220,32 +265,49 @@ ThroughputSample MeasureIssueLoop(const isa::Program& program, bool force_slow,
 void WriteThroughputArtifact() {
   const isa::Program program = IssueLoopProgram(10000);
   constexpr double kMinSeconds = 0.2;
-  const ThroughputSample fast =
-      MeasureIssueLoop(program, /*force_slow=*/false, kMinSeconds);
-  const ThroughputSample slow =
-      MeasureIssueLoop(program, /*force_slow=*/true, kMinSeconds);
+  const ThroughputSample fast = MeasureIssueLoop(
+      program, /*force_slow=*/false, SinkMode::kNone, kMinSeconds);
+  const ThroughputSample slow = MeasureIssueLoop(
+      program, /*force_slow=*/true, SinkMode::kNone, kMinSeconds);
+  // Telemetry implies the reference loop, so force_slow is redundant for
+  // the traced flavours — passed false to measure exactly what a user's
+  // "attach a sink" configuration costs.
+  const ThroughputSample aggregating = MeasureIssueLoop(
+      program, /*force_slow=*/false, SinkMode::kAggregating, kMinSeconds);
+  const ThroughputSample chrome = MeasureIssueLoop(
+      program, /*force_slow=*/false, SinkMode::kChromeTrace, kMinSeconds);
 
   harness::BenchArtifact artifact;
   artifact.name = "sim_throughput";
   const auto add = [&](const char* label, const ThroughputSample& sample,
-                       const char* path) {
+                       const char* path, const char* sink) {
     harness::BenchArtifact::Point point;
     point.label = label;
     point.params["run_loop"] = path;
+    point.params["sink"] = sink;
     point.counters["instructions_per_run"] = sample.instructions_per_run;
     point.counters["cycles_per_run"] = sample.cycles_per_run;
     point.host["sim_instr_per_s"] = sample.sim_instr_per_s;
     artifact.points.push_back(std::move(point));
   };
-  add("issue_loop fast", fast, "fast");
-  add("issue_loop slow", slow, "slow");
-  artifact.host["fast_over_slow"] =
-      slow.sim_instr_per_s > 0.0 ? fast.sim_instr_per_s / slow.sim_instr_per_s
-                                 : 0.0;
+  add("issue_loop fast", fast, "fast", "none");
+  add("issue_loop slow", slow, "slow", "none");
+  add("issue_loop aggregating", aggregating, "slow", "aggregating");
+  add("issue_loop chrome_trace", chrome, "slow", "chrome_trace");
+  const auto ratio = [](const ThroughputSample& a, const ThroughputSample& b) {
+    return b.sim_instr_per_s > 0.0 ? a.sim_instr_per_s / b.sim_instr_per_s
+                                   : 0.0;
+  };
+  artifact.host["fast_over_slow"] = ratio(fast, slow);
+  artifact.host["fast_over_aggregating"] = ratio(fast, aggregating);
+  artifact.host["fast_over_chrome_trace"] = ratio(fast, chrome);
   const std::string path = artifact.WriteFile();
-  std::fprintf(stderr, "wrote %s (fast %.1fM sim-instr/s, slow %.1fM, %.2fx)\n",
+  std::fprintf(stderr,
+               "wrote %s (fast %.1fM sim-instr/s, slow %.1fM, aggregating "
+               "%.1fM, chrome %.1fM; fast/slow %.2fx)\n",
                path.c_str(), fast.sim_instr_per_s / 1e6,
-               slow.sim_instr_per_s / 1e6, artifact.host["fast_over_slow"]);
+               slow.sim_instr_per_s / 1e6, aggregating.sim_instr_per_s / 1e6,
+               chrome.sim_instr_per_s / 1e6, artifact.host["fast_over_slow"]);
 }
 
 }  // namespace

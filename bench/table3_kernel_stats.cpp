@@ -2,8 +2,15 @@
 // initial fibers, data dependences between fibers, load balance (max/min
 // compute ops per thread), communication operations inserted, distinct
 // sender-receiver queues actually used, and speedup.
+//
+// All numbers come from the run's named counter registry
+// (KernelRunTelemetry) rather than raw struct fields: the table reads the
+// same registry the bench artifacts serialize, including the
+// diagnostic-only entries (initial_fibers, data_deps) that never enter
+// the fgpar-bench-v1 point schema.
 #include <cstdio>
 
+#include "harness/runner.hpp"
 #include "kernels/experiments.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
@@ -18,10 +25,13 @@ int main() {
   TextTable table({"Kernel", "Initial Fibers", "Data Deps", "Load Bal", "Com Ops",
                    "Num Ques", "Spdup"});
   for (const harness::KernelRun& run : runs) {
-    table.AddRow({run.kernel_name, std::to_string(run.initial_fibers),
-                  std::to_string(run.data_deps), FormatFixed(run.load_balance, 2),
-                  std::to_string(run.com_ops), std::to_string(run.queues_used),
-                  FormatFixed(run.speedup, 2)});
+    const telemetry::CounterRegistry stats = harness::KernelRunTelemetry(run);
+    table.AddRow({run.kernel_name, std::to_string(stats.count("initial_fibers")),
+                  std::to_string(stats.count("data_deps")),
+                  FormatFixed(stats.metric("load_balance"), 2),
+                  std::to_string(stats.count("com_ops")),
+                  std::to_string(stats.count("queues_used")),
+                  FormatFixed(stats.metric("speedup"), 2)});
   }
   std::printf("%s\n",
               table

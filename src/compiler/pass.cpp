@@ -19,38 +19,6 @@ void Pass::CheckInvariants(const CompileState& state) const {
   (void)state;  // no invariants by default
 }
 
-std::string PassStatistics::ToString() const {
-  std::string out = "compile pipeline '" + pipeline + "': " +
-                    std::to_string(passes.size()) + " passes, " +
-                    FormatFixed(total_wall_seconds * 1e3, 3) + " ms total\n";
-  auto pad = [](std::string s, std::size_t width) {
-    if (s.size() < width) {
-      s.insert(0, width - s.size(), ' ');
-    }
-    return s;
-  };
-  out += "  pass        wall_ms      stmts      temps      exprs  counters\n";
-  for (const PassStat& stat : passes) {
-    auto delta = [&](int before, int after) {
-      return std::to_string(before) + "->" + std::to_string(after);
-    };
-    std::string counters;
-    for (const auto& [key, value] : stat.counters) {
-      if (!counters.empty()) {
-        counters += " ";
-      }
-      counters += key + "=" + std::to_string(value);
-    }
-    out += "  " + stat.pass + std::string(stat.pass.size() < 10 ? 10 - stat.pass.size() : 1, ' ') +
-           pad(FormatFixed(stat.wall_seconds * 1e3, 3), 9) +
-           pad(delta(stat.stmts_before, stat.stmts_after), 11) +
-           pad(delta(stat.temps_before, stat.temps_after), 11) +
-           pad(delta(stat.exprs_before, stat.exprs_after), 11) + "  " +
-           counters + "\n";
-  }
-  return out;
-}
-
 namespace {
 
 /// Builds the KernelIndex, the CostModel, and the code graph (Section

@@ -36,6 +36,7 @@
 #include "compiler/plan.hpp"
 #include "ir/layout.hpp"
 #include "isa/program.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace fgpar::analysis {
 struct ProfileData;
@@ -121,29 +122,13 @@ class Pass {
   virtual void CheckInvariants(const CompileState& state) const;
 };
 
-/// Per-pass record: host wall time, IR size before/after, and the pass's
-/// own deterministic counters.  Wall time is a host measurement and must
-/// never enter the deterministic portion of a bench artifact.
-struct PassStat {
-  std::string pass;
-  double wall_seconds = 0.0;
-  int stmts_before = 0;
-  int stmts_after = 0;
-  int temps_before = 0;
-  int temps_after = 0;
-  int exprs_before = 0;
-  int exprs_after = 0;
-  std::map<std::string, std::int64_t> counters;
-};
-
-/// The whole pipeline's record, exportable as a human-readable block and
-/// (via harness/bench_artifact) as a fgpar-bench-v1 JSON artifact.
-struct PassStatistics {
-  std::string pipeline;  // "parallel" / "sequential" / "rewrite"
-  std::vector<PassStat> passes;
-  double total_wall_seconds = 0.0;
-
-  std::string ToString() const;
+/// Reserved counter keys on "pass" telemetry spans: the manager records
+/// the IR size before/after each pass under these names, next to the
+/// pass's own Note() counters.  Renderers (FormatCompileSpans, the
+/// compile-stats artifact) treat them as structure, not pass counters.
+inline constexpr const char* kPassSpanReservedKeys[] = {
+    "stmts_before", "stmts_after", "temps_before",
+    "temps_after",  "exprs_before", "exprs_after",
 };
 
 /// Observability hooks for one pipeline run.
@@ -154,8 +139,12 @@ struct PipelineInstrumentation {
   /// Receives (pass name, rendered kernel) for each requested dump.
   std::function<void(const std::string& pass, const std::string& text)>
       dump_sink;
-  /// When set, filled with per-pass wall time, IR deltas, and counters.
-  PassStatistics* statistics = nullptr;
+  /// When set, the manager emits one "pass" span per pass (wall time, the
+  /// reserved IR-delta counters above, and the pass's Note() counters) and
+  /// one enclosing "pipeline" span named after the pipeline.  Wall times
+  /// are host measurements and must never enter the deterministic portion
+  /// of a bench artifact.
+  telemetry::TelemetrySink* telemetry = nullptr;
   /// Run ir::CheckValid after every IR-mutating pass.  On by default (and
   /// in every production compile); off only for experiments that want the
   /// pre-pass-manager behaviour of validating once at the end.

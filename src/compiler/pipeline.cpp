@@ -1,10 +1,11 @@
 #include "compiler/pipeline.hpp"
 
-#include <chrono>
+#include <optional>
 
 #include "ir/printer.hpp"
 #include "ir/validate.hpp"
 #include "support/error.hpp"
+#include "support/str.hpp"
 
 namespace fgpar::compiler {
 
@@ -62,35 +63,44 @@ void PassManager::Run(CompileState& state,
   static const PipelineInstrumentation kDefaults;
   const PipelineInstrumentation& instr =
       instrumentation != nullptr ? *instrumentation : kDefaults;
-  PassStatistics* stats = instr.statistics;
-  if (stats != nullptr) {
-    stats->pipeline = name_;
-    stats->passes.clear();
-    stats->total_wall_seconds = 0.0;
+  telemetry::TelemetrySink* sink = instr.telemetry;
+  // The enclosing "pipeline" span brackets the whole run; it completes
+  // (and is emitted) after every per-pass span, carrying the pipeline's
+  // identity for consumers that only see the event stream.
+  std::optional<telemetry::ScopedSpan> pipeline_span;
+  if (sink != nullptr) {
+    pipeline_span.emplace(sink, "pipeline", name_);
   }
   for (const auto& pass : passes_) {
-    PassStat stat;
-    stat.pass = pass->name();
-    stat.stmts_before = CountStmts(state.kernel());
-    stat.temps_before = static_cast<int>(state.kernel().temps().size());
-    stat.exprs_before = static_cast<int>(state.kernel().expr_count());
-
-    state.current_counters = &stat.counters;
-    const auto start = std::chrono::steady_clock::now();
+    const std::string pass_name = pass->name();
+    // The "pass" span's wall time covers exactly the pass's Run (the
+    // before/after IR counts and the validators are bracketed outside it,
+    // mirroring the pre-telemetry measurement).
+    std::optional<telemetry::ScopedSpan> span;
+    if (sink != nullptr) {
+      span.emplace(sink, "pass", pass_name);
+      span->Note("stmts_before", CountStmts(state.kernel()));
+      span->Note("temps_before",
+                 static_cast<std::int64_t>(state.kernel().temps().size()));
+      span->Note("exprs_before",
+                 static_cast<std::int64_t>(state.kernel().expr_count()));
+      state.current_counters = &span->counters();
+    }
     try {
       pass->Run(state);
     } catch (...) {
       state.current_counters = nullptr;
       throw;
     }
-    stat.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
     state.current_counters = nullptr;
-
-    stat.stmts_after = CountStmts(state.kernel());
-    stat.temps_after = static_cast<int>(state.kernel().temps().size());
-    stat.exprs_after = static_cast<int>(state.kernel().expr_count());
+    if (span.has_value()) {
+      span->Note("stmts_after", CountStmts(state.kernel()));
+      span->Note("temps_after",
+                 static_cast<std::int64_t>(state.kernel().temps().size()));
+      span->Note("exprs_after",
+                 static_cast<std::int64_t>(state.kernel().expr_count()));
+      span.reset();  // completes the span: wall time stops here
+    }
 
     // The manager, not the next pass, is what catches a broken rewrite:
     // every IR-mutating pass is followed by the full kernel validator, and
@@ -99,26 +109,77 @@ void PassManager::Run(CompileState& state,
       try {
         ir::CheckValid(state.kernel());
       } catch (const Error& e) {
-        throw Error("pass '" + stat.pass + "' (pipeline '" + name_ +
+        throw Error("pass '" + pass_name + "' (pipeline '" + name_ +
                     "') produced invalid IR: " + e.what());
       }
     }
     try {
       pass->CheckInvariants(state);
     } catch (const Error& e) {
-      throw Error("pass '" + stat.pass + "' (pipeline '" + name_ +
+      throw Error("pass '" + pass_name + "' (pipeline '" + name_ +
                   "') violated its invariants: " + e.what());
     }
 
     if (instr.dump_sink &&
-        (instr.dump_after == "all" || instr.dump_after == stat.pass)) {
-      instr.dump_sink(stat.pass, ir::PrintKernel(state.kernel()));
-    }
-    if (stats != nullptr) {
-      stats->total_wall_seconds += stat.wall_seconds;
-      stats->passes.push_back(std::move(stat));
+        (instr.dump_after == "all" || instr.dump_after == pass_name)) {
+      instr.dump_sink(pass_name, ir::PrintKernel(state.kernel()));
     }
   }
+}
+
+std::string FormatCompileSpans(
+    const std::string& pipeline,
+    const std::vector<telemetry::SpanRecord>& pass_spans) {
+  const auto reserved = [](const std::string& key) {
+    for (const char* name : kPassSpanReservedKeys) {
+      if (key == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto counter = [](const telemetry::SpanRecord& span,
+                          const char* key) -> std::int64_t {
+    const auto it = span.counters.find(key);
+    return it != span.counters.end() ? it->second : 0;
+  };
+  double total_wall_seconds = 0.0;
+  for (const telemetry::SpanRecord& span : pass_spans) {
+    total_wall_seconds += span.wall_seconds;
+  }
+  std::string out = "compile pipeline '" + pipeline + "': " +
+                    std::to_string(pass_spans.size()) + " passes, " +
+                    FormatFixed(total_wall_seconds * 1e3, 3) + " ms total\n";
+  auto pad = [](std::string s, std::size_t width) {
+    if (s.size() < width) {
+      s.insert(0, width - s.size(), ' ');
+    }
+    return s;
+  };
+  out += "  pass        wall_ms      stmts      temps      exprs  counters\n";
+  for (const telemetry::SpanRecord& span : pass_spans) {
+    auto delta = [&](const char* prefix) {
+      return std::to_string(counter(span, (std::string(prefix) + "_before").c_str())) +
+             "->" +
+             std::to_string(counter(span, (std::string(prefix) + "_after").c_str()));
+    };
+    std::string counters;
+    for (const auto& [key, value] : span.counters) {
+      if (reserved(key)) {
+        continue;
+      }
+      if (!counters.empty()) {
+        counters += " ";
+      }
+      counters += key + "=" + std::to_string(value);
+    }
+    out += "  " + span.name +
+           std::string(span.name.size() < 10 ? 10 - span.name.size() : 1, ' ') +
+           pad(FormatFixed(span.wall_seconds * 1e3, 3), 9) +
+           pad(delta("stmts"), 11) + pad(delta("temps"), 11) +
+           pad(delta("exprs"), 11) + "  " + counters + "\n";
+  }
+  return out;
 }
 
 void AddScalarRewritePasses(PassManager& manager, const CompileOptions& options,

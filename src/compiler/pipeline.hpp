@@ -12,7 +12,9 @@
 //    failures attributed to the pass that produced the invalid IR;
 //  * pass-declared invariants (Pass::CheckInvariants), e.g. the select
 //    stage re-proves communication pairing on the chosen plan;
-//  * per-pass wall time and IR-delta statistics (PassStatistics);
+//  * per-pass wall time, IR deltas, and pass counters, emitted as "pass"
+//    telemetry spans (plus one "pipeline" span) into
+//    PipelineInstrumentation::telemetry;
 //  * textual IR dumps after any pass (ir/printer) via
 //    PipelineInstrumentation::dump_sink.
 #pragma once
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "compiler/pass.hpp"
+#include "support/telemetry/sinks.hpp"
 
 namespace fgpar::compiler {
 
@@ -73,5 +76,13 @@ PassManager BuildParallelPipeline(const CompileOptions& options);
 /// Scalar rewrites + fiberize, no layout needed: the ApplyRewritePasses /
 /// PartitionKernel front half.
 PassManager BuildRewritePipeline(const CompileOptions& options);
+
+/// Renders the "pass" spans of one pipeline run (as captured by an
+/// AggregatingSink) as the human-readable --compile-stats block: one line
+/// per pass with wall time, the reserved IR-delta counters, and the pass's
+/// own counters.
+std::string FormatCompileSpans(
+    const std::string& pipeline,
+    const std::vector<telemetry::SpanRecord>& pass_spans);
 
 }  // namespace fgpar::compiler

@@ -3,7 +3,6 @@
 #include <cstdlib>
 #include <fstream>
 
-#include "compiler/pass.hpp"
 #include "harness/runner.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
@@ -127,45 +126,41 @@ std::string BenchArtifact::WriteFile() const {
 }
 
 void AddKernelRunFields(const KernelRun& run, BenchArtifact::Point& point) {
-  point.metrics["speedup"] = run.speedup;
-  point.metrics["load_balance"] = run.load_balance;
-  point.counters["seq_cycles"] = run.seq_cycles;
-  point.counters["par_cycles"] = run.par_cycles;
-  point.counters["seq_instructions"] = run.seq_instructions;
-  point.counters["par_instructions"] = run.par_instructions;
-  point.counters["queue_transfers"] = run.par_queue_transfers;
-  point.counters["cores_used"] = static_cast<std::uint64_t>(run.cores_used);
-  point.counters["com_ops"] = static_cast<std::uint64_t>(run.com_ops);
-  point.counters["queues_used"] = static_cast<std::uint64_t>(run.queues_used);
-  point.counters["fallback_used"] = run.fallback_used ? 1 : 0;
-  point.counters["retries"] = static_cast<std::uint64_t>(run.retries);
+  const telemetry::CounterRegistry registry = KernelRunTelemetry(run);
+  registry.ForEachArtifactMetric(
+      [&](const std::string& name, double value) {
+        point.metrics[name] = value;
+      });
+  registry.ForEachArtifactCount(
+      [&](const std::string& name, std::uint64_t value) {
+        point.counters[name] = value;
+      });
 }
 
-BenchArtifact MakeCompileStatsArtifact(const std::string& kernel,
-                                       const compiler::PassStatistics& stats) {
+BenchArtifact MakeCompileStatsArtifact(
+    const std::string& kernel, const std::string& pipeline,
+    const std::vector<telemetry::SpanRecord>& pass_spans) {
   BenchArtifact artifact;
   artifact.name = "compile_" + kernel;
   int index = 0;
-  for (const compiler::PassStat& pass : stats.passes) {
+  double total_wall_seconds = 0.0;
+  for (const telemetry::SpanRecord& span : pass_spans) {
     BenchArtifact::Point point;
-    point.label = kernel + " " + stats.pipeline + ":" + pass.pass;
+    point.label = kernel + " " + pipeline + ":" + span.name;
     point.params["kernel"] = kernel;
-    point.params["pipeline"] = stats.pipeline;
-    point.params["pass"] = pass.pass;
+    point.params["pipeline"] = pipeline;
+    point.params["pass"] = span.name;
     point.params["index"] = std::to_string(index++);
-    point.counters["stmts_before"] = static_cast<std::uint64_t>(pass.stmts_before);
-    point.counters["stmts_after"] = static_cast<std::uint64_t>(pass.stmts_after);
-    point.counters["temps_before"] = static_cast<std::uint64_t>(pass.temps_before);
-    point.counters["temps_after"] = static_cast<std::uint64_t>(pass.temps_after);
-    point.counters["exprs_before"] = static_cast<std::uint64_t>(pass.exprs_before);
-    point.counters["exprs_after"] = static_cast<std::uint64_t>(pass.exprs_after);
-    for (const auto& [key, value] : pass.counters) {
+    // The span counters already carry the reserved IR-delta keys
+    // (stmts/temps/exprs before/after) next to the pass's Note() counters.
+    for (const auto& [key, value] : span.counters) {
       point.counters[key] = static_cast<std::uint64_t>(value);
     }
-    point.host["wall_seconds"] = pass.wall_seconds;
+    point.host["wall_seconds"] = span.wall_seconds;
+    total_wall_seconds += span.wall_seconds;
     artifact.points.push_back(std::move(point));
   }
-  artifact.host["wall_seconds"] = stats.total_wall_seconds;
+  artifact.host["wall_seconds"] = total_wall_seconds;
   return artifact;
 }
 

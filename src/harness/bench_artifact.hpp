@@ -37,9 +37,7 @@
 #include <string>
 #include <vector>
 
-namespace fgpar::compiler {
-struct PassStatistics;
-}
+#include "support/telemetry/sinks.hpp"
 
 namespace fgpar::harness {
 
@@ -85,18 +83,21 @@ struct BenchArtifact {
   std::string WriteFile() const;
 };
 
-/// Fills a point's deterministic fields from one verified kernel run:
-/// speedup, sequential/parallel cycles and instruction counts, queue
-/// traffic, and the resilience counters.
+/// Fills a point's deterministic fields from one verified kernel run by
+/// iterating the artifact-visible entries of KernelRunTelemetry's counter
+/// registry: speedup, sequential/parallel cycles and instruction counts,
+/// queue traffic, and the resilience counters.
 void AddKernelRunFields(const KernelRun& run, BenchArtifact::Point& point);
 
-/// Builds a "compile_<kernel>" artifact from one pipeline run's
-/// PassStatistics: one point per pass, in pipeline order, with the IR
-/// sizes before/after and the pass's own deterministic counters.  Per-pass
-/// wall time goes into each point's "host" object and the pipeline total
-/// into the top-level "host" object, so the deterministic portion stays
-/// byte-identical across runs and hosts.
-BenchArtifact MakeCompileStatsArtifact(const std::string& kernel,
-                                       const compiler::PassStatistics& stats);
+/// Builds a "compile_<kernel>" artifact from one pipeline run's "pass"
+/// telemetry spans (as captured by an AggregatingSink): one point per
+/// pass, in pipeline order, with the IR sizes before/after and the pass's
+/// own deterministic counters.  Per-pass wall time goes into each point's
+/// "host" object and the pipeline total into the top-level "host" object,
+/// so the deterministic portion stays byte-identical across runs and
+/// hosts.
+BenchArtifact MakeCompileStatsArtifact(
+    const std::string& kernel, const std::string& pipeline,
+    const std::vector<telemetry::SpanRecord>& pass_spans);
 
 }  // namespace fgpar::harness

@@ -7,6 +7,7 @@
 #include "ir/validate.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/sinks.hpp"
 
 namespace fgpar::harness {
 
@@ -186,10 +187,15 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
       }
       return machine.Run().core0_halt_cycle;
     };
+    // With a telemetry sink, the compile contributes its pipeline/pass
+    // spans to the same event stream as the measured execution.
+    compiler::PipelineInstrumentation compile_instrumentation;
+    compile_instrumentation.telemetry = config.telemetry;
     const compiler::CompiledParallel compiled = compiler::CompileParallel(
         kernel_, layout_, compile_options,
         config.collect_profile ? &profile : nullptr,
-        config.tune_by_simulation ? &evaluator : nullptr);
+        config.tune_by_simulation ? &evaluator : nullptr,
+        config.telemetry != nullptr ? &compile_instrumentation : nullptr);
     run.cores_used = compiled.cores_used;
     run.initial_fibers = compiled.partition.initial_fibers;
     run.data_deps = compiled.partition.data_deps;
@@ -219,6 +225,14 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
       machine.StartCoreAt(0, compiler::CompiledParallel::kPrimaryEntry);
       for (int c = 1; c < compiled.cores_used; ++c) {
         machine.StartCoreAt(c, compiler::CompiledParallel::kDriverEntry);
+      }
+      // Each attempt traces into its own stream lane, so a retried point's
+      // attempts stay distinguishable in one trace file.  (An enclosing
+      // StreamSink — e.g. the sweep supervisor's per-point lane — restamps
+      // again downstream; the outermost lane wins.)
+      telemetry::StreamSink attempt_lane(config.telemetry, attempt);
+      if (config.telemetry != nullptr) {
+        machine.SetTelemetry(&attempt_lane);
       }
       // The observation hook sees every failed attempt — including ones
       // that will propagate — so a repro bundle can capture the machine
@@ -293,6 +307,35 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
   run.speedup = static_cast<double>(run.seq_cycles) /
                 static_cast<double>(std::max<std::uint64_t>(1, run.par_cycles));
   return run;
+}
+
+telemetry::CounterRegistry KernelRunTelemetry(const KernelRun& run) {
+  telemetry::CounterRegistry registry;
+  // Artifact-visible entries: exactly the fgpar-bench-v1 point schema
+  // (bench_artifact::AddKernelRunFields iterates these, so adding one here
+  // changes artifact bytes — diagnostic entries below do not).
+  registry.Metric("speedup", run.speedup);
+  registry.Metric("load_balance", run.load_balance);
+  registry.Count("seq_cycles", run.seq_cycles);
+  registry.Count("par_cycles", run.par_cycles);
+  registry.Count("seq_instructions", run.seq_instructions);
+  registry.Count("par_instructions", run.par_instructions);
+  registry.Count("queue_transfers", run.par_queue_transfers);
+  registry.Count("cores_used", static_cast<std::uint64_t>(run.cores_used));
+  registry.Count("com_ops", static_cast<std::uint64_t>(run.com_ops));
+  registry.Count("queues_used", static_cast<std::uint64_t>(run.queues_used));
+  registry.Count("fallback_used", run.fallback_used ? 1 : 0);
+  registry.Count("retries", static_cast<std::uint64_t>(run.retries));
+  // Diagnostic-only entries (tables, traces — never artifact points).
+  registry.Count("initial_fibers",
+                 static_cast<std::uint64_t>(run.initial_fibers),
+                 /*artifact=*/false);
+  registry.Count("data_deps", static_cast<std::uint64_t>(run.data_deps),
+                 /*artifact=*/false);
+  registry.Count("max_queue_occupancy",
+                 static_cast<std::uint64_t>(run.max_queue_occupancy),
+                 /*artifact=*/false);
+  return registry;
 }
 
 }  // namespace fgpar::harness

@@ -32,6 +32,7 @@
 #include "ir/layout.hpp"
 #include "sim/fault.hpp"
 #include "sim/machine.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace fgpar::harness {
 
@@ -121,6 +122,14 @@ struct RunConfig {
   std::function<void(const sim::Machine& machine, const Error& error,
                      int attempt)>
       on_parallel_failure;
+  /// Telemetry sink for the run (non-owning; null = off, keeping every
+  /// machine on the fast path).  When set: the parallel compile emits
+  /// pipeline/pass spans, and each measured parallel attempt emits sim
+  /// events through a StreamSink stamped with the attempt index, so
+  /// retries land on distinct trace lanes.  The golden model, the
+  /// sequential baseline, and the multi-version tuning runs stay untraced
+  /// — they are reference measurements, not the subject of the trace.
+  telemetry::TelemetrySink* telemetry = nullptr;
   FallbackPolicy fallback;
 };
 
@@ -150,6 +159,14 @@ struct KernelRun {
   std::string failure_reason;      // empty on a clean run
   sim::FaultStats fault_stats;     // injected-fault counters (last attempt)
 };
+
+/// The single KernelRun -> named-statistics mapping.  Every consumer of a
+/// run's numbers reads this registry instead of plumbing struct fields by
+/// hand: bench artifacts iterate the artifact-visible subset (exactly the
+/// fgpar-bench-v1 point schema), while wider tables (table3) also read
+/// the diagnostic-only entries (initial_fibers, data_deps,
+/// max_queue_occupancy).
+telemetry::CounterRegistry KernelRunTelemetry(const KernelRun& run);
 
 class KernelRunner {
  public:

@@ -99,6 +99,25 @@ SweepOutcome SweepSupervisor::Run(const PointBody& body,
         context.label = config_.labels[i];
         context.cycle_budget = config_.point_cycle_budget;
         context.deadline_seconds = config_.point_deadline_seconds;
+
+        // Telemetry routing for this point: the shared sink (re-stamped to
+        // this point's stream lane) and/or a forensic ring of the last N
+        // sim events, teed together when both are configured.
+        std::optional<telemetry::RingBufferSink> ring;
+        if (config_.failure_ring_capacity > 0) {
+          ring.emplace(config_.failure_ring_capacity);
+        }
+        telemetry::StreamSink lane(config_.telemetry, static_cast<int>(i));
+        std::optional<telemetry::FanoutSink> tee;
+        if (config_.telemetry != nullptr && ring.has_value()) {
+          tee.emplace(std::vector<telemetry::TelemetrySink*>{&lane, &*ring});
+          context.telemetry = &*tee;
+        } else if (config_.telemetry != nullptr) {
+          context.telemetry = &lane;
+        } else if (ring.has_value()) {
+          context.telemetry = &*ring;
+        }
+
         std::exception_ptr last_error;
         bool deadline_exceeded = false;
 
@@ -112,6 +131,17 @@ SweepOutcome SweepSupervisor::Run(const PointBody& body,
           }
           context.attempt = attempt;
           context.seed = AttemptSeed(config_.base_seed, i, attempt);
+          if (ring.has_value()) {
+            ring->Clear();  // last_events reflects the final attempt only
+          }
+          // The attempt span (category "point" for the first try, "retry"
+          // for re-runs) is emitted even when the body throws — the trace
+          // shows exactly where the wall-clock went.
+          telemetry::ScopedSpan span(config_.telemetry,
+                                     attempt == 0 ? "point" : "retry",
+                                     context.label, static_cast<int>(i));
+          span.Note("index", static_cast<std::int64_t>(i));
+          span.Note("attempt", attempt);
           const auto start = std::chrono::steady_clock::now();
           try {
             std::string payload = body(context);
@@ -157,6 +187,9 @@ SweepOutcome SweepSupervisor::Run(const PointBody& body,
         failure.last_seed = context.seed;
         failure.deadline_exceeded = deadline_exceeded;
         failure.exception = last_error;
+        if (ring.has_value()) {
+          failure.last_events = ring->Events();
+        }
         if (repro) {
           try {
             failure.repro_bundle = repro(context, failure);

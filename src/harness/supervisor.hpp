@@ -43,6 +43,7 @@
 
 #include "harness/bench_artifact.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/sinks.hpp"
 
 namespace fgpar::harness {
 
@@ -87,6 +88,19 @@ struct SupervisorConfig {
   /// Load an existing journal and skip its completed points.  When false
   /// an existing journal is restarted from scratch.
   bool resume = false;
+  /// Telemetry sink shared by the whole sweep (non-owning; null = off).
+  /// Every attempt is bracketed by a host span — category "point" for
+  /// attempt 0, "retry" for re-runs — named after the point's label and
+  /// carrying `index`/`attempt` counters, and the point body receives the
+  /// sink through PointContext::telemetry with the stream lane re-stamped
+  /// to the point index, so concurrent points stay distinguishable.
+  telemetry::TelemetrySink* telemetry = nullptr;
+  /// When > 0, each in-flight point additionally tees its sim events into
+  /// a bounded ring of this capacity; a quarantined point's final-attempt
+  /// ring contents are published as PointFailure::last_events — "what was
+  /// the machine doing right before it failed" forensics.  Works with or
+  /// without a shared `telemetry` sink.
+  std::size_t failure_ring_capacity = 0;
 };
 
 /// Everything one attempt needs to be exactly reproducible.
@@ -97,6 +111,11 @@ struct PointContext {
   std::uint64_t seed = 0;     // attempt 0: base_seed; retries: reseeded
   std::uint64_t cycle_budget = 0;
   double deadline_seconds = 0.0;
+  /// The supervisor's telemetry routing for this attempt (stream lane
+  /// already stamped with the point index; includes the failure ring when
+  /// configured).  Bodies pass it straight to RunConfig::telemetry.  Null
+  /// when the sweep is untraced and no failure ring was requested.
+  telemetry::TelemetrySink* telemetry = nullptr;
 };
 
 /// A quarantined point: every attempt failed (or overran its deadline).
@@ -109,6 +128,10 @@ struct PointFailure {
   bool deadline_exceeded = false;  // last failure was the wall-clock deadline
   std::string repro_bundle;   // bundle name from the ReproEmitter, or ""
   std::exception_ptr exception;    // last attempt's exception
+  /// The final attempt's last sim events, oldest first (empty unless
+  /// SupervisorConfig::failure_ring_capacity > 0).  Event names point at
+  /// static opcode storage, so the vector stays valid indefinitely.
+  std::vector<telemetry::SimEvent> last_events;
 };
 
 struct SweepOutcome {

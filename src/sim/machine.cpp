@@ -110,7 +110,8 @@ RunResult Machine::Run() {
 
 PauseResult Machine::RunUntil(std::uint64_t stop_cycle) {
   stop_at_ = stop_cycle;
-  if (!paused_) {
+  const bool resuming = paused_;
+  if (!resuming) {
     // A fresh run (not a resume): reset the per-run bookkeeping exactly as
     // the loop-local variables used to be.
     last_issue_cycle_ = now_;
@@ -118,7 +119,14 @@ PauseResult Machine::RunUntil(std::uint64_t stop_cycle) {
     core0_halt_cycle_ = 0;
   }
   paused_ = false;
-  const bool slow = injector_.enabled() || trace_ != nullptr ||
+  if (telemetry_ != nullptr &&
+      (!resuming || open_stall_cause_.size() != cores_.size())) {
+    // Telemetry-only stall latches: reset at every fresh run (and sized on
+    // first use when a sink is installed mid-sequence).
+    open_stall_cause_.assign(cores_.size(), telemetry::StallCause::kNone);
+    open_stall_begin_.assign(cores_.size(), 0);
+  }
+  const bool slow = injector_.enabled() || telemetry_ != nullptr ||
                     config_.stall_watchdog_cycles > 0 ||
                     config_.force_slow_path;
   return slow ? RunSlow() : RunFast();
@@ -172,12 +180,14 @@ PauseResult Machine::RunSlow() {
         if (injector_.enabled() && cores_[c].started() && !cores_[c].halted()) {
           if (frozen_until_[c] > now_) {
             outcomes[c] = StepOutcome::kIdle;
+            TelemetryStall(c, telemetry::StallCause::kFrozen);
             continue;  // frozen core: no issue attempt, slot stays free
           }
           if (injector_.ShouldFreezeCore()) {
             frozen_until_[c] =
                 now_ + static_cast<std::uint64_t>(injector_.freeze_cycles());
             outcomes[c] = StepOutcome::kIdle;
+            TelemetryStall(c, telemetry::StallCause::kFrozen);
             continue;
           }
         }
@@ -191,16 +201,21 @@ PauseResult Machine::RunSlow() {
             if (cores_[c].halted()) {
               --running;
             }
-            if (trace_) {
-              trace_(TraceEvent{now_, static_cast<int>(c), pc_before,
-                                program_.at(pc_before).op});
+            if (telemetry_ != nullptr) {
+              TelemetryStallEnd(c);
+              TelemetryIssue(c, pc_before);
             }
             break;
           case StepOutcome::kStallDeqEmpty:
             ++cores_[c].mutable_stats().stall_queue_empty;
+            TelemetryStall(c, telemetry::StallCause::kQueueEmpty);
             break;
           case StepOutcome::kStallEnqFull:
             ++cores_[c].mutable_stats().stall_queue_full;
+            TelemetryStall(c, telemetry::StallCause::kQueueFull);
+            break;
+          case StepOutcome::kPipelineBusy:
+            TelemetryStall(c, telemetry::StallCause::kPipeline);
             break;
           default:
             break;
@@ -219,6 +234,7 @@ PauseResult Machine::RunSlow() {
     }
     if (config_.stall_watchdog_cycles > 0 &&
         now_ - last_issue_cycle_ >= config_.stall_watchdog_cycles) {
+      TelemetryCloseStalls();  // the terminal stall must appear in traces
       throw StallError(BuildStallReport(now_ - last_issue_cycle_,
                                         /*provable_deadlock=*/false));
     }
@@ -266,6 +282,7 @@ PauseResult Machine::RunSlow() {
     }
 
     if (next_event == kNoEvent) {
+      TelemetryCloseStalls();  // the terminal stall must appear in traces
       throw DeadlockError(BuildStallReport(now_ - last_issue_cycle_,
                                            /*provable_deadlock=*/true));
     }
@@ -504,6 +521,86 @@ PauseResult Machine::RunFastSingle() {
   }
 
   return PauseResult{true, FinishResult()};
+}
+
+void Machine::TelemetryStall(std::size_t core_index,
+                             telemetry::StallCause cause) {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  telemetry::StallCause& open = open_stall_cause_[core_index];
+  if (open == cause) {
+    return;  // the stall continues; the interval stays open
+  }
+  if (open != telemetry::StallCause::kNone) {
+    TelemetryStallEnd(core_index);
+  }
+  open = cause;
+  open_stall_begin_[core_index] = now_;
+  telemetry::SimEvent event;
+  event.kind = telemetry::SimEventKind::kStallBegin;
+  event.cycle = now_;
+  event.core = static_cast<int>(core_index);
+  event.cause = cause;
+  telemetry_->OnSim(event);
+}
+
+void Machine::TelemetryStallEnd(std::size_t core_index) {
+  if (telemetry_ == nullptr ||
+      open_stall_cause_[core_index] == telemetry::StallCause::kNone) {
+    return;
+  }
+  telemetry::SimEvent event;
+  event.kind = telemetry::SimEventKind::kStallEnd;
+  event.cycle = now_;
+  event.core = static_cast<int>(core_index);
+  event.cause = open_stall_cause_[core_index];
+  event.begin_cycle = open_stall_begin_[core_index];
+  telemetry_->OnSim(event);
+  open_stall_cause_[core_index] = telemetry::StallCause::kNone;
+}
+
+void Machine::TelemetryCloseStalls() {
+  if (telemetry_ == nullptr) {
+    return;
+  }
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    TelemetryStallEnd(c);
+  }
+}
+
+void Machine::TelemetryIssue(std::size_t core_index, std::int64_t pc) {
+  const isa::Instruction& inst = program_.at(pc);
+  telemetry::SimEvent event;
+  event.kind = telemetry::SimEventKind::kIssue;
+  event.cycle = now_;
+  event.core = static_cast<int>(core_index);
+  event.pc = pc;
+  event.name = isa::OpcodeName(inst.op);
+  telemetry_->OnSim(event);
+  if (!isa::IsQueueOp(inst.op)) {
+    return;
+  }
+  // A queue op also moves a value through a directional channel: report
+  // the channel and its occupancy after the op (the enqueued value counts
+  // even while still in flight).
+  const bool enq = isa::IsEnqueue(inst.op);
+  const int self = static_cast<int>(core_index);
+  const int remote = inst.queue;
+  telemetry::SimEvent queue_event;
+  queue_event.kind = enq ? telemetry::SimEventKind::kQueueEnqueue
+                         : telemetry::SimEventKind::kQueueDequeue;
+  queue_event.cycle = now_;
+  queue_event.core = self;
+  queue_event.queue_src = enq ? self : remote;
+  queue_event.queue_dst = enq ? remote : self;
+  queue_event.queue_is_fp = isa::IsFpQueueOp(inst.op);
+  const HardwareQueue& queue =
+      queue_event.queue_is_fp
+          ? queues_.FpQueue(queue_event.queue_src, queue_event.queue_dst)
+          : queues_.IntQueue(queue_event.queue_src, queue_event.queue_dst);
+  queue_event.occupancy = queue.size();
+  telemetry_->OnSim(queue_event);
 }
 
 StallReport Machine::BuildStallReport(std::uint64_t stalled_cycles,

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include <memory>
@@ -33,6 +32,7 @@
 #include "sim/fault.hpp"
 #include "sim/memory.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace fgpar::sim {
 
@@ -112,16 +112,6 @@ struct PauseResult {
   RunResult result;  // valid only when finished
 };
 
-/// One instruction-issue event for tracing (see Machine::SetTrace).
-struct TraceEvent {
-  std::uint64_t cycle = 0;
-  int core = -1;
-  std::int64_t pc = 0;
-  isa::Opcode op = isa::Opcode::kNop;
-};
-
-using TraceSink = std::function<void(const TraceEvent&)>;
-
 class Machine {
  public:
   Machine(MachineConfig config, isa::Program program);
@@ -139,9 +129,9 @@ class Machine {
   /// skips cores that provably cannot issue this cycle; it is used whenever
   /// no instrumentation is attached.  The *slow path* is the reference
   /// implementation: it polls every core every cycle and carries the fault
-  /// injector, the stall watchdog, and the trace sink.  A run uses the slow
-  /// path iff fault injection is enabled, stall_watchdog_cycles > 0, a
-  /// trace sink is installed, or MachineConfig::force_slow_path is set.
+  /// injector, the stall watchdog, and the telemetry sink.  A run uses the
+  /// slow path iff fault injection is enabled, stall_watchdog_cycles > 0, a
+  /// telemetry sink is installed, or MachineConfig::force_slow_path is set.
   /// Simulated cycle counts, final memory, and per-core statistics are
   /// bit-identical between the two (tests/sim_golden_test.cpp).
   RunResult Run();
@@ -177,10 +167,17 @@ class Machine {
   /// snapshot compatibility identity).
   std::uint64_t IdentityHash() const;
 
-  /// Installs a per-issue trace callback (pass nullptr to disable).  The
-  /// sink sees every instruction issue in deterministic (cycle, core)
-  /// order; it may stop the trace cheaply by ignoring events.
-  void SetTrace(TraceSink sink) { trace_ = std::move(sink); }
+  /// Installs a telemetry sink (non-owning; pass nullptr to disable).  The
+  /// sink sees, in deterministic (cycle, core-evaluation) order: every
+  /// instruction issue, queue enqueue/dequeue with post-op occupancy, and
+  /// stall begin/end intervals with their cause (telemetry::SimEvent).
+  /// Installing a sink routes runs through the reference loop; simulated
+  /// cycles, memory, and statistics stay bit-identical to the fast path
+  /// (tests/telemetry_test.cpp).  The open-stall tracking behind the
+  /// interval events is telemetry-only bookkeeping: it is reset at every
+  /// fresh Run and excluded from Snapshot/Restore.
+  void SetTelemetry(telemetry::TelemetrySink* sink) { telemetry_ = sink; }
+  telemetry::TelemetrySink* telemetry() const { return telemetry_; }
 
   std::uint64_t now() const { return now_; }
   int num_cores() const { return config_.num_cores; }
@@ -208,8 +205,20 @@ class Machine {
   /// issue / jump-to-next-issue-cycle.  Bit-identical to RunSlow.
   PauseResult RunFastSingle();
   /// Reference run loop: polls every core every cycle; carries fault
-  /// injection, the stall watchdog, and the trace sink.
+  /// injection, the stall watchdog, and the telemetry sink.
   PauseResult RunSlow();
+  /// Telemetry stall-interval tracking (no-ops unless a sink is
+  /// installed): records per-core open stalls and emits
+  /// kStallBegin/kStallEnd transitions.
+  void TelemetryStall(std::size_t core, telemetry::StallCause cause);
+  /// Closes `core`'s open stall (the core issued, or the run is ending).
+  void TelemetryStallEnd(std::size_t core);
+  /// Closes every open stall at now_ (called before throwing a
+  /// deadlock/watchdog error so terminal stalls appear in traces).
+  void TelemetryCloseStalls();
+  /// Emits the issue event (plus the queue event for enq/deq ops) for the
+  /// instruction at `pc` that core `core` just issued.
+  void TelemetryIssue(std::size_t core, std::int64_t pc);
   /// Count of started-and-not-halted cores (loop-termination bookkeeping).
   int RunningCores() const;
   /// Completes a finished run's RunResult from the bookkeeping members.
@@ -235,7 +244,12 @@ class Machine {
   bool paused_ = false;
   /// Cycle at which the active RunUntil pauses (kNoStop for plain Run).
   std::uint64_t stop_at_ = 0;
-  TraceSink trace_;
+  /// Telemetry sink (non-owning; null = off) and the per-core open-stall
+  /// latches behind its interval events.  Not serialized: stall latches
+  /// are derived observability state, reset at every fresh Run.
+  telemetry::TelemetrySink* telemetry_ = nullptr;
+  std::vector<telemetry::StallCause> open_stall_cause_;
+  std::vector<std::uint64_t> open_stall_begin_;
   /// Predecoded instruction cache; built on the first fast-path Run.
   std::unique_ptr<DecodedProgram> decoded_;
   /// Per-core outcome of the current cycle, reused across Run calls to

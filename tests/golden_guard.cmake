@@ -11,9 +11,14 @@
 # change that alters a single byte of compiler output fails here even if
 # the result still verifies against the reference interpreter.
 #
+# WORKDIR (optional) runs COMMAND from that directory, so commands can
+# name output files with build-dir-independent relative paths (used by the
+# golden trace guard, whose stdout echoes the trace path).
+#
 # Usage:
 #   cmake -DCOMMAND="<exe> <arg>..." -DGOLDEN=<file>
-#         [-DBENCH_DIR=<dir>] [-DARTIFACTS="a.json=golden_a.json;..."]
+#         [-DBENCH_DIR=<dir>] [-DWORKDIR=<dir>]
+#         [-DARTIFACTS="a.json=golden_a.json;..."]
 #         -P golden_guard.cmake
 
 if(NOT DEFINED COMMAND OR NOT DEFINED GOLDEN)
@@ -28,8 +33,14 @@ if(DEFINED BENCH_DIR)
 endif()
 
 separate_arguments(command_list UNIX_COMMAND "${COMMAND}")
+set(workdir_args "")
+if(DEFINED WORKDIR)
+  file(MAKE_DIRECTORY "${WORKDIR}")
+  set(workdir_args WORKING_DIRECTORY "${WORKDIR}")
+endif()
 execute_process(
   COMMAND ${command_list}
+  ${workdir_args}
   OUTPUT_VARIABLE actual
   ERROR_VARIABLE stderr_text
   RESULT_VARIABLE status)

@@ -6,8 +6,8 @@
 //      rewrite pipelines — a reordering is a test failure, not a silent
 //      behaviour change.
 //   2. Every Sequoia kernel compiles through the full pipeline with
-//      ir::CheckValid after every IR-mutating pass, and the statistics
-//      block records every pass.
+//      ir::CheckValid after every IR-mutating pass, and the telemetry
+//      span stream records every pass.
 //   3. The manager — not a downstream crash — catches a broken pass, and
 //      the error names the offending pass.  Likewise the select stage's
 //      aggregate diagnostic lists every rejected candidate.
@@ -24,6 +24,7 @@
 #include "ir/validate.hpp"
 #include "kernels/sequoia.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/sinks.hpp"
 
 namespace fgpar::compiler {
 namespace {
@@ -108,9 +109,9 @@ TEST(PipelineAllKernels, EverySequoiaKernelCompilesWithPerPassValidation) {
           options.speculation = speculation;
           options.throughput_heuristic = throughput;
 
-          PassStatistics stats;
+          telemetry::AggregatingSink sink;
           PipelineInstrumentation instrumentation;
-          instrumentation.statistics = &stats;
+          instrumentation.telemetry = &sink;
           instrumentation.verify_each_pass = true;
 
           const CompiledParallel compiled =
@@ -119,28 +120,39 @@ TEST(PipelineAllKernels, EverySequoiaKernelCompilesWithPerPassValidation) {
           SCOPED_TRACE(spec.id + " cores=" + std::to_string(cores));
           EXPECT_GE(compiled.cores_used, 1);
           EXPECT_GT(compiled.program.size(), 0u);
-          EXPECT_EQ(stats.pipeline, "parallel");
-          EXPECT_EQ(stats.passes.size(),
+          const std::vector<telemetry::SpanRecord> pipelines =
+              sink.SpansInCategory("pipeline");
+          ASSERT_EQ(pipelines.size(), 1u);
+          EXPECT_EQ(pipelines.front().name, "parallel");
+          const std::vector<telemetry::SpanRecord> pass_spans =
+              sink.SpansInCategory("pass");
+          ASSERT_EQ(pass_spans.size(),
                     BuildParallelPipeline(options).PassNames().size());
           // Rewrites only shrink-or-grow through recorded deltas; the
-          // statistics must cover every pass in order.
+          // span stream must cover every pass in order, each span
+          // carrying the reserved IR-delta counters.
           const std::vector<std::string> names =
               BuildParallelPipeline(options).PassNames();
           for (std::size_t p = 0; p < names.size(); ++p) {
-            EXPECT_EQ(stats.passes[p].pass, names[p]);
+            EXPECT_EQ(pass_spans[p].name, names[p]);
+            EXPECT_EQ(pass_spans[p].counters.count("stmts_before"), 1u);
+            EXPECT_EQ(pass_spans[p].counters.count("stmts_after"), 1u);
           }
         }
       }
     }
 
-    PassStatistics stats;
+    telemetry::AggregatingSink sink;
     PipelineInstrumentation instrumentation;
-    instrumentation.statistics = &stats;
+    instrumentation.telemetry = &sink;
     const isa::Program sequential =
         CompileSequential(kernel, layout, CompileOptions{}, &instrumentation);
     EXPECT_GT(sequential.size(), 0u) << spec.id;
-    EXPECT_EQ(stats.pipeline, "sequential");
-    EXPECT_EQ(stats.passes.back().pass, "lower");
+    const std::vector<telemetry::SpanRecord> pipelines =
+        sink.SpansInCategory("pipeline");
+    ASSERT_EQ(pipelines.size(), 1u);
+    EXPECT_EQ(pipelines.front().name, "sequential");
+    EXPECT_EQ(sink.SpansInCategory("pass").back().name, "lower");
   }
 }
 

@@ -1,14 +1,41 @@
-// Tests for the machine's trace facility.
+// Tests for the machine's telemetry event stream (the successor of the
+// old per-issue trace callback): issue events arrive in deterministic
+// order with cycle/core/pc/mnemonic, queue ops additionally emit
+// enqueue/dequeue events, and a machine without a sink emits nothing.
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "isa/assembler.hpp"
 #include "sim/machine.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 namespace fgpar::sim {
 namespace {
 
 using isa::Assembler;
 using isa::Gpr;
+
+/// Collects every sim event in arrival order.
+class CollectingSink : public telemetry::TelemetrySink {
+ public:
+  void OnSim(const telemetry::SimEvent& event) override {
+    events.push_back(event);
+  }
+  void OnSpan(const telemetry::SpanEvent&) override {}
+
+  std::vector<telemetry::SimEvent> Issues() const {
+    std::vector<telemetry::SimEvent> issues;
+    for (const telemetry::SimEvent& event : events) {
+      if (event.kind == telemetry::SimEventKind::kIssue) {
+        issues.push_back(event);
+      }
+    }
+    return issues;
+  }
+
+  std::vector<telemetry::SimEvent> events;
+};
 
 TEST(Trace, SeesEveryIssueInOrder) {
   Assembler a;
@@ -26,23 +53,24 @@ TEST(Trace, SeesEveryIssueInOrder) {
   config.num_cores = 1;
   config.memory_words = 1 << 12;
   Machine machine(config, a.Finish());
-  std::vector<TraceEvent> events;
-  machine.SetTrace([&](const TraceEvent& event) { events.push_back(event); });
+  CollectingSink sink;
+  machine.SetTelemetry(&sink);
   machine.StartCoreAt(0, "main");
   const RunResult result = machine.Run();
 
-  ASSERT_EQ(events.size(), result.instructions);
-  for (std::size_t i = 1; i < events.size(); ++i) {
-    EXPECT_GE(events[i].cycle, events[i - 1].cycle);  // monotone time
+  const std::vector<telemetry::SimEvent> issues = sink.Issues();
+  ASSERT_EQ(issues.size(), result.instructions);
+  for (std::size_t i = 1; i < issues.size(); ++i) {
+    EXPECT_GE(issues[i].cycle, issues[i - 1].cycle);  // monotone time
   }
   // First two issues are the immediates; last is the halt.
-  EXPECT_EQ(events[0].op, isa::Opcode::kLiI);
-  EXPECT_EQ(events[1].op, isa::Opcode::kLiI);
-  EXPECT_EQ(events.back().op, isa::Opcode::kHalt);
+  EXPECT_EQ(issues[0].name, isa::OpcodeName(isa::Opcode::kLiI));
+  EXPECT_EQ(issues[1].name, isa::OpcodeName(isa::Opcode::kLiI));
+  EXPECT_EQ(issues.back().name, isa::OpcodeName(isa::Opcode::kHalt));
   // The loop body (sub + bnz) executes 3 times.
   int subs = 0;
-  for (const TraceEvent& event : events) {
-    subs += event.op == isa::Opcode::kSubI ? 1 : 0;
+  for (const telemetry::SimEvent& event : issues) {
+    subs += event.name == isa::OpcodeName(isa::Opcode::kSubI) ? 1 : 0;
   }
   EXPECT_EQ(subs, 3);
 }
@@ -63,28 +91,50 @@ TEST(Trace, MultiCoreEventsCarryCoreIds) {
   config.num_cores = 2;
   config.memory_words = 1 << 12;
   Machine machine(config, a.Finish());
+  CollectingSink sink;
+  machine.SetTelemetry(&sink);
+  machine.StartCoreAt(0, "t0");
+  machine.StartCoreAt(1, "t1");
+  machine.Run();
+
   bool saw_core0 = false;
   bool saw_core1 = false;
   std::uint64_t enq_cycle = 0;
   std::uint64_t deq_cycle = 0;
-  machine.SetTrace([&](const TraceEvent& event) {
-    saw_core0 |= event.core == 0;
-    saw_core1 |= event.core == 1;
-    if (event.op == isa::Opcode::kEnqI) {
-      enq_cycle = event.cycle;
+  const telemetry::SimEvent* enqueue = nullptr;
+  const telemetry::SimEvent* dequeue = nullptr;
+  for (const telemetry::SimEvent& event : sink.events) {
+    if (event.kind == telemetry::SimEventKind::kIssue) {
+      saw_core0 |= event.core == 0;
+      saw_core1 |= event.core == 1;
+      if (event.name == isa::OpcodeName(isa::Opcode::kEnqI)) {
+        enq_cycle = event.cycle;
+      }
+      if (event.name == isa::OpcodeName(isa::Opcode::kDeqI)) {
+        deq_cycle = event.cycle;
+      }
     }
-    if (event.op == isa::Opcode::kDeqI) {
-      deq_cycle = event.cycle;
+    if (event.kind == telemetry::SimEventKind::kQueueEnqueue) {
+      enqueue = &event;
     }
-  });
-  machine.StartCoreAt(0, "t0");
-  machine.StartCoreAt(1, "t1");
-  machine.Run();
+    if (event.kind == telemetry::SimEventKind::kQueueDequeue) {
+      dequeue = &event;
+    }
+  }
   EXPECT_TRUE(saw_core0);
   EXPECT_TRUE(saw_core1);
   // The dequeue completes no earlier than enqueue + transfer latency.
   EXPECT_GE(deq_cycle, enq_cycle +
                            static_cast<std::uint64_t>(config.queue.transfer_latency));
+  // Queue ops additionally emit queue events carrying the endpoint pair.
+  ASSERT_NE(enqueue, nullptr);
+  EXPECT_EQ(enqueue->queue_src, 0);
+  EXPECT_EQ(enqueue->queue_dst, 1);
+  EXPECT_FALSE(enqueue->queue_is_fp);
+  ASSERT_NE(dequeue, nullptr);
+  EXPECT_EQ(dequeue->queue_src, 0);
+  EXPECT_EQ(dequeue->queue_dst, 1);
+  EXPECT_EQ(dequeue->occupancy, 0);  // drained by the dequeue
 }
 
 TEST(Trace, DisablingStopsEvents) {
@@ -97,12 +147,49 @@ TEST(Trace, DisablingStopsEvents) {
   config.num_cores = 1;
   config.memory_words = 1 << 12;
   Machine machine(config, a.Finish());
-  int count = 0;
-  machine.SetTrace([&](const TraceEvent&) { ++count; });
-  machine.SetTrace(nullptr);
+  CollectingSink sink;
+  machine.SetTelemetry(&sink);
+  machine.SetTelemetry(nullptr);
   machine.StartCoreAt(0, "main");
   machine.Run();
-  EXPECT_EQ(count, 0);
+  EXPECT_TRUE(sink.events.empty());
+}
+
+TEST(Trace, StallIntervalsCoverQueueWaits) {
+  // Core 1 dequeues before core 0 enqueues: core 1 must report a
+  // queue-empty stall interval ending at its successful dequeue issue.
+  Assembler a;
+  isa::Label t0 = a.NewNamedLabel("t0");
+  isa::Label t1 = a.NewNamedLabel("t1");
+  a.Bind(t0);
+  a.LiI(Gpr{1}, 7);
+  a.LiI(Gpr{2}, 7);
+  a.LiI(Gpr{3}, 7);
+  a.EnqI(1, Gpr{1});
+  a.Halt();
+  a.Bind(t1);
+  a.DeqI(0, Gpr{1});
+  a.Halt();
+
+  MachineConfig config;
+  config.num_cores = 2;
+  config.memory_words = 1 << 12;
+  Machine machine(config, a.Finish());
+  CollectingSink sink;
+  machine.SetTelemetry(&sink);
+  machine.StartCoreAt(0, "t0");
+  machine.StartCoreAt(1, "t1");
+  machine.Run();
+
+  bool saw_stall = false;
+  for (const telemetry::SimEvent& event : sink.events) {
+    if (event.kind == telemetry::SimEventKind::kStallEnd && event.core == 1) {
+      EXPECT_EQ(event.cause, telemetry::StallCause::kQueueEmpty);
+      EXPECT_GT(event.cycle, event.begin_cycle);
+      saw_stall = true;
+    }
+  }
+  EXPECT_TRUE(saw_stall);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
 // fgpar-repro — replays a quarantined-point repro bundle.
 //
 // Usage:
-//   fgpar-repro <bundle-dir>
+//   fgpar-repro <bundle-dir> [--trace <out.json>]
 //
 // A bundle (see harness/repro.hpp) holds the kernel source, the exact
 // RunConfig of the failed attempt (seed, faults, watchdog, budgets), the
@@ -19,7 +19,14 @@
 //
 // Exit code 0 and a final "reproduced" line when all checks pass; exit 1
 // otherwise, with the mismatch on stderr.
+//
+// --trace <out.json> additionally captures the replay as a Chrome
+// trace_event file — compile pass spans plus the failing attempt's
+// per-core issue, queue, and stall events — written whether or not the
+// failure reproduces, so "what was the machine doing when it died" is
+// inspectable at ui.perfetto.dev.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,17 +34,34 @@
 #include "harness/runner.hpp"
 #include "kernels/sequoia.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/sinks.hpp"
 
 int main(int argc, char** argv) {
   using namespace fgpar;
 
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: fgpar-repro <bundle-dir>\n");
+  std::string bundle_dir;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (bundle_dir.empty() && arg[0] != '-') {
+      bundle_dir = arg;
+    } else {
+      bundle_dir.clear();
+      break;
+    }
+  }
+  if (bundle_dir.empty()) {
+    std::fprintf(stderr, "usage: fgpar-repro <bundle-dir> [--trace <out.json>]\n");
     return 2;
   }
 
   try {
-    const harness::ReproBundle bundle = harness::LoadReproBundle(argv[1]);
+    const harness::ReproBundle bundle =
+        harness::LoadReproBundle(bundle_dir);
     std::printf("bundle: %s point %llu (%s), attempt %d of %d\n",
                 bundle.experiment.c_str(),
                 static_cast<unsigned long long>(bundle.point_index),
@@ -63,18 +87,34 @@ int main(int argc, char** argv) {
                                      int) {
       replay_snapshot = machine.Snapshot();
     };
+    telemetry::ChromeTraceSink trace_sink;
+    if (!trace_path.empty()) {
+      config.telemetry = &trace_sink;
+    }
 
     const ir::Kernel parsed = kernels::ParseSequoia(kernel);
     harness::KernelRunner runner(parsed, kernels::SequoiaInit(kernel));
 
     std::string replay_message;
+    bool replay_failed = false;
     try {
       (void)runner.Run(config);
+    } catch (const Error& e) {
+      replay_failed = true;
+      replay_message = e.what();
+    }
+    // The trace covers the replay up to (and including) the failure; it
+    // is written even when the repro checks below fail — a diverging
+    // replay is exactly when you want to see what the machine did.
+    if (!trace_path.empty()) {
+      trace_sink.WriteFile(trace_path);
+      std::printf("trace written: %s (open at ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    }
+    if (!replay_failed) {
       std::fprintf(stderr,
                    "NOT reproduced: the replay completed without failing\n");
       return 1;
-    } catch (const Error& e) {
-      replay_message = e.what();
     }
 
     bool ok = true;

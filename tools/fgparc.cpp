@@ -13,8 +13,10 @@
 //   --smt N            hardware threads per physical core (default 1)
 //   --trip N           value for every i64 parameter (default 400)
 //   --seed N           workload RNG seed (default 0x5EED)
-//   --trace N          print the first N instruction-issue events of the
-//                      parallel run (cycle, core, pc, disassembly)
+//   --trace FILE       write a Chrome trace_event capture of the verified
+//                      run (compile pass spans + per-core issue, queue
+//                      occupancy, and stall intervals) to FILE; open it at
+//                      ui.perfetto.dev or chrome://tracing.  Implies --run.
 //   --print-ir         dump the rewritten (fiberized) kernel
 //   --print-plan       dump partitions and the communication plan
 //   --disasm           dump the generated machine code
@@ -49,6 +51,7 @@
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
+#include "support/telemetry/sinks.hpp"
 
 namespace {
 
@@ -65,7 +68,7 @@ struct CliOptions {
   bool speculate = false;
   bool throughput = false;
   bool tune = false;
-  std::int64_t trace = 0;
+  std::string trace_path;
   bool print_ir = false;
   bool print_plan = false;
   bool disasm = false;
@@ -79,7 +82,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: fgparc <file.fk> [--cores N] [--latency N] [--capacity N]\n"
                "              [--speculate] [--throughput] [--tune] [--smt N]\n"
-               "              [--trip N] [--seed N] [--trace N]\n"
+               "              [--trip N] [--seed N] [--trace FILE]\n"
                "              [--print-ir] [--print-plan] [--disasm] [--run]\n"
                "              [--print-pipeline] [--dump-after=<pass|all>]\n"
                "              [--compile-stats]\n");
@@ -109,7 +112,12 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (std::strcmp(arg, "--seed") == 0) {
       options.seed = static_cast<std::uint64_t>(next_int(i));
     } else if (std::strcmp(arg, "--trace") == 0) {
-      options.trace = next_int(i);
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      options.trace_path = argv[++i];
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      options.trace_path = arg + 8;
     } else if (std::strcmp(arg, "--speculate") == 0) {
       options.speculate = true;
     } else if (std::strcmp(arg, "--throughput") == 0) {
@@ -151,6 +159,9 @@ CliOptions ParseArgs(int argc, char** argv) {
       !options.print_pipeline && options.dump_after.empty() &&
       !options.compile_stats) {
     options.run = true;
+  }
+  if (!options.trace_path.empty()) {
+    options.run = true;  // the trace captures the verified run
   }
   return options;
 }
@@ -217,7 +228,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  compiler::PassStatistics stats;
+  telemetry::AggregatingSink compile_sink;
   compiler::PipelineInstrumentation instrumentation;
   instrumentation.dump_after = options.dump_after;
   if (!options.dump_after.empty()) {
@@ -227,7 +238,7 @@ int Main(int argc, char** argv) {
     };
   }
   if (options.compile_stats) {
-    instrumentation.statistics = &stats;
+    instrumentation.telemetry = &compile_sink;
   }
 
   const compiler::CompiledParallel compiled = compiler::CompileParallel(
@@ -235,9 +246,17 @@ int Main(int argc, char** argv) {
       &instrumentation);
 
   if (options.compile_stats) {
-    std::printf("%s", stats.ToString().c_str());
+    const std::vector<telemetry::SpanRecord> pipelines =
+        compile_sink.SpansInCategory("pipeline");
+    const std::string pipeline =
+        pipelines.empty() ? "parallel" : pipelines.back().name;
+    const std::vector<telemetry::SpanRecord> pass_spans =
+        compile_sink.SpansInCategory("pass");
+    std::printf("%s",
+                compiler::FormatCompileSpans(pipeline, pass_spans).c_str());
     const std::string path =
-        harness::MakeCompileStatsArtifact(kernel.name(), stats).WriteFile();
+        harness::MakeCompileStatsArtifact(kernel.name(), pipeline, pass_spans)
+            .WriteFile();
     std::printf("compile stats written: %s\n", path.c_str());
   }
 
@@ -269,48 +288,6 @@ int Main(int argc, char** argv) {
     std::printf("%s\n", isa::DisassembleProgram(compiled.program).c_str());
   }
 
-  if (options.trace > 0) {
-    // Re-run the parallel program on a fresh machine with tracing on.
-    sim::MachineConfig machine_config;
-    machine_config.num_cores = compiled.cores_used;
-    machine_config.threads_per_core = std::min(options.smt, compiled.cores_used);
-    machine_config.queue.transfer_latency = options.latency;
-    machine_config.queue.capacity = options.capacity;
-    std::uint64_t words = 1024;
-    while (words < layout.end() + 64) {
-      words *= 2;
-    }
-    machine_config.memory_words = words;
-    sim::Machine machine(machine_config, compiled.program);
-    {
-      ir::ParamEnv env(kernel);
-      std::vector<std::uint64_t> image(layout.end(), 0);
-      MakeInit(options)(options.seed, kernel, layout, env, image);
-      for (const ir::Symbol& sym : kernel.symbols()) {
-        if (sym.kind == ir::SymbolKind::kParam) {
-          image[layout.ParamAddressOf(sym.id)] = env.GetRaw(sym.id);
-        }
-      }
-      for (std::uint64_t addr = 0; addr < image.size(); ++addr) {
-        machine.memory().WriteRaw(addr, image[addr]);
-      }
-    }
-    std::int64_t remaining = options.trace;
-    machine.SetTrace([&](const sim::TraceEvent& event) {
-      if (remaining-- > 0) {
-        std::printf("cycle %6llu  core %d  pc %4lld  %s\n",
-                    static_cast<unsigned long long>(event.cycle), event.core,
-                    static_cast<long long>(event.pc),
-                    isa::Disassemble(compiled.program.at(event.pc)).c_str());
-      }
-    });
-    machine.StartCoreAt(0, "main");
-    for (int c = 1; c < compiled.cores_used; ++c) {
-      machine.StartCoreAt(c, "driver");
-    }
-    machine.Run();
-  }
-
   if (options.run) {
     harness::KernelRunner runner(kernel, MakeInit(options));
     harness::RunConfig config;
@@ -320,6 +297,10 @@ int Main(int argc, char** argv) {
     config.threads_per_core = options.smt;
     config.tune_by_simulation = options.tune;
     config.seed = options.seed;
+    telemetry::ChromeTraceSink trace_sink;
+    if (!options.trace_path.empty()) {
+      config.telemetry = &trace_sink;
+    }
     const harness::KernelRun run = runner.Run(config);
     std::printf("kernel:       %s\n", kernel.name().c_str());
     std::printf("cores used:   %d (of %d budgeted", run.cores_used, options.cores);
@@ -338,6 +319,11 @@ int Main(int argc, char** argv) {
                 run.queues_used);
     std::printf("verified:     memory bit-identical to the reference "
                 "interpreter\n");
+    if (!options.trace_path.empty()) {
+      trace_sink.WriteFile(options.trace_path);
+      std::printf("trace:        %s (open at ui.perfetto.dev)\n",
+                  options.trace_path.c_str());
+    }
   }
   return 0;
 }
