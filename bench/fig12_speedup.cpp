@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
       static_cast<int>(benchutil::FlagInt(argc, argv, "--max-retries", 0));
   supervision.failure_budget = static_cast<std::size_t>(
       benchutil::FlagInt(argc, argv, "--failure-budget", 0));
+  // SIGTERM drains: in-flight points finish and are journaled, the rest
+  // are left for --resume, and the process exits 0 (see below).
+  supervision.drain_on_sigterm = true;
 
   // --trace routes the whole sweep through one shared Chrome-trace sink
   // (the supervisor re-stamps each point onto its own stream lane) and
@@ -159,6 +162,16 @@ int main(int argc, char** argv) {
   if (outcome.resumed_points > 0) {
     std::fprintf(stderr, "resumed %zu completed points from %s\n",
                  outcome.resumed_points, supervision.checkpoint_path.c_str());
+  }
+  if (outcome.stopped) {
+    // Graceful SIGTERM drain: the partial grid would render a misleading
+    // table/artifact, so report the drain and exit cleanly instead; a
+    // --resume run recomputes exactly the skipped points.
+    std::fprintf(stderr,
+                 "SIGTERM: drained cleanly, %zu points skipped; rerun with "
+                 "--resume to complete the sweep\n",
+                 outcome.skipped_points);
+    return 0;
   }
   for (const harness::PointFailure& failure : outcome.failures) {
     std::fprintf(stderr, "quarantined point %zu (%s) after %d attempts: %s\n",

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "harness/runner.hpp"
+#include "support/buildinfo.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -93,6 +94,16 @@ std::string BenchArtifact::ToJson(bool include_host) const {
   if (include_host) {
     w.Key("host");
     WriteDoubleMap(w, host);
+    // Build identity travels with the host section: it varies across
+    // compilers and build types, so — like wall-clock fields — it must be
+    // absent from the byte-deterministic portion.
+    w.Key("buildinfo");
+    w.BeginObject();
+    w.Key("config_hash");
+    w.String(BuildConfigHashHex());
+    w.Key("version");
+    w.String(BuildVersionString());
+    w.EndObject();
   }
   w.EndObject();
   return w.Take();

@@ -29,10 +29,10 @@ std::string MessageOf(const std::exception_ptr& exception) {
   }
 }
 
-/// FGPAR_SUPERVISOR_EXIT_AFTER=<n>: SIGKILL after n newly journaled
-/// points (0/unset = never).  Used by the resume drills.
-std::size_t ExitAfterFromEnv() {
-  const char* env = std::getenv("FGPAR_SUPERVISOR_EXIT_AFTER");
+/// Parses a non-negative count from an environment variable (0/unset =
+/// disabled).  Used by the kill and drain drills below.
+std::size_t CountFromEnv(const char* name) {
+  const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') {
     return 0;
   }
@@ -41,7 +41,19 @@ std::size_t ExitAfterFromEnv() {
   return end != env && *end == '\0' ? static_cast<std::size_t>(value) : 0;
 }
 
+/// The SIGTERM drain flag.  sig_atomic_t for the handler; the sweep
+/// workers read it through DrainRequested (a plain load is fine — the
+/// flag only ever goes 0 -> 1 and staleness merely delays the skip by one
+/// point).
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void FgparSupervisorOnSigterm(int) { g_drain_requested = 1; }
+
 }  // namespace
+
+bool SweepSupervisor::DrainRequested() { return g_drain_requested != 0; }
+void SweepSupervisor::RequestDrain() { g_drain_requested = 1; }
+void SweepSupervisor::ResetDrainForTest() { g_drain_requested = 0; }
 
 SweepSupervisor::SweepSupervisor(SupervisorConfig config)
     : config_(std::move(config)) {
@@ -83,15 +95,30 @@ SweepOutcome SweepSupervisor::Run(const PointBody& body,
     }
   }
 
-  const std::size_t exit_after = ExitAfterFromEnv();
+  if (config_.drain_on_sigterm) {
+    std::signal(SIGTERM, FgparSupervisorOnSigterm);
+  }
+  const std::size_t exit_after = CountFromEnv("FGPAR_SUPERVISOR_EXIT_AFTER");
+  const std::size_t sigterm_after =
+      CountFromEnv("FGPAR_SUPERVISOR_SIGTERM_AFTER");
   std::mutex mutex;  // guards the journal and the kill counter
   std::size_t journaled_this_run = 0;
+  std::atomic<std::size_t> skipped{0};
   std::vector<std::optional<PointFailure>> failed(count);
 
   detail::RunSweepIndices(
       count, ResolveSweepThreads(config_.sweep_threads), [&](std::size_t i) {
         if (outcome.completed[i]) {
           return;  // replayed from the journal
+        }
+        if (config_.drain_on_sigterm && DrainRequested()) {
+          // SIGTERM drain: never start new work.  The point is neither
+          // completed nor failed; --resume recomputes exactly these.
+          // Gated on the opt-in: the flag is process-wide and sticky, so a
+          // sweep that never installed the handler must not lose points to
+          // a leftover request.
+          skipped.fetch_add(1, std::memory_order_relaxed);
+          return;
         }
         const int attempts = 1 + std::max(0, config_.max_retries);
         PointContext context;
@@ -168,6 +195,11 @@ SweepOutcome SweepSupervisor::Run(const PointBody& body,
                 // with the journal durably holding this point.
                 std::raise(SIGKILL);
               }
+              if (sigterm_after > 0 && journaled_this_run >= sigterm_after) {
+                // The drain drill: a reproducible stand-in for an external
+                // SIGTERM arriving mid-sweep.
+                std::raise(SIGTERM);
+              }
             }
             return;
           } catch (const DeadlineError&) {
@@ -207,6 +239,8 @@ SweepOutcome SweepSupervisor::Run(const PointBody& body,
       outcome.failures.push_back(std::move(*failed[i]));
     }
   }
+  outcome.skipped_points = skipped.load(std::memory_order_relaxed);
+  outcome.stopped = config_.drain_on_sigterm && DrainRequested();
   return outcome;
 }
 

@@ -32,7 +32,11 @@
 //
 // For tests and fault drills, FGPAR_SUPERVISOR_EXIT_AFTER=<n> makes the
 // supervisor raise SIGKILL after journaling n new points this run — a
-// reproducible stand-in for an external kill -9 mid-sweep.
+// reproducible stand-in for an external kill -9 mid-sweep.  The graceful
+// counterpart, FGPAR_SUPERVISOR_SIGTERM_AFTER=<n>, raises SIGTERM at the
+// same place; with SupervisorConfig::drain_on_sigterm the sweep finishes
+// in-flight points, journals them, and returns SweepOutcome::stopped so
+// the caller exits 0 and a later --resume completes the grid.
 #pragma once
 
 #include <cstdint>
@@ -101,6 +105,13 @@ struct SupervisorConfig {
   /// the machine doing right before it failed" forensics.  Works with or
   /// without a shared `telemetry` sink.
   std::size_t failure_ring_capacity = 0;
+  /// Graceful SIGTERM: install a handler that asks the sweep to drain —
+  /// points already running finish (and are journaled), points not yet
+  /// started are skipped, and Run returns with SweepOutcome::stopped set
+  /// so the caller can checkpoint, report, and exit 0.  Complements the
+  /// SIGKILL/resume guarantee: TERM drains cleanly, KILL is recovered by
+  /// --resume.  The handler is process-wide and idempotent.
+  bool drain_on_sigterm = false;
 };
 
 /// Everything one attempt needs to be exactly reproducible.
@@ -139,6 +150,12 @@ struct SweepOutcome {
   std::vector<char> completed;        // 1 = payload valid
   std::vector<PointFailure> failures; // quarantined points, index order
   std::size_t resumed_points = 0;     // replayed from the journal
+  /// SIGTERM drain: the sweep stopped early.  In-flight points finished
+  /// (and were journaled); `skipped_points` were never started and are
+  /// neither completed nor failed — a --resume run recomputes exactly
+  /// those.
+  bool stopped = false;
+  std::size_t skipped_points = 0;
 };
 
 class SweepSupervisor {
@@ -173,6 +190,14 @@ class SweepSupervisor {
                                    int attempt);
 
   const SupervisorConfig& config() const { return config_; }
+
+  /// The process-wide SIGTERM drain flag (see
+  /// SupervisorConfig::drain_on_sigterm).  RequestDrain is what the signal
+  /// handler calls; tests use it to simulate a delivered SIGTERM, and
+  /// ResetDrainForTest clears the sticky flag between cases.
+  static bool DrainRequested();
+  static void RequestDrain();
+  static void ResetDrainForTest();
 
  private:
   SupervisorConfig config_;

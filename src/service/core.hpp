@@ -1,0 +1,149 @@
+// ServiceCore: the transport-independent request engine behind fgpard.
+//
+// The socket server (server.hpp) owns connections, admission control, and
+// worker threads; everything else — cache lookup, kernel compile + run,
+// the graceful-degradation ladder, quarantine, counters — lives here, so
+// tests can drive the full request semantics in-process with plain
+// strings and no sockets.
+//
+// compile_run request lifecycle:
+//
+//   1. cache   — key = (FNV(kernel bytes), FNV(canonical config)); a hit
+//                is served byte-identically to the cold response (the
+//                cache stores the deterministic result body; the envelope
+//                is re-rendered around the caller's request id);
+//   2. budget  — a request whose wall-clock deadline expired while it
+//                queued is answered 408 without burning a worker on it;
+//   3. compile — frontend parse errors are the client's fault: 400 with
+//                the parser's line/column message, never quarantined;
+//   4. run     — the full verifying pipeline under the daemon's simulated
+//                cycle budget;
+//   5. ladder  — a budget/deadline overrun degrades: retry as a
+//                sequential-only measurement (cheaper by the parallel
+//                compile, tuning, and N-core simulation) and answer 200
+//                with degraded=true; if even that overruns, a structured
+//                408.  Degraded results are never cached;
+//   6. quarantine — any other failure (verify mismatch, internal error,
+//                injected drill fault) quarantines the (kernel, config)
+//                key: a repro bundle is emitted, the request gets a
+//                structured 500, and repeat offenders are refused
+//                immediately without re-running.
+//
+// health / stats / shutdown are cheap and lock-light by design: the
+// server handles them inline (off the bounded queue), so they keep
+// working while the daemon is saturated — that is the whole point of a
+// health endpoint.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+namespace fgpar::service {
+
+struct ServiceConfig {
+  /// Worker threads executing compile_run requests (<=0: resolve like the
+  /// sweep engine — FGPAR_SWEEP_THREADS, else hardware concurrency).
+  int workers = 0;
+  /// Bounded request queue; a compile_run arriving with the queue full is
+  /// rejected with a structured 503 instead of queuing unboundedly.
+  std::size_t queue_depth = 16;
+  /// Per-request wall-clock deadline, measured from admission (0 = none).
+  double request_deadline_seconds = 0.0;
+  /// Simulated-cycle budget per measured execution (0 = unlimited);
+  /// the deterministic half of the deadline mechanism.
+  std::uint64_t cycle_budget = 0;
+  /// Compile-cache persistence path ("" = memory-only).
+  std::string cache_path;
+  std::size_t cache_max_entries = 4096;
+  /// Repro bundles for quarantined requests land here ("" = don't emit).
+  std::string quarantine_dir;
+  /// Fault drill: every Nth *executed* (non-cached) compile_run throws an
+  /// injected failure before running, exercising the quarantine + repro +
+  /// structured-500 path end to end (0 = off).  The CI soak job and the
+  /// quarantine tests both run through this seam.
+  std::size_t drill_crash_every = 0;
+  /// Telemetry sink shared by all requests (non-owning; null = off).
+  /// Each request is bracketed by a "request" span carrying op/code/
+  /// cache-hit counters.
+  telemetry::TelemetrySink* telemetry = nullptr;
+};
+
+class ServiceCore {
+ public:
+  explicit ServiceCore(const ServiceConfig& config);
+
+  /// Parses one frame payload and dispatches it.  Never throws: anything
+  /// malformed becomes a structured 400 (with id 0 when the payload was
+  /// too broken to carry one — the protocol is sequential per connection,
+  /// so clients correlate by order).
+  std::string HandleFrame(std::string_view payload);
+
+  /// Dispatches an already-parsed request.  `admitted` anchors the
+  /// deadline (the server passes enqueue time so queue wait counts).
+  std::string Handle(const Request& request);
+  std::string Handle(const Request& request,
+                     std::chrono::steady_clock::time_point admitted);
+
+  /// Structured 503 builders; both count into stats.  The server calls
+  /// these at admission time — rejected requests never reach Handle.
+  std::string RejectOverloaded(const Request& request,
+                               std::size_t depth, std::size_t capacity);
+  std::string RejectDraining(const Request& request);
+  /// Structured 400 for frame-level violations (oversized declared
+  /// length), where no payload was ever read.
+  std::string RejectBadFrame(std::string_view message);
+
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Lets health/stats report live queue depth without the core owning
+  /// the queue.
+  void set_queue_depth_probe(std::function<std::size_t()> probe) {
+    queue_depth_probe_ = std::move(probe);
+  }
+
+  CompileCache& cache() { return cache_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Counter snapshot (also what the stats op serializes).
+  std::map<std::string, std::uint64_t> Counters() const;
+
+ private:
+  std::string HandleCompileRun(const Request& request,
+                               std::chrono::steady_clock::time_point admitted,
+                               bool& cache_hit);
+  std::string HandleHealth(const Request& request);
+  std::string HandleStats(const Request& request);
+  std::string HandleShutdown(const Request& request);
+  std::string Quarantine(const Request& request, const CacheKey& key,
+                         std::string_view kernel_name,
+                         std::string_view message);
+  void CountResponse(int code);
+
+  const ServiceConfig config_;
+  CompileCache cache_;
+  std::function<std::size_t()> queue_depth_probe_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> executed_{0};  // non-cached compile_runs started
+
+  struct QuarantineRecord {
+    std::string message;
+    std::string repro_bundle;  // bundle name, or "" when not emitted
+  };
+  mutable std::mutex mutex_;  // guards counters_ and quarantine_
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<CacheKey, QuarantineRecord> quarantine_;
+};
+
+}  // namespace fgpar::service

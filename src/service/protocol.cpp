@@ -1,0 +1,323 @@
+#include "service/protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace fgpar::service {
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kCompileRun: return "compile_run";
+    case Op::kHealth: return "health";
+    case Op::kStats: return "stats";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string RunRequestConfig::CanonicalString() const {
+  std::string out = "fgpar-cfg-v1";
+  const auto field = [&out](const char* name, std::uint64_t value) {
+    out += ';';
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+  };
+  field("cores", static_cast<std::uint64_t>(cores));
+  field("latency", static_cast<std::uint64_t>(latency));
+  field("capacity", static_cast<std::uint64_t>(capacity));
+  field("smt", static_cast<std::uint64_t>(smt));
+  field("speculate", speculate ? 1 : 0);
+  field("throughput", throughput ? 1 : 0);
+  field("tune", tune ? 1 : 0);
+  field("trip", static_cast<std::uint64_t>(trip));
+  field("seed", seed);
+  return out;
+}
+
+namespace {
+
+// Bounds mirror fgparc's CLI validation: generous enough for any paper
+// experiment, tight enough that a hostile request cannot demand an
+// absurd simulation.
+void ValidateConfig(const RunRequestConfig& config) {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) {
+      throw Error(std::string("invalid config: ") + what);
+    }
+  };
+  check(config.cores >= 1 && config.cores <= 64, "cores must be in [1, 64]");
+  check(config.latency >= 0 && config.latency <= 10000,
+        "latency must be in [0, 10000]");
+  check(config.capacity >= 1 && config.capacity <= 100000,
+        "capacity must be in [1, 100000]");
+  check(config.smt >= 1 && config.smt <= 8, "smt must be in [1, 8]");
+  check(config.trip >= 1 && config.trip <= 10'000'000,
+        "trip must be in [1, 10000000]");
+}
+
+int ReadI32(const JsonValue& value, const char* what, std::int64_t lo,
+            std::int64_t hi) {
+  const std::int64_t v = value.AsI64();
+  if (v < lo || v > hi) {
+    throw Error(std::string("invalid config: ") + what + " out of range");
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+Request ParseRequest(std::string_view payload) {
+  const JsonValue doc = ParseJson(payload);
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || schema->AsString() != kRpcSchema) {
+    throw Error(std::string("request schema must be \"") + kRpcSchema + "\"");
+  }
+  Request request;
+  request.id = doc.Get("id").AsU64();
+  const std::string& op = doc.Get("op").AsString();
+  if (op == "compile_run") {
+    request.op = Op::kCompileRun;
+  } else if (op == "health") {
+    request.op = Op::kHealth;
+  } else if (op == "stats") {
+    request.op = Op::kStats;
+  } else if (op == "shutdown") {
+    request.op = Op::kShutdown;
+  } else {
+    throw Error("unknown op '" + op + "'");
+  }
+  if (request.op != Op::kCompileRun) {
+    return request;
+  }
+  request.kernel = doc.Get("kernel").AsString();
+  if (request.kernel.empty()) {
+    throw Error("compile_run requires a non-empty kernel");
+  }
+  if (const JsonValue* config = doc.Find("config")) {
+    RunRequestConfig& c = request.config;
+    if (const JsonValue* v = config->Find("cores")) {
+      c.cores = ReadI32(*v, "cores", 1, 64);
+    }
+    if (const JsonValue* v = config->Find("latency")) {
+      c.latency = ReadI32(*v, "latency", 0, 10000);
+    }
+    if (const JsonValue* v = config->Find("capacity")) {
+      c.capacity = ReadI32(*v, "capacity", 1, 100000);
+    }
+    if (const JsonValue* v = config->Find("smt")) {
+      c.smt = ReadI32(*v, "smt", 1, 8);
+    }
+    if (const JsonValue* v = config->Find("speculate")) {
+      c.speculate = v->AsBool();
+    }
+    if (const JsonValue* v = config->Find("throughput")) {
+      c.throughput = v->AsBool();
+    }
+    if (const JsonValue* v = config->Find("tune")) {
+      c.tune = v->AsBool();
+    }
+    if (const JsonValue* v = config->Find("trip")) {
+      c.trip = v->AsI64();
+    }
+    if (const JsonValue* v = config->Find("seed")) {
+      c.seed = v->AsU64();
+    }
+  }
+  ValidateConfig(request.config);
+  return request;
+}
+
+std::string EncodeRequest(const Request& request) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kRpcSchema);
+  w.Key("op");
+  w.String(OpName(request.op));
+  w.Key("id");
+  w.UInt(request.id);
+  if (request.op == Op::kCompileRun) {
+    w.Key("kernel");
+    w.String(request.kernel);
+    w.Key("config");
+    w.BeginObject();
+    w.Key("cores");
+    w.Int(request.config.cores);
+    w.Key("latency");
+    w.Int(request.config.latency);
+    w.Key("capacity");
+    w.Int(request.config.capacity);
+    w.Key("smt");
+    w.Int(request.config.smt);
+    w.Key("speculate");
+    w.Bool(request.config.speculate);
+    w.Key("throughput");
+    w.Bool(request.config.throughput);
+    w.Key("tune");
+    w.Bool(request.config.tune);
+    w.Key("trip");
+    w.Int(request.config.trip);
+    w.Key("seed");
+    w.UInt(request.config.seed);
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+std::string BuildErrorResponse(
+    std::uint64_t id, Op op, int code, std::string_view kind,
+    std::string_view message,
+    const std::map<std::string, std::uint64_t>& extra) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(kRpcSchema);
+  w.Key("id");
+  w.UInt(id);
+  w.Key("op");
+  w.String(OpName(op));
+  w.Key("status");
+  w.String("error");
+  w.Key("code");
+  w.Int(code);
+  w.Key("error");
+  w.BeginObject();
+  w.Key("kind");
+  w.String(kind);
+  w.Key("message");
+  w.String(message);
+  for (const auto& [key, value] : extra) {
+    w.Key(key);
+    w.UInt(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+namespace {
+
+// Restartable full read: false only on EOF/error before `size` bytes.
+bool ReadExact(int fd, void* buffer, std::size_t size) {
+  auto* p = static_cast<char*>(buffer);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ReadStatus ReadFrame(int fd, std::string& payload) {
+  unsigned char header[4];
+  // The first header byte distinguishes a clean close from a mid-frame
+  // disconnect.
+  for (;;) {
+    const ssize_t n = ::read(fd, header, 1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ReadStatus::kClosed;
+    }
+    if (n == 0) {
+      return ReadStatus::kClosed;
+    }
+    break;
+  }
+  if (!ReadExact(fd, header + 1, 3)) {
+    return ReadStatus::kDisconnect;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(header[0]) |
+                               (static_cast<std::uint32_t>(header[1]) << 8) |
+                               (static_cast<std::uint32_t>(header[2]) << 16) |
+                               (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > kMaxFrameBytes) {
+    return ReadStatus::kOversized;
+  }
+  payload.resize(length);
+  if (length > 0 && !ReadExact(fd, payload.data(), length)) {
+    return ReadStatus::kDisconnect;
+  }
+  return ReadStatus::kFrame;
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  const char* p = frame.data();
+  std::size_t remaining = frame.size();
+  while (remaining > 0) {
+    // MSG_NOSIGNAL: a vanished peer yields EPIPE instead of killing the
+    // process with SIGPIPE.
+    const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string EncodeFrame(std::string_view payload) {
+  FGPAR_CHECK_MSG(payload.size() <= kMaxFrameBytes,
+                  "frame payload exceeds kMaxFrameBytes");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+std::optional<std::string> DecodeFrame(std::string_view buffer,
+                                       std::size_t& pos) {
+  if (buffer.size() - pos < 4) {
+    return std::nullopt;
+  }
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(
+        static_cast<unsigned char>(buffer[pos + i]));
+  };
+  const std::uint32_t length = b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+  if (length > kMaxFrameBytes) {
+    throw Error("frame length " + std::to_string(length) +
+                " exceeds the 8 MiB protocol cap");
+  }
+  if (buffer.size() - pos - 4 < length) {
+    return std::nullopt;
+  }
+  std::string payload(buffer.substr(pos + 4, length));
+  pos += 4 + length;
+  return payload;
+}
+
+}  // namespace fgpar::service

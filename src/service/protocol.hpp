@@ -1,0 +1,129 @@
+// The fgpar-rpc-v1 wire protocol: length-prefixed JSON over a local
+// stream socket.
+//
+// Framing.  Every message — request or response — is one frame:
+//
+//   [u32 little-endian payload length][payload bytes]
+//
+// The payload is a single JSON document.  Frames longer than
+// kMaxFrameBytes are a protocol violation: the daemon answers with a
+// structured 400 and closes the connection instead of buffering an
+// attacker-chosen allocation.  A short read (peer vanished mid-frame) is
+// reported distinctly from a clean end-of-stream so the server can count
+// mid-stream disconnects without treating them as errors.
+//
+// Requests ({"schema","op","id",...}):
+//
+//   compile_run — kernel source + run configuration; the daemon compiles,
+//                 simulates, verifies, and returns the deterministic
+//                 result (served byte-identically from the compile cache
+//                 on repeat requests);
+//   health      — liveness + queue/worker/buildinfo snapshot, handled
+//                 inline so it works even when the request queue is full;
+//   stats       — the daemon's counter registry (requests by outcome,
+//                 cache hit/miss/eviction, quarantine count);
+//   shutdown    — ask the daemon to drain in-flight work and exit 0.
+//
+// Responses echo {"schema","id","op"} and carry {"status","code"}:
+// 200 ok, 400 bad_request (malformed frame/JSON/kernel), 408 deadline,
+// 500 internal (including quarantined kernels), 503 rejected (queue full
+// or draining).  Every rejection is structured — the daemon never
+// silently drops a well-framed request.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fgpar::service {
+
+inline constexpr char kRpcSchema[] = "fgpar-rpc-v1";
+/// Upper bound on one frame's payload (requests carry kernel source, not
+/// bulk data; 8 MiB is orders of magnitude above any legitimate kernel).
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;
+
+// Status codes (HTTP-flavoured so log readers need no legend).
+inline constexpr int kOk = 200;
+inline constexpr int kBadRequest = 400;
+inline constexpr int kDeadline = 408;
+inline constexpr int kInternal = 500;
+inline constexpr int kRejected = 503;
+
+enum class Op : std::uint8_t { kCompileRun, kHealth, kStats, kShutdown };
+
+std::string_view OpName(Op op);
+
+/// The per-request run configuration, mirroring fgparc's CLI knobs.  All
+/// fields participate in the cache key (see CanonicalString), so two
+/// requests collide only when they are semantically the same job.
+struct RunRequestConfig {
+  int cores = 4;
+  int latency = 5;    // queue transfer latency, cycles
+  int capacity = 20;  // queue slots
+  int smt = 1;        // hardware threads per physical core
+  bool speculate = false;
+  bool throughput = false;
+  bool tune = false;
+  std::int64_t trip = 400;
+  std::uint64_t seed = 0x5EED;
+
+  /// Canonical, unambiguous text form — the config half of the
+  /// content-addressed cache key.  Field order is fixed; adding a field
+  /// later changes every key, which is exactly the invalidation a
+  /// semantics change requires.
+  std::string CanonicalString() const;
+};
+
+struct Request {
+  Op op = Op::kHealth;
+  std::uint64_t id = 0;
+  std::string kernel;  // compile_run: kernel-language source text
+  RunRequestConfig config;
+};
+
+/// Parses and validates one request payload.  Throws fgpar::Error with a
+/// human-readable reason on anything malformed: bad JSON, wrong schema,
+/// unknown op, missing kernel, or out-of-range configuration values.
+Request ParseRequest(std::string_view payload);
+
+/// Renders a request payload (the client side of ParseRequest).
+std::string EncodeRequest(const Request& request);
+
+/// Builds a structured non-200 response.  `extra` entries land in the
+/// "error" object next to "kind" and "message" (used for queue depth in
+/// 503s and repro-bundle names in 500s).
+std::string BuildErrorResponse(
+    std::uint64_t id, Op op, int code, std::string_view kind,
+    std::string_view message,
+    const std::map<std::string, std::uint64_t>& extra = {});
+
+// ---------------------------------------------------------------------------
+// Frame I/O over a connected stream-socket fd.
+// ---------------------------------------------------------------------------
+
+enum class ReadStatus {
+  kFrame,        // a complete frame was read
+  kClosed,       // clean end of stream before any byte of a frame
+  kDisconnect,   // the peer vanished mid-frame (short read)
+  kOversized,    // declared length exceeds kMaxFrameBytes (nothing read)
+};
+
+/// Blocking read of one frame.  kOversized leaves the connection
+/// undrained — the caller should answer with a structured 400 and close.
+ReadStatus ReadFrame(int fd, std::string& payload);
+
+/// Blocking write of one frame; returns false when the peer is gone
+/// (EPIPE/reset) — never raises SIGPIPE.
+bool WriteFrame(int fd, std::string_view payload);
+
+/// Pure helpers for tests and in-memory use: EncodeFrame prepends the
+/// length prefix; DecodeFrame consumes one frame from `buffer` starting
+/// at `pos` (advancing it) or returns nullopt when incomplete.  Throws
+/// fgpar::Error on an oversized declared length.
+std::string EncodeFrame(std::string_view payload);
+std::optional<std::string> DecodeFrame(std::string_view buffer,
+                                       std::size_t& pos);
+
+}  // namespace fgpar::service

@@ -1,0 +1,259 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+
+#include "harness/sweep.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::service {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+}  // namespace
+
+extern "C" void FgpardOnStopSignal(int) { g_stop_signal = 1; }
+
+SocketServer::SocketServer(ServiceCore& core, std::string socket_path)
+    : core_(core), socket_path_(std::move(socket_path)) {
+  core_.set_queue_depth_probe([this] { return QueueDepth(); });
+}
+
+SocketServer::~SocketServer() {
+  RequestStop();
+  if (accept_thread_.joinable()) {
+    // ServeUntilShutdown was never run (or aborted); drain here so no
+    // thread outlives the object.
+    ServeUntilShutdown();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+void SocketServer::InstallSignalHandlers() {
+  std::signal(SIGTERM, FgpardOnStopSignal);
+  std::signal(SIGINT, FgpardOnStopSignal);
+  // A client that disconnects mid-response must cost us an EPIPE errno,
+  // not the process.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+void SocketServer::Start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  socklen_t addr_len = sizeof(addr);
+  if (!socket_path_.empty() && socket_path_[0] == '@') {
+    // Linux abstract namespace: a leading NUL instead of the '@'.
+    const std::size_t name_len = socket_path_.size() - 1;
+    if (name_len + 1 > sizeof(addr.sun_path)) {
+      throw Error("abstract socket name too long: " + socket_path_);
+    }
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, socket_path_.data() + 1, name_len);
+    addr_len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                      name_len);
+  } else {
+    if (socket_path_.size() + 1 > sizeof(addr.sun_path)) {
+      throw Error("socket path too long: " + socket_path_);
+    }
+    std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+    ::unlink(socket_path_.c_str());  // a stale socket from a crashed run
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
+    throw Error("bind(" + socket_path_ + "): " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw Error("listen(" + socket_path_ + "): " + std::strerror(errno));
+  }
+
+  const int workers = core_.config().workers > 0
+                          ? core_.config().workers
+                          : harness::ResolveSweepThreads(0);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accepting_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void SocketServer::RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+bool SocketServer::StopRequested() const {
+  return stop_.load(std::memory_order_relaxed) || g_stop_signal != 0 ||
+         core_.shutdown_requested();
+}
+
+std::size_t SocketServer::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+void SocketServer::AcceptLoop() {
+  while (!StopRequested()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // Short timeout so a drain request is noticed promptly even with no
+    // client traffic.
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR: re-check the stop flag
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+  accepting_.store(false, std::memory_order_release);
+}
+
+void SocketServer::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || workers_stop_; });
+      if (queue_.empty()) {
+        return;  // workers_stop_ with a drained queue: done
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    // Never throws — every outcome is a structured response.
+    std::string response = core_.Handle(job->request, job->admitted);
+    job->response.set_value(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+    }
+    queue_cv_.notify_all();  // wake the drain waiter and idle workers
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  std::string payload;
+  for (;;) {
+    const ReadStatus status = ReadFrame(fd, payload);
+    if (status == ReadStatus::kClosed || status == ReadStatus::kDisconnect) {
+      break;  // mid-stream disconnects are the client's prerogative
+    }
+    if (status == ReadStatus::kOversized) {
+      // The declared length was refused before reading the body, so the
+      // stream position is unknowable: answer and close.
+      WriteFrame(fd, core_.RejectBadFrame(
+                         "declared frame length exceeds the 8 MiB cap"));
+      break;
+    }
+    Request request;
+    try {
+      request = ParseRequest(payload);
+    } catch (const Error&) {
+      // Malformed payload: HandleFrame re-parses and produces the
+      // structured 400 (double parse only on the error path).
+      if (!WriteFrame(fd, core_.HandleFrame(payload))) {
+        break;
+      }
+      continue;
+    }
+    std::string response;
+    if (request.op != Op::kCompileRun) {
+      // health/stats/shutdown bypass the bounded queue: they must answer
+      // even when every worker is busy and the queue is full.
+      response = core_.Handle(request);
+    } else if (StopRequested()) {
+      response = core_.RejectDraining(request);
+    } else {
+      std::future<std::string> pending;
+      std::size_t depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        depth = queue_.size();
+        if (depth < core_.config().queue_depth) {
+          auto job = std::make_unique<Job>();
+          job->request = request;
+          job->admitted = std::chrono::steady_clock::now();
+          pending = job->response.get_future();
+          queue_.push_back(std::move(job));
+        }
+      }
+      if (pending.valid()) {
+        queue_cv_.notify_one();
+        response = pending.get();
+      } else {
+        response = core_.RejectOverloaded(request, depth,
+                                          core_.config().queue_depth);
+      }
+    }
+    if (!WriteFrame(fd, response)) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+int SocketServer::ServeUntilShutdown() {
+  while (!StopRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  RequestStop();  // make the drain sticky whatever triggered it
+
+  // 1. No new connections.
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+
+  // 2. Queued and in-flight jobs finish; their responses are delivered by
+  //    the connection threads still blocked on the futures.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+
+  // 3. Unblock connection threads parked in ReadFrame and join them.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& conn : conn_threads_) {
+    conn.join();
+  }
+  conn_threads_.clear();
+  conn_fds_.clear();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty() && socket_path_[0] != '@') {
+    ::unlink(socket_path_.c_str());
+  }
+  return 0;
+}
+
+}  // namespace fgpar::service

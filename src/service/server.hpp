@@ -1,0 +1,116 @@
+// The fgpard socket server: connections, admission control, lifecycle.
+//
+// Transport is a local stream socket.  Paths starting with '@' bind the
+// Linux abstract namespace (no filesystem entry, no 108-byte path
+// anxiety, auto-cleanup on exit); any other path is a regular filesystem
+// socket that is unlinked on clean shutdown.
+//
+// Threading model, smallest thing that meets the guarantees:
+//
+//   accept thread   — poll()s the listening socket with a short timeout
+//                     so stop requests are noticed promptly; one thread
+//                     per accepted connection (clients are few and local);
+//   conn threads    — read frames sequentially; health/stats/shutdown are
+//                     answered inline (they must work under overload),
+//                     compile_run goes through TryEnqueue;
+//   worker pool     — sized like the sweep engine's thread fan-out
+//                     (FGPAR_SWEEP_THREADS / hardware concurrency when
+//                     ServiceConfig::workers <= 0); workers pop jobs and
+//                     run ServiceCore::Handle with the admission
+//                     timestamp, so queue wait counts against the
+//                     request's deadline.
+//
+// Admission control: the job queue is bounded by
+// ServiceConfig::queue_depth.  A compile_run that would overflow it gets
+// ServiceCore::RejectOverloaded — a structured 503 with the observed
+// depth — immediately, on the connection thread.  The daemon never
+// queues unboundedly and never silently drops a well-framed request.
+//
+// Lifecycle: SIGTERM (or a shutdown request) begins a drain — new
+// connections stop being accepted, new compile_runs get a structured 503
+// "draining", queued and in-flight jobs finish and their responses are
+// delivered, then ServeUntilShutdown returns 0.  SIGKILL needs no
+// cooperation: every cached response was persisted before it was
+// acknowledged, so a restarted daemon serves byte-identical responses
+// from the replayed cache.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/core.hpp"
+#include "service/protocol.hpp"
+
+namespace fgpar::service {
+
+class SocketServer {
+ public:
+  /// `core` must outlive the server.
+  SocketServer(ServiceCore& core, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens; throws fgpar::Error on failure.  After Start the
+  /// socket accepts connections even before ServeUntilShutdown runs.
+  void Start();
+
+  /// Installs the process-wide SIGTERM/SIGINT drain handler and ignores
+  /// SIGPIPE.  Call once from the daemon main; tests that stop the server
+  /// programmatically (RequestStop) can skip it.
+  static void InstallSignalHandlers();
+
+  /// Serves until a drain is requested (signal, shutdown op, or
+  /// RequestStop), then drains — in-flight and queued jobs complete and
+  /// their responses are delivered — and returns 0.
+  int ServeUntilShutdown();
+
+  /// Programmatic SIGTERM equivalent (thread-safe).
+  void RequestStop();
+
+  std::size_t QueueDepth() const;
+
+ private:
+  struct Job {
+    Request request;
+    std::chrono::steady_clock::time_point admitted;
+    std::promise<std::string> response;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  bool StopRequested() const;
+
+  ServiceCore& core_;
+  const std::string socket_path_;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> stop_{false};      // drain requested
+  std::atomic<bool> accepting_{false}; // accept loop live
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  std::size_t in_flight_ = 0;  // jobs popped but not yet answered
+  bool workers_stop_ = false;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace fgpar::service

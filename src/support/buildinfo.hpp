@@ -1,0 +1,37 @@
+// Build identity shared by every fgpar binary.
+//
+// Two facts answer "which build produced this output?":
+//
+//  * BuildVersionString() — a human-readable one-liner ("fgpar 0.6.0
+//    (GNU 13.2.0, Release, c++20)") printed by every tool's --version and
+//    stamped into artifact headers;
+//  * BuildConfigHash() — an FNV-1a fingerprint over the same fields, so
+//    machine consumers can compare build identities without parsing the
+//    string.
+//
+// Both derive from compile-time facts (version constant, compiler id,
+// build type) and therefore vary across hosts and configurations — they
+// are host-class information and must stay out of the byte-deterministic
+// portion of any artifact, exactly like wall-clock fields (see
+// BenchArtifact::ToJson and HostFieldsSuppressed()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fgpar {
+
+/// The release version alone ("0.6.0").
+const std::string& BuildVersion();
+
+/// Full identity line: "fgpar <version> (<compiler>, <build-type>, c++20)".
+const std::string& BuildVersionString();
+
+/// FNV-1a over the version-string fields; stable for a given build
+/// configuration, different across versions/compilers/build types.
+std::uint64_t BuildConfigHash();
+
+/// BuildConfigHash as 16 lowercase hex digits.
+std::string BuildConfigHashHex();
+
+}  // namespace fgpar

@@ -325,6 +325,11 @@ class JsonParser {
         return out;
       }
       if (c != '\\') {
+        // JSON forbids raw control bytes inside strings; the writer always
+        // escapes them.  Rejecting here keeps adversarial input from
+        // smuggling unescaped framing bytes through round-trips.
+        Expect(static_cast<unsigned char>(c) >= 0x20,
+               "unescaped control character in string");
         out.push_back(c);
         continue;
       }

@@ -1,0 +1,86 @@
+# Graceful-shutdown drill, run as a ctest entry (cmake -P).
+#
+# Proves the sweep supervisor's SIGTERM contract on the fig12 smoke grid
+# (the graceful counterpart of resume_guard.cmake's SIGKILL drill):
+#
+#   run A  — uninterrupted baseline.
+#   run B1 — FGPAR_SUPERVISOR_SIGTERM_AFTER=2 raises SIGTERM right after
+#            the second point is journaled.  With drain_on_sigterm the
+#            sweep must finish in-flight points, journal them, report the
+#            drain, and exit 0 — a drained run is a success, not a crash.
+#   run B2 — --resume recomputes exactly the skipped points and must
+#            finish with stdout and BENCH artifact byte-identical to A's.
+#
+# Usage:
+#   cmake -DFIG12=<fig12_speedup exe> -DWORK_DIR=<scratch dir>
+#         -P sigterm_guard.cmake
+
+if(NOT DEFINED FIG12 OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "sigterm_guard.cmake requires -DFIG12 and -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/a" "${WORK_DIR}/b")
+
+set(ENV{FGPAR_BENCH_DETERMINISTIC} "1")
+set(ENV{FGPAR_SWEEP_THREADS} "2")
+
+# ---- run A: uninterrupted baseline -----------------------------------------
+set(ENV{FGPAR_BENCH_DIR} "${WORK_DIR}/a")
+execute_process(
+  COMMAND ${FIG12} --smoke --checkpoint "${WORK_DIR}/a/ckpt"
+  OUTPUT_VARIABLE stdout_a
+  ERROR_VARIABLE stderr_a
+  RESULT_VARIABLE status_a)
+if(NOT status_a EQUAL 0)
+  message(FATAL_ERROR "run A failed (${status_a}):\n${stderr_a}")
+endif()
+
+# ---- run B1: SIGTERM after two journaled points → clean drain, exit 0 ------
+set(ENV{FGPAR_BENCH_DIR} "${WORK_DIR}/b")
+set(ENV{FGPAR_SUPERVISOR_SIGTERM_AFTER} "2")
+execute_process(
+  COMMAND ${FIG12} --smoke --checkpoint "${WORK_DIR}/b/ckpt"
+  OUTPUT_VARIABLE stdout_b1
+  ERROR_VARIABLE stderr_b1
+  RESULT_VARIABLE status_b1)
+unset(ENV{FGPAR_SUPERVISOR_SIGTERM_AFTER})
+if(NOT status_b1 EQUAL 0)
+  message(FATAL_ERROR
+    "run B1 exited ${status_b1}; a SIGTERM drain must exit 0\n${stderr_b1}")
+endif()
+if(NOT stderr_b1 MATCHES "SIGTERM: drained cleanly, [0-9]+ points skipped")
+  message(FATAL_ERROR "run B1 did not report a clean drain:\n${stderr_b1}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/b/ckpt")
+  message(FATAL_ERROR "run B1 drained without leaving a checkpoint journal")
+endif()
+
+# ---- run B2: resume and finish ---------------------------------------------
+execute_process(
+  COMMAND ${FIG12} --smoke --checkpoint "${WORK_DIR}/b/ckpt" --resume
+  OUTPUT_VARIABLE stdout_b2
+  ERROR_VARIABLE stderr_b2
+  RESULT_VARIABLE status_b2)
+if(NOT status_b2 EQUAL 0)
+  message(FATAL_ERROR "run B2 (resume) failed (${status_b2}):\n${stderr_b2}")
+endif()
+if(NOT stderr_b2 MATCHES "resumed [0-9]+ completed points")
+  message(FATAL_ERROR "run B2 did not report resumed points:\n${stderr_b2}")
+endif()
+
+# ---- the drain must be invisible in the results ----------------------------
+if(NOT stdout_b2 STREQUAL stdout_a)
+  file(WRITE "${WORK_DIR}/stdout_a.txt" "${stdout_a}")
+  file(WRITE "${WORK_DIR}/stdout_b2.txt" "${stdout_b2}")
+  message(FATAL_ERROR
+    "resumed run's stdout differs from the uninterrupted run's "
+    "(see ${WORK_DIR}/stdout_a.txt vs stdout_b2.txt)")
+endif()
+file(READ "${WORK_DIR}/a/BENCH_fig12.json" artifact_a)
+file(READ "${WORK_DIR}/b/BENCH_fig12.json" artifact_b)
+if(NOT artifact_a STREQUAL artifact_b)
+  message(FATAL_ERROR
+    "resumed run's BENCH_fig12.json differs from the uninterrupted run's "
+    "(${WORK_DIR}/a vs ${WORK_DIR}/b)")
+endif()

@@ -444,6 +444,71 @@ TEST(Supervisor, ParallelFailureHookSeesTheFailedMachine) {
   EXPECT_FALSE(snapshot.empty());
 }
 
+// ---- SIGTERM drain --------------------------------------------------------
+
+TEST(Supervisor, DrainStopsNewPointsAndResumeFinishesTheGrid) {
+  SweepSupervisor::ResetDrainForTest();
+  const std::string path = TempPath("ckpt_drain");
+  std::remove(path.c_str());
+  SupervisorConfig config = BasicConfig("drain", 8);
+  config.sweep_threads = 1;  // deterministic point order for the drill
+  config.drain_on_sigterm = true;
+  config.checkpoint_path = path;
+
+  // The drain request lands while point 2 is in flight: it must still
+  // finish and be journaled; points 3..7 must never start.
+  const SweepOutcome stopped = SweepSupervisor(config).Run(
+      [&](const PointContext& ctx) {
+        if (ctx.index == 2) {
+          SweepSupervisor::RequestDrain();  // what the signal handler does
+        }
+        return "r" + std::to_string(ctx.index);
+      });
+  EXPECT_TRUE(stopped.stopped);
+  EXPECT_EQ(stopped.skipped_points, 5u);
+  EXPECT_TRUE(stopped.failures.empty());  // skipped != failed
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(stopped.completed[i]) << i;
+  }
+  for (std::size_t i = 3; i < 8; ++i) {
+    EXPECT_FALSE(stopped.completed[i]) << i;
+  }
+
+  // A --resume run recomputes exactly the skipped points.
+  SweepSupervisor::ResetDrainForTest();
+  config.resume = true;
+  std::atomic<int> recomputed{0};
+  const SweepOutcome finished = SweepSupervisor(config).Run(
+      [&](const PointContext& ctx) {
+        EXPECT_GE(ctx.index, 3u);
+        ++recomputed;
+        return "r" + std::to_string(ctx.index);
+      });
+  EXPECT_FALSE(finished.stopped);
+  EXPECT_EQ(finished.resumed_points, 3u);
+  EXPECT_EQ(recomputed.load(), 5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(finished.completed[i]) << i;
+    EXPECT_EQ(finished.payloads[i], "r" + std::to_string(i));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, DrainFlagNeedsOptIn) {
+  // Without drain_on_sigterm the sticky flag is ignored: sweeps that did
+  // not install the handler keep their all-points semantics.
+  SweepSupervisor::RequestDrain();
+  SupervisorConfig config = BasicConfig("nodrain", 4);
+  const SweepOutcome outcome = SweepSupervisor(config).Run(
+      [](const PointContext& ctx) { return "r" + std::to_string(ctx.index); });
+  SweepSupervisor::ResetDrainForTest();
+  EXPECT_FALSE(outcome.stopped);
+  EXPECT_EQ(outcome.skipped_points, 0u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(outcome.completed[i]) << i;
+  }
+}
+
 // ---- repro bundles --------------------------------------------------------
 
 TEST(Repro, BundleRoundTripsThroughDisk) {

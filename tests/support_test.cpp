@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "support/buildinfo.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -144,6 +145,23 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, RowArityMismatchThrows) {
   TextTable t({"a", "b"});
   EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(BuildInfo, IdentityIsWellFormedAndSelfConsistent) {
+  const std::string& version = BuildVersion();
+  EXPECT_FALSE(version.empty());
+  // "fgpar <version> (<compiler>, <build-type>, c++NN)"
+  const std::string& line = BuildVersionString();
+  EXPECT_EQ(line.rfind("fgpar " + version + " (", 0), 0u);
+  EXPECT_EQ(line.back(), ')');
+  // The hash is a pure function of the same fields: stable within a
+  // build, 16 lowercase hex digits in text form.
+  EXPECT_EQ(BuildConfigHash(), BuildConfigHash());
+  const std::string hex = BuildConfigHashHex();
+  ASSERT_EQ(hex.size(), 16u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
 }
 
 }  // namespace

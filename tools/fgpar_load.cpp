@@ -1,0 +1,677 @@
+// fgpar-load — deterministic load-test client and SLO harness for fgpard.
+//
+// Usage:
+//   fgpar-load --daemon PATH [options]     self-orchestrated SLO run
+//   fgpar-load --socket PATH [options]     drive an already-running daemon
+//
+// Options:
+//   --daemon PATH         fgpard binary to spawn/kill/restart (the SLO mode)
+//   --socket PATH         socket to serve the mix on (default: a per-pid
+//                         abstract name when spawning)
+//   --work-dir DIR        cache/quarantine/trace directory when spawning
+//                         (default fgpard_load_work; must exist)
+//   --smoke               3-kernel subset of the 18-kernel mix
+//   --clients N           concurrent client connections (default 4)
+//   --fuzz N              seeded byte-mutated kernel requests (default 8)
+//   --malformed N         malformed-payload probes (default 6)
+//   --disconnects N       mid-stream disconnect probes (default 2)
+//   --seed N              mix seed (default 0xF6AD)
+//   --workers N           daemon worker threads (spawn mode; default 2)
+//   --queue-depth N       daemon queue bound (spawn mode; default 4)
+//   --drill-crash-every N daemon fault drill (spawn mode; default 0)
+//   --kill9-restart       phase A, SIGKILL the daemon mid-life, restart it
+//                         on the same cache file, phase B; assert every
+//                         non-degraded 200 from A is answered byte-identically
+//                         from the replayed cache in B
+//   --sigterm-finish      finish with SIGTERM (drain) instead of the
+//                         shutdown op; either way the daemon must exit 0
+//   --version             print version + build-config hash and exit
+//
+// The SLO this binary asserts (exit 0 only if all hold):
+//   * every well-formed request gets exactly one parseable fgpar-rpc-v1
+//     response with its id echoed — zero dropped or corrupted responses;
+//   * every rejection (queue overflow, draining) is a structured 503 with
+//     an error kind — never a closed connection or silence;
+//   * every malformed probe gets a structured 400; oversized frames are
+//     refused without reading the body; mid-stream disconnects leave the
+//     daemon healthy (verified by a health request afterwards);
+//   * with --kill9-restart: the restarted daemon serves every cacheable
+//     phase-A success byte-identically, from cache (cache_hits covers them);
+//   * the daemon's final exit status is 0 (drain semantics).
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kernels/sequoia.hpp"
+#include "service/protocol.hpp"
+#include "support/buildinfo.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace fgpar;
+using service::Op;
+using service::Request;
+
+struct Options {
+  std::string daemon;
+  std::string socket;
+  std::string work_dir = "fgpard_load_work";
+  bool smoke = false;
+  int clients = 4;
+  int fuzz = 8;
+  int malformed = 6;
+  int disconnects = 2;
+  std::uint64_t seed = 0xF6AD;
+  int workers = 2;
+  int queue_depth = 4;
+  int drill_crash_every = 0;
+  bool kill9_restart = false;
+  bool sigterm_finish = false;
+};
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: fgpar-load (--daemon PATH | --socket PATH)\n"
+               "                  [--work-dir DIR] [--smoke] [--clients N]\n"
+               "                  [--fuzz N] [--malformed N] [--disconnects N]\n"
+               "                  [--seed N] [--workers N] [--queue-depth N]\n"
+               "                  [--drill-crash-every N] [--kill9-restart]\n"
+               "                  [--sigterm-finish] [--version]\n");
+  std::exit(2);
+}
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// ---------------------------------------------------------------------------
+// Socket plumbing (mirror of the server's address handling)
+// ---------------------------------------------------------------------------
+
+int ConnectOnce(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  socklen_t addr_len = sizeof(addr);
+  if (!path.empty() && path[0] == '@') {
+    const std::size_t name_len = path.size() - 1;
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, path.data() + 1, name_len);
+    addr_len =
+        static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 + name_len);
+  } else {
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectWithRetry(const std::string& path, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    const int fd = ConnectOnce(path);
+    if (fd >= 0) {
+      return fd;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic request mix
+// ---------------------------------------------------------------------------
+
+std::vector<Request> BuildMix(const Options& options) {
+  const std::vector<kernels::SequoiaKernel>& all = kernels::SequoiaKernels();
+  const std::size_t kernel_count =
+      options.smoke ? std::min<std::size_t>(3, all.size()) : all.size();
+  std::vector<Request> mix;
+  std::uint64_t id = 0;
+  for (const int cores : {2, 4}) {
+    for (std::size_t k = 0; k < kernel_count; ++k) {
+      Request request;
+      request.op = Op::kCompileRun;
+      request.id = ++id;
+      request.kernel = all[k].source;
+      request.config.cores = cores;
+      request.config.trip = all[k].trip;
+      request.config.seed = options.seed;
+      mix.push_back(std::move(request));
+    }
+  }
+  // Fuzz: seeded single-byte mutations of real kernels.  Whatever the
+  // mutation does — parse error, different-but-valid kernel — the daemon
+  // must answer with a structured response, never crash or hang.
+  std::uint64_t rng = options.seed ^ 0xF022;
+  for (int f = 0; f < options.fuzz; ++f) {
+    Request request;
+    request.op = Op::kCompileRun;
+    request.id = ++id;
+    request.kernel = all[SplitMix64(rng) % kernel_count].source;
+    const std::size_t pos = SplitMix64(rng) % request.kernel.size();
+    request.kernel[pos] =
+        static_cast<char>(' ' + (SplitMix64(rng) % 94));  // printable
+    request.config.cores = 2;
+    request.config.trip = 64;
+    request.config.seed = options.seed;
+    mix.push_back(std::move(request));
+  }
+  return mix;
+}
+
+// ---------------------------------------------------------------------------
+// Phase execution
+// ---------------------------------------------------------------------------
+
+struct PhaseResult {
+  std::vector<std::string> responses;  // by mix index ("" = missing)
+  std::vector<int> codes;              // -1 = missing
+  std::atomic<std::uint64_t> rejections{0};  // structured 503s absorbed
+  std::vector<std::string> violations;       // SLO breaches, with context
+  std::mutex mutex;                          // guards violations
+};
+
+void Violate(PhaseResult& result, const std::string& message) {
+  std::lock_guard<std::mutex> lock(result.mutex);
+  result.violations.push_back(message);
+}
+
+/// Sends one request on an open connection and returns the raw response
+/// payload, absorbing structured 503s with bounded retry.  Returns false
+/// on a protocol violation (recorded in `result`).
+bool Exchange(int& fd, const std::string& socket_path, const Request& request,
+              PhaseResult& result, std::string& payload) {
+  const std::string encoded = EncodeRequest(request);
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    if (fd < 0) {
+      fd = ConnectWithRetry(socket_path, 10.0);
+      if (fd < 0) {
+        Violate(result, "request " + std::to_string(request.id) +
+                            ": cannot connect to " + socket_path);
+        return false;
+      }
+    }
+    if (!service::WriteFrame(fd, encoded)) {
+      ::close(fd);
+      fd = -1;
+      continue;  // daemon may be between drain and restart
+    }
+    const service::ReadStatus status = service::ReadFrame(fd, payload);
+    if (status != service::ReadStatus::kFrame) {
+      // A draining daemon may close connections after answering; retry
+      // on a fresh connection rather than calling it a drop.
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    try {
+      const JsonValue doc = ParseJson(payload);
+      if (doc.Get("schema").AsString() != service::kRpcSchema) {
+        Violate(result, "request " + std::to_string(request.id) +
+                            ": wrong response schema");
+        return false;
+      }
+      const int code = static_cast<int>(doc.Get("code").AsI64());
+      if (code == service::kRejected) {
+        // Structured rejection: the SLO allows it, counted, retried.
+        if (doc.Get("error").Get("kind").AsString().empty()) {
+          Violate(result, "503 without an error kind");
+          return false;
+        }
+        result.rejections.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      if (doc.Get("id").AsU64() != request.id) {
+        Violate(result, "request " + std::to_string(request.id) +
+                            ": response echoed id " +
+                            std::to_string(doc.Get("id").AsU64()));
+        return false;
+      }
+      return true;
+    } catch (const Error& e) {
+      Violate(result, "request " + std::to_string(request.id) +
+                          ": unparseable response: " + e.what());
+      return false;
+    }
+  }
+  Violate(result, "request " + std::to_string(request.id) +
+                      ": retry budget exhausted (still 503 after 400 tries)");
+  return false;
+}
+
+/// Runs the whole mix across N client threads (work-stealing by atomic
+/// cursor, so any client may carry any request).
+void RunPhase(const Options& options, const std::string& socket_path,
+              const std::vector<Request>& mix, PhaseResult& result) {
+  result.responses.assign(mix.size(), "");
+  result.codes.assign(mix.size(), -1);
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> clients;
+  const int client_count = std::max(1, options.clients);
+  for (int c = 0; c < client_count; ++c) {
+    clients.emplace_back([&] {
+      int fd = -1;
+      for (;;) {
+        const std::size_t index =
+            cursor.fetch_add(1, std::memory_order_relaxed);
+        if (index >= mix.size()) {
+          break;
+        }
+        std::string payload;
+        if (Exchange(fd, socket_path, mix[index], result, payload)) {
+          const JsonValue doc = ParseJson(payload);
+          result.responses[index] = payload;
+          result.codes[index] = static_cast<int>(doc.Get("code").AsI64());
+        }
+      }
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial probes: malformed payloads, oversized frames, disconnects
+// ---------------------------------------------------------------------------
+
+void RunMalformedProbes(const Options& options, const std::string& socket_path,
+                        PhaseResult& result) {
+  static const std::vector<std::string> corpus = {
+      "this is not json",
+      "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\"",
+      "{\"schema\":\"wrong-schema\",\"op\":\"health\",\"id\":1}",
+      "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"no_such_op\",\"id\":2}",
+      "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\",\"id\":3}",
+      "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\",\"id\":4,"
+      "\"kernel\":\"kernel k { }\",\"config\":{\"cores\":9999}}",
+      std::string(100, '[') + std::string(100, ']'),
+      std::string("{\"schema\":\"fgpar-rpc-v1\",\"op\":\"health\",\"id\":\x01"
+                  "5}"),
+  };
+  int fd = ConnectWithRetry(socket_path, 10.0);
+  if (fd < 0) {
+    Violate(result, "malformed probes: cannot connect");
+    return;
+  }
+  for (int i = 0; i < options.malformed; ++i) {
+    const std::string& payload = corpus[static_cast<std::size_t>(i) %
+                                        corpus.size()];
+    if (!service::WriteFrame(fd, payload)) {
+      ::close(fd);
+      fd = ConnectWithRetry(socket_path, 10.0);
+      if (fd < 0) {
+        Violate(result, "malformed probes: daemon gone");
+        return;
+      }
+      continue;
+    }
+    std::string response;
+    if (service::ReadFrame(fd, response) != service::ReadStatus::kFrame) {
+      Violate(result, "malformed probe " + std::to_string(i) +
+                          ": no structured response");
+      ::close(fd);
+      fd = ConnectWithRetry(socket_path, 10.0);
+      continue;
+    }
+    try {
+      const JsonValue doc = ParseJson(response);
+      if (doc.Get("code").AsI64() != service::kBadRequest) {
+        Violate(result, "malformed probe " + std::to_string(i) +
+                            ": expected 400, got " +
+                            std::to_string(doc.Get("code").AsI64()));
+      }
+    } catch (const Error& e) {
+      Violate(result, std::string("malformed probe response unparseable: ") +
+                          e.what());
+    }
+  }
+  // Oversized frame: declare 9 MiB; the daemon must refuse with a 400
+  // without reading the (absent) body, then close.
+  const std::uint32_t huge = (9u << 20);
+  char header[4] = {static_cast<char>(huge & 0xFF),
+                    static_cast<char>((huge >> 8) & 0xFF),
+                    static_cast<char>((huge >> 16) & 0xFF),
+                    static_cast<char>((huge >> 24) & 0xFF)};
+  if (::send(fd, header, 4, MSG_NOSIGNAL) == 4) {
+    std::string response;
+    if (service::ReadFrame(fd, response) != service::ReadStatus::kFrame) {
+      Violate(result, "oversized frame: no structured response");
+    } else {
+      try {
+        const JsonValue doc = ParseJson(response);
+        if (doc.Get("code").AsI64() != service::kBadRequest) {
+          Violate(result, "oversized frame: expected 400");
+        }
+      } catch (const Error&) {
+        Violate(result, "oversized frame: unparseable response");
+      }
+    }
+  }
+  ::close(fd);
+}
+
+void RunDisconnectProbes(const Options& options,
+                         const std::string& socket_path, PhaseResult& result) {
+  for (int i = 0; i < options.disconnects; ++i) {
+    const int fd = ConnectWithRetry(socket_path, 10.0);
+    if (fd < 0) {
+      Violate(result, "disconnect probes: cannot connect");
+      return;
+    }
+    if (i % 2 == 0) {
+      // Vanish after two header bytes.
+      const char partial[2] = {0x10, 0x00};
+      (void)::send(fd, partial, 2, MSG_NOSIGNAL);
+    } else {
+      // Declare 64 bytes, send 10, vanish.
+      const char header[4] = {64, 0, 0, 0};
+      (void)::send(fd, header, 4, MSG_NOSIGNAL);
+      (void)::send(fd, "half a fra", 10, MSG_NOSIGNAL);
+    }
+    ::close(fd);
+  }
+  // The daemon must still answer health after all of that.
+  const int fd = ConnectWithRetry(socket_path, 10.0);
+  if (fd < 0) {
+    Violate(result, "health after disconnect probes: cannot connect");
+    return;
+  }
+  Request health;
+  health.op = Op::kHealth;
+  health.id = 999999;
+  std::string payload;
+  int mutable_fd = fd;
+  if (!Exchange(mutable_fd, socket_path, health, result, payload)) {
+    Violate(result, "health after disconnect probes failed");
+  }
+  if (mutable_fd >= 0) {
+    ::close(mutable_fd);
+  }
+}
+
+/// Fetches the stats counters as a map (empty on failure, with violation).
+std::map<std::string, std::uint64_t> FetchStats(const std::string& socket_path,
+                                                PhaseResult& result) {
+  std::map<std::string, std::uint64_t> stats;
+  Request request;
+  request.op = Op::kStats;
+  request.id = 999998;
+  int fd = -1;
+  std::string payload;
+  if (!Exchange(fd, socket_path, request, result, payload)) {
+    return stats;
+  }
+  const JsonValue doc = ParseJson(payload);
+  for (const auto& [name, value] : doc.Get("stats").AsObject()) {
+    stats[name] = value.AsU64();
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon orchestration (spawn/kill/restart)
+// ---------------------------------------------------------------------------
+
+pid_t SpawnDaemon(const Options& options, const std::string& socket_path) {
+  std::vector<std::string> args = {
+      options.daemon,
+      "--socket", socket_path,
+      "--cache", options.work_dir + "/cache.fgc",
+      "--quarantine-dir", options.work_dir + "/quarantine",
+      "--workers", std::to_string(options.workers),
+      "--queue-depth", std::to_string(options.queue_depth),
+  };
+  if (options.drill_crash_every > 0) {
+    args.push_back("--drill-crash-every");
+    args.push_back(std::to_string(options.drill_crash_every));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) {
+      argv.push_back(arg.data());
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("execv fgpard");
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  auto next_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      Usage();
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("fgpar-load %s config %s\n", BuildVersionString().c_str(),
+                  BuildConfigHashHex().c_str());
+      return 0;
+    } else if (std::strcmp(arg, "--daemon") == 0) {
+      options.daemon = next_value(i);
+    } else if (std::strcmp(arg, "--socket") == 0) {
+      options.socket = next_value(i);
+    } else if (std::strcmp(arg, "--work-dir") == 0) {
+      options.work_dir = next_value(i);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(arg, "--clients") == 0) {
+      options.clients = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--fuzz") == 0) {
+      options.fuzz = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--malformed") == 0) {
+      options.malformed = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--disconnects") == 0) {
+      options.disconnects = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(next_value(i)));
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      options.workers = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--queue-depth") == 0) {
+      options.queue_depth = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--drill-crash-every") == 0) {
+      options.drill_crash_every = std::atoi(next_value(i));
+    } else if (std::strcmp(arg, "--kill9-restart") == 0) {
+      options.kill9_restart = true;
+    } else if (std::strcmp(arg, "--sigterm-finish") == 0) {
+      options.sigterm_finish = true;
+    } else {
+      std::fprintf(stderr, "fgpar-load: unknown option %s\n", arg);
+      Usage();
+    }
+  }
+  if (options.daemon.empty() && options.socket.empty()) {
+    Usage();
+  }
+  const bool spawning = !options.daemon.empty();
+  std::string socket_path = options.socket;
+  if (socket_path.empty()) {
+    socket_path = "@fgpard-load-" + std::to_string(::getpid());
+  }
+
+  const std::vector<Request> mix = BuildMix(options);
+  std::printf("fgpar-load: %zu well-formed requests, %d fuzz, %d malformed, "
+              "%d disconnects, %d clients\n",
+              mix.size(), options.fuzz, options.malformed,
+              options.disconnects, options.clients);
+
+  pid_t daemon_pid = -1;
+  if (spawning) {
+    // Fresh slate per run: a stale cache or quarantine from an earlier
+    // invocation must not leak into this run's SLO accounting.
+    std::error_code ec;
+    std::filesystem::remove_all(options.work_dir, ec);
+    std::filesystem::create_directories(options.work_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "fgpar-load: cannot create work dir %s: %s\n",
+                   options.work_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    daemon_pid = SpawnDaemon(options, socket_path);
+  }
+
+  PhaseResult phase_a;
+  RunPhase(options, socket_path, mix, phase_a);
+  RunMalformedProbes(options, socket_path, phase_a);
+  RunDisconnectProbes(options, socket_path, phase_a);
+
+  std::size_t compared = 0;
+  PhaseResult phase_b;
+  if (options.kill9_restart && spawning) {
+    // The crash: no warning, no cleanup.  Durability must already be on
+    // disk.
+    ::kill(daemon_pid, SIGKILL);
+    int status = 0;
+    ::waitpid(daemon_pid, &status, 0);
+    daemon_pid = SpawnDaemon(options, socket_path);
+
+    RunPhase(options, socket_path, mix, phase_b);
+    const std::map<std::string, std::uint64_t> stats =
+        FetchStats(socket_path, phase_b);
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      if (phase_a.codes[i] != service::kOk) {
+        continue;
+      }
+      // Only fully-successful (non-degraded) responses are cacheable and
+      // therefore byte-stable across the crash.
+      const JsonValue doc = ParseJson(phase_a.responses[i]);
+      if (doc.Get("result").Get("degraded").AsBool()) {
+        continue;
+      }
+      ++compared;
+      if (phase_b.responses[i] != phase_a.responses[i]) {
+        Violate(phase_b,
+                "request " + std::to_string(mix[i].id) +
+                    ": post-restart response differs from pre-crash bytes");
+      }
+    }
+    const auto hits = stats.find("cache_hits");
+    if (compared > 0 &&
+        (hits == stats.end() || hits->second < compared)) {
+      Violate(phase_b, "restarted daemon should have served >= " +
+                           std::to_string(compared) +
+                           " responses from the replayed cache, saw " +
+                           std::to_string(hits == stats.end() ? 0
+                                                              : hits->second));
+    }
+    std::printf("fgpar-load: kill -9 + restart: %zu responses byte-compared "
+                "against the replayed cache\n",
+                compared);
+  }
+
+  // Graceful finish: SIGTERM drain or the shutdown op; either way the
+  // daemon must exit 0.
+  int daemon_exit_violations = 0;
+  if (spawning) {
+    if (options.sigterm_finish) {
+      ::kill(daemon_pid, SIGTERM);
+    } else {
+      Request request;
+      request.op = Op::kShutdown;
+      request.id = 999997;
+      int fd = -1;
+      std::string payload;
+      PhaseResult scratch;
+      if (!Exchange(fd, socket_path, request, scratch, payload)) {
+        ::kill(daemon_pid, SIGTERM);  // fall back so the run terminates
+      }
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+    int status = 0;
+    ::waitpid(daemon_pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ++daemon_exit_violations;
+      std::fprintf(stderr,
+                   "fgpar-load: daemon did not exit cleanly (status %d)\n",
+                   status);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // The verdict
+  // ---------------------------------------------------------------------
+  std::size_t ok = 0, missing = 0;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    if (phase_a.codes[i] < 0) {
+      ++missing;
+    } else {
+      ++ok;
+    }
+  }
+  std::size_t violation_count = phase_a.violations.size() +
+                                phase_b.violations.size() +
+                                static_cast<std::size_t>(daemon_exit_violations);
+  for (const PhaseResult* phase : {&phase_a, &phase_b}) {
+    for (const std::string& violation : phase->violations) {
+      std::fprintf(stderr, "SLO violation: %s\n", violation.c_str());
+    }
+  }
+  std::printf("fgpar-load: %zu/%zu responses, %llu structured rejections "
+              "absorbed, %zu byte-compared, %zu violations\n",
+              ok, mix.size(),
+              static_cast<unsigned long long>(
+                  phase_a.rejections.load() + phase_b.rejections.load()),
+              compared, violation_count);
+  if (missing > 0 || violation_count > 0) {
+    std::printf("SLO: FAIL\n");
+    return 1;
+  }
+  std::printf("SLO: OK\n");
+  return 0;
+}

@@ -33,6 +33,7 @@
 #include "harness/repro.hpp"
 #include "harness/runner.hpp"
 #include "kernels/sequoia.hpp"
+#include "support/buildinfo.hpp"
 #include "support/error.hpp"
 #include "support/telemetry/sinks.hpp"
 
@@ -43,7 +44,11 @@ int main(int argc, char** argv) {
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("fgpar-repro %s config %s\n", BuildVersionString().c_str(),
+                  BuildConfigHashHex().c_str());
+      return 0;
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       trace_path = arg + 8;

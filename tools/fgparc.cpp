@@ -48,6 +48,7 @@
 #include "ir/printer.hpp"
 #include "isa/disasm.hpp"
 #include "sim/machine.hpp"
+#include "support/buildinfo.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
@@ -85,7 +86,7 @@ struct CliOptions {
                "              [--trip N] [--seed N] [--trace FILE]\n"
                "              [--print-ir] [--print-plan] [--disasm] [--run]\n"
                "              [--print-pipeline] [--dump-after=<pass|all>]\n"
-               "              [--compile-stats]\n");
+               "              [--compile-stats] [--version]\n");
   std::exit(2);
 }
 
@@ -99,7 +100,11 @@ CliOptions ParseArgs(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--cores") == 0) {
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("fgparc %s config %s\n", BuildVersionString().c_str(),
+                  BuildConfigHashHex().c_str());
+      std::exit(0);
+    } else if (std::strcmp(arg, "--cores") == 0) {
       options.cores = static_cast<int>(next_int(i));
     } else if (std::strcmp(arg, "--latency") == 0) {
       options.latency = static_cast<int>(next_int(i));
