@@ -3,11 +3,15 @@
 // the cache hierarchy.  These measure the *host* cost of simulation, not
 // simulated time — useful for sizing experiment sweeps.
 //
-// Coverage of the dual run loops (see docs/INTERNALS.md):
-//  * BM_CoreIssueThroughput          — fast path, predecoded dispatch;
+// Coverage of the three run tiers (see docs/INTERNALS.md):
+//  * BM_CoreIssueThroughputThreaded  — direct-threaded trace tier, the
+//    default for hot single-core simulation;
+//  * BM_CoreIssueThroughput          — fast path, predecoded dispatch
+//    (pinned with force_tier so it keeps measuring the fast loop now
+//    that auto resolves to the threaded tier);
 //  * BM_CoreIssueThroughputSlowPath  — same program on the instrumented
-//    reference loop (force_slow_path), i.e. the decoded-cache off
-//    configuration; the ratio of the two is the fast-path speedup;
+//    reference loop, i.e. the decoded-cache off configuration; the
+//    ratios between the three are the per-tier speedups;
 //  * BM_MachineFastForward           — a machine that is mostly idle
 //    (long unpipelined latencies on one core, the rest blocked on
 //    queues), exercising the event fast-forward and blocked-core skip;
@@ -17,10 +21,11 @@
 //    issue event per instruction on top of the slow loop.
 //
 // A custom main additionally writes BENCH_sim_throughput.json with
-// wall-clock simulation rates for the fast loop, the slow loop, and the
-// slow loop under each telemetry sink (aggregating, Chrome trace), so CI
-// archives machine-readable simulator-performance numbers — including
-// the tracing overhead — alongside the figures.
+// wall-clock simulation rates for the threaded, fast, and slow tiers plus
+// the slow loop under each telemetry sink (aggregating, Chrome trace), so
+// CI archives machine-readable simulator-performance numbers — including
+// the threaded-over-fast ratio its perf-smoke step asserts on — alongside
+// the figures.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -54,23 +59,37 @@ isa::Program IssueLoopProgram(std::int64_t iterations) {
   return a.Finish();
 }
 
-sim::RunResult RunIssueLoop(const isa::Program& program, bool force_slow,
+sim::RunResult RunIssueLoop(const isa::Program& program, sim::RunTier tier,
                             telemetry::TelemetrySink* sink = nullptr) {
   sim::MachineConfig config;
   config.num_cores = 1;
   config.memory_words = 1 << 12;
-  config.force_slow_path = force_slow;
+  config.force_tier = tier;
   sim::Machine machine(config, program);
   machine.SetTelemetry(sink);
   machine.StartCoreAt(0, "main");
   return machine.Run();
 }
 
+void BM_CoreIssueThroughputThreaded(benchmark::State& state) {
+  // The direct-threaded trace tier: the hot loop body runs as one
+  // pre-resolved handler chain per iteration (sim/threaded.hpp).
+  const isa::Program program = IssueLoopProgram(state.range(0));
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    instructions +=
+        RunIssueLoop(program, sim::RunTier::kThreaded).instructions;
+  }
+  state.counters["sim_instr/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreIssueThroughputThreaded)->Arg(1000)->Arg(10000);
+
 void BM_CoreIssueThroughput(benchmark::State& state) {
   const isa::Program program = IssueLoopProgram(state.range(0));
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    instructions += RunIssueLoop(program, /*force_slow=*/false).instructions;
+    instructions += RunIssueLoop(program, sim::RunTier::kFast).instructions;
   }
   state.counters["sim_instr/s"] = benchmark::Counter(
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
@@ -84,7 +103,7 @@ void BM_CoreIssueThroughputSlowPath(benchmark::State& state) {
   const isa::Program program = IssueLoopProgram(state.range(0));
   std::uint64_t instructions = 0;
   for (auto _ : state) {
-    instructions += RunIssueLoop(program, /*force_slow=*/true).instructions;
+    instructions += RunIssueLoop(program, sim::RunTier::kSlow).instructions;
   }
   state.counters["sim_instr/s"] = benchmark::Counter(
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
@@ -101,7 +120,7 @@ void BM_CoreIssueThroughputTraced(benchmark::State& state) {
   for (auto _ : state) {
     telemetry::AggregatingSink sink;
     instructions +=
-        RunIssueLoop(program, /*force_slow=*/false, &sink).instructions;
+        RunIssueLoop(program, sim::RunTier::kAuto, &sink).instructions;
   }
   state.counters["sim_instr/s"] = benchmark::Counter(
       static_cast<double>(instructions), benchmark::Counter::kIsRate);
@@ -228,8 +247,9 @@ struct ThroughputSample {
 /// real allocation cost instead of amortizing one giant buffer.
 enum class SinkMode { kNone, kAggregating, kChromeTrace };
 
-ThroughputSample MeasureIssueLoop(const isa::Program& program, bool force_slow,
-                                  SinkMode mode, double min_seconds) {
+ThroughputSample MeasureIssueLoop(const isa::Program& program,
+                                  sim::RunTier tier, SinkMode mode,
+                                  double min_seconds) {
   ThroughputSample sample;
   std::uint64_t instructions = 0;
   double elapsed = 0.0;
@@ -238,16 +258,16 @@ ThroughputSample MeasureIssueLoop(const isa::Program& program, bool force_slow,
     sim::RunResult result;
     switch (mode) {
       case SinkMode::kNone:
-        result = RunIssueLoop(program, force_slow);
+        result = RunIssueLoop(program, tier);
         break;
       case SinkMode::kAggregating: {
         telemetry::AggregatingSink sink;
-        result = RunIssueLoop(program, force_slow, &sink);
+        result = RunIssueLoop(program, tier, &sink);
         break;
       }
       case SinkMode::kChromeTrace: {
         telemetry::ChromeTraceSink sink;
-        result = RunIssueLoop(program, force_slow, &sink);
+        result = RunIssueLoop(program, tier, &sink);
         break;
       }
     }
@@ -265,17 +285,19 @@ ThroughputSample MeasureIssueLoop(const isa::Program& program, bool force_slow,
 void WriteThroughputArtifact() {
   const isa::Program program = IssueLoopProgram(10000);
   constexpr double kMinSeconds = 0.2;
+  const ThroughputSample threaded = MeasureIssueLoop(
+      program, sim::RunTier::kThreaded, SinkMode::kNone, kMinSeconds);
   const ThroughputSample fast = MeasureIssueLoop(
-      program, /*force_slow=*/false, SinkMode::kNone, kMinSeconds);
+      program, sim::RunTier::kFast, SinkMode::kNone, kMinSeconds);
   const ThroughputSample slow = MeasureIssueLoop(
-      program, /*force_slow=*/true, SinkMode::kNone, kMinSeconds);
-  // Telemetry implies the reference loop, so force_slow is redundant for
-  // the traced flavours — passed false to measure exactly what a user's
+      program, sim::RunTier::kSlow, SinkMode::kNone, kMinSeconds);
+  // Telemetry implies the reference loop, so the tier is redundant for
+  // the traced flavours — passed kAuto to measure exactly what a user's
   // "attach a sink" configuration costs.
   const ThroughputSample aggregating = MeasureIssueLoop(
-      program, /*force_slow=*/false, SinkMode::kAggregating, kMinSeconds);
+      program, sim::RunTier::kAuto, SinkMode::kAggregating, kMinSeconds);
   const ThroughputSample chrome = MeasureIssueLoop(
-      program, /*force_slow=*/false, SinkMode::kChromeTrace, kMinSeconds);
+      program, sim::RunTier::kAuto, SinkMode::kChromeTrace, kMinSeconds);
 
   harness::BenchArtifact artifact;
   artifact.name = "sim_throughput";
@@ -290,6 +312,7 @@ void WriteThroughputArtifact() {
     point.host["sim_instr_per_s"] = sample.sim_instr_per_s;
     artifact.points.push_back(std::move(point));
   };
+  add("issue_loop threaded", threaded, "threaded", "none");
   add("issue_loop fast", fast, "fast", "none");
   add("issue_loop slow", slow, "slow", "none");
   add("issue_loop aggregating", aggregating, "slow", "aggregating");
@@ -298,16 +321,22 @@ void WriteThroughputArtifact() {
     return b.sim_instr_per_s > 0.0 ? a.sim_instr_per_s / b.sim_instr_per_s
                                    : 0.0;
   };
+  artifact.host["threaded_over_fast"] = ratio(threaded, fast);
+  artifact.host["threaded_over_slow"] = ratio(threaded, slow);
   artifact.host["fast_over_slow"] = ratio(fast, slow);
   artifact.host["fast_over_aggregating"] = ratio(fast, aggregating);
   artifact.host["fast_over_chrome_trace"] = ratio(fast, chrome);
   const std::string path = artifact.WriteFile();
   std::fprintf(stderr,
-               "wrote %s (fast %.1fM sim-instr/s, slow %.1fM, aggregating "
-               "%.1fM, chrome %.1fM; fast/slow %.2fx)\n",
-               path.c_str(), fast.sim_instr_per_s / 1e6,
-               slow.sim_instr_per_s / 1e6, aggregating.sim_instr_per_s / 1e6,
-               chrome.sim_instr_per_s / 1e6, artifact.host["fast_over_slow"]);
+               "wrote %s (threaded %.1fM sim-instr/s, fast %.1fM, slow "
+               "%.1fM, aggregating %.1fM, chrome %.1fM; threaded/fast "
+               "%.2fx, fast/slow %.2fx)\n",
+               path.c_str(), threaded.sim_instr_per_s / 1e6,
+               fast.sim_instr_per_s / 1e6, slow.sim_instr_per_s / 1e6,
+               aggregating.sim_instr_per_s / 1e6,
+               chrome.sim_instr_per_s / 1e6,
+               artifact.host["threaded_over_fast"],
+               artifact.host["fast_over_slow"]);
 }
 
 }  // namespace

@@ -71,6 +71,7 @@ sim::MachineConfig KernelRunner::MachineConfigFor(const RunConfig& config,
   machine.queue = config.queue;
   machine.stall_watchdog_cycles = config.stall_watchdog_cycles;
   machine.force_slow_path = config.force_slow_path;
+  machine.force_tier = config.force_tier;
   // Round the data region up to a power-of-two-ish budget with headroom.
   std::uint64_t words = 1024;
   while (words < layout_.end() + 64) {
@@ -165,6 +166,7 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
     }
     run.seq_cycles = result.core0_halt_cycle;
     run.seq_instructions = result.instructions;
+    run.threaded_stats += machine.threaded_stats();
   }
 
   // ---- fine-grained parallel ----
@@ -266,6 +268,7 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
         run.queues_used = machine.queues().UsedChannelCount();
         run.max_queue_occupancy = machine.queues().MaxOccupancy();
         run.fault_stats = machine.fault_injector().stats();
+        run.threaded_stats += machine.threaded_stats();
         parallel_ok = true;
       } catch (const sim::DeadlockError& e) {
         record_failure(e);
@@ -334,6 +337,32 @@ telemetry::CounterRegistry KernelRunTelemetry(const KernelRun& run) {
                  /*artifact=*/false);
   registry.Count("max_queue_occupancy",
                  static_cast<std::uint64_t>(run.max_queue_occupancy),
+                 /*artifact=*/false);
+  // Threaded-tier translation observability.  Deliberately artifact=false:
+  // these vary with the resolved run tier while every artifact-visible
+  // number above is tier-invariant, so bench artifacts (and the service
+  // responses derived from them) stay byte-identical across tiers.
+  const sim::ThreadedStats& ts = run.threaded_stats;
+  registry.Count("sim.threaded.blocks_translated", ts.blocks_translated,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.traces", ts.traces, /*artifact=*/false);
+  registry.Count("sim.threaded.trace_enters", ts.trace_enters,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.trace_exits", ts.trace_exits,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.instructions", ts.threaded_instructions,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_memory", ts.deopt_memory,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_queue", ts.deopt_queue,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_call_ret", ts.deopt_call_ret,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_cap", ts.deopt_cap, /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_end", ts.deopt_end, /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_boundary", ts.deopt_boundary,
+                 /*artifact=*/false);
+  registry.Count("sim.threaded.deopt_multi_core", ts.deopt_multi_core,
                  /*artifact=*/false);
   return registry;
 }

@@ -110,6 +110,12 @@ struct RunConfig {
   /// loop (see MachineConfig::force_slow_path).  Results are bit-identical
   /// either way; used by the fast/slow equivalence tests and benchmarks.
   bool force_slow_path = false;
+  /// Pins every simulated machine to one run tier (see
+  /// MachineConfig::force_tier; kAuto picks the fastest eligible tier).
+  /// Results are bit-identical across tiers — this knob exists so the
+  /// sweep engine, fgpard, and micro_sim can pin or compare tiers, and so
+  /// the tier-equivalence tests can demand a specific loop.
+  sim::RunTier force_tier = sim::RunTier::kAuto;
   /// Simulated-cycle budget for the measured sequential and parallel
   /// executions (0 = unlimited).  A run still going at this cycle is
   /// paused at the next loop boundary and reported as a CycleBudgetError —
@@ -158,6 +164,11 @@ struct KernelRun {
   int retries = 0;                 // failed parallel attempts before success/fallback
   std::string failure_reason;      // empty on a clean run
   sim::FaultStats fault_stats;     // injected-fault counters (last attempt)
+
+  // Threaded-tier translation/deopt counters, summed over the measured
+  // sequential and parallel machines (sim.threaded.* in the registry;
+  // all zero when the run resolved to a lower tier).
+  sim::ThreadedStats threaded_stats;
 };
 
 /// The single KernelRun -> named-statistics mapping.  Every consumer of a

@@ -87,4 +87,12 @@ bool IsDequeue(Opcode op) { return op == Opcode::kDeqI || op == Opcode::kDeqF; }
 
 bool IsFpQueueOp(Opcode op) { return op == Opcode::kEnqF || op == Opcode::kDeqF; }
 
+bool IsCallOrRet(Opcode op) {
+  return op == Opcode::kCall || op == Opcode::kCallR || op == Opcode::kRet;
+}
+
+bool IsThreadedTraceable(Opcode op) {
+  return !IsLoad(op) && !IsStore(op) && !IsQueueOp(op) && !IsCallOrRet(op);
+}
+
 }  // namespace fgpar::isa

@@ -97,6 +97,14 @@ bool IsQueueOp(Opcode op);    // enq/deq (either class)
 bool IsEnqueue(Opcode op);    // enqi/enqf
 bool IsDequeue(Opcode op);    // deqi/deqf
 bool IsFpQueueOp(Opcode op);  // enqf/deqf
+bool IsCallOrRet(Opcode op);  // call/callr/ret (call-stack ops)
+
+/// True for opcodes the direct-threaded simulator tier (sim/threaded.hpp)
+/// can bake into a compiled trace: pure register ALU/moves/compares,
+/// immediates, branches, halt, and nop.  Loads/stores (cache-model
+/// boundary), queue ops (cross-core timing), and call/ret (call-stack
+/// depth checks) always deoptimize to the interpreted tiers.
+bool IsThreadedTraceable(Opcode op);
 
 /// Register-file sizes of the simulated core.
 inline constexpr int kNumGpr = 64;

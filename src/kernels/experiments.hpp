@@ -34,6 +34,8 @@ struct ExperimentConfig {
   int sweep_threads = 0;
   /// See harness::RunConfig::force_slow_path.
   bool force_slow_path = false;
+  /// See harness::RunConfig::force_tier (kAuto = fastest eligible tier).
+  sim::RunTier force_tier = sim::RunTier::kAuto;
 };
 
 harness::RunConfig ToRunConfig(const ExperimentConfig& config);

@@ -71,6 +71,7 @@ harness::RunConfig ToRunConfig(const RunRequestConfig& config,
   run.tune_by_simulation = config.tune;
   run.seed = config.seed;
   run.max_cycles = cycle_budget;
+  run.force_tier = config.tier;
   return run;
 }
 

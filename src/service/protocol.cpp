@@ -38,6 +38,9 @@ std::string RunRequestConfig::CanonicalString() const {
   field("tune", tune ? 1 : 0);
   field("trip", static_cast<std::uint64_t>(trip));
   field("seed", seed);
+  // `tier` is deliberately absent: run tiers are bit-identical, so a
+  // tier-only change must hit the same cache entry (locked by
+  // ServiceCache.TierNeverChangesTheKey).
   return out;
 }
 
@@ -129,6 +132,12 @@ Request ParseRequest(std::string_view payload) {
     if (const JsonValue* v = config->Find("seed")) {
       c.seed = v->AsU64();
     }
+    if (const JsonValue* v = config->Find("tier")) {
+      // sim::ParseRunTier throws a clear Error ("unknown run tier ...")
+      // which the daemon reports as a structured 400, like every other
+      // invalid-config field.
+      c.tier = sim::ParseRunTier(v->AsString());
+    }
   }
   ValidateConfig(request.config);
   return request;
@@ -166,6 +175,8 @@ std::string EncodeRequest(const Request& request) {
     w.Int(request.config.trip);
     w.Key("seed");
     w.UInt(request.config.seed);
+    w.Key("tier");
+    w.String(sim::RunTierName(request.config.tier));
     w.EndObject();
   }
   w.EndObject();

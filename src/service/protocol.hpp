@@ -37,6 +37,8 @@
 #include <string>
 #include <string_view>
 
+#include "sim/config.hpp"
+
 namespace fgpar::service {
 
 inline constexpr char kRpcSchema[] = "fgpar-rpc-v1";
@@ -55,9 +57,11 @@ enum class Op : std::uint8_t { kCompileRun, kHealth, kStats, kShutdown };
 
 std::string_view OpName(Op op);
 
-/// The per-request run configuration, mirroring fgparc's CLI knobs.  All
-/// fields participate in the cache key (see CanonicalString), so two
-/// requests collide only when they are semantically the same job.
+/// The per-request run configuration, mirroring fgparc's CLI knobs.
+/// Every semantic field participates in the cache key (see
+/// CanonicalString), so two requests collide only when they are the same
+/// job; `tier` alone is excluded — run tiers are bit-identical by
+/// contract, so tier-only variants of a request share one cache entry.
 struct RunRequestConfig {
   int cores = 4;
   int latency = 5;    // queue transfer latency, cycles
@@ -68,6 +72,11 @@ struct RunRequestConfig {
   bool tune = false;
   std::int64_t trip = 400;
   std::uint64_t seed = 0x5EED;
+  /// Simulator run tier ("auto", "slow", "fast", "threaded"; see
+  /// sim::MachineConfig::force_tier).  Not part of the cache key: all
+  /// tiers produce byte-identical results, so pinning a tier only changes
+  /// how fast a cold request simulates, never what it returns.
+  sim::RunTier tier = sim::RunTier::kAuto;
 
   /// Canonical, unambiguous text form — the config half of the
   /// content-addressed cache key.  Field order is fixed; adding a field

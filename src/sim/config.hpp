@@ -9,11 +9,34 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "isa/opcode.hpp"
 #include "sim/fault.hpp"
 
 namespace fgpar::sim {
+
+/// Which run loop executes the program.  All tiers produce bit-identical
+/// simulated cycles, memory, and statistics (tests/sim_golden_test.cpp);
+/// they differ only in host throughput and in which instrumentation hooks
+/// they can carry.
+///
+///  * kAuto     — pick the fastest tier whose hooks are satisfied: the slow
+///                loop when faults / telemetry / the watchdog are active,
+///                the threaded tier otherwise.
+///  * kSlow     — the instrumented reference loop (RunSlow).
+///  * kFast     — the predecoded fast loop (RunFast), never the translator.
+///  * kThreaded — the fast loop plus the direct-threaded block translator
+///                (sim/threaded.hpp).  Instrumentation hooks still win: a
+///                machine with faults, telemetry, or a watchdog runs the
+///                reference loop regardless of this knob.
+enum class RunTier : std::uint8_t { kAuto = 0, kSlow, kFast, kThreaded };
+
+/// Stable lowercase name ("auto", "slow", "fast", "threaded").
+std::string_view RunTierName(RunTier tier);
+
+/// Inverse of RunTierName; throws fgpar::Error on an unknown name.
+RunTier ParseRunTier(std::string_view name);
 
 /// Per-operation-class issue latencies (cycles until the result register is
 /// ready).  `unpipelined` classes also occupy the issue stage for their full
@@ -89,6 +112,12 @@ struct MachineConfig {
   /// exists for the fast/slow equivalence tests and the decoded-cache
   /// on/off microbenchmarks, not for correctness.
   bool force_slow_path = false;
+  /// Pins the run loop to one tier (see RunTier).  Results are bit-identical
+  /// across tiers, so this knob — like force_slow_path, which it subsumes —
+  /// is excluded from the snapshot identity hash and from service cache
+  /// keys.  Instrumentation hooks (faults, telemetry, watchdog) and
+  /// force_slow_path always override it toward the reference loop.
+  RunTier force_tier = RunTier::kAuto;
 };
 
 }  // namespace fgpar::sim

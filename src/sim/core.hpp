@@ -96,6 +96,9 @@ struct CoreStats {
 
 class Core {
  public:
+  /// The direct-threaded trace executor (sim/threaded.hpp) updates
+  /// registers, scoreboards, pc, and stats in bulk without per-op calls.
+  friend class ThreadedExec;
   /// `id` is the hardware-thread index; `physical_core` selects which L1
   /// this thread's memory accesses hit (SMT threads share their core's L1).
   Core(int id, const MachineConfig& config, int physical_core = -1);

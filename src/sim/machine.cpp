@@ -126,10 +126,47 @@ PauseResult Machine::RunUntil(std::uint64_t stop_cycle) {
     open_stall_cause_.assign(cores_.size(), telemetry::StallCause::kNone);
     open_stall_begin_.assign(cores_.size(), 0);
   }
-  const bool slow = injector_.enabled() || telemetry_ != nullptr ||
-                    config_.stall_watchdog_cycles > 0 ||
-                    config_.force_slow_path;
-  return slow ? RunSlow() : RunFast();
+  switch (resolved_tier()) {
+    case RunTier::kSlow:
+      return RunSlow();
+    case RunTier::kFast:
+      return RunFast();
+    case RunTier::kThreaded:
+      return RunThreaded();
+    case RunTier::kAuto:
+      break;  // resolved_tier() never returns kAuto
+  }
+  FGPAR_UNREACHABLE("unresolved run tier");
+}
+
+RunTier Machine::ResolveTierUncached() const {
+  // Instrumentation hooks always win: the reference loop is the only one
+  // that carries fault injection, the watchdog, and the sim-event sink.
+  if (injector_.enabled() || telemetry_ != nullptr ||
+      config_.stall_watchdog_cycles > 0 || config_.force_slow_path ||
+      config_.force_tier == RunTier::kSlow) {
+    return RunTier::kSlow;
+  }
+  if (config_.force_tier == RunTier::kFast) {
+    return RunTier::kFast;
+  }
+  return RunTier::kThreaded;  // kAuto defaults to the fastest tier
+}
+
+RunTier Machine::resolved_tier() {
+  if (tier_dirty_) {
+    resolved_tier_ = ResolveTierUncached();
+    tier_dirty_ = false;
+    ++tier_resolve_count_;
+  }
+  return resolved_tier_;
+}
+
+void Machine::SetHostTelemetry(telemetry::TelemetrySink* sink) {
+  host_telemetry_ = sink;
+  if (threaded_) {
+    threaded_->SetSpanSink(sink);
+  }
 }
 
 RunResult Machine::FinishResult() const {
@@ -509,6 +546,106 @@ PauseResult Machine::RunFastSingle() {
       if (core.halted() && !core0_halt_recorded_) {
         core0_halt_recorded_ = true;
         core0_halt_cycle_ = now_;
+      }
+      last_issue_cycle_ = now_;
+      ++now_;
+    } else {
+      // kPipelineBusy with a strictly future next_issue_cycle; queue stalls
+      // are unreachable on one core, so the next iteration always advances.
+      FGPAR_CHECK_MSG(now_ - last_issue_cycle_ < config_.no_progress_limit,
+                      "no core issued for no_progress_limit cycles");
+    }
+  }
+
+  return PauseResult{true, FinishResult()};
+}
+
+PauseResult Machine::RunThreaded() {
+  if (!decoded_) {
+    decoded_ = std::make_unique<DecodedProgram>(program_, config_.timing);
+  }
+  if (config_.num_cores > 1) {
+    // Machine-level deopt: cross-core trace execution would have to
+    // replicate lockstep SMT slot arbitration and shared cache/queue
+    // timing order, which is exactly what the cycle loop exists to model.
+    ++threaded_stats_.deopt_multi_core;
+    return RunFast();
+  }
+  if (!threaded_) {
+    threaded_ =
+        std::make_unique<ThreadedCache>(*decoded_, &threaded_stats_,
+                                        host_telemetry_);
+  }
+  return RunThreadedSingle();
+}
+
+PauseResult Machine::RunThreadedSingle() {
+  // RunFastSingle plus trace dispatch.  Every iteration first checks the
+  // pause horizon (the same natural loop boundary as the fast loop), then
+  // either executes a compiled trace anchored at pc or takes one exact
+  // RunFastSingle step.  Trace exits always land on a state the fast loop
+  // could itself have been in at this boundary (sim/threaded.cpp), so the
+  // interleaving below is bit-identical to RunFastSingle for any mix of
+  // traced and interpreted execution.
+  const DecodedProgram& dp = *decoded_;
+  ThreadedCache& tc = *threaded_;
+  Core& core = cores_.front();
+  const std::uint64_t limit = std::min(stop_at_, config_.max_cycles);
+  // After a kBoundary trace exit the same trace would exit again without
+  // progress; force one interpreted step, which re-derives the precise
+  // pause / max_cycles / divide-trap ordering and always makes progress.
+  bool interpret_once = false;
+
+  while (core.started() && !core.halted()) {
+    if (now_ >= stop_at_) {
+      return PauseHere();  // natural loop boundary: all state consistent
+    }
+    if (!interpret_once) {
+      ThreadedTrace* trace = tc.TraceAt(core.pc());
+      if (trace != nullptr) {
+        ++threaded_stats_.trace_enters;
+        const TraceRun run = ThreadedExec::Run(
+            core, *trace, now_, limit, last_issue_cycle_, threaded_stats_);
+        switch (run.exit) {
+          case TraceRun::Exit::kHalt:
+            if (!core0_halt_recorded_) {
+              core0_halt_recorded_ = true;
+              core0_halt_cycle_ = last_issue_cycle_;
+            }
+            continue;  // loop condition ends the run
+          case TraceRun::Exit::kBranch:
+            // A taken branch left the trace: its target may be (or become)
+            // another trace head.
+            tc.NoteControlTransfer(core.pc());
+            continue;
+          case TraceRun::Exit::kDeopt:
+            // pc is on an untranslatable op; the dispatch above will miss
+            // and the interpreted step below handles it.
+            break;
+          case TraceRun::Exit::kBoundary:
+            interpret_once = true;
+            continue;  // re-check the pause horizon first
+        }
+      }
+    }
+    interpret_once = false;
+
+    // One interpreted issue attempt — textually RunFastSingle's body, plus
+    // heat tracking on control transfers (the translation trigger).
+    const std::uint64_t next = core.next_issue_cycle();
+    if (next > now_) {
+      now_ = next;
+    }
+    FGPAR_CHECK_MSG(now_ < config_.max_cycles, "simulation exceeded max_cycles");
+    const std::int64_t pc_before = core.pc();
+    if (core.StepFast(now_, dp, memory_, queues_) == StepOutcome::kIssued) {
+      if (core.halted()) {
+        if (!core0_halt_recorded_) {
+          core0_halt_recorded_ = true;
+          core0_halt_cycle_ = now_;
+        }
+      } else if (core.pc() != pc_before + 1) {
+        tc.NoteControlTransfer(core.pc());
       }
       last_issue_cycle_ = now_;
       ++now_;

@@ -31,6 +31,7 @@
 #include "sim/decoded.hpp"
 #include "sim/fault.hpp"
 #include "sim/memory.hpp"
+#include "sim/threaded.hpp"
 #include "support/error.hpp"
 #include "support/telemetry/telemetry.hpp"
 
@@ -124,16 +125,22 @@ class Machine {
   /// deadlock, StallError on a watchdog trip, and Error if config limits
   /// are exceeded.
   ///
-  /// Two run loops exist behind this call.  The *fast path* steps against a
-  /// predecoded instruction cache (built lazily, once per Machine) and
-  /// skips cores that provably cannot issue this cycle; it is used whenever
-  /// no instrumentation is attached.  The *slow path* is the reference
-  /// implementation: it polls every core every cycle and carries the fault
-  /// injector, the stall watchdog, and the telemetry sink.  A run uses the
-  /// slow path iff fault injection is enabled, stall_watchdog_cycles > 0, a
-  /// telemetry sink is installed, or MachineConfig::force_slow_path is set.
-  /// Simulated cycle counts, final memory, and per-core statistics are
-  /// bit-identical between the two (tests/sim_golden_test.cpp).
+  /// Three run tiers exist behind this call (docs/INTERNALS.md §13).  The
+  /// *threaded tier* (the default when no instrumentation is attached)
+  /// runs the fast loop plus the direct-threaded block translator
+  /// (sim/threaded.hpp), which compiles hot basic blocks into computed-
+  /// goto traces.  The *fast tier* steps against the predecoded
+  /// instruction cache (built lazily, once per Machine) and skips cores
+  /// that provably cannot issue this cycle.  The *slow tier* is the
+  /// reference implementation: it polls every core every cycle and
+  /// carries the fault injector, the stall watchdog, and the telemetry
+  /// sink; it is used iff fault injection is enabled,
+  /// stall_watchdog_cycles > 0, a telemetry sink is installed, or
+  /// MachineConfig::force_slow_path requests it.
+  /// MachineConfig::force_tier pins the choice for equivalence tests and
+  /// benchmarks (instrumentation still wins).  Simulated cycle counts,
+  /// final memory, and per-core statistics are bit-identical across all
+  /// tiers (tests/sim_golden_test.cpp, tests/sim_threaded_test.cpp).
   RunResult Run();
 
   /// Like Run, but pauses once now() reaches `stop_cycle`.  The pause
@@ -176,8 +183,28 @@ class Machine {
   /// (tests/telemetry_test.cpp).  The open-stall tracking behind the
   /// interval events is telemetry-only bookkeeping: it is reset at every
   /// fresh Run and excluded from Snapshot/Restore.
-  void SetTelemetry(telemetry::TelemetrySink* sink) { telemetry_ = sink; }
+  void SetTelemetry(telemetry::TelemetrySink* sink) {
+    telemetry_ = sink;
+    tier_dirty_ = true;  // the sink choice changes tier eligibility
+  }
   telemetry::TelemetrySink* telemetry() const { return telemetry_; }
+
+  /// Installs a host-span-only sink for the threaded tier's `translate`
+  /// SpanEvents (nullptr to disable).  Unlike SetTelemetry this does NOT
+  /// affect tier eligibility: sim-event sinks force the reference loop,
+  /// under which traces never exist, so translation observability needs
+  /// its own channel.
+  void SetHostTelemetry(telemetry::TelemetrySink* sink);
+
+  /// The tier RunUntil would use right now (resolves and caches it).
+  RunTier resolved_tier();
+  /// How many times tier eligibility has been derived (regression hook:
+  /// repeated Run calls must not re-derive it; see tests).
+  int tier_resolve_count() const { return tier_resolve_count_; }
+
+  /// Translator/executor observability for the threaded tier.  Derived
+  /// diagnostic state: excluded from Snapshot and reset by Restore.
+  const ThreadedStats& threaded_stats() const { return threaded_stats_; }
 
   std::uint64_t now() const { return now_; }
   int num_cores() const { return config_.num_cores; }
@@ -204,6 +231,15 @@ class Machine {
   /// stalls (a 1-core machine has no queues), so the loop is just
   /// issue / jump-to-next-issue-cycle.  Bit-identical to RunSlow.
   PauseResult RunFastSingle();
+  /// Threaded tier: RunFastSingle plus hot-block translation into
+  /// direct-threaded traces (sim/threaded.hpp).  Multi-core machines
+  /// delegate wholesale to RunFast (a counted machine-level deopt):
+  /// lockstep SMT arbitration and shared cache/queue timing make
+  /// cross-core trace execution unsound for bit-identity.
+  PauseResult RunThreaded();
+  PauseResult RunThreadedSingle();
+  /// Derives the tier from hooks + force knobs (no caching).
+  RunTier ResolveTierUncached() const;
   /// Reference run loop: polls every core every cycle; carries fault
   /// injection, the stall watchdog, and the telemetry sink.
   PauseResult RunSlow();
@@ -252,6 +288,20 @@ class Machine {
   std::vector<std::uint64_t> open_stall_begin_;
   /// Predecoded instruction cache; built on the first fast-path Run.
   std::unique_ptr<DecodedProgram> decoded_;
+  /// Threaded-tier trace cache; built on the first threaded Run of a
+  /// single-core machine.  Derived state: dropped wholesale by Restore
+  /// (traces are rebuilt lazily, like decoded_) and never serialized.
+  std::unique_ptr<ThreadedCache> threaded_;
+  ThreadedStats threaded_stats_;
+  /// Host-span sink for translate spans (does not affect tier choice).
+  telemetry::TelemetrySink* host_telemetry_ = nullptr;
+  /// Cached tier resolution.  Eligibility depends only on construction-
+  /// time config (faults, watchdog, force knobs) and the telemetry sink,
+  /// so it is derived once and invalidated only by SetTelemetry instead
+  /// of being re-scanned on every Run call.
+  RunTier resolved_tier_ = RunTier::kAuto;
+  bool tier_dirty_ = true;
+  int tier_resolve_count_ = 0;
   /// Per-core outcome of the current cycle, reused across Run calls to
   /// avoid per-cycle clears (only slots of cores evaluated this cycle are
   /// written; stale slots are never read — see the run-loop comments).

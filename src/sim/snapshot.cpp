@@ -85,6 +85,9 @@ void HashConfig(ByteWriter& w, const MachineConfig& c) {
   w.F64(c.faults.core_freeze_prob);
   w.U32(static_cast<std::uint32_t>(c.faults.core_freeze_cycles));
   w.Bool(c.force_slow_path);
+  // force_tier is deliberately NOT hashed: results are bit-identical
+  // across run tiers, so a snapshot taken under one tier must restore
+  // into a machine pinned to another (tests/sim_threaded_test.cpp).
 }
 
 void HashProgram(ByteWriter& w, const isa::Program& program) {
@@ -370,6 +373,14 @@ void Machine::Restore(const std::vector<std::uint8_t>& bytes) {
   queues_.LoadState(r);
   injector_.LoadState(r);
   r.CheckFullyConsumed();
+  // The threaded-tier trace cache is derived state keyed by heat observed
+  // during *this* machine's execution history, which the restore just
+  // replaced: drop it (and its diagnostics) wholesale and let the restored
+  // run re-profile.  Keeping stale traces would still be functionally
+  // correct — translation inputs are covered by the identity hash — but
+  // conservative invalidation keeps the contract simple and testable.
+  threaded_.reset();
+  threaded_stats_ = ThreadedStats{};
 }
 
 }  // namespace fgpar::sim

@@ -85,6 +85,23 @@ TEST(ServiceProtocol, RequestRoundTrip) {
             request.config.CanonicalString());
 }
 
+TEST(ServiceProtocol, TierRoundTripsAndRejectsUnknownNames) {
+  Request request = MakeCompileRun(1);
+  request.config.tier = sim::RunTier::kThreaded;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request)).config.tier,
+            sim::RunTier::kThreaded);
+  request.config.tier = sim::RunTier::kSlow;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request)).config.tier,
+            sim::RunTier::kSlow);
+  // An unknown tier name is a validation error (a structured 400 at the
+  // daemon), never a silent fallback to auto.
+  EXPECT_THROW(
+      (void)ParseRequest(
+          "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\",\"id\":1,"
+          "\"kernel\":\"kernel k {}\",\"config\":{\"tier\":\"warp\"}}"),
+      Error);
+}
+
 TEST(ServiceProtocol, ParseRequestRejectsHostileInput) {
   const auto reject = [](const std::string& payload) {
     EXPECT_THROW((void)ParseRequest(payload), Error) << payload;
@@ -177,6 +194,21 @@ TEST(ServiceCache, EveryConfigFieldSeparatesTheKey) {
                                         variants[j].CanonicalString()))
           << "variants " << i << " and " << j;
     }
+  }
+}
+
+TEST(ServiceCache, TierNeverChangesTheKey) {
+  // Run tiers are bit-identical by contract, so the tier is the one config
+  // field deliberately excluded from the cache key: a tier-only variant
+  // of a request must be served from the same entry.
+  RunRequestConfig base;
+  for (const sim::RunTier tier :
+       {sim::RunTier::kSlow, sim::RunTier::kFast, sim::RunTier::kThreaded}) {
+    RunRequestConfig variant;
+    variant.tier = tier;
+    EXPECT_EQ(base.CanonicalString(), variant.CanonicalString());
+    EXPECT_TRUE(CompileCache::KeyFor(kSumKernel, base.CanonicalString()) ==
+                CompileCache::KeyFor(kSumKernel, variant.CanonicalString()));
   }
 }
 
@@ -330,6 +362,33 @@ TEST(ServiceCore, CachedBodyIsReenvelopedPerRequestId) {
             b.Get("result").Get("counters").Get("seq_cycles").AsU64());
   EXPECT_EQ(Counter(core, "cache_hits"), 1u);
   EXPECT_EQ(Counter(core, "executed"), 1u);
+}
+
+TEST(ServiceCore, TierNeverChangesTheResponseBytes) {
+  // Cold responses computed under different tiers must be byte-identical
+  // (the simulator's cross-tier bit-identity surfacing at the wire), and a
+  // tier-only variant of an already-served request must be a cache hit.
+  const auto with_tier = [](std::uint64_t id, sim::RunTier tier) {
+    Request request = MakeCompileRun(id);
+    request.config.tier = tier;
+    return request;
+  };
+
+  ServiceCore threaded_core{ServiceConfig{}};  // memory-only caches
+  ServiceCore slow_core{ServiceConfig{}};
+  const std::string cold_threaded =
+      threaded_core.Handle(with_tier(9, sim::RunTier::kThreaded));
+  const std::string cold_slow =
+      slow_core.Handle(with_tier(9, sim::RunTier::kSlow));
+  EXPECT_EQ(cold_threaded, cold_slow)
+      << "pinning a tier may change how fast a cold request simulates, "
+         "never what it returns";
+
+  // Same core, same request, different tier: served from cache.
+  EXPECT_EQ(threaded_core.Handle(with_tier(9, sim::RunTier::kFast)),
+            cold_threaded);
+  EXPECT_EQ(Counter(threaded_core, "cache_hits"), 1u);
+  EXPECT_EQ(Counter(threaded_core, "executed"), 1u);
 }
 
 TEST(ServiceCore, BadKernelIs400NeverQuarantined) {

@@ -17,6 +17,12 @@
 // traffic, and each core's stall statistics — to match exactly, for all 18
 // kernels and for hand-built queue-heavy machines where the fast path's
 // issue-skip and multi-cycle fast-forward accounting actually engage.
+//
+// The TierEquivalence tests extend the same contract to the third run
+// tier: every kernel is swept through slow, fast, and direct-threaded
+// (RunConfig::force_tier) and all three must agree on every observable.
+// They are also registered as a standalone ctest label
+// (`ctest -L tier_equivalence`) so CI can gate on the sweep by name.
 #include <cstdio>
 #include <cstdlib>
 
@@ -113,6 +119,53 @@ TEST(FastSlowEquivalence, AllKernelsFourCores) {
     const harness::KernelRun slow = kernels::RunKernel(spec, config);
     ExpectRunsEqual(fast, slow, spec.id);
   }
+}
+
+/// Runs `spec` under all three run tiers with otherwise-identical config
+/// and requires every KernelRun observable to agree.  The sequential leg
+/// of the threaded run is single-core and hot, so it genuinely executes
+/// inside traces; the parallel leg exercises the machine-level
+/// multi-core delegation to the fast loop.
+void CheckKernelTierEquivalence(const kernels::SequoiaKernel& spec,
+                                kernels::ExperimentConfig config) {
+  config.force_tier = sim::RunTier::kSlow;
+  const harness::KernelRun slow = kernels::RunKernel(spec, config);
+  config.force_tier = sim::RunTier::kFast;
+  const harness::KernelRun fast = kernels::RunKernel(spec, config);
+  config.force_tier = sim::RunTier::kThreaded;
+  const harness::KernelRun threaded = kernels::RunKernel(spec, config);
+  ExpectRunsEqual(fast, slow, spec.id + std::string(" (fast vs slow)"));
+  ExpectRunsEqual(threaded, slow, spec.id + std::string(" (threaded vs slow)"));
+  // Pinned tiers must leave their marks: the threaded run translated and
+  // entered traces; the lower tiers never touched the translator.
+  EXPECT_GT(threaded.threaded_stats.trace_enters, 0u) << spec.id;
+  EXPECT_EQ(fast.threaded_stats.trace_enters, 0u) << spec.id;
+  EXPECT_EQ(slow.threaded_stats.trace_enters, 0u) << spec.id;
+}
+
+TEST(TierEquivalence, AllKernelsFourCores) {
+  for (const kernels::SequoiaKernel& spec : kernels::SequoiaKernels()) {
+    kernels::ExperimentConfig config;
+    config.cores = 4;
+    CheckKernelTierEquivalence(spec, config);
+  }
+}
+
+TEST(TierEquivalence, RepresentativeKernelsTwoCores) {
+  for (const GoldenEntry& golden : kGolden) {
+    kernels::ExperimentConfig config;
+    config.cores = 2;
+    CheckKernelTierEquivalence(kernels::SequoiaKernelById(golden.id), config);
+  }
+}
+
+TEST(TierEquivalence, SpeculationConfigAgrees) {
+  // Control-flow speculation changes the compiled code (and thus which
+  // blocks get hot); the tier contract must hold for that shape too.
+  kernels::ExperimentConfig config;
+  config.cores = 4;
+  config.speculation = true;
+  CheckKernelTierEquivalence(kernels::SequoiaKernelById("sphot-1"), config);
 }
 
 /// Two cores bouncing values through their queues: every fast-path

@@ -1,0 +1,366 @@
+// Direct-threaded trace tier tests (sim/threaded.hpp).
+//
+// The contract under test: the threaded tier is an invisible accelerator.
+// Every observable — final cycle count, per-core statistics, memory,
+// snapshot bytes, error messages, pause/resume behaviour — must be
+// bit-identical to the fast and slow tiers; only the sim.threaded.*
+// counters (and host wall time) may differ.  These tests lock the deopt
+// boundaries one by one: memory ops, multi-core machines, telemetry
+// sinks, fault injection, pause horizons, and divide traps must each
+// hand control back to the reference loops without divergence.
+//
+// Snapshots deliberately exclude force_tier from the identity hash, so a
+// snapshot taken under one tier restores under another — which also lets
+// these tests compare final machine states across tiers byte-for-byte.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/machine.hpp"
+#include "sim/threaded.hpp"
+#include "support/error.hpp"
+#include "support/telemetry/sinks.hpp"
+
+namespace {
+
+using namespace fgpar;
+
+/// Pure-ALU hot loop: fully traceable, so the threaded tier runs it
+/// almost entirely inside one trace.
+isa::Program HotAluLoop(std::int64_t iterations) {
+  isa::Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(isa::Gpr{1}, iterations);
+  a.LiI(isa::Gpr{2}, 1);
+  a.LiI(isa::Gpr{3}, 0);
+  isa::Label top = a.NewLabel();
+  a.Bind(top);
+  a.AddI(isa::Gpr{3}, isa::Gpr{3}, isa::Gpr{2});
+  a.MulI(isa::Gpr{4}, isa::Gpr{3}, isa::Gpr{2});
+  a.XorI(isa::Gpr{5}, isa::Gpr{4}, isa::Gpr{3});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top);
+  a.Halt();
+  return a.Finish();
+}
+
+/// Hot loop with a load and a store in the body: the cache model stays
+/// authoritative, so every iteration deopts at the memory boundary.  The
+/// ALU prefix is at least kMinTraceOps long so the pre-store segment is
+/// actually worth a trace (shorter prefixes stay interpreted).
+isa::Program HotMemoryLoop(std::int64_t iterations) {
+  isa::Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(isa::Gpr{1}, iterations);
+  a.LiI(isa::Gpr{2}, 1);
+  a.LiI(isa::Gpr{4}, 64);  // base address
+  isa::Label top = a.NewLabel();
+  a.Bind(top);
+  a.AddI(isa::Gpr{3}, isa::Gpr{1}, isa::Gpr{2});
+  a.MulI(isa::Gpr{6}, isa::Gpr{3}, isa::Gpr{2});
+  a.XorI(isa::Gpr{7}, isa::Gpr{6}, isa::Gpr{3});
+  a.StI(isa::Gpr{3}, isa::Gpr{4}, 0);
+  a.LdI(isa::Gpr{5}, isa::Gpr{4}, 0);
+  a.AddI(isa::Gpr{4}, isa::Gpr{4}, isa::Gpr{2});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top);
+  a.Halt();
+  return a.Finish();
+}
+
+/// Two cores bouncing values through queues (threaded tier must delegate
+/// the whole machine to the fast loop).
+isa::Program PingPong(std::int64_t rounds) {
+  isa::Assembler a;
+  isa::Label core0 = a.NewNamedLabel("core0");
+  isa::Label core1 = a.NewNamedLabel("core1");
+  a.Bind(core0);
+  a.LiI(isa::Gpr{1}, rounds);
+  a.LiI(isa::Gpr{2}, 1);
+  isa::Label top0 = a.NewLabel();
+  a.Bind(top0);
+  a.EnqI(1, isa::Gpr{1});
+  a.DeqI(1, isa::Gpr{3});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top0);
+  a.Halt();
+  a.Bind(core1);
+  a.LiI(isa::Gpr{1}, rounds);
+  a.LiI(isa::Gpr{2}, 1);
+  isa::Label top1 = a.NewLabel();
+  a.Bind(top1);
+  a.DeqI(0, isa::Gpr{3});
+  a.EnqI(0, isa::Gpr{3});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top1);
+  a.Halt();
+  return a.Finish();
+}
+
+sim::MachineConfig SingleCore(sim::RunTier tier) {
+  sim::MachineConfig config;
+  config.num_cores = 1;
+  config.memory_words = 1 << 12;
+  config.force_tier = tier;
+  return config;
+}
+
+sim::Machine MakeSingle(const isa::Program& program, sim::RunTier tier) {
+  sim::Machine m(SingleCore(tier), program);
+  m.StartCoreAt(0, "main");
+  return m;
+}
+
+/// Runs `program` single-core under each tier and requires bit-identical
+/// results and final snapshots (force_tier is excluded from the snapshot
+/// identity hash precisely so this comparison is legal).
+void CheckTierEquivalence(const isa::Program& program) {
+  sim::Machine threaded = MakeSingle(program, sim::RunTier::kThreaded);
+  sim::Machine fast = MakeSingle(program, sim::RunTier::kFast);
+  sim::Machine slow = MakeSingle(program, sim::RunTier::kSlow);
+  const sim::RunResult rt = threaded.Run();
+  const sim::RunResult rf = fast.Run();
+  const sim::RunResult rs = slow.Run();
+  EXPECT_EQ(rt.cycles, rf.cycles);
+  EXPECT_EQ(rt.core0_halt_cycle, rf.core0_halt_cycle);
+  EXPECT_EQ(rt.instructions, rf.instructions);
+  EXPECT_EQ(rf.cycles, rs.cycles);
+  EXPECT_EQ(rf.core0_halt_cycle, rs.core0_halt_cycle);
+  EXPECT_EQ(rf.instructions, rs.instructions);
+  EXPECT_EQ(threaded.Snapshot(), fast.Snapshot());
+  EXPECT_EQ(fast.Snapshot(), slow.Snapshot());
+}
+
+TEST(SimThreaded, HotAluLoopMatchesFastAndSlow) {
+  CheckTierEquivalence(HotAluLoop(500));
+}
+
+TEST(SimThreaded, HotLoopActuallyRunsInTraces) {
+  sim::Machine m = MakeSingle(HotAluLoop(500), sim::RunTier::kThreaded);
+  const sim::RunResult result = m.Run();
+  const sim::ThreadedStats& ts = m.threaded_stats();
+  EXPECT_EQ(m.resolved_tier(), sim::RunTier::kThreaded);
+  EXPECT_GT(ts.blocks_translated, 0u);
+  EXPECT_GT(ts.trace_enters, 0u);
+  // The loop body dominates the run, so the overwhelming majority of
+  // instructions must issue inside traces, not in the interpreted step.
+  EXPECT_GT(ts.threaded_instructions, result.instructions / 2);
+}
+
+TEST(SimThreaded, MemoryOpsDeoptAndMatchOtherTiers) {
+  CheckTierEquivalence(HotMemoryLoop(400));
+  sim::Machine m = MakeSingle(HotMemoryLoop(400), sim::RunTier::kThreaded);
+  m.Run();
+  const sim::ThreadedStats& ts = m.threaded_stats();
+  EXPECT_GT(ts.trace_enters, 0u);
+  EXPECT_GT(ts.deopt_memory, 0u) << "loads/stores must exit the trace";
+}
+
+TEST(SimThreaded, ColdCodeIsNeverTranslated) {
+  // Trip count below kHotThreshold: no branch target ever gets hot.
+  const std::int64_t trips = sim::ThreadedCache::kHotThreshold / 2;
+  sim::Machine m = MakeSingle(HotAluLoop(trips), sim::RunTier::kThreaded);
+  m.Run();
+  EXPECT_EQ(m.threaded_stats().blocks_translated, 0u);
+  EXPECT_EQ(m.threaded_stats().trace_enters, 0u);
+}
+
+TEST(SimThreaded, MultiCoreDelegatesWholesaleToFast) {
+  sim::MachineConfig config;
+  config.num_cores = 2;
+  config.memory_words = 1 << 12;
+  config.force_tier = sim::RunTier::kThreaded;
+  sim::Machine threaded(config, PingPong(64));
+  threaded.StartCoreAt(0, "core0");
+  threaded.StartCoreAt(1, "core1");
+  const sim::RunResult rt = threaded.Run();
+
+  config.force_tier = sim::RunTier::kFast;
+  sim::Machine fast(config, PingPong(64));
+  fast.StartCoreAt(0, "core0");
+  fast.StartCoreAt(1, "core1");
+  const sim::RunResult rf = fast.Run();
+
+  EXPECT_EQ(rt.cycles, rf.cycles);
+  EXPECT_EQ(rt.instructions, rf.instructions);
+  EXPECT_EQ(threaded.Snapshot(), fast.Snapshot());
+  EXPECT_GT(threaded.threaded_stats().deopt_multi_core, 0u);
+  EXPECT_EQ(threaded.threaded_stats().trace_enters, 0u);
+}
+
+TEST(SimThreaded, PauseResumeMidHotLoopIsIdentical) {
+  const isa::Program program = HotAluLoop(500);
+  sim::Machine uninterrupted = MakeSingle(program, sim::RunTier::kThreaded);
+  const sim::RunResult golden = uninterrupted.Run();
+  const std::vector<std::uint8_t> golden_bytes = uninterrupted.Snapshot();
+
+  // Pause deep inside the hot loop — mid-trace from the user's viewpoint.
+  sim::Machine paused = MakeSingle(program, sim::RunTier::kThreaded);
+  const sim::PauseResult pause = paused.RunUntil(golden.cycles / 2);
+  ASSERT_FALSE(pause.finished);
+
+  // Restoring drops the trace cache (derived state); the resumed machine
+  // re-translates lazily and still finishes bit-identically.
+  sim::Machine resumed = MakeSingle(program, sim::RunTier::kThreaded);
+  resumed.Restore(paused.Snapshot());
+  EXPECT_EQ(resumed.threaded_stats().trace_enters, 0u)
+      << "Restore must reset derived threaded-tier state";
+  const sim::RunResult result = resumed.Run();
+  EXPECT_EQ(result.cycles, golden.cycles);
+  EXPECT_EQ(result.core0_halt_cycle, golden.core0_halt_cycle);
+  EXPECT_EQ(result.instructions, golden.instructions);
+  EXPECT_EQ(resumed.Snapshot(), golden_bytes);
+}
+
+TEST(SimThreaded, SnapshotRestoresAcrossTiers) {
+  // A snapshot taken under the threaded tier restores into a fast-tier
+  // machine (and vice versa): force_tier is not part of machine identity.
+  const isa::Program program = HotAluLoop(500);
+  sim::Machine threaded = MakeSingle(program, sim::RunTier::kThreaded);
+  const sim::PauseResult pause = threaded.RunUntil(200);
+  ASSERT_FALSE(pause.finished);
+
+  sim::Machine fast = MakeSingle(program, sim::RunTier::kFast);
+  fast.Restore(threaded.Snapshot());
+  const sim::RunResult cross = fast.Run();
+
+  sim::Machine reference = MakeSingle(program, sim::RunTier::kFast);
+  const sim::RunResult golden = reference.Run();
+  EXPECT_EQ(cross.cycles, golden.cycles);
+  EXPECT_EQ(cross.instructions, golden.instructions);
+  EXPECT_EQ(fast.Snapshot(), reference.Snapshot());
+}
+
+TEST(SimThreaded, TelemetrySinkForcesTheReferenceLoop) {
+  // A sim-event sink demands per-issue instrumentation, which only the
+  // slow loop carries; the tier request must lose to the hook.
+  sim::Machine m = MakeSingle(HotAluLoop(100), sim::RunTier::kThreaded);
+  telemetry::AggregatingSink sink;
+  m.SetTelemetry(&sink);
+  EXPECT_EQ(m.resolved_tier(), sim::RunTier::kSlow);
+  const sim::RunResult traced = m.Run();
+  EXPECT_EQ(m.threaded_stats().trace_enters, 0u);
+  EXPECT_EQ(sink.SimCount(telemetry::SimEventKind::kIssue), traced.instructions);
+
+  // And the traced run's numbers still match the threaded run's.
+  sim::Machine untraced = MakeSingle(HotAluLoop(100), sim::RunTier::kThreaded);
+  const sim::RunResult plain = untraced.Run();
+  EXPECT_EQ(traced.cycles, plain.cycles);
+  EXPECT_EQ(traced.instructions, plain.instructions);
+}
+
+TEST(SimThreaded, FaultInjectionForcesTheReferenceLoop) {
+  sim::MachineConfig config = SingleCore(sim::RunTier::kThreaded);
+  config.faults.seed = 11;
+  config.faults.core_freeze_prob = 0.05;
+  config.faults.core_freeze_cycles = 7;
+  sim::Machine faulted(config, HotAluLoop(100));
+  faulted.StartCoreAt(0, "main");
+  EXPECT_EQ(faulted.resolved_tier(), sim::RunTier::kSlow);
+  const sim::RunResult rt = faulted.Run();
+  EXPECT_EQ(faulted.threaded_stats().trace_enters, 0u);
+
+  // The same faulted machine with an explicit slow pin is bit-identical:
+  // the tier knob changed nothing the injector could observe.
+  config.force_tier = sim::RunTier::kSlow;
+  sim::Machine pinned(config, HotAluLoop(100));
+  pinned.StartCoreAt(0, "main");
+  const sim::RunResult rs = pinned.Run();
+  EXPECT_EQ(rt.cycles, rs.cycles);
+  EXPECT_EQ(rt.instructions, rs.instructions);
+  EXPECT_EQ(faulted.Snapshot(), pinned.Snapshot());
+}
+
+TEST(SimThreaded, DivideTrapInsideTraceMatchesReferenceError) {
+  // g3 counts down to 0 and is then used as a divisor: the trap fires
+  // inside a by-then-hot trace.  The trace must deopt pre-op so the
+  // interpreted step raises the exact reference error.
+  isa::Assembler a;
+  isa::Label main = a.NewNamedLabel("main");
+  a.Bind(main);
+  a.LiI(isa::Gpr{1}, 100);
+  a.LiI(isa::Gpr{2}, 1);
+  a.LiI(isa::Gpr{3}, 50);
+  isa::Label top = a.NewLabel();
+  a.Bind(top);
+  a.SubI(isa::Gpr{3}, isa::Gpr{3}, isa::Gpr{2});
+  a.DivI(isa::Gpr{4}, isa::Gpr{1}, isa::Gpr{3});
+  a.SubI(isa::Gpr{1}, isa::Gpr{1}, isa::Gpr{2});
+  a.Bnz(isa::Gpr{1}, top);
+  a.Halt();
+  const isa::Program program = a.Finish();
+
+  const auto error_of = [&](sim::RunTier tier) -> std::string {
+    sim::Machine m = MakeSingle(program, tier);
+    try {
+      m.Run();
+    } catch (const Error& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::string threaded = error_of(sim::RunTier::kThreaded);
+  const std::string slow = error_of(sim::RunTier::kSlow);
+  ASSERT_NE(threaded, "") << "divide by zero must throw under the threaded tier";
+  EXPECT_EQ(threaded, slow);
+  EXPECT_NE(threaded.find("divide by zero"), std::string::npos);
+}
+
+TEST(SimThreaded, TierResolutionIsCachedAndInvalidatedBySinkChanges) {
+  sim::Machine m = MakeSingle(HotAluLoop(2000), sim::RunTier::kAuto);
+  EXPECT_EQ(m.tier_resolve_count(), 0);
+  sim::PauseResult pause = m.RunUntil(100);
+  ASSERT_FALSE(pause.finished);
+  EXPECT_EQ(m.tier_resolve_count(), 1);
+  pause = m.RunUntil(200);
+  ASSERT_FALSE(pause.finished);
+  EXPECT_EQ(m.tier_resolve_count(), 1)
+      << "repeated runs must not re-derive eligibility";
+
+  // Installing a sink invalidates the cache; the next run re-resolves to
+  // the reference loop (and only once).
+  telemetry::AggregatingSink sink;
+  m.SetTelemetry(&sink);
+  pause = m.RunUntil(300);
+  ASSERT_FALSE(pause.finished);
+  EXPECT_EQ(m.tier_resolve_count(), 2);
+  EXPECT_EQ(m.resolved_tier(), sim::RunTier::kSlow);
+
+  // Removing it re-resolves back to the threaded tier.
+  m.SetTelemetry(nullptr);
+  m.Run();
+  EXPECT_EQ(m.tier_resolve_count(), 3);
+  EXPECT_EQ(m.resolved_tier(), sim::RunTier::kThreaded);
+}
+
+TEST(SimThreaded, TranslateSpansReachTheHostSinkWithoutForcingSlow) {
+  sim::Machine m = MakeSingle(HotAluLoop(500), sim::RunTier::kAuto);
+  telemetry::AggregatingSink host;
+  m.SetHostTelemetry(&host);
+  // The host-span channel must not affect tier eligibility.
+  EXPECT_EQ(m.resolved_tier(), sim::RunTier::kThreaded);
+  m.Run();
+  ASSERT_GT(m.threaded_stats().blocks_translated, 0u);
+
+  const std::vector<telemetry::SpanRecord> spans = host.SpansInCategory("sim");
+  ASSERT_FALSE(spans.empty()) << "each translated block must emit a span";
+  std::uint64_t translate_spans = 0;
+  for (const telemetry::SpanRecord& span : spans) {
+    if (span.name != "translate") {
+      continue;
+    }
+    ++translate_spans;
+    EXPECT_TRUE(span.counters.count("pc"));
+    EXPECT_TRUE(span.counters.count("ops_walked"));
+    EXPECT_TRUE(span.counters.count("traces"));
+    EXPECT_TRUE(span.counters.count("trace_ops"));
+  }
+  EXPECT_EQ(translate_spans, m.threaded_stats().blocks_translated);
+}
+
+}  // namespace

@@ -16,6 +16,10 @@
 //   --malformed N         malformed-payload probes (default 6)
 //   --disconnects N       mid-stream disconnect probes (default 2)
 //   --seed N              mix seed (default 0xF6AD)
+//   --tier T              pin the simulator run tier for every mix request
+//                         (auto|slow|fast|threaded; responses are
+//                         byte-identical per tier, so the kill -9 replay
+//                         invariants hold regardless)
 //   --workers N           daemon worker threads (spawn mode; default 2)
 //   --queue-depth N       daemon queue bound (spawn mode; default 4)
 //   --drill-crash-every N daemon fault drill (spawn mode; default 0)
@@ -81,6 +85,7 @@ struct Options {
   int malformed = 6;
   int disconnects = 2;
   std::uint64_t seed = 0xF6AD;
+  sim::RunTier tier = sim::RunTier::kAuto;
   int workers = 2;
   int queue_depth = 4;
   int drill_crash_every = 0;
@@ -93,7 +98,8 @@ struct Options {
                "usage: fgpar-load (--daemon PATH | --socket PATH)\n"
                "                  [--work-dir DIR] [--smoke] [--clients N]\n"
                "                  [--fuzz N] [--malformed N] [--disconnects N]\n"
-               "                  [--seed N] [--workers N] [--queue-depth N]\n"
+               "                  [--seed N] [--tier T] [--workers N]\n"
+               "                  [--queue-depth N]\n"
                "                  [--drill-crash-every N] [--kill9-restart]\n"
                "                  [--sigterm-finish] [--version]\n");
   std::exit(2);
@@ -169,6 +175,7 @@ std::vector<Request> BuildMix(const Options& options) {
       request.config.cores = cores;
       request.config.trip = all[k].trip;
       request.config.seed = options.seed;
+      request.config.tier = options.tier;
       mix.push_back(std::move(request));
     }
   }
@@ -519,6 +526,8 @@ int main(int argc, char** argv) {
       options.disconnects = std::atoi(next_value(i));
     } else if (std::strcmp(arg, "--seed") == 0) {
       options.seed = static_cast<std::uint64_t>(std::atoll(next_value(i)));
+    } else if (std::strcmp(arg, "--tier") == 0) {
+      options.tier = sim::ParseRunTier(next_value(i));
     } else if (std::strcmp(arg, "--workers") == 0) {
       options.workers = std::atoi(next_value(i));
     } else if (std::strcmp(arg, "--queue-depth") == 0) {

@@ -13,6 +13,8 @@
 //   --smt N            hardware threads per physical core (default 1)
 //   --trip N           value for every i64 parameter (default 400)
 //   --seed N           workload RNG seed (default 0x5EED)
+//   --tier T           simulator run tier: auto|slow|fast|threaded
+//                      (default auto; results are bit-identical per tier)
 //   --trace FILE       write a Chrome trace_event capture of the verified
 //                      run (compile pass spans + per-core issue, queue
 //                      occupancy, and stall intervals) to FILE; open it at
@@ -66,6 +68,7 @@ struct CliOptions {
   int smt = 1;
   std::int64_t trip = 400;
   std::uint64_t seed = 0x5EED;
+  sim::RunTier tier = sim::RunTier::kAuto;
   bool speculate = false;
   bool throughput = false;
   bool tune = false;
@@ -83,7 +86,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: fgparc <file.fk> [--cores N] [--latency N] [--capacity N]\n"
                "              [--speculate] [--throughput] [--tune] [--smt N]\n"
-               "              [--trip N] [--seed N] [--trace FILE]\n"
+               "              [--trip N] [--seed N] [--tier T] [--trace FILE]\n"
                "              [--print-ir] [--print-plan] [--disasm] [--run]\n"
                "              [--print-pipeline] [--dump-after=<pass|all>]\n"
                "              [--compile-stats] [--version]\n");
@@ -123,6 +126,13 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.trace_path = argv[++i];
     } else if (std::strncmp(arg, "--trace=", 8) == 0) {
       options.trace_path = arg + 8;
+    } else if (std::strncmp(arg, "--tier=", 7) == 0) {
+      options.tier = sim::ParseRunTier(arg + 7);
+    } else if (std::strcmp(arg, "--tier") == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      options.tier = sim::ParseRunTier(argv[++i]);
     } else if (std::strcmp(arg, "--speculate") == 0) {
       options.speculate = true;
     } else if (std::strcmp(arg, "--throughput") == 0) {
@@ -302,6 +312,7 @@ int Main(int argc, char** argv) {
     config.threads_per_core = options.smt;
     config.tune_by_simulation = options.tune;
     config.seed = options.seed;
+    config.force_tier = options.tier;
     telemetry::ChromeTraceSink trace_sink;
     if (!options.trace_path.empty()) {
       config.telemetry = &trace_sink;
