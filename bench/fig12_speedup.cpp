@@ -28,6 +28,13 @@
 //                        each measured run's sim events, one stream lane
 //                        per grid point) to <path>; open it at
 //                        ui.perfetto.dev or chrome://tracing
+//   --backend native     after the simulated sweep, additionally execute
+//                        every kernel for real on host threads (4 cores,
+//                        native backend), print a measured-vs-simulated
+//                        column, and emit BENCH_native.json.  The default
+//                        table and BENCH_fig12.json are byte-identical
+//                        with or without this flag; wall-clock numbers
+//                        live only in the new artifact's host fields.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +42,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "compiler/backend.hpp"
 #include "harness/repro.hpp"
 #include "harness/supervisor.hpp"
 #include "kernels/experiments.hpp"
@@ -244,6 +252,58 @@ int main(int argc, char** argv) {
     trace_sink.WriteFile(trace_path);
     std::printf("trace written: %s (open at ui.perfetto.dev)\n",
                 trace_path.c_str());
+  }
+
+  // --backend native: a second, serial pass that executes each kernel for
+  // real on host threads and reports measured wall-clock speedup beside
+  // the simulated number.  Serial on purpose — concurrent points would
+  // contend for the very cores the pinned workers run on and corrupt the
+  // timing.  Everything above this point is untouched by the flag.
+  const compiler::BackendKind backend = compiler::ParseBackendKind(
+      benchutil::FlagValue(argc, argv, "--backend", "sim"));
+  if (backend == compiler::BackendKind::kNative) {
+    harness::BenchArtifact native_artifact;
+    native_artifact.name = "native";
+    TextTable native_table(
+        {"Kernel", "simulated speedup", "measured speedup", "verified"});
+    bool all_verified = true;
+    for (std::size_t i = 0; i < kernel_count; ++i) {
+      kernels::ExperimentConfig experiment;
+      experiment.cores = 4;
+      experiment.backend = compiler::BackendKind::kNative;
+      const benchutil::TimedRun timed =
+          benchutil::TimedKernelRun(all[i], experiment);
+      const harness::KernelRun& run = timed.run;
+      all_verified = all_verified && run.native_run && run.native_verified;
+      native_table.AddRow(
+          {all[i].id, FormatFixed(run.speedup, 2),
+           run.native_run ? FormatFixed(run.native_speedup, 2) : "n/a",
+           run.native_run && run.native_verified ? "yes" : "NO"});
+      harness::BenchArtifact::Point point = benchutil::MakePoint(
+          timed, {{"backend", "native"}, {"cores", "4"}});
+      point.host["native_seq_seconds"] = run.native_seq_seconds;
+      point.host["native_par_seconds"] = run.native_par_seconds;
+      point.host["native_wall_speedup"] = run.native_speedup;
+      native_artifact.points.push_back(std::move(point));
+    }
+    std::printf("%s\n",
+                native_table
+                    .Render("Native backend: measured wall-clock speedup on "
+                            "host threads vs simulated speedup\n(4 cores; "
+                            "wall-clock numbers are host-dependent and "
+                            "excluded from deterministic artifacts)")
+                    .c_str());
+    native_artifact.host["wall_seconds"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    benchutil::EmitArtifact(native_artifact);
+    if (!all_verified) {
+      std::fprintf(stderr, "native backend verification failed\n");
+      return 1;
+    }
+    std::printf(
+        "All native runs verified bit-exact against the reference "
+        "interpreter.\n");
   }
   return supervisor.WithinFailureBudget(outcome) ? 0 : 1;
 }

@@ -16,9 +16,15 @@ CompiledParallel CompileParallel(const ir::Kernel& kernel,
   state.evaluator = evaluator;
   BuildParallelPipeline(options).Run(state, instrumentation);
 
+  // Keep the whole plan (not just its comm half): the plan's items point
+  // into the partition's kernel, whose heap-allocated statement storage is
+  // stable under the moves below, so backends can re-lower the plan later.
   CompiledParallel out{std::move(*state.program),
                        static_cast<int>(state.partition.partitions.size()),
-                       std::move(state.partition), std::move(state.plan->comm)};
+                       std::move(state.partition),
+                       state.plan->comm,
+                       std::move(*state.plan),
+                       &layout};
   return out;
 }
 

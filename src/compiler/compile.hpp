@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "analysis/profile.hpp"
+#include "compiler/lowered.hpp"
 #include "compiler/options.hpp"
 #include "compiler/partition.hpp"
 #include "compiler/pass.hpp"
@@ -27,6 +28,21 @@ struct CompiledParallel {
   int cores_used = 0;  // partitions produced (<= options.num_cores)
   PartitionResult partition;
   CommPlan comm;
+
+  /// The selected target-independent placement + communication plan.  Its
+  /// PlanItems point into `partition`'s kernel, which moves with this
+  /// struct, so backends may re-lower the plan for as long as the compiled
+  /// object lives (the native backend does exactly that).  Moving a
+  /// CompiledParallel is safe; copying would dangle the plan.
+  ProgramPlan plan;
+
+  /// The lowered view the plan represents (see compiler/lowered.hpp).
+  LoweredProgram lowered() const {
+    return {&partition.kernel, layout, &plan};
+  }
+
+  /// Layout the kernel was compiled against (caller-owned).
+  const ir::DataLayout* layout = nullptr;
 
   /// Entry symbol for core 0; every other core starts at "driver".
   static constexpr const char* kPrimaryEntry = "main";

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 
+#include "compiler/backend.hpp"
 #include "compiler/check.hpp"
-#include "compiler/lower.hpp"
+#include "compiler/lowered.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
 
@@ -114,7 +115,7 @@ class SelectPass final : public Pass {
         ProgramPlan plan = BuildProgramPlan(index, assignment, std::move(comm));
         CheckCommunicationPairing(kernel, plan);
         CheckQueueCapacity(plan, state.options.assumed_queue_capacity);
-        Built built{LowerParallel(kernel, *state.layout, plan),
+        Built built{LowerToSim({&kernel, state.layout, &plan}),
                     std::move(plan), std::move(assignment), 0};
         if (state.evaluator != nullptr) {
           built.measured = (*state.evaluator)(
@@ -188,7 +189,7 @@ class LowerSequentialPass final : public Pass {
   void Run(CompileState& state) override {
     FGPAR_CHECK_MSG(state.layout != nullptr,
                     "lower stage requires a data layout");
-    state.program = LowerSequential(state.kernel(), *state.layout);
+    state.program = LowerToSim({&state.kernel(), state.layout, nullptr});
     state.Note("code_words",
                static_cast<std::int64_t>(state.program->size()));
   }

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "ir/validate.hpp"
+#include "native/codegen.hpp"
+#include "native/executor.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry/sinks.hpp"
@@ -12,6 +14,23 @@
 namespace fgpar::harness {
 
 namespace {
+
+/// Byte-compares a native run's output memory against the golden image
+/// (the native analogue of KernelRunner::CompareMemory, which reads a sim
+/// machine instead of a host vector).
+void CompareNativeMemory(const std::vector<std::uint64_t>& actual,
+                         const std::vector<std::uint64_t>& golden,
+                         const std::string& kernel, const std::string& what) {
+  for (std::uint64_t addr = 0; addr < golden.size(); ++addr) {
+    if (actual[addr] != golden[addr]) {
+      std::ostringstream os;
+      os << "memory mismatch in " << what << " for kernel '" << kernel
+         << "' at address " << addr << ": golden=0x" << std::hex
+         << golden[addr] << " actual=0x" << actual[addr];
+      throw VerifyError(os.str());
+    }
+  }
+}
 
 /// Run-to-completion under RunConfig::max_cycles: a machine still going at
 /// the budget is paused at the next loop boundary and reported as a
@@ -305,6 +324,53 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
       run.queues_used = 0;
       run.max_queue_occupancy = 0;
     }
+
+    // ---- native-backend execution (real host threads + SPSC rings) ----
+    // Runs after the sim measurements so every simulated number (and thus
+    // every deterministic artifact byte) is untouched by the backend knob.
+    // Both native forms are always verified against the golden model —
+    // unverified wall-clock numbers would be meaningless.
+    if (config.backend == compiler::BackendKind::kNative) {
+      telemetry::ScopedSpan span(config.telemetry, "native", "native.run");
+      const std::vector<std::uint64_t> params_raw =
+          native::RawParams(kernel_, prepared.params);
+      const std::size_t ring_capacity =
+          config.queue.capacity > 0
+              ? static_cast<std::size_t>(config.queue.capacity)
+              : native::SpscRing::kDefaultCapacity;
+
+      std::vector<std::uint64_t> seq_memory = prepared.image;
+      const native::NativeRunStats seq_stats = native::ExecuteNative(
+          {&kernel_, &layout_, nullptr}, params_raw, seq_memory);
+      CompareNativeMemory(seq_memory, golden, kernel_.name(),
+                          "native sequential execution");
+
+      std::vector<std::uint64_t> par_memory = prepared.image;
+      const native::NativeRunStats par_stats =
+          native::ExecuteNative(compiled.lowered(), params_raw, par_memory,
+                                ring_capacity);
+      CompareNativeMemory(par_memory, golden, kernel_.name(),
+                          "native parallel execution (" +
+                              std::to_string(par_stats.cores) + " threads)");
+
+      run.native_run = true;
+      run.native_verified = true;
+      run.native_seq_seconds = seq_stats.wall_seconds;
+      run.native_par_seconds = par_stats.wall_seconds;
+      run.native_speedup =
+          par_stats.wall_seconds > 0.0
+              ? seq_stats.wall_seconds / par_stats.wall_seconds
+              : 0.0;
+      run.native_queue_transfers = par_stats.queue_transfers;
+      run.native_rings_used = par_stats.rings_used;
+      run.native_cores = par_stats.cores;
+      span.Note("native.queue.transfers",
+                static_cast<std::int64_t>(par_stats.queue_transfers));
+      span.Note("native.queue.rings",
+                static_cast<std::int64_t>(par_stats.rings_used));
+      span.Note("native.cores", par_stats.cores);
+      span.Note("native.verified", 1);
+    }
   }
 
   run.speedup = static_cast<double>(run.seq_cycles) /
@@ -364,6 +430,26 @@ telemetry::CounterRegistry KernelRunTelemetry(const KernelRun& run) {
                  /*artifact=*/false);
   registry.Count("sim.threaded.deopt_multi_core", ts.deopt_multi_core,
                  /*artifact=*/false);
+  // Native-backend entries exist only for native runs, so sim-backend
+  // artifacts keep their historical bytes.  The deterministic facts
+  // (verification, ring traffic, thread count) are artifact-visible — they
+  // define the BENCH_native.json point schema — while wall-clock numbers
+  // are host-dependent and stay out of deterministic artifacts by design
+  // (INTERNALS.md §14); benches report them via per-point host fields.
+  if (run.native_run) {
+    registry.Count("native.verified", run.native_verified ? 1 : 0);
+    registry.Count("native.queue_transfers", run.native_queue_transfers);
+    registry.Count("native.rings_used",
+                   static_cast<std::uint64_t>(run.native_rings_used));
+    registry.Count("native.cores",
+                   static_cast<std::uint64_t>(run.native_cores));
+    registry.Metric("native.wall_speedup", run.native_speedup,
+                    /*artifact=*/false);
+    registry.Metric("native.seq_seconds", run.native_seq_seconds,
+                    /*artifact=*/false);
+    registry.Metric("native.par_seconds", run.native_par_seconds,
+                    /*artifact=*/false);
+  }
   return registry;
 }
 

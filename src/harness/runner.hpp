@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/profile.hpp"
+#include "compiler/backend.hpp"
 #include "compiler/compile.hpp"
 #include "ir/interp.hpp"
 #include "ir/kernel.hpp"
@@ -116,6 +117,15 @@ struct RunConfig {
   /// sweep engine, fgpard, and micro_sim can pin or compare tiers, and so
   /// the tier-equivalence tests can demand a specific loop.
   sim::RunTier force_tier = sim::RunTier::kAuto;
+  /// Execution backend.  kSim (default) runs everything on the simulator.
+  /// kNative additionally executes the kernel for real on host threads —
+  /// sequential closures on one thread, the selected partition on one
+  /// pinned std::thread per core with enq/deq on SPSC rings sized
+  /// queue.capacity — verifies both memories against the golden model, and
+  /// records measured wall-clock numbers in KernelRun::native_*.  The sim
+  /// measurements (and thus every deterministic artifact byte) are
+  /// unchanged; native timing is wall-clock-only by design.
+  compiler::BackendKind backend = compiler::BackendKind::kSim;
   /// Simulated-cycle budget for the measured sequential and parallel
   /// executions (0 = unlimited).  A run still going at this cycle is
   /// paused at the next loop boundary and reported as a CycleBudgetError —
@@ -169,6 +179,18 @@ struct KernelRun {
   // sequential and parallel machines (sim.threaded.* in the registry;
   // all zero when the run resolved to a lower tier).
   sim::ThreadedStats threaded_stats;
+
+  // Native-backend measurements (RunConfig::backend == kNative only; never
+  // journaled — fgpar_ckpt_v1 carries sim results, and wall-clock numbers
+  // are host-dependent by nature).
+  bool native_run = false;       // the native backend executed this kernel
+  bool native_verified = false;  // both native memories matched the golden model
+  double native_seq_seconds = 0.0;
+  double native_par_seconds = 0.0;
+  double native_speedup = 0.0;   // measured wall-clock seq/par
+  std::uint64_t native_queue_transfers = 0;
+  int native_rings_used = 0;
+  int native_cores = 0;
 };
 
 /// The single KernelRun -> named-statistics mapping.  Every consumer of a

@@ -16,6 +16,7 @@ harness::RunConfig ToRunConfig(const ExperimentConfig& config) {
   run.tune_by_simulation = config.tune_by_simulation;
   run.force_slow_path = config.force_slow_path;
   run.force_tier = config.force_tier;
+  run.backend = config.backend;
   return run;
 }
 

@@ -36,6 +36,9 @@ struct ExperimentConfig {
   bool force_slow_path = false;
   /// See harness::RunConfig::force_tier (kAuto = fastest eligible tier).
   sim::RunTier force_tier = sim::RunTier::kAuto;
+  /// See harness::RunConfig::backend: kNative additionally executes the
+  /// kernel on real host threads and records measured wall-clock numbers.
+  compiler::BackendKind backend = compiler::BackendKind::kSim;
 };
 
 harness::RunConfig ToRunConfig(const ExperimentConfig& config);

@@ -1,0 +1,10 @@
+#include "native/backend.hpp"
+
+namespace fgpar::native {
+
+std::unique_ptr<compiler::Backend> MakeNativeBackend(
+    std::size_t ring_capacity) {
+  return std::make_unique<NativeBackend>(ring_capacity);
+}
+
+}  // namespace fgpar::native

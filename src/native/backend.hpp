@@ -1,0 +1,63 @@
+// The native backend: compiler::Backend implemented over host threads.
+//
+// NativeProgram materializes a LoweredProgram as host closures plus the
+// ring-connected thread protocol (executor.hpp).  It keeps non-owning
+// views into the lowered form, which therefore must outlive it — in
+// practice the views point into a CompiledParallel (which owns kernel and
+// plan) or into a caller-owned kernel/layout pair for the sequential form.
+#pragma once
+
+#include <memory>
+
+#include "compiler/backend.hpp"
+#include "native/executor.hpp"
+
+namespace fgpar::native {
+
+class NativeProgram final : public compiler::BackendProgram {
+ public:
+  explicit NativeProgram(const compiler::LoweredProgram& lowered,
+                         std::size_t ring_capacity =
+                             SpscRing::kDefaultCapacity)
+      : lowered_(lowered), ring_capacity_(ring_capacity) {}
+
+  compiler::BackendKind kind() const override {
+    return compiler::BackendKind::kNative;
+  }
+
+  int cores() const { return lowered_.cores(); }
+
+  /// Runs the program over `memory` in place (executor.hpp semantics).
+  NativeRunStats Run(const std::vector<std::uint64_t>& params_raw,
+                     std::vector<std::uint64_t>& memory) const {
+    return ExecuteNative(lowered_, params_raw, memory, ring_capacity_);
+  }
+
+ private:
+  compiler::LoweredProgram lowered_;
+  std::size_t ring_capacity_;
+};
+
+class NativeBackend final : public compiler::Backend {
+ public:
+  explicit NativeBackend(std::size_t ring_capacity =
+                             SpscRing::kDefaultCapacity)
+      : ring_capacity_(ring_capacity) {}
+
+  compiler::BackendKind kind() const override {
+    return compiler::BackendKind::kNative;
+  }
+
+  std::unique_ptr<compiler::BackendProgram> Compile(
+      const compiler::LoweredProgram& lowered) const override {
+    return std::make_unique<NativeProgram>(lowered, ring_capacity_);
+  }
+
+ private:
+  std::size_t ring_capacity_;
+};
+
+std::unique_ptr<compiler::Backend> MakeNativeBackend(
+    std::size_t ring_capacity = SpscRing::kDefaultCapacity);
+
+}  // namespace fgpar::native

@@ -1,0 +1,351 @@
+#include "native/codegen.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace fgpar::native {
+namespace {
+
+std::uint64_t RawF(double v) { return std::bit_cast<std::uint64_t>(v); }
+double AsF(std::uint64_t raw) { return std::bit_cast<double>(raw); }
+std::uint64_t RawI(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+std::int64_t AsI(std::uint64_t raw) { return static_cast<std::int64_t>(raw); }
+
+}  // namespace
+
+ExprFn Codegen::CompileExpr(ir::ExprId id) const {
+  const ir::ExprNode& node = kernel_.expr(id);
+  switch (node.kind) {
+    case ir::ExprKind::kConstI: {
+      const std::uint64_t v = RawI(node.const_i);
+      return [v](Frame&) { return v; };
+    }
+    case ir::ExprKind::kConstF: {
+      const std::uint64_t v = RawF(node.const_f);
+      return [v](Frame&) { return v; };
+    }
+    case ir::ExprKind::kIvRef:
+      return [](Frame& f) { return RawI(f.iv); };
+    case ir::ExprKind::kParamRef: {
+      const ir::SymbolId sym = node.sym;
+      return [sym](Frame& f) {
+        return f.params[static_cast<std::size_t>(sym)];
+      };
+    }
+    case ir::ExprKind::kScalarRef: {
+      const std::uint64_t addr = layout_.AddressOf(node.sym);
+      return [addr](Frame& f) {
+        FGPAR_CHECK(addr < f.memory_size);
+        return f.memory[addr];
+      };
+    }
+    case ir::ExprKind::kArrayRef: {
+      const ExprFn index = CompileExpr(node.child[0]);
+      const std::uint64_t base = layout_.AddressOf(node.sym);
+      const std::int64_t size = kernel_.symbol(node.sym).array_size;
+      const std::string name = kernel_.symbol(node.sym).name;
+      return [index, base, size, name](Frame& f) {
+        const std::int64_t i = AsI(index(f));
+        FGPAR_CHECK_MSG(i >= 0 && i < size,
+                        "array index out of bounds: " + name + "[" +
+                            std::to_string(i) + "], size " +
+                            std::to_string(size));
+        const std::uint64_t addr = base + static_cast<std::uint64_t>(i);
+        FGPAR_CHECK(addr < f.memory_size);
+        return f.memory[addr];
+      };
+    }
+    case ir::ExprKind::kTempRef: {
+      const std::size_t t = static_cast<std::size_t>(node.temp);
+      return [t](Frame& f) { return f.temps[t]; };
+    }
+    case ir::ExprKind::kUnary: {
+      const ExprFn v = CompileExpr(node.child[0]);
+      const bool is_int = node.type == ir::ScalarType::kI64;
+      switch (node.un) {
+        case ir::UnOp::kNeg:
+          return is_int
+                     ? ExprFn([v](Frame& f) { return RawI(-AsI(v(f))); })
+                     : ExprFn([v](Frame& f) { return RawF(-AsF(v(f))); });
+        case ir::UnOp::kAbs:
+          return is_int ? ExprFn([v](Frame& f) {
+            const std::int64_t x = AsI(v(f));
+            return RawI(x < 0 ? -x : x);
+          })
+                        : ExprFn([v](Frame& f) {
+                            return RawF(std::fabs(AsF(v(f))));
+                          });
+        case ir::UnOp::kSqrt:
+          return [v](Frame& f) { return RawF(std::sqrt(AsF(v(f)))); };
+        case ir::UnOp::kNot:
+          return [v](Frame& f) { return RawI(AsI(v(f)) == 0 ? 1 : 0); };
+        case ir::UnOp::kI2F:
+          return [v](Frame& f) {
+            return RawF(static_cast<double>(AsI(v(f))));
+          };
+        case ir::UnOp::kF2I:
+          return [v](Frame& f) {
+            return RawI(static_cast<std::int64_t>(AsF(v(f))));
+          };
+      }
+      FGPAR_UNREACHABLE("bad UnOp");
+    }
+    case ir::ExprKind::kBinary: {
+      const ExprFn lf = CompileExpr(node.child[0]);
+      const ExprFn rf = CompileExpr(node.child[1]);
+      const ir::ScalarType in = kernel_.expr(node.child[0]).type;
+      if (in == ir::ScalarType::kI64) {
+        switch (node.bin) {
+          // Add/sub/mul wrap (two's complement), like the interpreter and
+          // the simulated machine; uint64 arithmetic keeps the wrap defined.
+          case ir::BinOp::kAdd:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l + rf(f);
+            };
+          case ir::BinOp::kSub:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l - rf(f);
+            };
+          case ir::BinOp::kMul:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l * rf(f);
+            };
+          case ir::BinOp::kDiv:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              const std::int64_t r = AsI(rf(f));
+              FGPAR_CHECK_MSG(r != 0, "integer divide by zero");
+              FGPAR_CHECK_MSG(l != INT64_MIN || r != -1,
+                              "integer divide overflow");
+              return RawI(l / r);
+            };
+          case ir::BinOp::kRem:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              const std::int64_t r = AsI(rf(f));
+              FGPAR_CHECK_MSG(r != 0, "integer remainder by zero");
+              FGPAR_CHECK_MSG(l != INT64_MIN || r != -1,
+                              "integer remainder overflow");
+              return RawI(l % r);
+            };
+          case ir::BinOp::kMin:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(std::min(l, AsI(rf(f))));
+            };
+          case ir::BinOp::kMax:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(std::max(l, AsI(rf(f))));
+            };
+          case ir::BinOp::kAnd:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l & rf(f);
+            };
+          case ir::BinOp::kOr:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l | rf(f);
+            };
+          case ir::BinOp::kXor:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l ^ rf(f);
+            };
+          case ir::BinOp::kShl:
+            return [lf, rf](Frame& f) {
+              const std::uint64_t l = lf(f);
+              return l << (AsI(rf(f)) & 63);
+            };
+          case ir::BinOp::kShr:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(l >> (AsI(rf(f)) & 63));
+            };
+          case ir::BinOp::kEq:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(l == AsI(rf(f)) ? 1 : 0);
+            };
+          case ir::BinOp::kNe:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(l != AsI(rf(f)) ? 1 : 0);
+            };
+          case ir::BinOp::kLt:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(l < AsI(rf(f)) ? 1 : 0);
+            };
+          case ir::BinOp::kLe:
+            return [lf, rf](Frame& f) {
+              const std::int64_t l = AsI(lf(f));
+              return RawI(l <= AsI(rf(f)) ? 1 : 0);
+            };
+        }
+        FGPAR_UNREACHABLE("bad BinOp");
+      }
+      switch (node.bin) {
+        case ir::BinOp::kAdd:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawF(l + AsF(rf(f)));
+          };
+        case ir::BinOp::kSub:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawF(l - AsF(rf(f)));
+          };
+        case ir::BinOp::kMul:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawF(l * AsF(rf(f)));
+          };
+        case ir::BinOp::kDiv:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawF(l / AsF(rf(f)));
+          };
+        case ir::BinOp::kMin:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawF(std::fmin(l, AsF(rf(f))));
+          };
+        case ir::BinOp::kMax:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawF(std::fmax(l, AsF(rf(f))));
+          };
+        case ir::BinOp::kEq:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawI(l == AsF(rf(f)) ? 1 : 0);
+          };
+        case ir::BinOp::kNe:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawI(l != AsF(rf(f)) ? 1 : 0);
+          };
+        case ir::BinOp::kLt:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawI(l < AsF(rf(f)) ? 1 : 0);
+          };
+        case ir::BinOp::kLe:
+          return [lf, rf](Frame& f) {
+            const double l = AsF(lf(f));
+            return RawI(l <= AsF(rf(f)) ? 1 : 0);
+          };
+        default:
+          FGPAR_UNREACHABLE("int-only operator on f64");
+      }
+    }
+    case ir::ExprKind::kSelect: {
+      const ExprFn cond = CompileExpr(node.child[0]);
+      const ExprFn a = CompileExpr(node.child[1]);
+      const ExprFn b = CompileExpr(node.child[2]);
+      // Both arms are evaluated, matching the interpreter and the compiled
+      // lowering; the condition only picks the result.
+      return [cond, a, b](Frame& f) {
+        const std::int64_t c = AsI(cond(f));
+        const std::uint64_t av = a(f);
+        const std::uint64_t bv = b(f);
+        return c != 0 ? av : bv;
+      };
+    }
+  }
+  FGPAR_UNREACHABLE("bad ExprKind");
+}
+
+StmtFn Codegen::CompileStmt(const ir::Stmt& stmt) const {
+  switch (stmt.kind) {
+    case ir::StmtKind::kAssignTemp: {
+      const std::size_t t = static_cast<std::size_t>(stmt.temp);
+      const ExprFn value = CompileExpr(stmt.value);
+      return [t, value](Frame& f) { f.temps[t] = value(f); };
+    }
+    case ir::StmtKind::kStoreScalar: {
+      const std::uint64_t addr = layout_.AddressOf(stmt.sym);
+      const ExprFn value = CompileExpr(stmt.value);
+      return [addr, value](Frame& f) {
+        FGPAR_CHECK(addr < f.memory_size);
+        f.memory[addr] = value(f);
+      };
+    }
+    case ir::StmtKind::kStoreArray: {
+      const ExprFn index = CompileExpr(stmt.index);
+      const ExprFn value = CompileExpr(stmt.value);
+      const std::uint64_t base = layout_.AddressOf(stmt.sym);
+      const std::int64_t size = kernel_.symbol(stmt.sym).array_size;
+      const std::string name = kernel_.symbol(stmt.sym).name;
+      return [index, value, base, size, name](Frame& f) {
+        const std::int64_t i = AsI(index(f));
+        FGPAR_CHECK_MSG(i >= 0 && i < size,
+                        "array index out of bounds: " + name + "[" +
+                            std::to_string(i) + "], size " +
+                            std::to_string(size));
+        const std::uint64_t addr = base + static_cast<std::uint64_t>(i);
+        FGPAR_CHECK(addr < f.memory_size);
+        f.memory[addr] = value(f);
+      };
+    }
+    case ir::StmtKind::kIf: {
+      const ExprFn cond = CompileExpr(stmt.value);
+      const StmtFn then_fn = CompileStmtList(stmt.then_body);
+      const StmtFn else_fn = CompileStmtList(stmt.else_body);
+      return [cond, then_fn, else_fn](Frame& f) {
+        if (AsI(cond(f)) != 0) {
+          then_fn(f);
+        } else {
+          else_fn(f);
+        }
+      };
+    }
+  }
+  FGPAR_UNREACHABLE("bad StmtKind");
+}
+
+StmtFn Codegen::CompileStmtList(const std::vector<ir::Stmt>& stmts) const {
+  std::vector<StmtFn> fns;
+  fns.reserve(stmts.size());
+  for (const ir::Stmt& stmt : stmts) {
+    fns.push_back(CompileStmt(stmt));
+  }
+  return [fns](Frame& f) {
+    for (const StmtFn& fn : fns) {
+      fn(f);
+    }
+  };
+}
+
+std::vector<std::uint64_t> InitialTemps(const ir::Kernel& kernel) {
+  std::vector<std::uint64_t> temps(kernel.temps().size(), 0);
+  for (const ir::Temp& t : kernel.temps()) {
+    if (t.carried) {
+      temps[static_cast<std::size_t>(t.id)] =
+          t.type == ir::ScalarType::kI64 ? RawI(t.init_i) : RawF(t.init_f);
+    }
+  }
+  return temps;
+}
+
+std::vector<std::uint64_t> RawParams(const ir::Kernel& kernel,
+                                     const ir::ParamEnv& params) {
+  std::vector<std::uint64_t> raw(kernel.symbols().size(), 0);
+  for (const ir::Symbol& sym : kernel.symbols()) {
+    if (sym.kind == ir::SymbolKind::kParam) {
+      raw[static_cast<std::size_t>(sym.id)] = params.GetRaw(sym.id);
+    }
+  }
+  return raw;
+}
+
+}  // namespace fgpar::native

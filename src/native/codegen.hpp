@@ -1,0 +1,57 @@
+// Host-closure codegen for the native backend.
+//
+// Compiles kernel IR fragments into std::function closures over a Frame.
+// The emitted semantics mirror ir::Interpreter bit for bit — same wrapping
+// integer arithmetic, same divide traps, same shift masking, same
+// fmin/fmax, same bounds checks, same both-arms Select — so a native run's
+// output memory can be byte-compared against the interpreter's golden
+// image.  Any divergence here is a correctness bug, not a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "ir/layout.hpp"
+
+namespace fgpar::native {
+
+/// Per-worker execution state.  `memory` is the shared data image; `params`
+/// and `temps` are worker-private (each core receives its arguments over
+/// the rings and keeps its own temp slots, like the sim's per-core register
+/// files).
+struct Frame {
+  std::uint64_t* memory = nullptr;
+  std::size_t memory_size = 0;
+  const std::uint64_t* params = nullptr;  // raw value per SymbolId
+  std::int64_t iv = 0;
+  std::vector<std::uint64_t> temps;
+};
+
+using ExprFn = std::function<std::uint64_t(Frame&)>;
+using StmtFn = std::function<void(Frame&)>;
+
+class Codegen {
+ public:
+  Codegen(const ir::Kernel& kernel, const ir::DataLayout& layout)
+      : kernel_(kernel), layout_(layout) {}
+
+  ExprFn CompileExpr(ir::ExprId id) const;
+  StmtFn CompileStmt(const ir::Stmt& stmt) const;
+  StmtFn CompileStmtList(const std::vector<ir::Stmt>& stmts) const;
+
+ private:
+  const ir::Kernel& kernel_;
+  const ir::DataLayout& layout_;
+};
+
+/// Fresh temp slots for a worker: carried temps at their declared initial
+/// value, plain temps at 0 (Interpreter's constructor rule).
+std::vector<std::uint64_t> InitialTemps(const ir::Kernel& kernel);
+
+/// Raw parameter image indexed by SymbolId (non-param slots stay 0).
+std::vector<std::uint64_t> RawParams(const ir::Kernel& kernel,
+                                     const ir::ParamEnv& params);
+
+}  // namespace fgpar::native

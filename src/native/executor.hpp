@@ -1,0 +1,50 @@
+// Executes a target-independent LoweredProgram on real host threads.
+//
+// The sequential form runs on the calling thread.  The parallel form
+// spawns one pinned std::thread per core and maps the plan's enq/deq items
+// onto SPSC rings (ring.hpp), one ring per (sender, receiver, register
+// class) triple — exactly the sim's queue identity, and single-producer/
+// single-consumer by construction.  The run protocol mirrors the sim
+// lowering minus the parts threads make redundant (function-pointer
+// dispatch and TERMINATE):
+//
+//   primary (core 0): push each secondary's arguments (plan.comm.args
+//     order) -> run its per-iteration plan items over the full trip ->
+//     pop live-outs (plan.comm.live_outs order) -> pop one completion
+//     token per secondary -> run the epilogue;
+//   secondary c: pop arguments -> run its plan items -> push its
+//     live-outs -> push completion token 1 on the (c, 0, int) ring.
+//
+// Timing is wall-clock only — it depends on the host scheduler and memory
+// system and is deliberately excluded from deterministic artifacts
+// (INTERNALS.md §14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/lowered.hpp"
+#include "native/ring.hpp"
+
+namespace fgpar::native {
+
+struct NativeRunStats {
+  double wall_seconds = 0.0;
+  std::uint64_t iterations = 0;
+
+  // Parallel-form only (all zero for the sequential form).
+  std::uint64_t queue_transfers = 0;  // values dequeued across all rings
+  int rings_used = 0;                 // rings that carried at least one value
+  int cores = 1;
+};
+
+/// Runs `lowered` over `memory` in place.  `params_raw` is the raw
+/// parameter image (codegen.hpp RawParams).  Worker failures (bounds trap,
+/// divide trap) abort the run cooperatively and rethrow on the caller.
+NativeRunStats ExecuteNative(const compiler::LoweredProgram& lowered,
+                             const std::vector<std::uint64_t>& params_raw,
+                             std::vector<std::uint64_t>& memory,
+                             std::size_t ring_capacity =
+                                 SpscRing::kDefaultCapacity);
+
+}  // namespace fgpar::native

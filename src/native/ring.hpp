@@ -1,0 +1,139 @@
+// Lock-free single-producer/single-consumer ring buffer — the native
+// backend's stand-in for the paper's dedicated hardware queue
+// (sim/hw_queue.hpp).  Semantics match the hardware contract:
+//
+//  * fixed capacity (20 slots by default, the paper's queue size);
+//  * Push blocks while all slots are occupied, Pop blocks until a value is
+//    available (the core "stalls and retries");
+//  * strict FIFO order;
+//  * raw 64-bit payloads — the int/fp distinction lives in the ring
+//    *identity*, one ring per (sender, receiver, register class) triple.
+//
+// Memory ordering: head_ and tail_ are monotonic position counters, each
+// written by exactly one thread.  The producer publishes a slot with a
+// release store to tail_ after writing the slot; the consumer's acquire
+// load of tail_ therefore observes the slot contents (and, transitively,
+// everything the producer did before the Push — this is the happens-before
+// edge the executor relies on for queue-carried values).  Symmetrically the
+// consumer frees a slot with a release store to head_, and the producer's
+// acquire load of head_ guarantees the consumer is done reading before the
+// slot is overwritten.  Counters sit on separate cache lines so the two
+// sides don't false-share.
+//
+// Blocking waits spin briefly, then yield: the harness must stay live on a
+// single-CPU host, where a pure spin would starve the peer thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace fgpar::native {
+
+class SpscRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 20;
+
+  explicit SpscRing(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity), slots_(capacity) {
+    FGPAR_CHECK_MSG(capacity > 0, "SPSC ring needs at least one slot");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Installs a cooperative abort flag consulted while a blocking Push/Pop
+  /// waits; once it reads true the wait throws instead of spinning forever
+  /// (a peer worker died and will never drain/fill the ring).
+  void SetAbort(const std::atomic<bool>* abort) { abort_ = abort; }
+
+  /// Blocking enqueue: waits while the ring is full.
+  void Push(std::uint64_t value) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    unsigned spins = 0;
+    while (t - head_.load(std::memory_order_acquire) >= capacity_) {
+      Wait(spins, "push");
+    }
+    slots_[t % capacity_] = value;
+    tail_.store(t + 1, std::memory_order_release);
+  }
+
+  /// Blocking dequeue: waits until a value is available.
+  std::uint64_t Pop() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    unsigned spins = 0;
+    while (tail_.load(std::memory_order_acquire) == h) {
+      Wait(spins, "pop");
+    }
+    const std::uint64_t value = slots_[h % capacity_];
+    head_.store(h + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Non-blocking enqueue; false if the ring is full.
+  bool TryPush(std::uint64_t value) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) >= capacity_) {
+      return false;
+    }
+    slots_[t % capacity_] = value;
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking dequeue; false if the ring is empty.
+  bool TryPop(std::uint64_t& value) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) {
+      return false;
+    }
+    value = slots_[h % capacity_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Approximate occupancy (exact only when both sides are quiescent).
+  std::size_t size() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  /// Values fully transferred (dequeued) over the ring's lifetime.
+  std::uint64_t total_transfers() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void Wait(unsigned& spins, const char* what) const {
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      throw Error(std::string("SPSC ") + what +
+                  " aborted: peer worker failed");
+    }
+    if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      // Past the spin budget the peer is likely descheduled (or this is a
+      // one-CPU host); hand the processor over instead of burning it.
+      std::this_thread::yield();
+    }
+  }
+
+  const std::size_t capacity_;
+  std::vector<std::uint64_t> slots_;
+  const std::atomic<bool>* abort_ = nullptr;
+
+  /// Consumer position (values popped); written only by the consumer.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  /// Producer position (values pushed); written only by the producer.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace fgpar::native

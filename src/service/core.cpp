@@ -1,6 +1,8 @@
 #include "service/core.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -72,6 +74,7 @@ harness::RunConfig ToRunConfig(const RunRequestConfig& config,
   run.seed = config.seed;
   run.max_cycles = cycle_budget;
   run.force_tier = config.tier;
+  run.backend = config.backend;
   return run;
 }
 
@@ -180,7 +183,21 @@ std::string ServiceCore::Handle(
   bool cache_hit = false;
   const std::string response = HandleCompileRun(request, admitted, cache_hit);
   span.Note("cache_hit", cache_hit ? 1 : 0);
+  RecordLatency(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              admitted)
+                    .count());
   return response;
+}
+
+void ServiceCore::RecordLatency(double seconds) {
+  const auto us = static_cast<std::uint64_t>(seconds * 1e6);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (latency_us_.size() < kLatencyWindow) {
+    latency_us_.push_back(us);
+  } else {
+    latency_us_[latency_next_] = us;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
 }
 
 std::string ServiceCore::HandleCompileRun(
@@ -470,6 +487,23 @@ std::map<std::string, std::uint64_t> ServiceCore::Counters() const {
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot = counters_;
     snapshot["quarantine_entries"] = quarantine_.size();
+    // Service-latency percentiles over the bounded sample window
+    // (nearest-rank on a sorted copy; 4096 u64s, cheap enough for a
+    // stats op).  Reported even when 0 samples so dashboards see the
+    // keys from the first scrape.
+    std::vector<std::uint64_t> sorted = latency_us_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto percentile = [&sorted](double q) -> std::uint64_t {
+      if (sorted.empty()) {
+        return 0;
+      }
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(sorted.size())));
+      return sorted[(rank == 0 ? 1 : rank) - 1];
+    };
+    snapshot["latency_samples"] = sorted.size();
+    snapshot["latency_p50_us"] = percentile(0.50);
+    snapshot["latency_p99_us"] = percentile(0.99);
   }
   const CompileCache::Stats cache = cache_.stats();
   snapshot["cache_hits"] = cache.hits;

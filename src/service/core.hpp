@@ -43,6 +43,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
@@ -130,6 +131,7 @@ class ServiceCore {
                          std::string_view kernel_name,
                          std::string_view message);
   void CountResponse(int code);
+  void RecordLatency(double seconds);
 
   const ServiceConfig config_;
   CompileCache cache_;
@@ -141,9 +143,17 @@ class ServiceCore {
     std::string message;
     std::string repro_bundle;  // bundle name, or "" when not emitted
   };
-  mutable std::mutex mutex_;  // guards counters_ and quarantine_
+  mutable std::mutex mutex_;  // guards counters_, quarantine_, latency_*
   std::map<std::string, std::uint64_t> counters_;
   std::map<CacheKey, QuarantineRecord> quarantine_;
+
+  /// compile_run service latency (admission -> response, queue wait
+  /// included), in microseconds, kept in a bounded ring so an immortal
+  /// daemon cannot grow without bound.  The stats op reports p50/p99 over
+  /// this window (latency_p50_us / latency_p99_us / latency_samples).
+  static constexpr std::size_t kLatencyWindow = 4096;
+  std::vector<std::uint64_t> latency_us_;
+  std::size_t latency_next_ = 0;
 };
 
 }  // namespace fgpar::service

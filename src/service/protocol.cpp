@@ -40,7 +40,12 @@ std::string RunRequestConfig::CanonicalString() const {
   field("seed", seed);
   // `tier` is deliberately absent: run tiers are bit-identical, so a
   // tier-only change must hit the same cache entry (locked by
-  // ServiceCache.TierNeverChangesTheKey).
+  // ServiceCache.TierNeverChangesTheKey).  `backend` is deliberately
+  // present: native responses carry measured wall-clock fields that a
+  // cached sim entry does not have (and vice versa), so the two must
+  // occupy distinct cache entries.
+  out += ";backend=";
+  out += compiler::BackendKindName(backend);
   return out;
 }
 
@@ -138,6 +143,11 @@ Request ParseRequest(std::string_view payload) {
       // invalid-config field.
       c.tier = sim::ParseRunTier(v->AsString());
     }
+    if (const JsonValue* v = config->Find("backend")) {
+      // Same contract: ParseBackendKind throws "unknown backend ..." and
+      // the daemon answers with a structured 400.
+      c.backend = compiler::ParseBackendKind(v->AsString());
+    }
   }
   ValidateConfig(request.config);
   return request;
@@ -177,6 +187,8 @@ std::string EncodeRequest(const Request& request) {
     w.UInt(request.config.seed);
     w.Key("tier");
     w.String(sim::RunTierName(request.config.tier));
+    w.Key("backend");
+    w.String(compiler::BackendKindName(request.config.backend));
     w.EndObject();
   }
   w.EndObject();

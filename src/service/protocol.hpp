@@ -37,6 +37,7 @@
 #include <string>
 #include <string_view>
 
+#include "compiler/backend.hpp"
 #include "sim/config.hpp"
 
 namespace fgpar::service {
@@ -77,6 +78,12 @@ struct RunRequestConfig {
   /// tiers produce byte-identical results, so pinning a tier only changes
   /// how fast a cold request simulates, never what it returns.
   sim::RunTier tier = sim::RunTier::kAuto;
+  /// Execution backend ("sim" or "native"; see harness::RunConfig::
+  /// backend).  Unlike `tier`, this IS part of the cache key: a native
+  /// run carries extra result fields (measured wall-clock numbers), so a
+  /// native response must never be served from — or overwrite — the sim
+  /// entry for the same kernel and config.
+  compiler::BackendKind backend = compiler::BackendKind::kSim;
 
   /// Canonical, unambiguous text form — the config half of the
   /// content-addressed cache key.  Field order is fixed; adding a field

@@ -197,6 +197,36 @@ TEST(ServiceCache, EveryConfigFieldSeparatesTheKey) {
   }
 }
 
+TEST(ServiceProtocol, BackendRoundTripsAndRejectsUnknownNames) {
+  Request request = MakeCompileRun(2);
+  request.config.backend = compiler::BackendKind::kNative;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request)).config.backend,
+            compiler::BackendKind::kNative);
+  request.config.backend = compiler::BackendKind::kSim;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request)).config.backend,
+            compiler::BackendKind::kSim);
+  // An unknown backend name is a validation error (structured 400), never
+  // a silent fallback to sim.
+  EXPECT_THROW(
+      (void)ParseRequest(
+          "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\",\"id\":1,"
+          "\"kernel\":\"kernel k {}\",\"config\":{\"backend\":\"gpu\"}}"),
+      Error);
+}
+
+TEST(ServiceCache, BackendIsPartOfTheKey) {
+  // The opposite contract from `tier`: a native run carries measured
+  // wall-clock result fields a sim entry lacks, so backend variants must
+  // never share a cache entry.
+  RunRequestConfig sim_config;
+  RunRequestConfig native_config;
+  native_config.backend = compiler::BackendKind::kNative;
+  EXPECT_NE(sim_config.CanonicalString(), native_config.CanonicalString());
+  EXPECT_FALSE(
+      CompileCache::KeyFor(kSumKernel, sim_config.CanonicalString()) ==
+      CompileCache::KeyFor(kSumKernel, native_config.CanonicalString()));
+}
+
 TEST(ServiceCache, TierNeverChangesTheKey) {
   // Run tiers are bit-identical by contract, so the tier is the one config
   // field deliberately excluded from the cache key: a tier-only variant

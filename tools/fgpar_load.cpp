@@ -29,6 +29,10 @@
 //                         from the replayed cache in B
 //   --sigterm-finish      finish with SIGTERM (drain) instead of the
 //                         shutdown op; either way the daemon must exit 0
+//   --max-p99-ms N        assert the daemon's own p99 service latency
+//                         (stats: latency_p99_us, admission -> response)
+//                         stays under N milliseconds; a breach is an SLO
+//                         violation like any other (0 = don't assert)
 //   --version             print version + build-config hash and exit
 //
 // The SLO this binary asserts (exit 0 only if all hold):
@@ -91,6 +95,7 @@ struct Options {
   int drill_crash_every = 0;
   bool kill9_restart = false;
   bool sigterm_finish = false;
+  double max_p99_ms = 0.0;
 };
 
 [[noreturn]] void Usage() {
@@ -101,7 +106,8 @@ struct Options {
                "                  [--seed N] [--tier T] [--workers N]\n"
                "                  [--queue-depth N]\n"
                "                  [--drill-crash-every N] [--kill9-restart]\n"
-               "                  [--sigterm-finish] [--version]\n");
+               "                  [--sigterm-finish] [--max-p99-ms N]\n"
+               "                  [--version]\n");
   std::exit(2);
 }
 
@@ -538,6 +544,8 @@ int main(int argc, char** argv) {
       options.kill9_restart = true;
     } else if (std::strcmp(arg, "--sigterm-finish") == 0) {
       options.sigterm_finish = true;
+    } else if (std::strcmp(arg, "--max-p99-ms") == 0) {
+      options.max_p99_ms = std::atof(next_value(i));
     } else {
       std::fprintf(stderr, "fgpar-load: unknown option %s\n", arg);
       Usage();
@@ -620,6 +628,34 @@ int main(int argc, char** argv) {
     std::printf("fgpar-load: kill -9 + restart: %zu responses byte-compared "
                 "against the replayed cache\n",
                 compared);
+  }
+
+  // --max-p99-ms: the latency SLO, asserted from the daemon's own
+  // service-latency histogram (stats op) while it is still serving.
+  if (options.max_p99_ms > 0.0) {
+    PhaseResult& sink = options.kill9_restart && spawning ? phase_b : phase_a;
+    const std::map<std::string, std::uint64_t> stats =
+        FetchStats(socket_path, sink);
+    const auto p50 = stats.find("latency_p50_us");
+    const auto p99 = stats.find("latency_p99_us");
+    if (p99 == stats.end() || p50 == stats.end()) {
+      Violate(sink, "stats response lacks latency_p50_us/latency_p99_us");
+    } else {
+      std::printf("fgpar-load: service latency p50 %.3f ms, p99 %.3f ms "
+                  "(bound %.1f ms, %llu samples)\n",
+                  static_cast<double>(p50->second) / 1e3,
+                  static_cast<double>(p99->second) / 1e3, options.max_p99_ms,
+                  static_cast<unsigned long long>(
+                      stats.count("latency_samples")
+                          ? stats.at("latency_samples")
+                          : 0));
+      if (static_cast<double>(p99->second) > options.max_p99_ms * 1e3) {
+        Violate(sink, "p99 service latency " +
+                          std::to_string(p99->second / 1000) +
+                          " ms exceeds the --max-p99-ms bound of " +
+                          std::to_string(options.max_p99_ms) + " ms");
+      }
+    }
   }
 
   // Graceful finish: SIGTERM drain or the shutdown op; either way the

@@ -15,6 +15,14 @@
 //   --seed N           workload RNG seed (default 0x5EED)
 //   --tier T           simulator run tier: auto|slow|fast|threaded
 //                      (default auto; results are bit-identical per tier)
+//   --backend B        execution backend: sim|native (default sim).  native
+//                      additionally runs the kernel for real on host
+//                      threads with SPSC-ring queues, verifies the output
+//                      memory, and prints measured wall-clock numbers
+//                      beside the simulated ones.  Implies --run.
+//   --list-kernels     list the Sequoia kernel corpus (name, fiber count,
+//                      Table I source location) and exit; no input file
+//                      needed
 //   --trace FILE       write a Chrome trace_event capture of the verified
 //                      run (compile pass spans + per-core issue, queue
 //                      occupancy, and stall intervals) to FILE; open it at
@@ -41,7 +49,9 @@
 #include <string>
 
 #include "analysis/index.hpp"
+#include "compiler/backend.hpp"
 #include "compiler/compile.hpp"
+#include "compiler/partition.hpp"
 #include "compiler/pipeline.hpp"
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
@@ -49,6 +59,7 @@
 #include "harness/runner.hpp"
 #include "ir/printer.hpp"
 #include "isa/disasm.hpp"
+#include "kernels/sequoia.hpp"
 #include "sim/machine.hpp"
 #include "support/buildinfo.hpp"
 #include "support/error.hpp"
@@ -69,6 +80,8 @@ struct CliOptions {
   std::int64_t trip = 400;
   std::uint64_t seed = 0x5EED;
   sim::RunTier tier = sim::RunTier::kAuto;
+  compiler::BackendKind backend = compiler::BackendKind::kSim;
+  bool list_kernels = false;
   bool speculate = false;
   bool throughput = false;
   bool tune = false;
@@ -86,10 +99,12 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: fgparc <file.fk> [--cores N] [--latency N] [--capacity N]\n"
                "              [--speculate] [--throughput] [--tune] [--smt N]\n"
-               "              [--trip N] [--seed N] [--tier T] [--trace FILE]\n"
+               "              [--trip N] [--seed N] [--tier T] [--backend B]\n"
+               "              [--trace FILE]\n"
                "              [--print-ir] [--print-plan] [--disasm] [--run]\n"
                "              [--print-pipeline] [--dump-after=<pass|all>]\n"
-               "              [--compile-stats] [--version]\n");
+               "              [--compile-stats] [--version]\n"
+               "       fgparc --list-kernels\n");
   std::exit(2);
 }
 
@@ -133,6 +148,15 @@ CliOptions ParseArgs(int argc, char** argv) {
         Usage();
       }
       options.tier = sim::ParseRunTier(argv[++i]);
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
+      options.backend = compiler::ParseBackendKind(arg + 10);
+    } else if (std::strcmp(arg, "--backend") == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      options.backend = compiler::ParseBackendKind(argv[++i]);
+    } else if (std::strcmp(arg, "--list-kernels") == 0) {
+      options.list_kernels = true;
     } else if (std::strcmp(arg, "--speculate") == 0) {
       options.speculate = true;
     } else if (std::strcmp(arg, "--throughput") == 0) {
@@ -167,7 +191,7 @@ CliOptions ParseArgs(int argc, char** argv) {
       Usage();
     }
   }
-  if (options.path.empty()) {
+  if (options.path.empty() && !options.list_kernels) {
     Usage();
   }
   if (!options.print_ir && !options.print_plan && !options.disasm &&
@@ -177,6 +201,9 @@ CliOptions ParseArgs(int argc, char** argv) {
   }
   if (!options.trace_path.empty()) {
     options.run = true;  // the trace captures the verified run
+  }
+  if (options.backend == compiler::BackendKind::kNative) {
+    options.run = true;  // native numbers come from the verified run
   }
   return options;
 }
@@ -214,8 +241,27 @@ harness::WorkloadInit MakeInit(const CliOptions& options) {
   };
 }
 
+/// --list-kernels: enumerate the Sequoia corpus so harness scripts stop
+/// hard-coding the 18 names.  The fiber count comes from the default
+/// rewrite pipeline (the Table III "initial fibers" statistic).
+int ListKernels() {
+  std::printf("%-12s %7s  %s\n", "kernel", "fibers", "source");
+  for (const kernels::SequoiaKernel& kernel : kernels::SequoiaKernels()) {
+    const ir::Kernel parsed = kernels::ParseSequoia(kernel);
+    const compiler::PartitionResult partition =
+        compiler::PartitionKernel(parsed, compiler::CompileOptions{},
+                                  /*profile=*/nullptr);
+    std::printf("%-12s %7d  %s\n", kernel.id.c_str(),
+                partition.initial_fibers, kernel.location.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const CliOptions options = ParseArgs(argc, argv);
+  if (options.list_kernels) {
+    return ListKernels();
+  }
 
   std::ifstream in(options.path);
   if (!in) {
@@ -313,6 +359,7 @@ int Main(int argc, char** argv) {
     config.tune_by_simulation = options.tune;
     config.seed = options.seed;
     config.force_tier = options.tier;
+    config.backend = options.backend;
     telemetry::ChromeTraceSink trace_sink;
     if (!options.trace_path.empty()) {
       config.telemetry = &trace_sink;
@@ -335,6 +382,22 @@ int Main(int argc, char** argv) {
                 run.queues_used);
     std::printf("verified:     memory bit-identical to the reference "
                 "interpreter\n");
+    if (run.native_run) {
+      std::printf("native seq:   %.3f ms (1 thread)\n",
+                  run.native_seq_seconds * 1e3);
+      std::printf("native par:   %.3f ms (%d threads, %s ring transfers "
+                  "over %d rings)\n",
+                  run.native_par_seconds * 1e3, run.native_cores,
+                  FormatWithCommas(static_cast<long long>(
+                                       run.native_queue_transfers))
+                      .c_str(),
+                  run.native_rings_used);
+      std::printf("native speedup: %.2f (measured wall-clock; simulated "
+                  "%.2f)\n",
+                  run.native_speedup, run.speedup);
+      std::printf("native verified: memory bit-identical to the reference "
+                  "interpreter\n");
+    }
     if (!options.trace_path.empty()) {
       trace_sink.WriteFile(options.trace_path);
       std::printf("trace:        %s (open at ui.perfetto.dev)\n",
