@@ -1,0 +1,100 @@
+// The distributed sweep coordinator's brain: applies worker reports to
+// the lease table and the authoritative whole-grid journal, and decides
+// what each worker does next.
+//
+// This class owns policy, not plumbing: it has no sockets and no clock
+// (every entry point takes an explicit now_ms), so the full protocol
+// state machine — grants, renewals, steals, revocations, duplicate
+// commits, crash-budget quarantine — is unit-testable with scripted
+// time.  CoordinatorServer (server.hpp) adds the listener, one thread
+// per connection, a revocation ticker, and real monotonic time.
+//
+// Durability model: every committed point is immediately journaled to
+// the coordinator's own whole-grid fgpar-ckpt-v1 file (atomic rename per
+// point, same guarantee as a single-host sweep).  A coordinator killed
+// at any instant restarts by tolerantly merging its own journal plus
+// every worker journal it can find (dist/journal_merge.hpp) and adopting
+// the result — workers reconnect, their stale leases are gone, and the
+// sweep continues from the merged frontier.  First-committed-wins on
+// duplicates keeps the restart byte-identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/lease.hpp"
+#include "dist/protocol.hpp"
+#include "harness/checkpoint.hpp"
+
+namespace fgpar::dist {
+
+class Coordinator {
+ public:
+  struct Config {
+    std::string name;                  // sweep name (journal + artifact)
+    std::vector<std::string> labels;   // the WHOLE grid, in index order
+    std::string checkpoint_path;       // coordinator journal ("" = none)
+    std::size_t slice_points = 8;      // fresh-grant size
+    std::uint64_t lease_ms = 10'000;   // heartbeat deadline
+    std::uint64_t heartbeat_ms = 2'000;  // advertised report cadence
+    std::uint64_t retry_ms = 200;      // advertised idle-poll backoff
+    std::size_t crash_budget = 3;      // worker deaths before quarantine
+  };
+
+  explicit Coordinator(Config config);
+
+  /// Adopts an already-merged point map (coordinator restart: the caller
+  /// merges its own journal + worker journals first).  Out-of-range
+  /// indices are ignored.  Call before any worker traffic.
+  void AdoptPoints(const std::map<std::size_t, std::string>& points);
+
+  /// Applies one worker report and builds the reply: commit completions
+  /// (first-committed-wins, journaled), quarantine reported failures,
+  /// record crash attribution, renew or report-revoked the lease, grant
+  /// work (pending first, then stealing) when asked.
+  CoordinatorReply Apply(const WorkerReport& report, std::uint64_t now_ms);
+
+  /// Lease sweep for the ticker thread; returns leases revoked.
+  std::size_t RevokeExpired(std::uint64_t now_ms) {
+    return leases_.RevokeExpired(now_ms);
+  }
+
+  /// Immediate revocation on connection EOF.
+  bool RevokeLease(std::uint64_t lease_id) {
+    return leases_.RevokeLease(lease_id);
+  }
+
+  bool Done() const { return leases_.Done(); }
+
+  /// A quarantined point's story for the artifact's failures section.
+  struct FailureInfo {
+    std::size_t index = 0;
+    std::string message;
+    std::string repro_bundle;  // worker-reported bundle name, or ""
+  };
+
+  const std::map<std::size_t, std::string>& points() const { return points_; }
+  std::vector<FailureInfo> failures() const;
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  const Config& config() const { return config_; }
+  const LeaseTable& leases() const { return leases_; }
+  std::size_t duplicate_commits() const { return duplicate_commits_; }
+
+ private:
+  Config config_;
+  std::uint64_t fingerprint_ = 0;
+  LeaseTable leases_;
+  std::map<std::size_t, std::string> points_;  // committed payloads
+  /// Worker-reported failure details, keyed by point; the lease table's
+  /// quarantine reasons cover crash-budget exhaustion, this map carries
+  /// the richer story (exception text, repro bundle) when a worker
+  /// reported the failure itself.
+  std::map<std::size_t, FailedPoint> reported_failures_;
+  std::optional<harness::SweepCheckpoint> journal_;
+  std::size_t duplicate_commits_ = 0;
+};
+
+}  // namespace fgpar::dist

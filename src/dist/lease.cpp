@@ -1,0 +1,176 @@
+#include "dist/lease.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace fgpar::dist {
+
+LeaseTable::LeaseTable(Config config) : config_(config) {
+  FGPAR_CHECK_MSG(config_.total_points > 0, "LeaseTable needs a non-empty grid");
+  FGPAR_CHECK_MSG(config_.slice_points > 0, "slice_points must be >= 1");
+  for (std::size_t i = 0; i < config_.total_points; ++i) {
+    pending_.insert(i);
+  }
+}
+
+bool LeaseTable::Complete(std::size_t point) {
+  if (committed_.count(point) || quarantined_.count(point)) {
+    return false;  // duplicate or late completion: benign, discard
+  }
+  committed_.insert(point);
+  pending_.erase(point);
+  crash_counts_.erase(point);  // it finished; it was slow, not poisoned
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    Lease& lease = it->second;
+    lease.points.erase(point);
+    if (lease.has_in_progress && lease.in_progress == point) {
+      lease.has_in_progress = false;
+    }
+    it = lease.points.empty() ? leases_.erase(it) : std::next(it);
+  }
+  return true;
+}
+
+void LeaseTable::QuarantineReported(std::size_t point,
+                                    const std::string& reason) {
+  if (committed_.count(point)) {
+    return;  // someone else already finished it; the failure is moot
+  }
+  Quarantine(point, reason);
+}
+
+LeaseGrant LeaseTable::Acquire(const std::string& worker,
+                               std::uint64_t now_ms) {
+  LeaseGrant grant;
+  if (!pending_.empty()) {
+    auto it = pending_.begin();
+    while (it != pending_.end() && grant.points.size() < config_.slice_points) {
+      grant.points.push_back(*it);
+      it = pending_.erase(it);
+    }
+  } else {
+    // Work stealing: take the tail half (at least one point, leaving at
+    // least one) of the in-flight lease with the most remaining points.
+    // Ties break toward the oldest lease (smallest id) — deterministic.
+    Lease* victim = nullptr;
+    for (auto& [id, lease] : leases_) {
+      if (lease.points.size() < 2) {
+        continue;
+      }
+      if (victim == nullptr || lease.points.size() > victim->points.size()) {
+        victim = &lease;
+      }
+    }
+    if (victim != nullptr) {
+      const std::size_t take = victim->points.size() / 2;
+      for (std::size_t k = 0; k < take; ++k) {
+        auto last = std::prev(victim->points.end());
+        grant.points.push_back(*last);
+        victim->points.erase(last);
+      }
+      std::sort(grant.points.begin(), grant.points.end());
+      grant.stolen = true;
+    }
+  }
+  if (grant.points.empty()) {
+    return grant;  // lease_id 0: wait (or done — caller checks Done())
+  }
+  Lease lease;
+  lease.id = next_lease_id_++;
+  lease.worker = worker;
+  lease.points.insert(grant.points.begin(), grant.points.end());
+  lease.deadline_ms = now_ms + config_.lease_ms;
+  grant.lease_id = lease.id;
+  leases_.emplace(lease.id, std::move(lease));
+  return grant;
+}
+
+bool LeaseTable::Renew(std::uint64_t lease_id, std::uint64_t now_ms) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) {
+    return false;
+  }
+  it->second.deadline_ms = now_ms + config_.lease_ms;
+  return true;
+}
+
+void LeaseTable::SetInProgress(std::uint64_t lease_id, std::size_t point) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end() || !it->second.points.count(point)) {
+    return;  // stale report (revoked lease, or the point was stolen)
+  }
+  it->second.in_progress = point;
+  it->second.has_in_progress = true;
+}
+
+std::size_t LeaseTable::RevokeExpired(std::uint64_t now_ms) {
+  std::size_t revoked = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.deadline_ms <= now_ms) {
+      RequeueLease(it->second);
+      it = leases_.erase(it);
+      ++revoked;
+    } else {
+      ++it;
+    }
+  }
+  return revoked;
+}
+
+bool LeaseTable::RevokeLease(std::uint64_t lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) {
+    return false;
+  }
+  RequeueLease(it->second);
+  leases_.erase(it);
+  return true;
+}
+
+bool LeaseTable::LeaseOwns(std::uint64_t lease_id, std::size_t point) const {
+  const auto it = leases_.find(lease_id);
+  return it != leases_.end() && it->second.points.count(point) != 0;
+}
+
+bool LeaseTable::Done() const {
+  return committed_.size() + quarantined_.size() >= config_.total_points;
+}
+
+void LeaseTable::RequeueLease(Lease& lease) {
+  // The in-progress point is the one the crash gets attributed to: the
+  // worker died (or went silent) while computing it.
+  if (lease.has_in_progress && lease.points.count(lease.in_progress)) {
+    const std::size_t point = lease.in_progress;
+    const std::size_t crashes = ++crash_counts_[point];
+    if (crashes >= config_.crash_budget) {
+      lease.points.erase(point);
+      Quarantine(point, "crashed " + std::to_string(crashes) +
+                            " worker(s); crash budget " +
+                            std::to_string(config_.crash_budget) +
+                            " exhausted");
+    }
+  }
+  // std::set -> std::set keeps the re-queue in global index order.
+  pending_.insert(lease.points.begin(), lease.points.end());
+  lease.points.clear();
+}
+
+void LeaseTable::Quarantine(std::size_t point, const std::string& reason) {
+  if (quarantined_.count(point)) {
+    return;
+  }
+  quarantined_.emplace(point, reason);
+  pending_.erase(point);
+  crash_counts_.erase(point);
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    Lease& lease = it->second;
+    lease.points.erase(point);
+    if (lease.has_in_progress && lease.in_progress == point) {
+      lease.has_in_progress = false;
+    }
+    it = lease.points.empty() ? leases_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace fgpar::dist

@@ -1,0 +1,138 @@
+// Lease bookkeeping for the distributed sweep coordinator.
+//
+// The coordinator shards a sweep grid across worker processes by handing
+// out *leases*: time-bounded claims on a set of global point indices.  A
+// worker must heartbeat (renew) its lease before the deadline; a missed
+// heartbeat means the worker is presumed dead, the lease is revoked, and
+// its unfinished points go back on the queue for someone else.  Idle
+// workers with nothing queued *steal* the tail of the largest in-flight
+// lease, so one slow worker never serializes the sweep's tail.
+//
+// LeaseTable is the pure, deterministic core of that policy: no sockets,
+// no threads, no clock — every operation takes an explicit `now_ms`
+// (milliseconds on the caller's monotonic clock), so the whole state
+// machine is unit-testable with scripted time.  The coordinator server
+// (server.cpp) wraps it in a mutex and feeds it real time and real
+// connections.
+//
+// Determinism rules that keep the merged artifact byte-identical no
+// matter which workers die when:
+//  * pending points are held sorted by global index and handed out in
+//    index order;
+//  * revoked points re-enter the queue in index order (std::set);
+//  * lease ids are a monotonic counter, never reused;
+//  * completion is first-committed-wins — a duplicate completion of an
+//    already-committed point is acknowledged and discarded (the payload
+//    equality check lives in the journal merge, not here).
+//
+// Crash attribution: when a lease is revoked, the point the worker had
+// marked in-progress gets a crash count.  A point whose crash count
+// reaches the budget is quarantined — handed to no one else — so one
+// poisoned point (a kernel that reliably kills its host) cannot eat the
+// whole worker fleet.  Completing a point erases its crash count: a slow
+// point that eventually finishes is not a poisoned point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fgpar::dist {
+
+struct Lease {
+  std::uint64_t id = 0;
+  std::string worker;                  // worker-supplied name, diagnostics
+  std::set<std::size_t> points;        // global indices still owed
+  std::size_t in_progress = 0;         // point the worker last reported active
+  bool has_in_progress = false;
+  std::uint64_t deadline_ms = 0;       // revoke when now_ms passes this
+};
+
+struct LeaseGrant {
+  std::uint64_t lease_id = 0;
+  std::vector<std::size_t> points;     // global indices, ascending
+  bool stolen = false;                 // points came off another lease
+};
+
+/// Pure lease/queue/quarantine state for one sweep grid.  Not thread-safe;
+/// the coordinator serializes access.
+class LeaseTable {
+ public:
+  struct Config {
+    std::size_t total_points = 0;      // grid size; indices [0, n)
+    std::size_t slice_points = 8;      // max points per fresh grant
+    std::uint64_t lease_ms = 10'000;   // heartbeat deadline per renewal
+    /// A point revoked-while-in-progress this many times is quarantined.
+    std::size_t crash_budget = 3;
+  };
+
+  explicit LeaseTable(Config config);
+
+  /// Marks a point completed (first-committed-wins).  Returns true when
+  /// this call committed the point, false when it was already committed
+  /// (duplicate — benign) or quarantined.  Clears the point's crash count
+  /// and removes it from whichever lease holds it.
+  bool Complete(std::size_t point);
+
+  /// Worker-reported point failure that exhausted the worker-side retry
+  /// budget: quarantine immediately (no other worker will fare better —
+  /// the failure is deterministic in the seed).
+  void QuarantineReported(std::size_t point, const std::string& reason);
+
+  /// Grants work to `worker` at `now_ms`: pending points first (up to
+  /// slice_points); when the queue is dry, steals the tail half of the
+  /// in-flight lease with the most remaining points (leaving it at least
+  /// one).  Empty grant (lease_id 0) = nothing to hand out right now.
+  LeaseGrant Acquire(const std::string& worker, std::uint64_t now_ms);
+
+  /// Heartbeat: extends `lease_id`'s deadline.  Returns false when the
+  /// lease no longer exists (revoked or fully completed) — the worker
+  /// must drop any uncommitted work and re-Acquire.
+  bool Renew(std::uint64_t lease_id, std::uint64_t now_ms);
+
+  /// Records which point the worker is currently computing (crash
+  /// attribution).  Ignored for unknown leases.
+  void SetInProgress(std::uint64_t lease_id, std::size_t point);
+
+  /// Revokes every lease whose deadline has passed; unfinished points are
+  /// re-queued in index order, the in-progress point's crash count is
+  /// bumped (quarantining it when the budget is hit).  Returns the number
+  /// of leases revoked.
+  std::size_t RevokeExpired(std::uint64_t now_ms);
+
+  /// Revokes one lease immediately (connection EOF = the worker is gone;
+  /// no need to wait out the heartbeat).  Same re-queue/attribution as
+  /// RevokeExpired.  False when the lease doesn't exist.
+  bool RevokeLease(std::uint64_t lease_id);
+
+  /// True when `lease_id` is live and still owns `point` (a stolen point
+  /// no longer passes — its old owner must skip it).
+  bool LeaseOwns(std::uint64_t lease_id, std::size_t point) const;
+
+  /// All points are either committed or quarantined: the sweep is over.
+  bool Done() const;
+
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t committed_count() const { return committed_.size(); }
+  const std::map<std::size_t, std::string>& quarantined() const {
+    return quarantined_;
+  }
+  const std::map<std::uint64_t, Lease>& leases() const { return leases_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void RequeueLease(Lease& lease);
+  void Quarantine(std::size_t point, const std::string& reason);
+
+  Config config_;
+  std::set<std::size_t> pending_;               // ascending global indices
+  std::set<std::size_t> committed_;
+  std::map<std::size_t, std::string> quarantined_;  // point -> reason
+  std::map<std::size_t, std::size_t> crash_counts_;
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_lease_id_ = 1;
+};
+
+}  // namespace fgpar::dist

@@ -1,0 +1,100 @@
+// The fgpar-dist-v1 coordination protocol: worker-pull RPC between sweep
+// workers and the coordinator, carried over fgpar-rpc-v1 frames (u32-LE
+// length prefix + JSON payload, 8 MiB cap — see service/protocol.hpp).
+//
+// The protocol is deliberately worker-pull: the coordinator never
+// initiates a message, so a worker that dies, hangs, or partitions needs
+// no cleanup handshake — its lease simply expires (or its connection
+// EOFs) and the points go back on the queue.  Every exchange is one
+// round trip:
+//
+//   worker  -> WorkerReport   what I finished, what failed, what I'm
+//                             computing now, and whether I want work
+//   coord   -> CoordinatorReply  a lease grant, "wait and retry", or
+//                             "the sweep is done" — plus the live view
+//                             of the worker's lease (renewed deadline,
+//                             surviving points after any steal)
+//
+// A report with lease_id 0 and want_work=true is the hello; a report
+// with completions and want_work=false is a pure flush/heartbeat.  The
+// worker commits results *before* asking for more work, so a worker
+// killed between reports loses at most its in-flight point.
+//
+// Duplicate completions (two workers racing the same stolen/revoked
+// point) are legal and resolved first-committed-wins by the coordinator;
+// the later commit is acknowledged and discarded.  The grid fingerprint
+// travels in every report so a worker pointed at the wrong coordinator
+// (or a stale binary with a different grid) is rejected with a
+// structured 400 instead of corrupting the merge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fgpar::dist {
+
+inline constexpr char kDistSchema[] = "fgpar-dist-v1";
+
+/// One completed point travelling to the coordinator.  The payload is the
+/// supervisor's opaque encoded result (exactly what the journal stores),
+/// hex-encoded for JSON transport.
+struct CompletedPoint {
+  std::size_t index = 0;     // global grid index
+  std::string payload;       // raw (decoded) journal payload bytes
+};
+
+/// A point the worker's supervisor quarantined (retries exhausted).  The
+/// failure is deterministic in the seed, so the coordinator quarantines
+/// it grid-wide rather than burning other workers on it.
+struct FailedPoint {
+  std::size_t index = 0;
+  std::string message;
+  std::string repro_bundle;  // bundle name on the worker's disk, or ""
+};
+
+struct WorkerReport {
+  std::string worker;             // worker name, for logs and lease records
+  std::uint64_t fingerprint = 0;  // whole-grid fingerprint (must match)
+  std::uint64_t lease_id = 0;     // 0 = no lease held (hello)
+  bool has_in_progress = false;
+  std::size_t in_progress = 0;    // crash-attribution marker
+  std::vector<CompletedPoint> completed;
+  std::vector<FailedPoint> failed;
+  bool want_work = false;
+};
+
+enum class Grant : std::uint8_t {
+  kLease,  // points[] is a fresh lease (lease_id names it)
+  kWait,   // nothing to hand out right now; retry after retry_ms
+  kDone,   // every point is committed or quarantined; worker may exit
+};
+
+std::string_view GrantName(Grant grant);
+
+struct CoordinatorReply {
+  int code = 200;            // service-style status; != 200 carries `error`
+  std::string error;
+  Grant grant = Grant::kWait;
+  std::uint64_t lease_id = 0;
+  std::vector<std::size_t> points;  // kLease: granted global indices
+  /// The worker's *existing* lease after this report was applied: still
+  /// alive?  Which points does it still own (steals remove some)?  The
+  /// worker skips points no longer in `owned`.
+  bool lease_revoked = false;
+  std::vector<std::size_t> owned;
+  std::uint64_t lease_ms = 0;      // deadline budget for the (re)newed lease
+  std::uint64_t heartbeat_ms = 0;  // report at least this often
+  std::uint64_t retry_ms = 0;      // kWait: ask again after this long
+};
+
+/// Codec + validation, mirroring service::ParseRequest's posture: throws
+/// fgpar::Error with a human-readable reason on bad JSON, wrong schema,
+/// or missing/ill-typed fields.
+std::string EncodeReport(const WorkerReport& report);
+WorkerReport ParseReport(std::string_view payload);
+std::string EncodeReply(const CoordinatorReply& reply);
+CoordinatorReply ParseReply(std::string_view payload);
+
+}  // namespace fgpar::dist

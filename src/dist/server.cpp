@@ -1,0 +1,280 @@
+#include "dist/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::dist {
+
+namespace {
+
+std::size_t CountFromEnv(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  return end != env && *end == '\0' ? static_cast<std::size_t>(value) : 0;
+}
+
+int ListenTcp(const std::string& spec, int& bound_port) {
+  // spec is "host:port" with the "tcp:" prefix stripped; the host names
+  // the interface to bind ("localhost"/empty = loopback).
+  const std::size_t colon = spec.rfind(':');
+  FGPAR_CHECK_MSG(colon != std::string::npos,
+                  "tcp listen address needs host:port, got tcp:" + spec);
+  std::string host = spec.substr(0, colon);
+  if (host.empty() || host == "localhost") {
+    host = "127.0.0.1";
+  }
+  const int port = std::atoi(spec.c_str() + colon + 1);
+  FGPAR_CHECK_MSG(port >= 0 && port <= 65535,
+                  "tcp listen port out of range in tcp:" + spec);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FGPAR_CHECK_MSG(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("bad tcp listen host in tcp:" + spec);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message =
+        "bind(tcp:" + spec + "): " + std::strerror(errno);
+    ::close(fd);
+    throw Error(message);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    bound_port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string message =
+        "listen(tcp:" + spec + "): " + std::strerror(errno);
+    ::close(fd);
+    throw Error(message);
+  }
+  return fd;
+}
+
+int ListenUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  FGPAR_CHECK_MSG(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  socklen_t addr_len = sizeof(addr);
+  if (!path.empty() && path[0] == '@') {
+    const std::size_t name_len = path.size() - 1;
+    if (name_len + 1 > sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw Error("abstract socket name too long: " + path);
+    }
+    addr.sun_path[0] = '\0';
+    std::memcpy(addr.sun_path + 1, path.data() + 1, name_len);
+    addr_len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 +
+                                      name_len);
+  } else {
+    if (path.size() + 1 > sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw Error("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());  // a stale socket from a crashed run
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
+    const std::string message = "bind(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    throw Error(message);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string message = "listen(" + path + "): " + std::strerror(errno);
+    ::close(fd);
+    throw Error(message);
+  }
+  return fd;
+}
+
+}  // namespace
+
+CoordinatorServer::CoordinatorServer(Coordinator& coordinator,
+                                     std::string address)
+    : coordinator_(coordinator),
+      address_(std::move(address)),
+      epoch_(std::chrono::steady_clock::now()),
+      exit_after_(CountFromEnv("FGPAR_COORD_EXIT_AFTER")) {}
+
+CoordinatorServer::~CoordinatorServer() { Stop(); }
+
+std::uint64_t CoordinatorServer::NowMs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void CoordinatorServer::Start() {
+  // A worker that dies mid-reply must cost us an EPIPE, not the process.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (address_.rfind("tcp:", 0) == 0) {
+    listen_fd_ = ListenTcp(address_.substr(4), bound_port_);
+  } else {
+    listen_fd_ = ListenUnix(address_);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ticker_thread_ = std::thread([this] { TickerLoop(); });
+}
+
+void CoordinatorServer::WaitUntilDone() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return coordinator_.Done() || stop_.load(std::memory_order_relaxed);
+  });
+}
+
+void CoordinatorServer::Stop() {
+  if (stop_.exchange(true, std::memory_order_relaxed)) {
+    // Second caller: the first is (or was) tearing down; just make sure
+    // the waiter wakes.
+    done_cv_.notify_all();
+    return;
+  }
+  done_cv_.notify_all();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (ticker_thread_.joinable()) {
+    ticker_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : conn_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& conn : conn_threads_) {
+    conn.join();
+  }
+  conn_threads_.clear();
+  conn_fds_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!address_.empty() && address_[0] != '@' &&
+      address_.rfind("tcp:", 0) != 0) {
+    ::unlink(address_.c_str());
+  }
+}
+
+void CoordinatorServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;  // timeout or EINTR: re-check the stop flag
+    }
+    // SOCK_CLOEXEC is load-bearing: the coordinator forks worker
+    // processes while connections are live.  A leaked accepted fd in a
+    // sibling keeps a dead coordinator's side of another worker's
+    // connection open, so that worker's recv() never sees EOF and it
+    // hangs forever instead of exiting when the coordinator is killed.
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void CoordinatorServer::TickerLoop() {
+  const std::uint64_t lease_ms = coordinator_.config().lease_ms;
+  const auto period =
+      std::chrono::milliseconds(std::max<std::uint64_t>(lease_ms / 4, 25));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(period);
+    std::lock_guard<std::mutex> lock(mutex_);
+    coordinator_.RevokeExpired(NowMs());
+  }
+}
+
+void CoordinatorServer::ServeConnection(int fd) {
+  // Leases granted over this connection: revoked the instant the
+  // connection EOFs (the worker is gone; no need to wait out the
+  // heartbeat deadline).
+  std::vector<std::uint64_t> granted;
+  std::string payload;
+  for (;;) {
+    const service::ReadStatus status = service::ReadFrame(fd, payload);
+    if (status != service::ReadStatus::kFrame) {
+      if (status == service::ReadStatus::kOversized) {
+        CoordinatorReply reply;
+        reply.code = 400;
+        reply.error = "frame exceeds the 8 MiB cap";
+        service::WriteFrame(fd, EncodeReply(reply));
+      }
+      break;
+    }
+    CoordinatorReply reply;
+    try {
+      const WorkerReport report = ParseReport(payload);
+      std::lock_guard<std::mutex> lock(mutex_);
+      const std::size_t before = coordinator_.points().size();
+      reply = coordinator_.Apply(report, NowMs());
+      commits_this_run_ += coordinator_.points().size() - before;
+      if (reply.grant == Grant::kLease) {
+        granted.push_back(reply.lease_id);
+      }
+      if (coordinator_.Done()) {
+        done_cv_.notify_all();
+      }
+      if (exit_after_ > 0 && commits_this_run_ >= exit_after_) {
+        // The coordinator crash drill: die exactly like an external
+        // kill -9, with the journal durably holding every commit so far.
+        std::raise(SIGKILL);
+      }
+    } catch (const Error& e) {
+      reply = CoordinatorReply{};
+      reply.code = 400;
+      reply.error = e.what();
+    }
+    if (!service::WriteFrame(fd, EncodeReply(reply))) {
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::uint64_t lease_id : granted) {
+      coordinator_.RevokeLease(lease_id);
+    }
+    // Drop the fd from the shutdown list before closing so Stop() can
+    // never shut down a number the kernel has since recycled.
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+}  // namespace fgpar::dist

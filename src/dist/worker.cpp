@@ -1,0 +1,329 @@
+#include "dist/worker.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "dist/protocol.hpp"
+#include "harness/checkpoint.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+
+namespace fgpar::dist {
+
+namespace {
+
+std::optional<std::size_t> IndexFromEnv(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// One coordinator connection with serialized request/reply exchanges and
+/// transparent reconnect (bounded by the connect budget per outage).
+class DistClient {
+ public:
+  DistClient(std::string address, double budget_seconds)
+      : address_(std::move(address)), budget_seconds_(budget_seconds) {}
+
+  ~DistClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  CoordinatorReply Exchange(const WorkerReport& report) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string payload = EncodeReport(report);
+    // A dead connection is retried with a fresh one; the cap bounds a
+    // pathological coordinator that accepts and instantly drops.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      if (fd_ < 0) {
+        fd_ = service::ConnectWithBackoff(address_, budget_seconds_);
+        FGPAR_CHECK_MSG(fd_ >= 0,
+                        "worker cannot reach coordinator at " + address_ +
+                            " within " + std::to_string(budget_seconds_) +
+                            "s");
+      }
+      if (!service::WriteFrame(fd_, payload)) {
+        Drop();
+        continue;
+      }
+      std::string reply_payload;
+      if (service::ReadFrame(fd_, reply_payload) !=
+          service::ReadStatus::kFrame) {
+        Drop();
+        continue;
+      }
+      CoordinatorReply reply = ParseReply(reply_payload);
+      FGPAR_CHECK_MSG(reply.code == 200,
+                      "coordinator rejected worker report: " + reply.error);
+      return reply;
+    }
+    throw Error("coordinator at " + address_ +
+                " keeps dropping the connection mid-exchange");
+  }
+
+ private:
+  void Drop() {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  std::mutex mutex_;
+  std::string address_;
+  double budget_seconds_;
+  int fd_ = -1;
+};
+
+/// Shared between the lease's supervisor run and its heartbeat thread.
+struct LeaseState {
+  std::mutex mutex;
+  std::condition_variable cv;               // wakes the heartbeat thread
+  std::set<std::size_t> owned;              // global indices still ours
+  bool revoked = false;
+  std::vector<CompletedPoint> pending;      // finished, not yet reported
+  std::optional<std::size_t> in_progress;   // global index being computed
+};
+
+void FillLeaseReport(WorkerReport& report, LeaseState& state) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  report.completed = std::move(state.pending);
+  state.pending.clear();
+  if (state.in_progress) {
+    report.has_in_progress = true;
+    report.in_progress = *state.in_progress;
+  }
+}
+
+void RestoreUnreported(WorkerReport& report, LeaseState& state) {
+  // An exchange failed after draining: put the completions back so the
+  // next report (or the final one) carries them.
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.pending.insert(state.pending.begin(),
+                       std::make_move_iterator(report.completed.begin()),
+                       std::make_move_iterator(report.completed.end()));
+  report.completed.clear();
+}
+
+}  // namespace
+
+WorkerStats RunWorker(const WorkerOptions& options,
+                      const harness::SweepSupervisor::PointBody& body,
+                      const harness::SweepSupervisor::ReproEmitter& repro) {
+  FGPAR_CHECK_MSG(!options.worker.empty(), "worker needs a name");
+  FGPAR_CHECK_MSG(!options.labels.empty(), "worker needs the grid labels");
+  const std::uint64_t fingerprint =
+      harness::GridFingerprint(options.sweep_name, options.labels);
+  const std::optional<std::size_t> kill_after =
+      IndexFromEnv("FGPAR_DIST_KILL_AFTER");
+  const std::optional<std::size_t> crash_point =
+      IndexFromEnv("FGPAR_DIST_CRASH_POINT");
+  std::atomic<std::size_t> computed_this_process{0};
+
+  DistClient client(options.address, options.connect_budget_seconds);
+  WorkerStats stats;
+
+  WorkerReport next;
+  next.worker = options.worker;
+  next.fingerprint = fingerprint;
+  next.want_work = true;
+  CoordinatorReply reply = client.Exchange(next);
+
+  for (;;) {
+    if (reply.grant == Grant::kDone) {
+      return stats;
+    }
+    if (reply.grant == Grant::kWait) {
+      const auto nap = std::chrono::milliseconds(
+          reply.retry_ms > 0 ? reply.retry_ms : 100);
+      std::this_thread::sleep_for(nap);
+      WorkerReport poll;
+      poll.worker = options.worker;
+      poll.fingerprint = fingerprint;
+      poll.want_work = true;
+      reply = client.Exchange(poll);
+      continue;
+    }
+
+    // Grant::kLease — run the slice.
+    const std::uint64_t lease_id = reply.lease_id;
+    const std::vector<std::size_t> points = reply.points;
+    const std::uint64_t heartbeat_ms =
+        reply.heartbeat_ms > 0 ? reply.heartbeat_ms : 1000;
+    stats.leases += 1;
+
+    LeaseState state;
+    state.owned.insert(points.begin(), points.end());
+
+    harness::SupervisorConfig config = options.supervisor;
+    config.name = options.sweep_name;
+    config.labels.clear();
+    config.labels.reserve(points.size());
+    for (const std::size_t global : points) {
+      FGPAR_CHECK_MSG(global < options.labels.size(),
+                      "coordinator granted point " + std::to_string(global) +
+                          " outside the grid");
+      config.labels.push_back(options.labels[global]);
+    }
+    config.global_indices = points;
+    config.grid_fingerprint = fingerprint;
+    config.slice_fingerprint = harness::SliceFingerprint(fingerprint, points);
+    config.checkpoint_path =
+        options.journal_dir.empty()
+            ? ""
+            : options.journal_dir + "/" + options.worker + ".lease" +
+                  std::to_string(lease_id) + ".ckpt";
+    config.resume = false;
+    // Local failures never abort the worker: they are reported upstream
+    // and the coordinator applies the grid-wide budget.
+    config.failure_budget = points.size();
+    config.drain_on_sigterm = false;
+    config.skip_point = [&state, &points](std::size_t local) {
+      const std::size_t global = points[local];
+      std::lock_guard<std::mutex> lock(state.mutex);
+      return state.revoked || state.owned.count(global) == 0;
+    };
+
+    const auto wrapped_body =
+        [&](const harness::PointContext& context) -> std::string {
+      if (crash_point && context.index == *crash_point) {
+        // The poisoned point: kills every worker that touches it.
+        std::raise(SIGKILL);
+      }
+      if (kill_after &&
+          computed_this_process.load(std::memory_order_relaxed) >=
+              *kill_after) {
+        // Die mid-point: finished work is journaled (and mostly
+        // reported); this point is in-progress and gets re-queued with a
+        // crash attributed.
+        std::raise(SIGKILL);
+      }
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.in_progress = context.index;
+      }
+      std::string payload = body(context);
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        CompletedPoint point;
+        point.index = context.index;
+        point.payload = payload;
+        state.pending.push_back(std::move(point));
+        state.in_progress.reset();
+      }
+      // Flush eagerly: the heartbeat thread reports this completion now,
+      // not up to heartbeat_ms from now, so a crash right after a point
+      // loses (nearly) nothing.
+      state.cv.notify_one();
+      computed_this_process.fetch_add(1, std::memory_order_relaxed);
+      return payload;
+    };
+
+    std::atomic<bool> stop_heartbeat{false};
+    std::thread heartbeat([&] {
+      for (;;) {
+        {
+          // Event-driven with a timed fallback: wake the moment a point
+          // completes (eager result flush), or after heartbeat_ms with
+          // nothing to flush (pure lease renewal).
+          std::unique_lock<std::mutex> lock(state.mutex);
+          state.cv.wait_for(lock, std::chrono::milliseconds(heartbeat_ms),
+                            [&] {
+                              return !state.pending.empty() ||
+                                     stop_heartbeat.load(
+                                         std::memory_order_relaxed);
+                            });
+        }
+        if (stop_heartbeat.load(std::memory_order_relaxed)) {
+          return;  // the final report drains anything left
+        }
+        WorkerReport beat;
+        beat.worker = options.worker;
+        beat.fingerprint = fingerprint;
+        beat.lease_id = lease_id;
+        beat.want_work = false;
+        FillLeaseReport(beat, state);
+        try {
+          const CoordinatorReply pulse = client.Exchange(beat);
+          std::lock_guard<std::mutex> lock(state.mutex);
+          if (pulse.lease_revoked) {
+            state.revoked = true;
+          } else {
+            state.owned.clear();
+            state.owned.insert(pulse.owned.begin(), pulse.owned.end());
+          }
+        } catch (const Error&) {
+          // The coordinator is unreachable past the budget; stop doing
+          // work (the lease is expiring server-side anyway) and let the
+          // final exchange surface the error to the caller.
+          RestoreUnreported(beat, state);
+          std::lock_guard<std::mutex> lock(state.mutex);
+          state.revoked = true;
+          return;
+        }
+      }
+    });
+
+    harness::SweepSupervisor supervisor(config);
+    harness::SweepOutcome outcome;
+    try {
+      outcome = supervisor.Run(wrapped_body, repro);
+    } catch (...) {
+      stop_heartbeat.store(true, std::memory_order_relaxed);
+      state.cv.notify_one();
+      heartbeat.join();
+      throw;
+    }
+    stop_heartbeat.store(true, std::memory_order_relaxed);
+    state.cv.notify_one();
+    heartbeat.join();
+
+    WorkerReport final_report;
+    final_report.worker = options.worker;
+    final_report.fingerprint = fingerprint;
+    final_report.lease_id = lease_id;
+    final_report.want_work = true;
+    FillLeaseReport(final_report, state);
+    final_report.has_in_progress = false;  // nothing is running any more
+    for (const harness::PointFailure& failure : outcome.failures) {
+      FailedPoint point;
+      point.index = failure.index;  // already global
+      point.message = failure.message;
+      point.repro_bundle = failure.repro_bundle;
+      final_report.failed.push_back(std::move(point));
+    }
+    for (const char done : outcome.completed) {
+      // Counts every point this lease finished, including ones already
+      // drained upstream by the heartbeat.
+      stats.completed += done ? 1 : 0;
+    }
+    stats.failed += outcome.failures.size();
+    stats.stolen_skips += outcome.skipped_points;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (state.revoked) {
+        stats.revoked_leases += 1;
+      }
+    }
+    reply = client.Exchange(final_report);
+  }
+}
+
+}  // namespace fgpar::dist

@@ -1,0 +1,89 @@
+// The distributed sweep worker: pulls leases from the coordinator, runs
+// them through the existing SweepSupervisor, and streams results back.
+//
+// One worker process = one RunWorker call.  The loop:
+//
+//   hello (want_work) -> lease grant -> run the slice under the
+//   supervisor -> final report (completions, failures, want_work) ->
+//   next lease ... -> Grant::kDone -> return stats.
+//
+// While a lease runs, a heartbeat thread reports every heartbeat_ms:
+// it renews the lease, drains completed points to the coordinator (so a
+// worker killed mid-lease loses at most heartbeat_ms of finished work
+// plus the in-flight point), flags the point currently being computed
+// (crash attribution), and learns about steals — points the coordinator
+// re-granted to an idle worker, which this worker then skips via the
+// supervisor's skip_point hook.
+//
+// Identity discipline: the supervisor runs the slice with
+// global_indices, the whole-grid fingerprint, and a slice fingerprint,
+// so every point is computed with exactly the seed and journal record a
+// single-host run would produce — the merged artifact is byte-identical
+// by construction.  The worker's per-lease journal (global indices,
+// whole-grid fingerprint, slice= header) is belt-and-braces: it only
+// matters when the COORDINATOR also dies, in which case it is tolerantly
+// merged offline (dist/journal_merge.hpp).
+//
+// Connection loss is absorbed by ConnectWithBackoff for up to
+// connect_budget_seconds — long enough to ride out a coordinator
+// restart — after which the worker throws and exits; its lease expires
+// server-side and the points move on.
+//
+// Crash drills (tests and the chaos CI job):
+//   FGPAR_DIST_KILL_AFTER=<n>   SIGKILL when starting the (n+1)-th point
+//                               this process — n points finished, the
+//                               next attributed as in-progress;
+//   FGPAR_DIST_CRASH_POINT=<i>  SIGKILL whenever starting global point
+//                               i — a deterministically poisoned point
+//                               that kills every host it lands on, which
+//                               the coordinator's crash budget must turn
+//                               into a quarantine, not a dead fleet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/supervisor.hpp"
+
+namespace fgpar::dist {
+
+struct WorkerOptions {
+  /// Coordinator address (see service/client.hpp for the forms).
+  std::string address;
+  /// Worker name for lease records and journal file names; should be
+  /// unique per process (the caller typically appends the pid).
+  std::string worker;
+  /// Directory for per-lease journals ("" = no local journaling).
+  std::string journal_dir;
+  /// How long to keep retrying a dead connection before giving up.
+  double connect_budget_seconds = 10.0;
+  /// The WHOLE grid, identical on every worker and the coordinator.
+  std::string sweep_name;
+  std::vector<std::string> labels;
+  /// Template for each lease's supervisor run: seeds, retries,
+  /// deadlines, cycle budgets, thread count.  The worker overrides the
+  /// identity fields (name, labels, global_indices, fingerprints,
+  /// checkpoint_path, skip_point, failure_budget) per lease.
+  harness::SupervisorConfig supervisor;
+};
+
+struct WorkerStats {
+  std::size_t leases = 0;
+  std::size_t completed = 0;       // points computed and reported
+  std::size_t failed = 0;          // points whose retries were exhausted
+  std::size_t stolen_skips = 0;    // points skipped because of steals
+  std::size_t revoked_leases = 0;  // leases the coordinator declared dead
+};
+
+/// Runs the worker loop until the coordinator reports the sweep done.
+/// `body` receives PointContext with the GLOBAL index — the same body a
+/// single-host sweep uses works unchanged.  Throws fgpar::Error when the
+/// coordinator is unreachable past the connect budget or rejects this
+/// worker (wrong grid).
+WorkerStats RunWorker(const WorkerOptions& options,
+                      const harness::SweepSupervisor::PointBody& body,
+                      const harness::SweepSupervisor::ReproEmitter& repro =
+                          nullptr);
+
+}  // namespace fgpar::dist

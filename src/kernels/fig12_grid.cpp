@@ -1,0 +1,25 @@
+#include "kernels/fig12_grid.hpp"
+
+#include <algorithm>
+
+namespace fgpar::kernels {
+
+const SequoiaKernel& Fig12Grid::KernelAt(std::size_t index) const {
+  return SequoiaKernels()[index % kernel_count];
+}
+
+Fig12Grid MakeFig12Grid(bool smoke) {
+  Fig12Grid grid;
+  grid.core_counts = {2, 4};
+  const std::vector<SequoiaKernel>& all = SequoiaKernels();
+  grid.kernel_count = smoke ? std::min<std::size_t>(3, all.size()) : all.size();
+  grid.labels.reserve(grid.core_counts.size() * grid.kernel_count);
+  for (const int cores : grid.core_counts) {
+    for (std::size_t k = 0; k < grid.kernel_count; ++k) {
+      grid.labels.push_back(all[k].id + " cores=" + std::to_string(cores));
+    }
+  }
+  return grid;
+}
+
+}  // namespace fgpar::kernels

@@ -1,0 +1,44 @@
+// The Figure-12 sweep grid as a shared, named definition.
+//
+// The (kernel x cores) grid behind bench/fig12_speedup is also what the
+// distributed sweep machinery shards: fgpar-coord serves it, worker
+// processes run slices of it, and the offline journal merge validates
+// against its fingerprint.  All of them must agree on the name, the
+// point order, and the labels byte-for-byte — so the definition lives
+// here, in one place, instead of being rebuilt by hand in each binary.
+//
+// Point layout (index order is the grid contract — changing it changes
+// the fingerprint and orphans every journal):
+//
+//   index = cores_slot * kernel_count + kernel_slot
+//
+// i.e. all kernels at 2 cores first, then all kernels at 4 cores, with
+// labels "<kernel-id> cores=<n>".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kernels/sequoia.hpp"
+
+namespace fgpar::kernels {
+
+struct Fig12Grid {
+  std::string name = "fig12";
+  std::vector<int> core_counts;            // {2, 4}
+  std::size_t kernel_count = 0;            // 3 for --smoke, else all 18
+  std::vector<std::string> labels;         // size() entries, index order
+
+  std::size_t size() const { return labels.size(); }
+  const SequoiaKernel& KernelAt(std::size_t index) const;
+  int CoresAt(std::size_t index) const {
+    return core_counts[index / kernel_count];
+  }
+};
+
+/// Builds the grid (`smoke` = the 3-kernel CI subset).  The returned
+/// object references the process-wide kernel table and is cheap to copy.
+Fig12Grid MakeFig12Grid(bool smoke);
+
+}  // namespace fgpar::kernels

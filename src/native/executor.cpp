@@ -37,8 +37,10 @@ struct RingKey {
 
 class RingMap {
  public:
-  RingMap(std::size_t capacity, const std::atomic<bool>* abort)
-      : capacity_(capacity), abort_(abort) {}
+  RingMap(std::size_t capacity, std::uint64_t wait_timeout_ms,
+          const std::atomic<bool>* abort)
+      : capacity_(capacity), wait_timeout_ms_(wait_timeout_ms),
+        abort_(abort) {}
 
   /// Creates on first use; must only be called during single-threaded
   /// setup (workers capture resolved pointers, never the map).
@@ -47,6 +49,7 @@ class RingMap {
     if (slot == nullptr) {
       slot = std::make_unique<SpscRing>(capacity_);
       slot->SetAbort(abort_);
+      slot->SetWaitTimeout(wait_timeout_ms_);
     }
     return slot.get();
   }
@@ -70,6 +73,7 @@ class RingMap {
  private:
   std::map<RingKey, std::unique_ptr<SpscRing>> rings_;
   const std::size_t capacity_;
+  const std::uint64_t wait_timeout_ms_;
   const std::atomic<bool>* abort_;
 };
 
@@ -176,7 +180,7 @@ NativeRunStats RunSequential(const compiler::LoweredProgram& lowered,
 NativeRunStats RunParallel(const compiler::LoweredProgram& lowered,
                            const std::vector<std::uint64_t>& params_raw,
                            std::vector<std::uint64_t>& memory,
-                           std::size_t ring_capacity) {
+                           const NativeExecOptions& options) {
   const ir::Kernel& kernel = *lowered.kernel;
   const compiler::ProgramPlan& plan = *lowered.plan;
   const compiler::CommPlan& comm = plan.comm;
@@ -186,7 +190,8 @@ NativeRunStats RunParallel(const compiler::LoweredProgram& lowered,
                   "kernel has no loop bounds");
 
   std::atomic<bool> aborted{false};
-  RingMap rings(ring_capacity, &aborted);
+  RingMap rings(options.ring_capacity, options.ring_wait_timeout_ms,
+                &aborted);
   const Codegen cg(kernel, *lowered.layout);
   const ExprFn lower_fn = cg.CompileExpr(loop.lower);
   const ExprFn upper_fn = cg.CompileExpr(loop.upper);
@@ -247,6 +252,9 @@ NativeRunStats RunParallel(const compiler::LoweredProgram& lowered,
   std::mutex error_mutex;
   const auto worker = [&](int c) {
     try {
+      if (options.wedge_hook) {
+        options.wedge_hook(c, aborted);
+      }
       Frame f;
       f.memory = memory.data();
       f.memory_size = memory.size();
@@ -334,13 +342,22 @@ NativeRunStats RunParallel(const compiler::LoweredProgram& lowered,
 NativeRunStats ExecuteNative(const compiler::LoweredProgram& lowered,
                              const std::vector<std::uint64_t>& params_raw,
                              std::vector<std::uint64_t>& memory,
-                             std::size_t ring_capacity) {
+                             const NativeExecOptions& options) {
   FGPAR_CHECK_MSG(lowered.kernel != nullptr && lowered.layout != nullptr,
                   "native executor needs a kernel and layout");
   if (lowered.sequential()) {
     return RunSequential(lowered, params_raw, memory);
   }
-  return RunParallel(lowered, params_raw, memory, ring_capacity);
+  return RunParallel(lowered, params_raw, memory, options);
+}
+
+NativeRunStats ExecuteNative(const compiler::LoweredProgram& lowered,
+                             const std::vector<std::uint64_t>& params_raw,
+                             std::vector<std::uint64_t>& memory,
+                             std::size_t ring_capacity) {
+  NativeExecOptions options;
+  options.ring_capacity = ring_capacity;
+  return ExecuteNative(lowered, params_raw, memory, options);
 }
 
 }  // namespace fgpar::native

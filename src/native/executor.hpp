@@ -20,7 +20,9 @@
 // (INTERNALS.md §14).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "compiler/lowered.hpp"
@@ -38,9 +40,37 @@ struct NativeRunStats {
   int cores = 1;
 };
 
+/// Knobs for the parallel form (ignored by the sequential form).
+struct NativeExecOptions {
+  std::size_t ring_capacity = SpscRing::kDefaultCapacity;
+
+  /// Watchdog deadline per blocking ring wait, in milliseconds.  0 waits
+  /// forever (the historical behaviour).  With a deadline armed, a worker
+  /// whose peer wedges without dying — so the abort flag never flips —
+  /// throws RingStallError instead of hanging the run; the executor then
+  /// aborts every other worker cooperatively, joins all threads, and
+  /// rethrows the stall as the run's structured error.
+  std::uint64_t ring_wait_timeout_ms = 0;
+
+  /// Test-only fault injector, called on every worker thread right after
+  /// it starts (before any ring traffic), with the worker's core id and
+  /// the shared abort flag.  A hook that blocks until the flag flips
+  /// simulates a wedged-but-alive worker; the watchdog test uses this to
+  /// prove a stall aborts cleanly within the deadline.
+  std::function<void(int core, const std::atomic<bool>& aborted)> wedge_hook;
+};
+
 /// Runs `lowered` over `memory` in place.  `params_raw` is the raw
 /// parameter image (codegen.hpp RawParams).  Worker failures (bounds trap,
-/// divide trap) abort the run cooperatively and rethrow on the caller.
+/// divide trap) abort the run cooperatively and rethrow on the caller; a
+/// ring wait exceeding options.ring_wait_timeout_ms rethrows as
+/// RingStallError.
+NativeRunStats ExecuteNative(const compiler::LoweredProgram& lowered,
+                             const std::vector<std::uint64_t>& params_raw,
+                             std::vector<std::uint64_t>& memory,
+                             const NativeExecOptions& options);
+
+/// Convenience overload keeping the original capacity-only signature.
 NativeRunStats ExecuteNative(const compiler::LoweredProgram& lowered,
                              const std::vector<std::uint64_t>& params_raw,
                              std::vector<std::uint64_t>& memory,

@@ -22,16 +22,51 @@
 //
 // Blocking waits spin briefly, then yield: the harness must stay live on a
 // single-CPU host, where a pure spin would starve the peer thread.
+//
+// Two independent escape hatches keep a blocking wait from becoming a
+// permanent hang:
+//
+//  * SetAbort installs a cooperative flag the executor flips when any peer
+//    worker throws — the wait aborts on the next poll;
+//  * SetWaitTimeout arms a deadline — a wait that exceeds it throws
+//    RingStallError, which carries the stalled operation and the time
+//    waited, so the executor can surface "which side wedged" structurally
+//    instead of hanging the whole process behind one dead peer.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/error.hpp"
 
 namespace fgpar::native {
+
+/// A blocking Push/Pop exceeded the armed wait deadline: the peer side is
+/// wedged or dead without having tripped the abort flag.  Structured so the
+/// executor (and tests) can distinguish a watchdog abort from a worker
+/// failure.
+class RingStallError : public Error {
+ public:
+  RingStallError(const char* op, std::uint64_t waited_ms)
+      : Error(std::string("SPSC ") + op + " stalled for " +
+              std::to_string(waited_ms) +
+              " ms: peer worker is wedged or dead"),
+        op_(op),
+        waited_ms_(waited_ms) {}
+
+  /// "push" (ring stayed full) or "pop" (ring stayed empty).
+  const char* op() const { return op_; }
+  /// Milliseconds the operation waited before giving up.
+  std::uint64_t waited_ms() const { return waited_ms_; }
+
+ private:
+  const char* op_;
+  std::uint64_t waited_ms_;
+};
 
 class SpscRing {
  public:
@@ -50,12 +85,19 @@ class SpscRing {
   /// (a peer worker died and will never drain/fill the ring).
   void SetAbort(const std::atomic<bool>* abort) { abort_ = abort; }
 
+  /// Arms a per-operation wait deadline: a blocking Push/Pop that waits
+  /// longer than `timeout_ms` throws RingStallError.  0 (the default)
+  /// waits forever.  The clock starts only once an operation actually
+  /// blocks past its spin budget, so the deadline never taxes the fast
+  /// path.
+  void SetWaitTimeout(std::uint64_t timeout_ms) { timeout_ms_ = timeout_ms; }
+
   /// Blocking enqueue: waits while the ring is full.
   void Push(std::uint64_t value) {
     const std::uint64_t t = tail_.load(std::memory_order_relaxed);
-    unsigned spins = 0;
+    WaitState wait;
     while (t - head_.load(std::memory_order_acquire) >= capacity_) {
-      Wait(spins, "push");
+      Wait(wait, "push");
     }
     slots_[t % capacity_] = value;
     tail_.store(t + 1, std::memory_order_release);
@@ -64,9 +106,9 @@ class SpscRing {
   /// Blocking dequeue: waits until a value is available.
   std::uint64_t Pop() {
     const std::uint64_t h = head_.load(std::memory_order_relaxed);
-    unsigned spins = 0;
+    WaitState wait;
     while (tail_.load(std::memory_order_acquire) == h) {
-      Wait(spins, "pop");
+      Wait(wait, "pop");
     }
     const std::uint64_t value = slots_[h % capacity_];
     head_.store(h + 1, std::memory_order_release);
@@ -110,25 +152,43 @@ class SpscRing {
   }
 
  private:
-  void Wait(unsigned& spins, const char* what) const {
+  /// Per-operation wait bookkeeping: the spin count and the lazily-armed
+  /// deadline clock (started when the op first yields, not when it starts).
+  struct WaitState {
+    unsigned spins = 0;
+    std::chrono::steady_clock::time_point blocked_since{};
+  };
+
+  void Wait(WaitState& wait, const char* what) const {
     if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
       throw Error(std::string("SPSC ") + what +
                   " aborted: peer worker failed");
     }
-    if (++spins < 64) {
+    if (++wait.spins < 64) {
 #if defined(__x86_64__) || defined(__i386__)
       __builtin_ia32_pause();
 #endif
-    } else {
-      // Past the spin budget the peer is likely descheduled (or this is a
-      // one-CPU host); hand the processor over instead of burning it.
-      std::this_thread::yield();
+      return;
     }
+    if (wait.spins == 64) {
+      wait.blocked_since = std::chrono::steady_clock::now();
+    } else if (timeout_ms_ > 0) {
+      const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - wait.blocked_since);
+      if (static_cast<std::uint64_t>(waited.count()) >= timeout_ms_) {
+        throw RingStallError(what,
+                             static_cast<std::uint64_t>(waited.count()));
+      }
+    }
+    // Past the spin budget the peer is likely descheduled (or this is a
+    // one-CPU host); hand the processor over instead of burning it.
+    std::this_thread::yield();
   }
 
   const std::size_t capacity_;
   std::vector<std::uint64_t> slots_;
   const std::atomic<bool>* abort_ = nullptr;
+  std::uint64_t timeout_ms_ = 0;  // 0 = wait forever
 
   /// Consumer position (values popped); written only by the consumer.
   alignas(64) std::atomic<std::uint64_t> head_{0};

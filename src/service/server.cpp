@@ -47,7 +47,7 @@ void SocketServer::InstallSignalHandlers() {
 }
 
 void SocketServer::Start() {
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw Error(std::string("socket(): ") + std::strerror(errno));
   }
@@ -112,7 +112,7 @@ void SocketServer::AcceptLoop() {
     if (ready <= 0) {
       continue;  // timeout or EINTR: re-check the stop flag
     }
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       continue;
     }

@@ -1,0 +1,121 @@
+# Distributed chaos drill, run as a ctest entry (cmake -P).
+#
+# Proves the fault-tolerant sweep coordinator's whole story on the fig12
+# smoke grid (6 points: 3 kernels x {2,4} cores):
+#
+#   run A  — clean single-host baseline: the classic in-process
+#            supervisor, no distribution at all.
+#   run B1 — the same sweep under --workers 2 with maximum carnage:
+#            FGPAR_DIST_KILL_AFTER=1 makes every worker process SIGKILL
+#            itself the moment it starts a second point (so each process
+#            contributes at most one result before dying), and
+#            FGPAR_COORD_EXIT_AFTER=5 SIGKILLs the coordinator itself
+#            after the fifth commit.  Reaching five commits with two
+#            one-shot workers forces at least three died-and-respawned
+#            worker processes first, so the drill provably covers >=3
+#            worker SIGKILLs plus one coordinator SIGKILL.  Must die
+#            nonzero, leaving journals behind.
+#   run B2 — coordinator restart: --workers 4 --resume tolerantly merges
+#            every journal in the work dir (the dead coordinator's plus
+#            all dead workers'), adopts the committed points, and
+#            finishes the sweep with a wider worker pool — still under
+#            FGPAR_DIST_KILL_AFTER=1.  (B1 deliberately uses only two
+#            workers: five commits from one-shot workers then *provably*
+#            require three respawned processes; four workers would let
+#            the initial pool cover most commits and turn the >=3 floor
+#            into a race.)
+#
+# Run B2's stdout table and deterministic BENCH_fig12.json must be
+# byte-identical to run A's: arbitrary worker SIGKILLs, duplicated
+# (re-queued or stolen) points, a coordinator kill -9, and a tolerant
+# journal merge are all invisible in the results.
+#
+# Usage:
+#   cmake -DFIG12=<fig12_speedup exe> -DWORK_DIR=<scratch dir>
+#         -P dist_chaos_guard.cmake
+
+if(NOT DEFINED FIG12 OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "dist_chaos_guard.cmake requires -DFIG12 and -DWORK_DIR")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}/clean" "${WORK_DIR}/dist")
+
+set(ENV{FGPAR_BENCH_DETERMINISTIC} "1")
+set(ENV{FGPAR_SWEEP_THREADS} "2")
+
+# ---- run A: clean single-host baseline -------------------------------------
+set(ENV{FGPAR_BENCH_DIR} "${WORK_DIR}/clean")
+execute_process(
+  COMMAND ${FIG12} --smoke
+  OUTPUT_VARIABLE stdout_a
+  ERROR_VARIABLE stderr_a
+  RESULT_VARIABLE status_a)
+if(NOT status_a EQUAL 0)
+  message(FATAL_ERROR "clean baseline run failed (${status_a}):\n${stderr_a}")
+endif()
+
+# ---- run B1: distributed sweep under maximum carnage -----------------------
+set(dist_args --smoke --work-dir "${WORK_DIR}/dist/coord"
+    --slice-points 1 --lease-ms 1000 --connect-budget 8)
+set(ENV{FGPAR_BENCH_DIR} "${WORK_DIR}/dist")
+set(ENV{FGPAR_DIST_KILL_AFTER} "1")
+set(ENV{FGPAR_COORD_EXIT_AFTER} "5")
+execute_process(
+  COMMAND ${FIG12} ${dist_args} --workers 2
+  OUTPUT_VARIABLE stdout_b1
+  ERROR_VARIABLE stderr_b1
+  RESULT_VARIABLE status_b1)
+unset(ENV{FGPAR_COORD_EXIT_AFTER})
+if(status_b1 EQUAL 0)
+  message(FATAL_ERROR "run B1 survived FGPAR_COORD_EXIT_AFTER=5; the "
+    "coordinator kill -9 never happened:\n${stderr_b1}")
+endif()
+file(GLOB journals_b1 "${WORK_DIR}/dist/coord/*.ckpt")
+if(journals_b1 STREQUAL "")
+  message(FATAL_ERROR "run B1 died without leaving any journal:\n${stderr_b1}")
+endif()
+
+# ---- run B2: coordinator restart, resume, finish ---------------------------
+execute_process(
+  COMMAND ${FIG12} ${dist_args} --workers 4 --resume
+  OUTPUT_VARIABLE stdout_b2
+  ERROR_VARIABLE stderr_b2
+  RESULT_VARIABLE status_b2)
+unset(ENV{FGPAR_DIST_KILL_AFTER})
+if(NOT status_b2 EQUAL 0)
+  message(FATAL_ERROR "run B2 (resume) failed (${status_b2}):\n${stderr_b2}")
+endif()
+if(NOT stderr_b2 MATCHES "resumed [0-9]+ completed points")
+  message(FATAL_ERROR "run B2 did not adopt the journaled points:\n${stderr_b2}")
+endif()
+
+# ---- the drill must actually have killed workers ---------------------------
+string(REGEX MATCHALL "died; re-spawning" respawns
+  "${stderr_b1}${stderr_b2}")
+list(LENGTH respawns respawn_count)
+if(respawn_count LESS 3)
+  message(FATAL_ERROR
+    "only ${respawn_count} worker deaths were reaped (need >= 3); the "
+    "chaos drill lost its teeth\nB1:\n${stderr_b1}\nB2:\n${stderr_b2}")
+endif()
+
+# ---- carnage must be invisible in the results ------------------------------
+if(NOT stdout_b2 STREQUAL stdout_a)
+  file(WRITE "${WORK_DIR}/stdout_clean.txt" "${stdout_a}")
+  file(WRITE "${WORK_DIR}/stdout_dist.txt" "${stdout_b2}")
+  message(FATAL_ERROR
+    "distributed run's stdout differs from the clean single-host run's "
+    "(see ${WORK_DIR}/stdout_clean.txt vs stdout_dist.txt)")
+endif()
+file(READ "${WORK_DIR}/clean/BENCH_fig12.json" artifact_a)
+file(READ "${WORK_DIR}/dist/BENCH_fig12.json" artifact_b)
+if(NOT artifact_a STREQUAL artifact_b)
+  message(FATAL_ERROR
+    "distributed run's BENCH_fig12.json differs from the clean run's "
+    "(${WORK_DIR}/clean vs ${WORK_DIR}/dist)")
+endif()
+
+message(STATUS
+  "chaos drill OK: ${respawn_count} worker SIGKILLs reaped, 1 coordinator "
+  "kill -9 + resume, results byte-identical to the clean run")

@@ -1,0 +1,383 @@
+// Unit tests for the distributed sweep coordinator's deterministic core:
+// the lease table (grants, steals, revocation, crash-budget quarantine),
+// the fgpar-dist-v1 codec, and the Coordinator report/reply state machine
+// — all driven with scripted time, no sockets.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/lease.hpp"
+#include "dist/protocol.hpp"
+#include "harness/checkpoint.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace fgpar;
+using dist::CoordinatorReply;
+using dist::Grant;
+using dist::LeaseGrant;
+using dist::LeaseTable;
+using dist::WorkerReport;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+LeaseTable::Config SmallGrid(std::size_t points, std::size_t slice) {
+  LeaseTable::Config config;
+  config.total_points = points;
+  config.slice_points = slice;
+  config.lease_ms = 1000;
+  config.crash_budget = 2;
+  return config;
+}
+
+// ---- lease table ----------------------------------------------------------
+
+TEST(LeaseTable, GrantsPendingPointsInIndexOrderWithMonotonicIds) {
+  LeaseTable table(SmallGrid(10, 4));
+  const LeaseGrant first = table.Acquire("w0", 0);
+  EXPECT_EQ(first.lease_id, 1u);
+  EXPECT_EQ(first.points, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_FALSE(first.stolen);
+  const LeaseGrant second = table.Acquire("w1", 0);
+  EXPECT_EQ(second.lease_id, 2u);
+  EXPECT_EQ(second.points, (std::vector<std::size_t>{4, 5, 6, 7}));
+  const LeaseGrant third = table.Acquire("w0", 0);
+  EXPECT_EQ(third.points, (std::vector<std::size_t>{8, 9}));
+  EXPECT_EQ(table.pending_count(), 0u);
+}
+
+TEST(LeaseTable, IdleWorkerStealsTheTailOfTheLargestLease) {
+  LeaseTable table(SmallGrid(8, 8));
+  const LeaseGrant all = table.Acquire("slow", 0);
+  ASSERT_EQ(all.points.size(), 8u);
+  // Queue dry: the next worker steals the tail half of the biggest lease.
+  const LeaseGrant stolen = table.Acquire("fast", 10);
+  EXPECT_TRUE(stolen.stolen);
+  EXPECT_EQ(stolen.points, (std::vector<std::size_t>{4, 5, 6, 7}));
+  // The victim no longer owns what was taken; the thief does.
+  EXPECT_FALSE(table.LeaseOwns(all.lease_id, 4));
+  EXPECT_TRUE(table.LeaseOwns(all.lease_id, 0));
+  EXPECT_TRUE(table.LeaseOwns(stolen.lease_id, 4));
+}
+
+TEST(LeaseTable, NeverStealsDownToAnEmptyVictim) {
+  LeaseTable table(SmallGrid(2, 2));
+  const LeaseGrant all = table.Acquire("w0", 0);
+  ASSERT_EQ(all.points.size(), 2u);
+  // Stealing half of 2 leaves 1 — allowed.
+  const LeaseGrant steal1 = table.Acquire("w1", 0);
+  EXPECT_EQ(steal1.points.size(), 1u);
+  // A 1-point lease is not worth stealing from; the next idler waits.
+  const LeaseGrant steal2 = table.Acquire("w2", 0);
+  EXPECT_EQ(steal2.lease_id, 0u);
+  EXPECT_TRUE(steal2.points.empty());
+}
+
+TEST(LeaseTable, MissedHeartbeatRequeuesUnfinishedPointsInIndexOrder) {
+  LeaseTable table(SmallGrid(4, 4));
+  const LeaseGrant grant = table.Acquire("w0", 0);
+  table.Complete(2);  // one point done before the worker dies
+  EXPECT_EQ(table.RevokeExpired(999), 0u);  // deadline not yet passed
+  EXPECT_EQ(table.RevokeExpired(1001), 1u);
+  EXPECT_FALSE(table.Renew(grant.lease_id, 1002));  // lease is gone
+  // The unfinished points come back, in index order, minus the completed.
+  const LeaseGrant regrant = table.Acquire("w1", 1002);
+  EXPECT_EQ(regrant.points, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(LeaseTable, RenewExtendsTheDeadline) {
+  LeaseTable table(SmallGrid(2, 2));
+  const LeaseGrant grant = table.Acquire("w0", 0);
+  EXPECT_TRUE(table.Renew(grant.lease_id, 900));   // deadline -> 1900
+  EXPECT_EQ(table.RevokeExpired(1800), 0u);
+  EXPECT_EQ(table.RevokeExpired(1901), 1u);
+}
+
+TEST(LeaseTable, CrashBudgetQuarantinesThePoisonedPointOnly) {
+  LeaseTable table(SmallGrid(3, 3));  // crash_budget = 2
+  // Two workers in a row die while computing point 1.
+  for (int round = 0; round < 2; ++round) {
+    const LeaseGrant grant =
+        table.Acquire("w" + std::to_string(round), 0);
+    ASSERT_FALSE(grant.points.empty());
+    table.SetInProgress(grant.lease_id, 1);
+    EXPECT_TRUE(table.RevokeLease(grant.lease_id));
+  }
+  ASSERT_EQ(table.quarantined().size(), 1u);
+  EXPECT_EQ(table.quarantined().begin()->first, 1u);
+  EXPECT_NE(table.quarantined().begin()->second.find("crash budget"),
+            std::string::npos);
+  // The surviving points are still handed out — minus the poisoned one.
+  const LeaseGrant next = table.Acquire("w9", 0);
+  EXPECT_EQ(next.points, (std::vector<std::size_t>{0, 2}));
+  table.Complete(0);
+  table.Complete(2);
+  EXPECT_TRUE(table.Done());  // quarantined counts as resolved
+}
+
+TEST(LeaseTable, CompletionIsFirstCommittedWinsAndClearsCrashCounts) {
+  LeaseTable table(SmallGrid(2, 2));
+  const LeaseGrant grant = table.Acquire("w0", 0);
+  // One crash attributed to point 0...
+  table.SetInProgress(grant.lease_id, 0);
+  EXPECT_TRUE(table.RevokeLease(grant.lease_id));
+  // ...but it completes on the retry: the crash count must be erased.
+  const LeaseGrant again = table.Acquire("w1", 0);
+  EXPECT_TRUE(table.Complete(0));
+  EXPECT_FALSE(table.Complete(0));  // duplicate commit: benign, discarded
+  table.SetInProgress(again.lease_id, 1);
+  EXPECT_TRUE(table.RevokeLease(again.lease_id));
+  // Point 0 is committed, so only point 1 carries a crash now.
+  EXPECT_TRUE(table.quarantined().empty());
+  const LeaseGrant last = table.Acquire("w2", 0);
+  EXPECT_EQ(last.points, (std::vector<std::size_t>{1}));
+}
+
+TEST(LeaseTable, CompletingTheLastPointErasesTheLease) {
+  LeaseTable table(SmallGrid(1, 1));
+  const LeaseGrant grant = table.Acquire("w0", 0);
+  EXPECT_TRUE(table.Complete(0));
+  EXPECT_FALSE(table.Renew(grant.lease_id, 1));  // nothing left to renew
+  EXPECT_TRUE(table.Done());
+}
+
+// ---- fgpar-dist-v1 codec --------------------------------------------------
+
+TEST(DistProtocol, ReportRoundTripsIncludingBinaryPayloads) {
+  WorkerReport report;
+  report.worker = "w3.p1234";
+  report.fingerprint = 0xDEADBEEFCAFE0123ull;
+  report.lease_id = 7;
+  report.has_in_progress = true;
+  report.in_progress = 42;
+  report.want_work = true;
+  dist::CompletedPoint done;
+  done.index = 5;
+  done.payload = std::string("\x00\x1f\xffraw bytes", 12);
+  report.completed.push_back(done);
+  dist::FailedPoint failed;
+  failed.index = 9;
+  failed.message = "machine check: bad address \"quoted\"";
+  failed.repro_bundle = "repro_fig12_point9";
+  report.failed.push_back(failed);
+
+  const WorkerReport back = dist::ParseReport(dist::EncodeReport(report));
+  EXPECT_EQ(back.worker, report.worker);
+  EXPECT_EQ(back.fingerprint, report.fingerprint);
+  EXPECT_EQ(back.lease_id, 7u);
+  EXPECT_TRUE(back.has_in_progress);
+  EXPECT_EQ(back.in_progress, 42u);
+  EXPECT_TRUE(back.want_work);
+  ASSERT_EQ(back.completed.size(), 1u);
+  EXPECT_EQ(back.completed[0].index, 5u);
+  EXPECT_EQ(back.completed[0].payload, done.payload);
+  ASSERT_EQ(back.failed.size(), 1u);
+  EXPECT_EQ(back.failed[0].message, failed.message);
+  EXPECT_EQ(back.failed[0].repro_bundle, failed.repro_bundle);
+}
+
+TEST(DistProtocol, ReplyRoundTripsEveryGrantKind) {
+  for (const Grant grant : {Grant::kLease, Grant::kWait, Grant::kDone}) {
+    CoordinatorReply reply;
+    reply.grant = grant;
+    reply.lease_id = 3;
+    reply.points = {4, 5, 6};
+    reply.owned = {4, 6};
+    reply.lease_revoked = grant == Grant::kWait;
+    reply.lease_ms = 10'000;
+    reply.heartbeat_ms = 2'000;
+    reply.retry_ms = 200;
+    const CoordinatorReply back = dist::ParseReply(dist::EncodeReply(reply));
+    EXPECT_EQ(back.code, 200);
+    EXPECT_EQ(back.grant, grant) << dist::GrantName(grant);
+    EXPECT_EQ(back.points, reply.points);
+    EXPECT_EQ(back.owned, reply.owned);
+    EXPECT_EQ(back.lease_revoked, reply.lease_revoked);
+    EXPECT_EQ(back.lease_ms, 10'000u);
+  }
+}
+
+TEST(DistProtocol, ParseRejectsGarbageAndWrongSchema) {
+  EXPECT_THROW((void)dist::ParseReport("not json at all"), Error);
+  EXPECT_THROW((void)dist::ParseReport("{}"), Error);
+  EXPECT_THROW(
+      (void)dist::ParseReport(
+          R"({"schema":"fgpar-dist-v99","type":"report","worker":"w"})"),
+      Error);
+  EXPECT_THROW((void)dist::ParseReply("{\"schema\":\"fgpar-dist-v1\"}"),
+               Error);
+  // A reply parsed as a report (and vice versa) must not pass.
+  CoordinatorReply reply;
+  EXPECT_THROW((void)dist::ParseReport(dist::EncodeReply(reply)), Error);
+  WorkerReport report;
+  report.worker = "w";
+  EXPECT_THROW((void)dist::ParseReply(dist::EncodeReport(report)), Error);
+}
+
+// ---- coordinator state machine --------------------------------------------
+
+dist::Coordinator::Config CoordConfig(const std::string& journal) {
+  dist::Coordinator::Config config;
+  config.name = "unit";
+  config.labels = {"p0", "p1", "p2", "p3"};
+  config.checkpoint_path = journal;
+  config.slice_points = 2;
+  config.lease_ms = 1000;
+  config.heartbeat_ms = 100;
+  config.crash_budget = 2;
+  return config;
+}
+
+WorkerReport Hello(const dist::Coordinator& coordinator,
+                   const std::string& worker) {
+  WorkerReport report;
+  report.worker = worker;
+  report.fingerprint = coordinator.fingerprint();
+  report.want_work = true;
+  return report;
+}
+
+TEST(Coordinator, FingerprintMismatchIsAStructured400) {
+  dist::Coordinator coordinator(CoordConfig(""));
+  WorkerReport report = Hello(coordinator, "w0");
+  report.fingerprint ^= 1;  // stale binary / wrong coordinator
+  const CoordinatorReply reply = coordinator.Apply(report, 0);
+  EXPECT_EQ(reply.code, 400);
+  EXPECT_NE(reply.error.find("fingerprint"), std::string::npos);
+}
+
+TEST(Coordinator, FullSweepThroughReportsJournalsEveryCommit) {
+  const std::string journal = TempPath("coord_unit_journal");
+  std::remove(journal.c_str());
+  dist::Coordinator coordinator(CoordConfig(journal));
+
+  // Hello: a slice_points-sized lease, plus the advertised timings.
+  CoordinatorReply reply = coordinator.Apply(Hello(coordinator, "w0"), 0);
+  ASSERT_EQ(reply.grant, Grant::kLease);
+  EXPECT_EQ(reply.points, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(reply.owned, reply.points);  // a grant is owned immediately
+  EXPECT_EQ(reply.lease_ms, 1000u);
+  EXPECT_EQ(reply.heartbeat_ms, 100u);
+
+  // Flush both points, ask for more: commits land before lease handling.
+  WorkerReport flush = Hello(coordinator, "w0");
+  flush.lease_id = reply.lease_id;
+  for (const std::size_t index : {0u, 1u}) {
+    dist::CompletedPoint point;
+    point.index = index;
+    point.payload = "payload-" + std::to_string(index);
+    flush.completed.push_back(point);
+  }
+  reply = coordinator.Apply(flush, 50);
+  ASSERT_EQ(reply.grant, Grant::kLease);
+  EXPECT_EQ(reply.points, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(coordinator.points().size(), 2u);
+
+  // Every commit is already durable in the coordinator's own journal.
+  const harness::SweepCheckpoint loaded = harness::SweepCheckpoint::LoadOrCreate(
+      journal, "unit", coordinator.fingerprint());
+  EXPECT_EQ(loaded.CompletedCount(), 2u);
+
+  // Finish; the reply flips to kDone and Done() holds.
+  WorkerReport last = Hello(coordinator, "w0");
+  last.lease_id = reply.lease_id;
+  for (const std::size_t index : {2u, 3u}) {
+    dist::CompletedPoint point;
+    point.index = index;
+    point.payload = "payload-" + std::to_string(index);
+    last.completed.push_back(point);
+  }
+  reply = coordinator.Apply(last, 90);
+  EXPECT_EQ(reply.grant, Grant::kDone);
+  EXPECT_TRUE(coordinator.Done());
+  EXPECT_TRUE(coordinator.failures().empty());
+  std::remove(journal.c_str());
+}
+
+TEST(Coordinator, DuplicateCompletionsAreAcceptedEvenFromRevokedLeases) {
+  dist::Coordinator coordinator(CoordConfig(""));
+  const CoordinatorReply lease = coordinator.Apply(Hello(coordinator, "w0"), 0);
+  ASSERT_EQ(lease.grant, Grant::kLease);
+  // The worker goes silent past its deadline; the ticker revokes it.
+  EXPECT_EQ(coordinator.RevokeExpired(2000), 1u);
+
+  // Its late flush still arrives: the completions are committed (the work
+  // is real), but the reply tells the worker its lease is gone.
+  WorkerReport late;
+  late.worker = "w0";
+  late.fingerprint = coordinator.fingerprint();
+  late.lease_id = lease.lease_id;
+  dist::CompletedPoint point;
+  point.index = 0;
+  point.payload = "payload-0";
+  late.completed.push_back(point);
+  const CoordinatorReply reply = coordinator.Apply(late, 2001);
+  EXPECT_TRUE(reply.lease_revoked);
+  EXPECT_EQ(coordinator.points().count(0), 1u);
+
+  // A second commit of the same point is the benign duplicate path.
+  const CoordinatorReply again = coordinator.Apply(late, 2002);
+  EXPECT_EQ(again.code, 200);
+  EXPECT_EQ(coordinator.duplicate_commits(), 1u);
+}
+
+TEST(Coordinator, ReportedFailuresCarryTheWorkerStoryIntoFailures) {
+  dist::Coordinator coordinator(CoordConfig(""));
+  const CoordinatorReply lease = coordinator.Apply(Hello(coordinator, "w0"), 0);
+  WorkerReport report;
+  report.worker = "w0";
+  report.fingerprint = coordinator.fingerprint();
+  report.lease_id = lease.lease_id;
+  dist::FailedPoint failed;
+  failed.index = 1;
+  failed.message = "machine check: division by zero";
+  failed.repro_bundle = "repro_unit_point1";
+  report.failed.push_back(failed);
+  (void)coordinator.Apply(report, 10);
+
+  const std::vector<dist::Coordinator::FailureInfo> failures =
+      coordinator.failures();
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].index, 1u);
+  EXPECT_EQ(failures[0].message, "machine check: division by zero");
+  EXPECT_EQ(failures[0].repro_bundle, "repro_unit_point1");
+}
+
+TEST(Coordinator, AdoptPointsResumesFromAMergedFrontier) {
+  dist::Coordinator coordinator(CoordConfig(""));
+  coordinator.AdoptPoints({{0, "a"}, {2, "c"}, {99, "ignored-out-of-range"}});
+  EXPECT_EQ(coordinator.points().size(), 2u);
+  const CoordinatorReply reply = coordinator.Apply(Hello(coordinator, "w0"), 0);
+  ASSERT_EQ(reply.grant, Grant::kLease);
+  EXPECT_EQ(reply.points, (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Coordinator, StealShrinksTheVictimsOwnedSetInItsNextReply) {
+  dist::Coordinator::Config config = CoordConfig("");
+  config.slice_points = 4;  // one lease grabs the whole grid
+  dist::Coordinator coordinator(config);
+  const CoordinatorReply all = coordinator.Apply(Hello(coordinator, "w0"), 0);
+  ASSERT_EQ(all.points.size(), 4u);
+  const CoordinatorReply stolen = coordinator.Apply(Hello(coordinator, "w1"), 1);
+  ASSERT_EQ(stolen.grant, Grant::kLease);
+  EXPECT_EQ(stolen.points, (std::vector<std::size_t>{2, 3}));
+
+  // The victim's next heartbeat sees its shrunken ownership and skips the
+  // stolen tail.
+  WorkerReport beat;
+  beat.worker = "w0";
+  beat.fingerprint = coordinator.fingerprint();
+  beat.lease_id = all.lease_id;
+  const CoordinatorReply view = coordinator.Apply(beat, 2);
+  EXPECT_FALSE(view.lease_revoked);
+  EXPECT_EQ(view.owned, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace

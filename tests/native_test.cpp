@@ -4,13 +4,20 @@
 // untouched.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compiler/backend.hpp"
+#include "compiler/compile.hpp"
+#include "frontend/parser.hpp"
 #include "harness/runner.hpp"
 #include "kernels/experiments.hpp"
 #include "kernels/sequoia.hpp"
+#include "native/codegen.hpp"
+#include "native/executor.hpp"
 #include "support/error.hpp"
 #include "support/telemetry/telemetry.hpp"
 
@@ -112,6 +119,87 @@ TEST(NativeBackend, NativeRunsRegisterDeterministicCounters) {
   registry.ForEachArtifactMetric([](const std::string& name, double) {
     EXPECT_EQ(name.find("native."), std::string::npos) << name;
   });
+}
+
+TEST(NativeExecutor, WatchdogAbortsCleanlyWhenOneWorkerWedges) {
+  // The hang-hardening drill: one worker wedges (alive, never touching its
+  // rings), so the cooperative abort flag alone would never fire and the
+  // historical behaviour was an infinite hang behind a blocking ring wait.
+  // With a wait deadline armed the run must (a) surface a structured
+  // RingStallError, (b) release the wedged worker via the abort flag, and
+  // (c) join every thread and return well within the test's own deadline.
+  ir::Kernel kernel = frontend::ParseKernel(R"(
+kernel wedge {
+  param i64 n;
+  param f64 c;
+  array f64 a[32];
+  array f64 o1[32];
+  array f64 o2[32];
+  loop i = 0 .. n {
+    o1[i] = a[i] * c + 1.0;
+    o2[i] = sqrt(abs(a[i])) - c;
+  }
+}
+)");
+  const ir::DataLayout layout(kernel);
+  compiler::CompileOptions options;
+  options.num_cores = 2;
+  const compiler::CompiledParallel compiled =
+      compiler::CompileParallel(kernel, layout, options);
+  ASSERT_GE(compiled.cores_used, 2);
+
+  ir::ParamEnv params(kernel);
+  for (const ir::Symbol& sym : kernel.symbols()) {
+    if (sym.name == "n") {
+      params.SetI64(sym.id, 16);
+    } else if (sym.name == "c") {
+      params.SetF64(sym.id, 1.5);
+    }
+  }
+  const std::vector<std::uint64_t> params_raw =
+      native::RawParams(kernel, params);
+  std::vector<std::uint64_t> memory(layout.end(), 0);
+
+  std::atomic<bool> wedge_saw_abort{false};
+  native::NativeExecOptions exec;
+  exec.ring_wait_timeout_ms = 200;
+  exec.wedge_hook = [&wedge_saw_abort](int core,
+                                       const std::atomic<bool>& aborted) {
+    if (core != 1) {
+      return;  // every other worker runs normally
+    }
+    // Wedged-but-alive: consume the thread until the watchdog aborts the
+    // run.  A real wedge would never return; this one must, to prove the
+    // abort flag actually reaches it.
+    while (!aborted.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    wedge_saw_abort.store(true, std::memory_order_relaxed);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(native::ExecuteNative(compiled.lowered(), params_raw, memory,
+                                     exec),
+               native::RingStallError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(wedge_saw_abort.load(std::memory_order_relaxed));
+  // ExecuteNative joins all threads before rethrowing; if the watchdog or
+  // the abort propagation regressed, this blows past the bound (or the
+  // EXPECT_THROW above hangs the suite, which CI's timeout catches).
+  EXPECT_LT(elapsed.count(), 30);
+}
+
+TEST(NativeExecutor, WatchdogStaysQuietOnAHealthyRun) {
+  // The same deadline must be invisible when everyone is live: a normal
+  // 2-core run with a tight (but sane) watchdog completes and verifies.
+  kernels::ExperimentConfig config;
+  config.cores = 2;
+  config.backend = compiler::BackendKind::kNative;
+  const harness::KernelRun run =
+      kernels::RunKernel(kernels::SequoiaKernels()[0], config);
+  EXPECT_TRUE(run.native_run);
+  EXPECT_TRUE(run.native_verified);
 }
 
 }  // namespace

@@ -119,6 +119,64 @@ TEST(SpscRing, TwoThreadHammerPreservesEveryValueInOrder) {
   EXPECT_FALSE(ring.TryPop(leftover));
 }
 
+TEST(SpscRing, WaitDeadlinePopThrowsStructuredStallError) {
+  // A consumer whose producer is wedged (alive, holding its thread, never
+  // pushing) cannot rely on the abort flag — nobody throws, so nobody
+  // flips it.  The armed deadline turns the hang into a structured error
+  // naming the stalled operation and the time waited.
+  SpscRing ring(2);
+  ring.SetWaitTimeout(50);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)ring.Pop();
+    FAIL() << "Pop on an empty ring must hit the wait deadline";
+  } catch (const RingStallError& e) {
+    EXPECT_STREQ(e.op(), "pop");
+    EXPECT_GE(e.waited_ms(), 50u);
+  }
+  const auto waited = std::chrono::steady_clock::now() - start;
+  // The deadline is 50ms; anything near seconds means the watchdog is not
+  // actually bounding the wait.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000);
+}
+
+TEST(SpscRing, WaitDeadlinePushThrowsAndRingStaysIntact) {
+  SpscRing ring(2);
+  ring.SetWaitTimeout(50);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  try {
+    ring.Push(3);  // full ring, no consumer: must stall out
+    FAIL() << "Push on a full ring must hit the wait deadline";
+  } catch (const RingStallError& e) {
+    EXPECT_STREQ(e.op(), "push");
+  }
+  // The failed push left the ring contents untouched.
+  EXPECT_EQ(ring.Pop(), 1u);
+  EXPECT_EQ(ring.Pop(), 2u);
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(ring.TryPop(leftover));
+}
+
+TEST(SpscRing, DeadlineDoesNotFireWhileTheRingMakesProgress) {
+  // A slow-but-live peer must never trip the watchdog: the deadline is per
+  // blocking wait, not per ring lifetime.
+  SpscRing ring(2);
+  ring.SetWaitTimeout(200);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ring.Push(i);
+    }
+  });
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(ring.Pop(), i);
+  }
+  producer.join();
+}
+
 TEST(SpscRing, AbortFlagUnblocksAWaitingSide) {
   // When a peer worker dies, the executor sets the shared abort flag; a
   // blocked Push/Pop must throw instead of spinning forever.

@@ -1,0 +1,217 @@
+// fgpar-coord: the distributed sweep coordinator, standalone.
+//
+// Two modes over the fig12 grid (the grid definition is shared with
+// bench/fig12_speedup via kernels::MakeFig12Grid, so names, labels, and
+// fingerprints agree byte-for-byte):
+//
+//   fgpar-coord --serve <address> [--smoke] [--work-dir D] [--resume]
+//               [--lease-ms N] [--slice-points N] [--crash-budget N]
+//
+//     Serve leases over fgpar-dist-v1 until every point is committed or
+//     quarantined, then emit the merged BENCH_fig12.json.  Workers are
+//     started separately and pointed at the address, e.g. on another
+//     host:  fig12_speedup --dist-worker --dist-address tcp:10.0.0.1:7777
+//     The coordinator journals every commit; kill -9 it at any moment
+//     and a --resume re-serve continues from the merged frontier.
+//
+//   fgpar-coord --merge-dir <dir> [--smoke] [--emit] [--strict]
+//
+//     Offline merge: tolerantly read every *.ckpt journal in <dir>
+//     (coordinator + worker journals, any mixture of truncation and
+//     damage), print the merge summary and each quarantined record, and
+//     with --emit write the merged BENCH_fig12.json.  --strict exits 1
+//     when any record was quarantined (CI posture); default exits 0 as
+//     long as the merge itself ran.
+//
+// The artifact is built with exactly bench/fig12_speedup's point shape,
+// so under FGPAR_BENCH_DETERMINISTIC=1 a fully merged artifact is
+// byte-identical to a clean single-host run's.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/journal_merge.hpp"
+#include "dist/server.hpp"
+#include "harness/bench_artifact.hpp"
+#include "harness/checkpoint.hpp"
+#include "harness/supervisor.hpp"
+#include "kernels/fig12_grid.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+using namespace fgpar;
+using dist::Coordinator;
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      return argv[i + 1];
+    }
+  }
+  return fallback;
+}
+
+long long FlagInt(int argc, char** argv, const std::string& flag,
+                  long long fallback) {
+  const std::string text = FlagValue(argc, argv, flag);
+  return text.empty() ? fallback : std::stoll(text);
+}
+
+/// Decode-validating payload gate for the merge: a record that does not
+/// round-trip the KernelRun codec is quarantined, not adopted.
+std::string ValidatePayload(std::size_t, const std::string& payload) {
+  try {
+    harness::DecodeKernelRun(payload);
+    return std::string();
+  } catch (const Error& e) {
+    return std::string(e.what());
+  }
+}
+
+/// Builds the merged artifact with bench/fig12_speedup's exact point
+/// shape (label, params, metric fields), so deterministic portions diff
+/// byte-for-byte against a single-host run.
+void EmitMergedArtifact(const kernels::Fig12Grid& grid,
+                        const std::map<std::size_t, std::string>& points,
+                        const std::vector<Coordinator::FailureInfo>* failures) {
+  harness::BenchArtifact artifact;
+  artifact.name = grid.name;
+  for (const auto& [index, payload] : points) {
+    const harness::KernelRun run = harness::DecodeKernelRun(payload);
+    harness::BenchArtifact::Point point;
+    point.params["cores"] = std::to_string(grid.CoresAt(index));
+    point.label = run.kernel_name;
+    for (const auto& [key, value] : point.params) {
+      point.label += " " + key + "=" + value;
+    }
+    point.params["kernel"] = run.kernel_name;
+    harness::AddKernelRunFields(run, point);
+    point.host["wall_seconds"] = 0.0;  // merged offline: no host timing
+    artifact.points.push_back(std::move(point));
+  }
+  if (failures != nullptr) {
+    for (const Coordinator::FailureInfo& info : *failures) {
+      harness::BenchArtifact::Failure failure;
+      failure.label = grid.labels[info.index];
+      failure.index = info.index;
+      failure.message = info.message;
+      failure.repro_bundle = info.repro_bundle;
+      artifact.failures.push_back(std::move(failure));
+    }
+  }
+  const std::string path = artifact.WriteFile();
+  std::fprintf(stderr, "wrote %s (%zu points, %zu failures)\n", path.c_str(),
+               artifact.points.size(), artifact.failures.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fgpar;
+
+  const bool smoke = HasFlag(argc, argv, "--smoke");
+  const kernels::Fig12Grid grid = kernels::MakeFig12Grid(smoke);
+  const std::uint64_t fingerprint =
+      harness::GridFingerprint(grid.name, grid.labels);
+
+  const std::string merge_dir = FlagValue(argc, argv, "--merge-dir");
+  const std::string serve = FlagValue(argc, argv, "--serve");
+  if (merge_dir.empty() == serve.empty()) {
+    std::fprintf(stderr,
+                 "usage: fgpar-coord (--serve <address> | --merge-dir <dir>) "
+                 "[--smoke] [--work-dir D] [--resume] [--lease-ms N] "
+                 "[--slice-points N] [--crash-budget N] [--emit] [--strict]\n");
+    return 2;
+  }
+
+  if (!merge_dir.empty()) {
+    const std::vector<std::string> files = dist::ListJournalFiles(merge_dir);
+    const dist::MergeResult merged = dist::MergeJournalFiles(
+        files, grid.name, fingerprint, grid.size(), ValidatePayload);
+    std::printf("merged %zu journal file(s): %zu/%zu points, "
+                "%zu duplicate commit(s) discarded, %zu record(s) "
+                "quarantined\n",
+                merged.files_read, merged.points.size(), grid.size(),
+                merged.duplicate_points, merged.quarantined.size());
+    for (const dist::QuarantinedRecord& record : merged.quarantined) {
+      std::printf("  quarantined %s:%zu: %s%s%s\n", record.file.c_str(),
+                  record.line, record.reason.c_str(),
+                  record.text.empty() ? "" : " | ",
+                  record.text.c_str());
+    }
+    if (HasFlag(argc, argv, "--emit")) {
+      EmitMergedArtifact(grid, merged.points, nullptr);
+    }
+    return HasFlag(argc, argv, "--strict") && !merged.quarantined.empty() ? 1
+                                                                          : 0;
+  }
+
+  // --serve: the live coordinator.
+  const std::string work_dir = FlagValue(argc, argv, "--work-dir", ".");
+  dist::Coordinator::Config config;
+  config.name = grid.name;
+  config.labels = grid.labels;
+  config.checkpoint_path = work_dir + "/coordinator.ckpt";
+  config.slice_points =
+      static_cast<std::size_t>(FlagInt(argc, argv, "--slice-points", 4));
+  config.lease_ms =
+      static_cast<std::uint64_t>(FlagInt(argc, argv, "--lease-ms", 10'000));
+  config.heartbeat_ms = std::max<std::uint64_t>(config.lease_ms / 10, 50);
+  config.crash_budget =
+      static_cast<std::size_t>(FlagInt(argc, argv, "--crash-budget", 3));
+  dist::Coordinator coordinator(config);
+
+  if (HasFlag(argc, argv, "--resume")) {
+    const dist::MergeResult merged = dist::MergeJournalFiles(
+        dist::ListJournalFiles(work_dir), grid.name, fingerprint, grid.size(),
+        ValidatePayload);
+    for (const dist::QuarantinedRecord& record : merged.quarantined) {
+      std::fprintf(stderr, "journal merge: quarantined %s:%zu: %s\n",
+                   record.file.c_str(), record.line, record.reason.c_str());
+    }
+    coordinator.AdoptPoints(merged.points);
+    std::fprintf(stderr, "resumed %zu completed points from %s\n",
+                 coordinator.points().size(), work_dir.c_str());
+  }
+
+  try {
+    dist::CoordinatorServer server(coordinator, serve);
+    server.Start();
+    const std::string port_note =
+        server.bound_port() > 0
+            ? " (port " + std::to_string(server.bound_port()) + ")"
+            : "";
+    std::fprintf(stderr, "fgpar-coord: serving %zu-point grid '%s' on %s%s\n",
+                 grid.size(), grid.name.c_str(), serve.c_str(),
+                 port_note.c_str());
+    server.WaitUntilDone();
+    server.Stop();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "fgpar-coord: %s\n", e.what());
+    return 1;
+  }
+
+  const std::vector<dist::Coordinator::FailureInfo> failures =
+      coordinator.failures();
+  for (const dist::Coordinator::FailureInfo& info : failures) {
+    std::fprintf(stderr, "quarantined point %zu (%s): %s\n", info.index,
+                 grid.labels[info.index].c_str(), info.message.c_str());
+  }
+  EmitMergedArtifact(grid, coordinator.points(), &failures);
+  return failures.empty() ? 0 : 1;
+}

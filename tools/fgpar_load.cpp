@@ -68,6 +68,7 @@
 #include <vector>
 
 #include "kernels/sequoia.hpp"
+#include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "support/buildinfo.hpp"
 #include "support/error.hpp"
@@ -120,46 +121,14 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
 }
 
 // ---------------------------------------------------------------------------
-// Socket plumbing (mirror of the server's address handling)
+// Socket plumbing — shared with every fgpar-rpc-v1 consumer
 // ---------------------------------------------------------------------------
 
-int ConnectOnce(const std::string& path) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return -1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  socklen_t addr_len = sizeof(addr);
-  if (!path.empty() && path[0] == '@') {
-    const std::size_t name_len = path.size() - 1;
-    addr.sun_path[0] = '\0';
-    std::memcpy(addr.sun_path + 1, path.data() + 1, name_len);
-    addr_len =
-        static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + 1 + name_len);
-  } else {
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
+/// Connects via the shared client (service/client.hpp): deterministic
+/// capped-exponential backoff absorbs the daemon's restart window in the
+/// kill -9 drills, so the probes measure the service, not the scheduler.
 int ConnectWithRetry(const std::string& path, double timeout_seconds) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_seconds);
-  for (;;) {
-    const int fd = ConnectOnce(path);
-    if (fd >= 0) {
-      return fd;
-    }
-    if (std::chrono::steady_clock::now() > deadline) {
-      return -1;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
+  return service::ConnectWithBackoff(path, timeout_seconds);
 }
 
 // ---------------------------------------------------------------------------
