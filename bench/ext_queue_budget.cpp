@@ -11,39 +11,94 @@
 // reports the average speedup and the channels actually used.  With a
 // tighter budget the compiler falls back to fewer partitions or cheaper
 // communication shapes, trading speedup for hardware.
+//
+// --backend native: every run additionally executes for real on host
+// threads (SPSC rings in place of simulated queues — the plan the budget
+// constrained is the plan that runs), and a second table reports the
+// average measured wall-clock speedup per budget.  Wall-clock numbers
+// live only in BENCH_queue_budget_native.json host fields; on a
+// single-CPU host the pinned workers time-share one core and the measured
+// column honestly collapses below 1.  The default table is byte-identical
+// with or without the flag (the simulated measurement always happens
+// first, unchanged).
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
+#include "compiler/backend.hpp"
 #include "kernels/experiments.hpp"
 #include "support/stats.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fgpar;
+
+  const auto start = std::chrono::steady_clock::now();
+  const compiler::BackendKind backend = compiler::ParseBackendKind(
+      benchutil::FlagValue(argc, argv, "--backend", "sim"));
+  const bool native = backend == compiler::BackendKind::kNative;
 
   const std::vector<int> budgets = {0, 12, 8, 6, 4, 2};  // 0 = unlimited
   TextTable table({"Channel budget", "avg speedup", "max queues used",
                    "kernels on >2 partitions"});
+  TextTable native_table(
+      {"Channel budget", "avg simulated", "avg measured", "verified"});
+  harness::BenchArtifact native_artifact;
+  native_artifact.name = "queue_budget_native";
+  bool all_verified = true;
   for (int budget : budgets) {
     std::vector<double> speedups;
+    std::vector<double> measured;
     int max_queues = 0;
     int multi = 0;
+    int verified = 0;
     for (const kernels::SequoiaKernel& spec : kernels::SequoiaKernels()) {
       kernels::ExperimentConfig config;
       config.cores = 4;
+      config.backend = backend;
       harness::RunConfig run_config = kernels::ToRunConfig(config);
       run_config.compile.max_channels = budget;
       const ir::Kernel kernel = kernels::ParseSequoia(spec);
       harness::KernelRunner runner(kernel, kernels::SequoiaInit(spec));
+      const auto point_start = std::chrono::steady_clock::now();
       const harness::KernelRun run = runner.Run(run_config);
       speedups.push_back(run.speedup);
       max_queues = std::max(max_queues, run.queues_used);
       multi += run.cores_used > 2 ? 1 : 0;
+      if (native) {
+        all_verified = all_verified && run.native_run && run.native_verified;
+        verified += run.native_run && run.native_verified ? 1 : 0;
+        if (run.native_run) {
+          measured.push_back(run.native_speedup);
+        }
+        benchutil::TimedRun timed;
+        timed.run = run;
+        timed.wall_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - point_start)
+                                 .count();
+        harness::BenchArtifact::Point point = benchutil::MakePoint(
+            timed, {{"backend", "native"},
+                    {"cores", "4"},
+                    {"channel_budget", std::to_string(budget)}});
+        point.host["native_seq_seconds"] = run.native_seq_seconds;
+        point.host["native_par_seconds"] = run.native_par_seconds;
+        point.host["native_wall_speedup"] = run.native_speedup;
+        native_artifact.points.push_back(std::move(point));
+      }
     }
-    table.AddRow({budget == 0 ? "unlimited" : std::to_string(budget),
-                  FormatFixed(Mean(speedups), 2), std::to_string(max_queues),
-                  std::to_string(multi)});
+    const std::string budget_label =
+        budget == 0 ? "unlimited" : std::to_string(budget);
+    table.AddRow({budget_label, FormatFixed(Mean(speedups), 2),
+                  std::to_string(max_queues), std::to_string(multi)});
+    if (native) {
+      native_table.AddRow(
+          {budget_label, FormatFixed(Mean(speedups), 2),
+           measured.empty() ? "n/a" : FormatFixed(Mean(measured), 2),
+           std::to_string(verified) + "/" +
+               std::to_string(kernels::SequoiaKernels().size())});
+    }
   }
   std::printf("%s\n",
               table
@@ -52,5 +107,25 @@ int main() {
                           "partitioning; 4 cores offer 12 channels "
                           "all-to-all)")
                   .c_str());
+  if (native) {
+    std::printf("%s\n",
+                native_table
+                    .Render("Native backend: average measured wall-clock "
+                            "speedup per channel budget\n(wall-clock numbers "
+                            "are host-dependent and excluded from "
+                            "deterministic artifacts)")
+                    .c_str());
+    native_artifact.host["wall_seconds"] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    benchutil::EmitArtifact(native_artifact);
+    if (!all_verified) {
+      std::fprintf(stderr, "native backend verification failed\n");
+      return 1;
+    }
+    std::printf(
+        "All native runs verified bit-exact against the reference "
+        "interpreter.\n");
+  }
   return 0;
 }

@@ -1,5 +1,9 @@
 #include "analysis/cost.hpp"
 
+#include <algorithm>
+#include <set>
+#include <utility>
+
 #include "support/error.hpp"
 
 namespace fgpar::analysis {
@@ -81,6 +85,268 @@ double CostModel::StmtCost(const ir::Kernel& kernel, const ir::Stmt& stmt) const
              static_cast<double>(timing_.branch + timing_.taken_branch_penalty);
   }
   FGPAR_UNREACHABLE("bad StmtKind");
+}
+
+double CostModel::LoadCostAt(ir::StmtId stmt, ir::SymbolId sym) const {
+  const double fallback = static_cast<double>(cache_.l1_latency);
+  return profile_ == nullptr ? fallback
+                             : profile_->LoadLatencyAt(stmt, sym, fallback);
+}
+
+double CostModel::ExprOccupancy(const ir::Kernel& kernel, ir::ExprId expr,
+                                ir::StmtId stmt) const {
+  const double issue = static_cast<double>(timing_.int_alu);
+  double total = 0.0;
+  kernel.VisitExpr(expr, [&](ir::ExprId e) {
+    const ir::ExprNode& node = kernel.expr(e);
+    switch (node.kind) {
+      case ir::ExprKind::kConstI:
+      case ir::ExprKind::kConstF:
+        total += issue;  // immediate materialization
+        break;
+      case ir::ExprKind::kIvRef:
+      case ir::ExprKind::kParamRef:
+      case ir::ExprKind::kTempRef:
+        break;  // register operands of the consuming instruction
+      case ir::ExprKind::kScalarRef:
+        // Address materialization + the load itself.
+        total += issue + LoadCostAt(stmt, node.sym);
+        break;
+      case ir::ExprKind::kArrayRef:
+        // Base materialization + index add + the load.
+        total += 2.0 * issue + LoadCostAt(stmt, node.sym);
+        break;
+      default:
+        total += std::max(OpCost(node), issue);
+        break;
+    }
+  });
+  return total;
+}
+
+double CostModel::StmtOccupancy(const ir::Kernel& kernel,
+                                const ir::Stmt& stmt) const {
+  const double issue = static_cast<double>(timing_.int_alu);
+  switch (stmt.kind) {
+    case ir::StmtKind::kAssignTemp:
+      return ExprOccupancy(kernel, stmt.value, stmt.id);
+    case ir::StmtKind::kStoreScalar:
+      // Address materialization + store issue; the store buffer hides the
+      // write latency from the issuing core.
+      return ExprOccupancy(kernel, stmt.value, stmt.id) + 2.0 * issue;
+    case ir::StmtKind::kStoreArray:
+      return ExprOccupancy(kernel, stmt.index, stmt.id) +
+             ExprOccupancy(kernel, stmt.value, stmt.id) + 3.0 * issue;
+    case ir::StmtKind::kIf:
+      // Condition + branch only; arm statements are costed individually,
+      // weighted by their profiled execution frequency.
+      return ExprOccupancy(kernel, stmt.value, stmt.id) +
+             static_cast<double>(timing_.branch + timing_.taken_branch_penalty);
+  }
+  FGPAR_UNREACHABLE("bad StmtKind");
+}
+
+namespace {
+
+/// Reachability closure over an adjacency matrix (graphs here are small:
+/// fiber counts are bounded by statement counts, partitions by cores).
+void Closure(std::vector<std::vector<bool>>& reach) {
+  const std::size_t n = reach.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) {
+        continue;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        reach[i][j] = reach[i][j] || reach[k][j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PartitionFeatures ExtractPartitionFeatures(const PartitionGraph& graph,
+                                           double transfer_latency,
+                                           double queue_op_cost) {
+  const std::size_t n = graph.node_cost.size();
+  FGPAR_CHECK_MSG(graph.node_part.size() == n,
+                  "PartitionGraph node_cost/node_part size mismatch");
+  PartitionFeatures f;
+  int num_parts = 0;
+  for (int part : graph.node_part) {
+    FGPAR_CHECK_MSG(part >= 0, "negative partition index");
+    num_parts = std::max(num_parts, part + 1);
+  }
+  f.partitions = num_parts;
+  for (double cost : graph.node_cost) {
+    f.total_cost += cost;
+  }
+  if (n == 0 || num_parts == 0) {
+    return f;
+  }
+
+  std::vector<double> part_cost(static_cast<std::size_t>(num_parts), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    part_cost[static_cast<std::size_t>(graph.node_part[i])] +=
+        graph.node_cost[i];
+  }
+  f.max_part_cost = *std::max_element(part_cost.begin(), part_cost.end());
+  f.min_part_cost = *std::min_element(part_cost.begin(), part_cost.end());
+  f.balance_ratio = (num_parts >= 2 && f.min_part_cost > 0.0)
+                        ? f.max_part_cost / f.min_part_cost
+                        : 1.0;
+
+  // Transfers: one queue transfer per iteration per distinct
+  // (producer node, consumer partition) — a producer enqueues a computed
+  // value once per consuming partition, however many consumers live there.
+  std::set<std::pair<int, int>> cross_node_pairs;   // (producer, consumer)
+  std::set<std::pair<int, int>> node_to_part;       // (producer, part)
+  for (const PartitionGraph::Edge& edge : graph.edges) {
+    const int pu = graph.node_part[static_cast<std::size_t>(edge.producer)];
+    const int pv = graph.node_part[static_cast<std::size_t>(edge.consumer)];
+    if (pu != pv) {
+      cross_node_pairs.insert({edge.producer, edge.consumer});
+      node_to_part.insert({edge.producer, pv});
+    }
+  }
+  f.cross_edges = static_cast<int>(cross_node_pairs.size());
+  f.transfers = static_cast<int>(node_to_part.size());
+
+  // Queue-op pipeline occupancy per partition: one enqueue issued at the
+  // producer, one dequeue received at the consumer, per transfer.
+  std::vector<double> queue_ops(static_cast<std::size_t>(num_parts), 0.0);
+  for (const auto& [producer, part] : node_to_part) {
+    queue_ops[static_cast<std::size_t>(
+        graph.node_part[static_cast<std::size_t>(producer)])] += queue_op_cost;
+    queue_ops[static_cast<std::size_t>(part)] += queue_op_cost;
+  }
+  f.queue_cost_max = 0.0;
+  f.bottleneck_cost = 0.0;
+  for (int p = 0; p < num_parts; ++p) {
+    f.queue_cost_max = std::max(
+        f.queue_cost_max, queue_ops[static_cast<std::size_t>(p)]);
+    f.bottleneck_cost = std::max(
+        f.bottleneck_cost, part_cost[static_cast<std::size_t>(p)] +
+                               queue_ops[static_cast<std::size_t>(p)]);
+  }
+
+  // Critical path through the node graph: condense node-level SCCs (a
+  // cycle's members execute as one serial unit), then take the longest
+  // cost path, cross-partition hops paying the transfer latency plus the
+  // enqueue/dequeue pair.
+  std::vector<std::vector<bool>> nreach(n, std::vector<bool>(n, false));
+  for (const PartitionGraph::Edge& edge : graph.edges) {
+    nreach[static_cast<std::size_t>(edge.producer)]
+          [static_cast<std::size_t>(edge.consumer)] = true;
+  }
+  Closure(nreach);
+  // Condensation: representative = smallest node index in the SCC.
+  std::vector<int> rep(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rep[i] = static_cast<int>(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (nreach[i][j] && nreach[j][i]) {
+        rep[i] = rep[j];
+        break;
+      }
+    }
+  }
+  std::vector<double> super_cost(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    super_cost[static_cast<std::size_t>(rep[i])] += graph.node_cost[i];
+  }
+  const double hop = transfer_latency + 2.0 * queue_op_cost;
+  // Longest path over the condensation via iteration to fixpoint in
+  // topological effect: relax edges n times (the condensation is a DAG of
+  // at most n supernodes, so n rounds reach the fixpoint).
+  std::vector<double> path(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rep[i] == static_cast<int>(i)) {
+      path[i] = super_cost[i];
+    }
+  }
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (const PartitionGraph::Edge& edge : graph.edges) {
+      const int u = rep[static_cast<std::size_t>(edge.producer)];
+      const int v = rep[static_cast<std::size_t>(edge.consumer)];
+      if (u == v) {
+        continue;
+      }
+      const double edge_cost =
+          graph.node_part[static_cast<std::size_t>(edge.producer)] !=
+                  graph.node_part[static_cast<std::size_t>(edge.consumer)]
+              ? hop
+              : 0.0;
+      const double candidate = path[static_cast<std::size_t>(u)] + edge_cost +
+                               super_cost[static_cast<std::size_t>(v)];
+      if (candidate > path[static_cast<std::size_t>(v)]) {
+        path[static_cast<std::size_t>(v)] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  f.critical_path = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    f.critical_path = std::max(f.critical_path, path[i]);
+  }
+
+  // Cyclic inter-partition dependences: every partition on a dependence
+  // cycle serializes with its cycle-mates each iteration (the in-order
+  // core blocks in the dequeue that closes the cycle), paying the full
+  // member compute plus one round-trip hop per intra-cycle channel.
+  std::vector<std::vector<bool>> preach(
+      static_cast<std::size_t>(num_parts),
+      std::vector<bool>(static_cast<std::size_t>(num_parts), false));
+  std::set<std::pair<int, int>> part_channels;  // directed partition pairs
+  for (const auto& [producer, consumer] : cross_node_pairs) {
+    const int pu = graph.node_part[static_cast<std::size_t>(producer)];
+    const int pv = graph.node_part[static_cast<std::size_t>(consumer)];
+    preach[static_cast<std::size_t>(pu)][static_cast<std::size_t>(pv)] = true;
+    part_channels.insert({pu, pv});
+  }
+  Closure(preach);
+  f.scc_partitions = 0;
+  f.cycle_penalty = 0.0;
+  std::vector<bool> counted(static_cast<std::size_t>(num_parts), false);
+  for (int i = 0; i < num_parts; ++i) {
+    if (counted[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    std::vector<int> members{i};
+    for (int j = i + 1; j < num_parts; ++j) {
+      if (preach[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] &&
+          preach[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)]) {
+        members.push_back(j);
+      }
+    }
+    if (members.size() < 2) {
+      continue;
+    }
+    double scc_time = 0.0;
+    int scc_channels = 0;
+    for (int m : members) {
+      counted[static_cast<std::size_t>(m)] = true;
+      scc_time += part_cost[static_cast<std::size_t>(m)];
+    }
+    for (const auto& [pu, pv] : part_channels) {
+      const bool u_in = std::find(members.begin(), members.end(), pu) !=
+                        members.end();
+      const bool v_in = std::find(members.begin(), members.end(), pv) !=
+                        members.end();
+      if (u_in && v_in) {
+        ++scc_channels;
+      }
+    }
+    scc_time += static_cast<double>(scc_channels) * hop;
+    f.scc_partitions += static_cast<int>(members.size());
+    f.cycle_penalty = std::max(f.cycle_penalty, scc_time);
+  }
+  return f;
 }
 
 }  // namespace fgpar::analysis

@@ -4,6 +4,8 @@
 // latencies."
 #pragma once
 
+#include <vector>
+
 #include "analysis/profile.hpp"
 #include "ir/kernel.hpp"
 #include "sim/config.hpp"
@@ -27,12 +29,85 @@ class CostModel {
   /// latency when no profile is available).
   double LoadCost(ir::SymbolId sym) const;
 
+  /// Like LoadCost but at per-statement granularity: the profiled average
+  /// for (stmt, sym) when recorded, else the symbol average, else L1.
+  /// Only meaningful when the profile was collected on the same kernel the
+  /// statement ids refer to.
+  double LoadCostAt(ir::StmtId stmt, ir::SymbolId sym) const;
+
+  /// Execution-occupancy estimate for one statement: the cycles the
+  /// issuing in-order core is busy or blocked executing it, including the
+  /// instruction-issue cycles StmtCost ignores (immediate materialization,
+  /// array address arithmetic, the store issue itself — stores retire
+  /// through the store buffer, so they pay issue, not memory latency) and
+  /// resolving loads at per-statement profile granularity.  If statements
+  /// cost condition + branch; arm statements are costed individually by
+  /// callers, weighted by profiled execution frequency.  This feeds the
+  /// analytic speedup predictor; the merge heuristics keep StmtCost, so
+  /// compiled plans (and their goldens) are unchanged.
+  double StmtOccupancy(const ir::Kernel& kernel, const ir::Stmt& stmt) const;
+
  private:
   double OpCost(const ir::ExprNode& node) const;
+  double ExprOccupancy(const ir::Kernel& kernel, ir::ExprId expr,
+                       ir::StmtId stmt) const;
 
   sim::CoreTiming timing_;
   sim::CacheConfig cache_;
   const ProfileData* profile_;  // may be null
 };
+
+// ---------------------------------------------------------------------------
+// Partition feature extraction (Table III catalog + latency-hiding terms).
+// ---------------------------------------------------------------------------
+
+/// A partitioned dependence graph at fiber-node granularity, decoupled
+/// from the compiler's CodeGraph so the analysis layer stays below the
+/// compiler.  Nodes are indexed [0, node_cost.size()); node_part maps each
+/// node to its partition; edges are producer -> consumer dependences
+/// (duplicates allowed — they are deduplicated per (producer, consumer
+/// partition) for transfer counting, matching the one-queue-transfer-per-
+/// value-per-iteration hardware model).
+struct PartitionGraph {
+  struct Edge {
+    int producer = 0;
+    int consumer = 0;
+  };
+  std::vector<double> node_cost;  // estimated cycles per iteration
+  std::vector<int> node_part;     // node -> partition index
+  std::vector<Edge> edges;
+};
+
+/// Static latency-hiding features of one candidate partitioning — the
+/// Table III catalog (load balance, communication ops) plus the critical-
+/// path and cyclic-serialization terms an analytical speedup predictor
+/// needs.  All values are deterministic functions of the graph.
+struct PartitionFeatures {
+  int partitions = 0;
+  double total_cost = 0.0;      // sum of node costs: sequential work/iter
+  double max_part_cost = 0.0;   // bottleneck partition's compute
+  double min_part_cost = 0.0;
+  double balance_ratio = 1.0;   // max/min partition cost (1.0 when <2 parts)
+  int cross_edges = 0;          // node-level dependences crossing partitions
+  int transfers = 0;            // distinct (producer node, consumer part)
+                                // pairs: queue transfers per iteration
+  double queue_cost_max = 0.0;  // worst per-partition enq+deq occupancy
+  double bottleneck_cost = 0.0; // max over partitions of compute + enq/deq
+                                // occupancy: the pipeline throughput bound
+  double critical_path = 0.0;   // longest cost path through the node DAG
+                                // (SCCs condensed), cross-partition hops
+                                // paying transfer_latency + 2*queue_op
+  int scc_partitions = 0;       // partitions on a cyclic inter-partition
+                                // dependence (cannot pipeline past it)
+  double cycle_penalty = 0.0;   // per-iteration round-trip serialization
+                                // charged to the largest partition cycle
+};
+
+/// Extracts the feature vector.  `transfer_latency` is the queue transfer
+/// latency (cycles) a cross-partition value pays; `queue_op_cost` is the
+/// pipeline occupancy of one enqueue or dequeue instruction.
+PartitionFeatures ExtractPartitionFeatures(const PartitionGraph& graph,
+                                           double transfer_latency,
+                                           double queue_op_cost);
 
 }  // namespace fgpar::analysis

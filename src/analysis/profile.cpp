@@ -12,9 +12,31 @@ double ProfileData::LoadLatency(ir::SymbolId sym, double fallback) const {
   return it->second.total_latency / static_cast<double>(it->second.accesses);
 }
 
+double ProfileData::LoadLatencyAt(ir::StmtId stmt, ir::SymbolId sym,
+                                  double fallback) const {
+  const auto it = per_stmt_.find({stmt, sym});
+  if (it == per_stmt_.end() || it->second.accesses == 0) {
+    return LoadLatency(sym, fallback);
+  }
+  return it->second.total_latency / static_cast<double>(it->second.accesses);
+}
+
 std::uint64_t ProfileData::AccessCount(ir::SymbolId sym) const {
   const auto it = per_symbol_.find(sym);
   return it == per_symbol_.end() ? 0 : it->second.accesses;
+}
+
+std::uint64_t ProfileData::StmtCount(ir::StmtId stmt) const {
+  const auto it = stmt_counts_.find(stmt);
+  return it == stmt_counts_.end() ? 0 : it->second;
+}
+
+double ProfileData::StmtFrequency(ir::StmtId stmt, double fallback) const {
+  if (iterations_ == 0) {
+    return fallback;
+  }
+  return static_cast<double>(StmtCount(stmt)) /
+         static_cast<double>(iterations_);
 }
 
 void ProfileData::SetLatency(ir::SymbolId sym, double avg_latency,
@@ -43,8 +65,13 @@ ProfileData ProfileData::Collect(const ir::Kernel& kernel,
         PerSymbol& entry = profile.per_symbol_[sym];
         ++entry.accesses;
         entry.total_latency += static_cast<double>(latency);
+        PerSymbol& at = profile.per_stmt_[{interp.current_stmt(), sym}];
+        ++at.accesses;
+        at.total_latency += static_cast<double>(latency);
       });
-  interp.Run();
+  interp.SetStmtObserver(
+      [&](ir::StmtId stmt) { ++profile.stmt_counts_[stmt]; });
+  profile.iterations_ = interp.Run().iterations;
   return profile;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "ir/interp.hpp"
@@ -26,8 +27,30 @@ class ProfileData {
   /// Average observed load latency for `sym`; `fallback` when never seen.
   double LoadLatency(ir::SymbolId sym, double fallback) const;
 
+  /// Average observed latency for `sym` accessed by statement `stmt`.
+  /// Falls back to the symbol-wide average, then to `fallback`.  Per-
+  /// statement granularity matters when statements with different locality
+  /// share a symbol (a streaming read beside a re-read): the symbol-wide
+  /// average dilutes both, which misleads any model costing the statements
+  /// individually — the analytic predictor in particular.
+  double LoadLatencyAt(ir::StmtId stmt, ir::SymbolId sym,
+                       double fallback) const;
+
   /// Number of accesses observed for `sym` (0 if never seen).
   std::uint64_t AccessCount(ir::SymbolId sym) const;
+
+  /// How many times statement `stmt` executed during the profiling run
+  /// (0 if never) — conditional arms execute only when taken.
+  std::uint64_t StmtCount(ir::StmtId stmt) const;
+
+  /// Loop iterations the profiling run executed.
+  std::uint64_t iterations() const { return iterations_; }
+
+  /// Average executions of `stmt` per loop iteration (1.0 for
+  /// unconditional body statements, the taken fraction for guarded ones).
+  /// Falls back to `fallback` when the profile has no execution counts
+  /// (e.g. a hand-built profile).
+  double StmtFrequency(ir::StmtId stmt, double fallback = 1.0) const;
 
   /// Profiles `kernel` by interpreting it over a copy of `memory`.
   static ProfileData Collect(const ir::Kernel& kernel, const ir::DataLayout& layout,
@@ -44,6 +67,11 @@ class ProfileData {
     double total_latency = 0.0;
   };
   std::map<ir::SymbolId, PerSymbol> per_symbol_;
+  // Keyed by the accessing statement's id; only meaningful for consumers
+  // holding the same kernel the profile was collected on.
+  std::map<std::pair<ir::StmtId, ir::SymbolId>, PerSymbol> per_stmt_;
+  std::map<ir::StmtId, std::uint64_t> stmt_counts_;
+  std::uint64_t iterations_ = 0;
 };
 
 }  // namespace fgpar::analysis

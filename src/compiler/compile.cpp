@@ -10,10 +10,12 @@ CompiledParallel CompileParallel(const ir::Kernel& kernel,
                                  const CompileOptions& options,
                                  const analysis::ProfileData* profile,
                                  const PartitionEvaluator* evaluator,
-                                 const PipelineInstrumentation* instrumentation) {
+                                 const PipelineInstrumentation* instrumentation,
+                                 const CostModel* cost_model) {
   CompileState state(kernel, &layout, options);  // copies; passes rewrite in place
   state.profile = profile;
   state.evaluator = evaluator;
+  state.cost_model = cost_model;
   BuildParallelPipeline(options).Run(state, instrumentation);
 
   // Keep the whole plan (not just its comm half): the plan's items point
@@ -24,7 +26,8 @@ CompiledParallel CompileParallel(const ir::Kernel& kernel,
                        std::move(state.partition),
                        state.plan->comm,
                        std::move(*state.plan),
-                       &layout};
+                       &layout,
+                       std::move(state.candidate_reports)};
   return out;
 }
 

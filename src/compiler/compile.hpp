@@ -44,6 +44,11 @@ struct CompiledParallel {
   /// Layout the kernel was compiled against (caller-owned).
   const ir::DataLayout* layout = nullptr;
 
+  /// The select stage's per-candidate records (enumeration order, built
+  /// and rejected alike, each with its cost-model attribution) — the
+  /// substance behind `fgparc --explain-select`.
+  std::vector<CandidateReport> candidate_reports;
+
   /// Entry symbol for core 0; every other core starts at "driver".
   static constexpr const char* kPrimaryEntry = "main";
   static constexpr const char* kDriverEntry = "driver";
@@ -51,16 +56,19 @@ struct CompiledParallel {
 
 /// Full Section III pipeline: split -> (speculate) -> forward -> fiberize
 /// -> code graph -> merge -> communication plan -> pairing check -> lower.
-/// With an evaluator, every candidate partitioning (partition counts
-/// 2..num_cores, both merge shapes) is compiled and the measured best is
-/// kept; without one, the static makespan objective chooses.
+/// With an evaluator (or a pluggable cost model), every candidate
+/// partitioning (partition counts 2..num_cores, both merge shapes) is
+/// compiled and the best-scoring one is kept; without either, the static
+/// makespan objective chooses.  `cost_model` (cost_model.hpp) overrides
+/// the evaluator-backed simulate-to-score tier when both are given.
 /// (PartitionEvaluator is declared in pass.hpp.)
 CompiledParallel CompileParallel(
     const ir::Kernel& kernel, const ir::DataLayout& layout,
     const CompileOptions& options,
     const analysis::ProfileData* profile = nullptr,
     const PartitionEvaluator* evaluator = nullptr,
-    const PipelineInstrumentation* instrumentation = nullptr);
+    const PipelineInstrumentation* instrumentation = nullptr,
+    const CostModel* cost_model = nullptr);
 
 /// Baseline: the same scalar pipeline (split + forwarding, no fiberize or
 /// partitioning) compiled for a single core.

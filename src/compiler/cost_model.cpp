@@ -1,0 +1,22 @@
+#include "compiler/cost_model.hpp"
+
+namespace fgpar::compiler {
+
+ScoredCandidate SimulateCostModel::Score(const CompileState& state,
+                                         const isa::Program& program,
+                                         const ProgramPlan& plan,
+                                         const CoreAssignment& assignment) const {
+  (void)state;
+  (void)plan;
+  const std::uint64_t measured =
+      (*evaluator_)(program, static_cast<int>(assignment.partitions.size()));
+  ScoredCandidate scored;
+  scored.cost = static_cast<double>(measured);
+  scored.detail = "measured " + std::to_string(measured) +
+                  " cycles on the training workload";
+  scored.features.emplace_back("measured_cycles",
+                               static_cast<double>(measured));
+  return scored;
+}
+
+}  // namespace fgpar::compiler

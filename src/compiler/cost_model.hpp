@@ -1,0 +1,77 @@
+// The pluggable cost-model seam for the multi-version select stage.
+//
+// Historically the select stage (pass.cpp) hard-wired candidate scoring to
+// full simulation: each built candidate was run on a training workload via
+// the PartitionEvaluator and the lowest cycle count won.  CostModel
+// abstracts "score one fully built candidate" so other evaluation tiers —
+// notably the analytical latency-hiding predictor (src/model/analytic.*) —
+// plug into the same selection loop:
+//
+//   * SimulateCostModel wraps the PartitionEvaluator.  Selection through it
+//     is byte-identical to the historical loop: the score is the exact
+//     measured cycle count (integers below 2^53 are exact in a double, and
+//     the loop keeps the strict-less-than / first-wins tie semantics).
+//   * model::AnalyticModel scores candidates from static features alone —
+//     no simulation — which is what makes autotuning over large config
+//     spaces feasible (predict everything, simulate only the frontier).
+//
+// A model returns a ScoredCandidate: the comparable cost plus the
+// explanation record (`fgparc --explain-select`) — one human-readable
+// line and the named feature values the score was computed from.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "compiler/pass.hpp"
+#include "compiler/plan.hpp"
+
+namespace fgpar::compiler {
+
+/// One scored candidate: the comparable cost and its explanation.
+struct ScoredCandidate {
+  double cost = 0.0;   // lower wins; ties resolve first-wins
+  std::string detail;  // one-line attribution for --explain-select
+  /// Named features in the model's deterministic emission order.
+  std::vector<std::pair<std::string, double>> features;
+};
+
+/// Scores fully built candidates for the select stage.  Implementations
+/// must be deterministic: same state + candidate, same score and record.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Stable name recorded in CandidateReport::model.
+  virtual std::string_view name() const = 0;
+
+  /// Scores one candidate that survived building (cores assigned, comm
+  /// planned, pairing/capacity proven, lowered).  `state` carries the
+  /// shared analyses (graph, index, cost, options); the remaining
+  /// arguments are the candidate's own artifacts.
+  virtual ScoredCandidate Score(const CompileState& state,
+                                const isa::Program& program,
+                                const ProgramPlan& plan,
+                                const CoreAssignment& assignment) const = 0;
+};
+
+/// The simulate-to-score tier: measures each candidate through the
+/// evaluator (non-owning; must outlive the model).  Byte-identical
+/// selection to the historical evaluator loop.
+class SimulateCostModel final : public CostModel {
+ public:
+  explicit SimulateCostModel(const PartitionEvaluator& evaluator)
+      : evaluator_(&evaluator) {}
+
+  std::string_view name() const override { return "simulate"; }
+  ScoredCandidate Score(const CompileState& state, const isa::Program& program,
+                        const ProgramPlan& plan,
+                        const CoreAssignment& assignment) const override;
+
+ private:
+  const PartitionEvaluator* evaluator_;
+};
+
+}  // namespace fgpar::compiler

@@ -1,9 +1,11 @@
 #include "compiler/pass.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "compiler/backend.hpp"
 #include "compiler/check.hpp"
+#include "compiler/cost_model.hpp"
 #include "compiler/lowered.hpp"
 #include "support/error.hpp"
 #include "support/str.hpp"
@@ -51,9 +53,9 @@ class GraphPass final : public Pass {
 };
 
 /// Merges the code graph into candidate partitionings.  With an evaluator
-/// the full Section III-I.1 candidate set is enumerated for dynamic
-/// feedback; without one, the static heuristics produce the single best
-/// merge.
+/// or a pluggable cost model the full Section III-I.1 candidate set is
+/// enumerated for per-candidate scoring; without either, the static
+/// heuristics produce the single best merge.
 class MergePass final : public Pass {
  public:
   const char* name() const override { return "merge"; }
@@ -65,7 +67,7 @@ class MergePass final : public Pass {
     FGPAR_CHECK_MSG(state.graph.has_value(),
                     "merge stage requires the graph stage");
     state.candidates =
-        state.evaluator != nullptr
+        state.evaluator != nullptr || state.cost_model != nullptr
             ? EnumerateCandidates(*state.graph, state.options)
             : std::vector<std::vector<MergedPartition>>{
                   MergeGraph(*state.graph, state.options)};
@@ -80,10 +82,12 @@ class MergePass final : public Pass {
 
 /// The multi-version candidate loop (Section III-I.1): every candidate
 /// partitioning is assigned to cores, communication-planned, proven
-/// pairable and capacity-deadlock-free, and lowered; the evaluator (when
-/// present) measures each built program and the best one wins.  Only the
-/// per-candidate mapping state (CoreAssignment) is materialized — the
-/// kernel and its index are shared read-only across all candidates.
+/// pairable and capacity-deadlock-free, and lowered; the active cost
+/// model (the pluggable state.cost_model, or the simulate-to-score model
+/// wrapping the evaluator) scores each built program and the best one
+/// wins.  Only the per-candidate mapping state (CoreAssignment) is
+/// materialized — the kernel and its index are shared read-only across
+/// all candidates.
 class SelectPass final : public Pass {
  public:
   const char* name() const override { return "select"; }
@@ -99,16 +103,34 @@ class SelectPass final : public Pass {
     const analysis::KernelIndex& index = *state.index;
     const ir::Kernel& kernel = state.kernel();
 
+    // The active cost model: the pluggable one, else the simulate-to-score
+    // wrapper around the evaluator (byte-identical to the historical
+    // evaluator loop), else none (single static candidate; first wins).
+    std::optional<SimulateCostModel> simulate;
+    const CostModel* model = state.cost_model;
+    if (model == nullptr && state.evaluator != nullptr) {
+      simulate.emplace(*state.evaluator);
+      model = &*simulate;
+    }
+    const std::string model_name =
+        model != nullptr ? std::string(model->name()) : "none";
+
     struct Built {
       isa::Program program;
       ProgramPlan plan;
       CoreAssignment assignment;
-      std::uint64_t measured = 0;
+      double cost = 0.0;
+      std::size_t index = 0;
     };
     std::optional<Built> best;
     state.rejected_candidates.clear();
+    state.candidate_reports.clear();
     int built_count = 0;
     for (std::size_t i = 0; i < state.candidates.size(); ++i) {
+      CandidateReport report;
+      report.index = i;
+      report.partitions = state.candidates[i].size();
+      report.model = model_name;
       try {
         CoreAssignment assignment = AssignCores(index, state.candidates[i]);
         CommPlan comm = BuildCommPlan(index, assignment);
@@ -116,14 +138,20 @@ class SelectPass final : public Pass {
         CheckCommunicationPairing(kernel, plan);
         CheckQueueCapacity(plan, state.options.assumed_queue_capacity);
         Built built{LowerToSim({&kernel, state.layout, &plan}),
-                    std::move(plan), std::move(assignment), 0};
-        if (state.evaluator != nullptr) {
-          built.measured = (*state.evaluator)(
-              built.program,
-              static_cast<int>(built.assignment.partitions.size()));
+                    std::move(plan), std::move(assignment), 0.0, i};
+        if (model != nullptr) {
+          ScoredCandidate scored =
+              model->Score(state, built.program, built.plan, built.assignment);
+          built.cost = scored.cost;
+          report.cost = scored.cost;
+          report.detail = std::move(scored.detail);
+          report.features = std::move(scored.features);
+        } else {
+          report.detail = "static objective chose this candidate";
         }
+        report.built = true;
         ++built_count;
-        if (!best.has_value() || built.measured < best->measured) {
+        if (!best.has_value() || built.cost < best->cost) {
           best = std::move(built);
         }
       } catch (const Error& e) {
@@ -134,7 +162,9 @@ class SelectPass final : public Pass {
             std::to_string(state.candidates.size()) + " (" +
             std::to_string(state.candidates[i].size()) +
             " partitions): " + e.what());
+        report.detail = e.what();
       }
+      state.candidate_reports.push_back(std::move(report));
     }
     state.Note("candidates_built", built_count);
     state.Note("candidates_rejected",
@@ -148,12 +178,21 @@ class SelectPass final : public Pass {
       }
       throw Error(message);
     }
+    state.candidate_reports[best->index].selected = true;
     state.Note("partitions",
                static_cast<std::int64_t>(best->assignment.partitions.size()));
     state.Note("com_ops", best->plan.comm.com_ops());
-    if (state.evaluator != nullptr) {
+    if (simulate.has_value()) {
+      // Historical counter: exact cycles measured for the winner.  The
+      // simulate model's cost is the measured count verbatim (integers are
+      // exact in a double far beyond any cycle count the trainer produces).
       state.Note("best_measured_cycles",
-                 static_cast<std::int64_t>(best->measured));
+                 static_cast<std::int64_t>(std::llround(best->cost)));
+    } else if (model != nullptr) {
+      // Pluggable models score in fractional cycles; keep the counter
+      // integral (milli-cycles) so --compile-stats stays integer-valued.
+      state.Note("best_model_cost_milli",
+                 static_cast<std::int64_t>(std::llround(best->cost * 1000.0)));
     }
     static_cast<CoreAssignment&>(state.partition) = std::move(best->assignment);
     state.plan = std::move(best->plan);

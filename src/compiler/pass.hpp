@@ -53,6 +53,24 @@ namespace fgpar::compiler {
 using PartitionEvaluator =
     std::function<std::uint64_t(const isa::Program& program, int cores_used)>;
 
+class CostModel;  // cost_model.hpp: pluggable select-stage scoring
+
+/// What the select stage recorded about one candidate partitioning: every
+/// candidate — built or rejected — gets a report carrying its cost-model
+/// attribution, so `--explain-select` and the autotuner can show *why* the
+/// winner won and each loser lost.
+struct CandidateReport {
+  std::size_t index = 0;      // 0-based enumeration order
+  std::size_t partitions = 0;
+  bool built = false;         // false: rejected (pairing/capacity/lowering)
+  bool selected = false;      // the winning candidate
+  double cost = 0.0;          // cost-model score (lower wins); 0 when unscored
+  std::string model;          // scoring cost model's name ("none" when unscored)
+  std::string detail;         // score explanation, or the rejection reason
+  /// Named model features, in the model's deterministic emission order.
+  std::vector<std::pair<std::string, double>> features;
+};
+
 /// Everything the pipeline threads between passes.
 struct CompileState {
   /// `layout` may be null for rewrite-only pipelines (no lowering stage).
@@ -68,6 +86,10 @@ struct CompileState {
   CompileOptions options;
   const analysis::ProfileData* profile = nullptr;   // may be null
   const PartitionEvaluator* evaluator = nullptr;    // may be null
+  /// Pluggable candidate scorer for the select stage (may be null).  When
+  /// null and an evaluator is present, select wraps the evaluator in the
+  /// simulate-to-score model — byte-identical to the historical loop.
+  const CostModel* cost_model = nullptr;
 
   // ---- the kernel being rewritten, plus Table III bookkeeping ----
   PartitionResult partition;
@@ -88,6 +110,9 @@ struct CompileState {
   std::optional<isa::Program> program;  // final machine code
   /// Diagnostics for every candidate the select stage rejected.
   std::vector<std::string> rejected_candidates;
+  /// Structured per-candidate records (built and rejected alike), in
+  /// enumeration order, each with its cost-model attribution.
+  std::vector<CandidateReport> candidate_reports;
 
   /// Per-pass deterministic counters; a pass calls Note() to report what it
   /// did ("split_added", "candidates_rejected", ...).  No-op unless the

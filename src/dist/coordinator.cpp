@@ -14,6 +14,7 @@ LeaseTable::Config LeaseConfigFor(const Coordinator::Config& config) {
   lease.slice_points = config.slice_points;
   lease.lease_ms = config.lease_ms;
   lease.crash_budget = config.crash_budget;
+  lease.target_slice_ms = config.target_slice_ms;
   return lease;
 }
 
@@ -88,6 +89,10 @@ CoordinatorReply Coordinator::Apply(const WorkerReport& report,
       if (journal_) {
         journal_->RecordPoint(point.index, point.payload);
       }
+      // First commit only: a duplicate's timing re-measures work the EWMA
+      // already counted, and racing late commits would make grant sizes
+      // depend on which worker lost the race.
+      leases_.RecordPointCost(point.wall_ms);
     } else {
       ++duplicate_commits_;
     }

@@ -42,6 +42,11 @@ class Coordinator {
     std::uint64_t heartbeat_ms = 2'000;  // advertised report cadence
     std::uint64_t retry_ms = 200;      // advertised idle-poll backoff
     std::size_t crash_budget = 3;      // worker deaths before quarantine
+    /// Adaptive lease sizing target (LeaseTable::Config::target_slice_ms):
+    /// fresh grants are sized so one slice costs roughly this much worker
+    /// wall time, per the EWMA of reported completed-point times.
+    /// 0 keeps the fixed slice_points grant size.
+    std::uint64_t target_slice_ms = 0;
   };
 
   explicit Coordinator(Config config);

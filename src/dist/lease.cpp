@@ -40,12 +40,45 @@ void LeaseTable::QuarantineReported(std::size_t point,
   Quarantine(point, reason);
 }
 
+void LeaseTable::RecordPointCost(double wall_ms) {
+  if (!(wall_ms > 0.0)) {
+    return;  // unmeasured (old worker) or clock nonsense: no update
+  }
+  // First sample seeds the EWMA; later samples blend in at 1/4.  The
+  // sequence of recorded costs fully determines the EWMA (and therefore
+  // every grant size) — no clock reads, no floating-point environment
+  // dependence beyond IEEE doubles.
+  if (cost_samples_ == 0) {
+    cost_ewma_ = wall_ms;
+  } else {
+    cost_ewma_ += (wall_ms - cost_ewma_) * 0.25;
+  }
+  ++cost_samples_;
+}
+
+std::size_t LeaseTable::FreshSlicePoints() const {
+  if (config_.target_slice_ms == 0 || cost_samples_ == 0 ||
+      !(cost_ewma_ > 0.0)) {
+    return config_.slice_points;
+  }
+  const double ideal =
+      static_cast<double>(config_.target_slice_ms) / cost_ewma_;
+  if (ideal >= static_cast<double>(config_.slice_points)) {
+    return config_.slice_points;
+  }
+  if (ideal <= 1.0) {
+    return 1;
+  }
+  return static_cast<std::size_t>(ideal);
+}
+
 LeaseGrant LeaseTable::Acquire(const std::string& worker,
                                std::uint64_t now_ms) {
   LeaseGrant grant;
+  const std::size_t slice = FreshSlicePoints();
   if (!pending_.empty()) {
     auto it = pending_.begin();
-    while (it != pending_.end() && grant.points.size() < config_.slice_points) {
+    while (it != pending_.end() && grant.points.size() < slice) {
       grant.points.push_back(*it);
       it = pending_.erase(it);
     }

@@ -8,6 +8,14 @@
 // workers with nothing queued *steal* the tail of the largest in-flight
 // lease, so one slow worker never serializes the sweep's tail.
 //
+// Lease sizes adapt to observed point cost (Config::target_slice_ms):
+// workers report each completed point's wall time, the table keeps a
+// deterministic EWMA, and fresh grants are sized so one slice is worth
+// roughly the target duration — expensive grids hand out small slices
+// (cheap revocation, natural balance), cheap grids hand out big ones
+// (fewer round trips).  Stealing still covers the case adaptation
+// cannot: a single point that is much slower than the average.
+//
 // LeaseTable is the pure, deterministic core of that policy: no sockets,
 // no threads, no clock — every operation takes an explicit `now_ms`
 // (milliseconds on the caller's monotonic clock), so the whole state
@@ -66,6 +74,14 @@ class LeaseTable {
     std::uint64_t lease_ms = 10'000;   // heartbeat deadline per renewal
     /// A point revoked-while-in-progress this many times is quarantined.
     std::size_t crash_budget = 3;
+    /// Adaptive slice sizing: aim a fresh grant at roughly this much
+    /// worker wall time, using the EWMA of completed-point costs fed in
+    /// via RecordPointCost.  Expensive points shrink grants (a revoked
+    /// lease re-queues less work, the tail balances without stealing);
+    /// cheap points grow them back up to slice_points.  0 disables
+    /// adaptation: grants are always slice_points, and recorded costs
+    /// only update the telemetry accessors.
+    std::uint64_t target_slice_ms = 0;
   };
 
   explicit LeaseTable(Config config);
@@ -111,6 +127,18 @@ class LeaseTable {
   /// no longer passes — its old owner must skip it).
   bool LeaseOwns(std::uint64_t lease_id, std::size_t point) const;
 
+  /// Feeds one completed point's observed wall time (milliseconds on the
+  /// worker's clock) into the cost EWMA that sizes fresh grants.  The
+  /// update is a pure function of the observation sequence — the same
+  /// completions in the same order always produce the same grants — and
+  /// non-positive samples are ignored (old workers report no timing).
+  void RecordPointCost(double wall_ms);
+
+  /// Points a fresh grant would hand out right now:
+  /// clamp(target_slice_ms / cost EWMA, 1, slice_points); slice_points
+  /// until adaptation is enabled *and* at least one cost was recorded.
+  std::size_t FreshSlicePoints() const;
+
   /// All points are either committed or quarantined: the sweep is over.
   bool Done() const;
 
@@ -121,6 +149,8 @@ class LeaseTable {
   }
   const std::map<std::uint64_t, Lease>& leases() const { return leases_; }
   const Config& config() const { return config_; }
+  double point_cost_ewma() const { return cost_ewma_; }
+  std::size_t cost_samples() const { return cost_samples_; }
 
  private:
   void RequeueLease(Lease& lease);
@@ -133,6 +163,8 @@ class LeaseTable {
   std::map<std::size_t, std::size_t> crash_counts_;
   std::map<std::uint64_t, Lease> leases_;
   std::uint64_t next_lease_id_ = 1;
+  double cost_ewma_ = 0.0;        // per-point wall ms; 0 until first sample
+  std::size_t cost_samples_ = 0;
 };
 
 }  // namespace fgpar::dist

@@ -101,6 +101,10 @@ std::string EncodeReport(const WorkerReport& report) {
     w.UInt(point.index);
     w.Key("payload");
     w.String(HexEncode(point.payload));
+    if (point.wall_ms > 0.0) {
+      w.Key("wall_ms");
+      w.Double(point.wall_ms);
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -143,6 +147,9 @@ WorkerReport ParseReport(std::string_view payload) {
     CompletedPoint point;
     point.index = static_cast<std::size_t>(entry.Get("index").AsU64());
     point.payload = HexDecodeToString(entry.Get("payload").AsString());
+    if (const JsonValue* wall = entry.Find("wall_ms")) {
+      point.wall_ms = wall->AsDouble();
+    }
     report.completed.push_back(std::move(point));
   }
   for (const JsonValue& entry : doc.Get("failed").AsArray()) {

@@ -43,6 +43,11 @@ inline constexpr char kDistSchema[] = "fgpar-dist-v1";
 struct CompletedPoint {
   std::size_t index = 0;     // global grid index
   std::string payload;       // raw (decoded) journal payload bytes
+  /// Worker-observed wall time computing the point, milliseconds.  Feeds
+  /// the coordinator's adaptive lease sizing (LeaseTable::RecordPointCost)
+  /// and never enters the journal or the artifact.  0 = unmeasured (a
+  /// report without the field parses fine — older workers stay valid).
+  double wall_ms = 0.0;
 };
 
 /// A point the worker's supervisor quarantined (retries exhausted).  The

@@ -219,12 +219,18 @@ WorkerStats RunWorker(const WorkerOptions& options,
         std::lock_guard<std::mutex> lock(state.mutex);
         state.in_progress = context.index;
       }
+      const auto point_start = std::chrono::steady_clock::now();
       std::string payload = body(context);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - point_start)
+              .count();
       {
         std::lock_guard<std::mutex> lock(state.mutex);
         CompletedPoint point;
         point.index = context.index;
         point.payload = payload;
+        point.wall_ms = wall_ms;  // feeds the coordinator's lease sizing
         state.pending.push_back(std::move(point));
         state.in_progress.reset();
       }

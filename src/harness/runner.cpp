@@ -152,6 +152,27 @@ std::uint64_t KernelRunner::MeasureSequential(const RunConfig& config) const {
   return result.core0_halt_cycle;
 }
 
+analysis::ProfileData KernelRunner::CollectProfile(const RunConfig& config) const {
+  const Prepared prepared = Prepare(config);
+  return analysis::ProfileData::Collect(kernel_, layout_, prepared.params,
+                                        prepared.image, config.cache);
+}
+
+model::Prediction KernelRunner::Predict(const RunConfig& config) const {
+  const Prepared prepared = Prepare(config);
+  compiler::CompileOptions options = config.compile;
+  // Mirror Run: the compile must assume the queues it will execute on.
+  options.assumed_queue_capacity = config.queue.capacity;
+  analysis::ProfileData profile;
+  if (config.collect_profile) {
+    profile = analysis::ProfileData::Collect(kernel_, layout_, prepared.params,
+                                             prepared.image, config.cache);
+  }
+  return model::PredictKernelOnWorkload(
+      kernel_, options, config.collect_profile ? &profile : nullptr, layout_,
+      prepared.params, prepared.image, config.cache);
+}
+
 KernelRun KernelRunner::Run(const RunConfig& config) const {
   const Prepared prepared = Prepare(config);
   const std::vector<std::uint64_t> golden = GoldenMemory(prepared);
@@ -216,7 +237,11 @@ KernelRun KernelRunner::Run(const RunConfig& config) const {
         kernel_, layout_, compile_options,
         config.collect_profile ? &profile : nullptr,
         config.tune_by_simulation ? &evaluator : nullptr,
-        config.telemetry != nullptr ? &compile_instrumentation : nullptr);
+        config.telemetry != nullptr ? &compile_instrumentation : nullptr,
+        config.cost_model);
+    if (config.candidate_reports_out != nullptr) {
+      *config.candidate_reports_out = compiled.candidate_reports;
+    }
     run.cores_used = compiled.cores_used;
     run.initial_fibers = compiled.partition.initial_fibers;
     run.data_deps = compiled.partition.data_deps;

@@ -31,6 +31,7 @@
 #include "ir/interp.hpp"
 #include "ir/kernel.hpp"
 #include "ir/layout.hpp"
+#include "model/analytic.hpp"
 #include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "support/telemetry/telemetry.hpp"
@@ -93,6 +94,16 @@ struct RunConfig {
   /// training workload.  When false, the compiler's static makespan
   /// objective chooses.
   bool tune_by_simulation = true;
+  /// Select-stage cost model (non-owning; null = the default behaviour
+  /// above).  When set, candidates are enumerated and scored by this model
+  /// with zero training simulations — it takes precedence over
+  /// tune_by_simulation (see compiler::SelectPass).
+  const compiler::CostModel* cost_model = nullptr;
+  /// When set, the parallel compile's per-candidate explanation records
+  /// (compiler::CandidateReport — one per enumerated candidate, built or
+  /// rejected, with cost-model attribution) are copied here.  Powers
+  /// `fgparc --explain-select`.
+  std::vector<compiler::CandidateReport>* candidate_reports_out = nullptr;
   /// The single deterministic seed for the run: workload initialization and
   /// each attempt's fault schedule derive from it (multi-version tuning is
   /// already deterministic).  The default reproduces the historical
@@ -212,6 +223,20 @@ class KernelRunner {
 
   /// Sequential-only measurement (golden-checked).
   std::uint64_t MeasureSequential(const RunConfig& config) const;
+
+  /// The profile feedback a Run under `config` would collect (Section
+  /// III-I.3): one interpretation of the prepared workload through the
+  /// cache model.  The autotuner predicts with this so the analytic model
+  /// sees the same memory latencies the simulated compile does.
+  analysis::ProfileData CollectProfile(const RunConfig& config) const;
+
+  /// Whole-kernel analytic prediction under `config` — no simulation.
+  /// Reproduces the candidate a compile under `config` would select
+  /// (rewrite front half + static merge over the same profile feedback),
+  /// then costs it at execution granularity against the prepared workload
+  /// (model::PredictKernelOnWorkload).  The autotuner ranks its search
+  /// space with this; the predictor cross-validation bench scores it.
+  model::Prediction Predict(const RunConfig& config) const;
 
   const ir::Kernel& kernel() const { return kernel_; }
   const ir::DataLayout& layout() const { return layout_; }

@@ -166,6 +166,10 @@ std::uint64_t Interpreter::Eval(ExprId id) {
 
 void Interpreter::Exec(const Stmt& stmt) {
   ++stats_.stmts_executed;
+  current_stmt_ = stmt.id;
+  if (stmt_observer_) {
+    stmt_observer_(stmt.id);
+  }
   switch (stmt.kind) {
     case StmtKind::kAssignTemp:
       temp_values_[static_cast<std::size_t>(stmt.temp)] = Eval(stmt.value);

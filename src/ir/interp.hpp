@@ -25,6 +25,11 @@ namespace fgpar::ir {
 using AccessObserver =
     std::function<void(SymbolId sym, std::uint64_t addr, bool is_write)>;
 
+/// Observes every statement execution (called once per Exec, before the
+/// statement runs).  Profile collection uses this to learn per-statement
+/// execution frequencies — how often each conditional arm is actually taken.
+using StmtObserver = std::function<void(StmtId stmt)>;
+
 struct InterpStats {
   std::uint64_t iterations = 0;
   std::uint64_t stmts_executed = 0;
@@ -42,6 +47,14 @@ class Interpreter {
   /// Installs a memory-access observer (must be called before Run).
   void SetAccessObserver(AccessObserver observer) { observer_ = std::move(observer); }
 
+  /// Installs a statement-execution observer (must be called before Run).
+  void SetStmtObserver(StmtObserver observer) { stmt_observer_ = std::move(observer); }
+
+  /// Id of the statement currently executing — valid inside an observer
+  /// callback (-1 while evaluating loop bounds).  Lets profile collection
+  /// attribute accesses to individual statements, not just symbols.
+  StmtId current_stmt() const { return current_stmt_; }
+
   /// Final raw value of a temp after Run (for live-out checks in tests).
   std::uint64_t TempValue(TempId temp) const;
 
@@ -57,8 +70,10 @@ class Interpreter {
   std::vector<std::uint64_t>& memory_;
   std::vector<std::uint64_t> temp_values_;
   std::int64_t iv_ = 0;
+  StmtId current_stmt_ = -1;
   InterpStats stats_;
   AccessObserver observer_;
+  StmtObserver stmt_observer_;
 };
 
 }  // namespace fgpar::ir

@@ -66,7 +66,8 @@ harness::RunConfig ToRunConfig(const RunRequestConfig& config,
   harness::RunConfig run;
   run.compile.num_cores = config.cores;
   run.compile.speculation = config.speculate;
-  run.compile.throughput_heuristic = config.throughput;
+  run.compile.throughput_heuristic = config.throughput || config.merge == 2;
+  run.compile.multi_pair_merge = config.merge == 1;
   run.queue.transfer_latency = config.latency;
   run.queue.capacity = config.capacity;
   run.threads_per_core = config.smt;

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "harness/autotune.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -36,6 +37,7 @@ std::string RunRequestConfig::CanonicalString() const {
   field("speculate", speculate ? 1 : 0);
   field("throughput", throughput ? 1 : 0);
   field("tune", tune ? 1 : 0);
+  field("merge", static_cast<std::uint64_t>(merge));
   field("trip", static_cast<std::uint64_t>(trip));
   field("seed", seed);
   // `tier` is deliberately absent: run tiers are bit-identical, so a
@@ -68,6 +70,8 @@ void ValidateConfig(const RunRequestConfig& config) {
   check(config.smt >= 1 && config.smt <= 8, "smt must be in [1, 8]");
   check(config.trip >= 1 && config.trip <= 10'000'000,
         "trip must be in [1, 10000000]");
+  check(!(config.throughput && config.merge == 1),
+        "throughput and merge=multi_pair are mutually exclusive");
 }
 
 int ReadI32(const JsonValue& value, const char* what, std::int64_t lo,
@@ -131,6 +135,11 @@ Request ParseRequest(std::string_view payload) {
     if (const JsonValue* v = config->Find("tune")) {
       c.tune = v->AsBool();
     }
+    if (const JsonValue* v = config->Find("merge")) {
+      // harness::MergeShapeFromName throws "unknown merge shape ..." on
+      // anything but affinity/multi_pair/throughput — a structured 400.
+      c.merge = harness::MergeShapeFromName(v->AsString());
+    }
     if (const JsonValue* v = config->Find("trip")) {
       c.trip = v->AsI64();
     }
@@ -181,6 +190,8 @@ std::string EncodeRequest(const Request& request) {
     w.Bool(request.config.throughput);
     w.Key("tune");
     w.Bool(request.config.tune);
+    w.Key("merge");
+    w.String(harness::MergeShapeName(request.config.merge));
     w.Key("trip");
     w.Int(request.config.trip);
     w.Key("seed");

@@ -71,6 +71,13 @@ struct RunRequestConfig {
   bool speculate = false;
   bool throughput = false;
   bool tune = false;
+  /// Merge-heuristic shape (harness::TunePoint encoding: 0 = affinity,
+  /// 1 = multi_pair, 2 = throughput).  The JSON field is the shape name
+  /// ("merge": "multi_pair").  With this knob every autotuner
+  /// configuration — a TUNE_<kernel>.json best point — is addressable as
+  /// a service request; `throughput: true` remains the back-compat
+  /// spelling of merge=throughput.
+  int merge = 0;
   std::int64_t trip = 400;
   std::uint64_t seed = 0x5EED;
   /// Simulator run tier ("auto", "slow", "fast", "threaded"; see

@@ -1,6 +1,8 @@
 #include "support/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "support/error.hpp"
 
@@ -45,6 +47,60 @@ double Max(std::span<const double> values) {
     m = std::max(m, v);
   }
   return m;
+}
+
+std::vector<double> FractionalRanks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Positions i..j (0-based) share the value; each gets the average of
+    // the 1-based ranks i+1..j+1.
+    const double rank = static_cast<double>(i + j) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = rank;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b) {
+  FGPAR_CHECK_MSG(a.size() == b.size() && !a.empty(),
+                  "PearsonCorrelation requires equal non-empty spans");
+  const double mean_a = Mean(a);
+  const double mean_b = Mean(b);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double SpearmanCorrelation(std::span<const double> a,
+                           std::span<const double> b) {
+  const std::vector<double> ranks_a = FractionalRanks(a);
+  const std::vector<double> ranks_b = FractionalRanks(b);
+  return PearsonCorrelation(ranks_a, ranks_b);
 }
 
 void RunningStats::Add(double value) {

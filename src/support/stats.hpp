@@ -18,6 +18,21 @@ double GeoMean(std::span<const double> values);
 double Min(std::span<const double> values);
 double Max(std::span<const double> values);
 
+/// Fractional ranks (1-based; ties get the average of the ranks they
+/// span), the standard preprocessing step for Spearman correlation.
+std::vector<double> FractionalRanks(std::span<const double> values);
+
+/// Pearson product-moment correlation.  The spans must be the same
+/// non-empty length; returns 0 when either side has zero variance.
+double PearsonCorrelation(std::span<const double> a,
+                          std::span<const double> b);
+
+/// Spearman rank correlation (Pearson over fractional ranks; tie-safe).
+/// The predictor cross-validation's headline number: how well the
+/// analytic model orders kernels by measured speedup.
+double SpearmanCorrelation(std::span<const double> a,
+                           std::span<const double> b);
+
 /// Online accumulator for count/mean/min/max.
 class RunningStats {
  public:

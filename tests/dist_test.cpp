@@ -148,6 +148,79 @@ TEST(LeaseTable, CompletingTheLastPointErasesTheLease) {
   EXPECT_TRUE(table.Done());
 }
 
+TEST(LeaseTable, AdaptiveSlicingShrinksGrantsForExpensivePoints) {
+  LeaseTable::Config config = SmallGrid(32, 8);
+  config.target_slice_ms = 1000;  // aim a fresh grant at ~1s of work
+  LeaseTable table(config);
+
+  // No observations yet: the configured slice size.
+  EXPECT_EQ(table.FreshSlicePoints(), 8u);
+  EXPECT_EQ(table.Acquire("w0", 0).points.size(), 8u);
+
+  // Expensive points (500 ms each): grants shrink to target/cost = 2.
+  table.RecordPointCost(500.0);
+  EXPECT_EQ(table.cost_samples(), 1u);
+  EXPECT_EQ(table.point_cost_ewma(), 500.0);  // first sample seeds exactly
+  EXPECT_EQ(table.FreshSlicePoints(), 2u);
+  EXPECT_EQ(table.Acquire("w1", 0).points.size(), 2u);
+
+  // Pathologically slow points clamp to 1, never 0.
+  table.RecordPointCost(1e9);
+  EXPECT_EQ(table.FreshSlicePoints(), 1u);
+
+  // A run of cheap points pulls the EWMA back down; the grant grows but
+  // never past slice_points.
+  for (int i = 0; i < 64; ++i) {
+    table.RecordPointCost(1.0);
+  }
+  EXPECT_EQ(table.FreshSlicePoints(), 8u);
+}
+
+TEST(LeaseTable, AdaptiveSlicingIsDeterministicInTheCompletionSequence) {
+  LeaseTable::Config config = SmallGrid(16, 8);
+  config.target_slice_ms = 400;
+  const std::vector<double> costs = {120.0, 80.0, 310.0, 55.0, 200.0};
+  // Same observation sequence, twice, from scratch: identical EWMA and
+  // identical grant sizes at every step.
+  std::vector<double> ewma;
+  std::vector<std::size_t> slices;
+  for (int run = 0; run < 2; ++run) {
+    LeaseTable table(config);
+    std::vector<double> run_ewma;
+    std::vector<std::size_t> run_slices;
+    for (const double cost : costs) {
+      table.RecordPointCost(cost);
+      run_ewma.push_back(table.point_cost_ewma());
+      run_slices.push_back(table.FreshSlicePoints());
+    }
+    if (run == 0) {
+      ewma = run_ewma;
+      slices = run_slices;
+    } else {
+      EXPECT_EQ(run_ewma, ewma);      // bitwise-equal doubles
+      EXPECT_EQ(run_slices, slices);
+    }
+  }
+}
+
+TEST(LeaseTable, AdaptiveSlicingIgnoresUnmeasuredAndDisabledStaysFixed) {
+  LeaseTable::Config config = SmallGrid(16, 4);
+  config.target_slice_ms = 1000;
+  LeaseTable table(config);
+  table.RecordPointCost(0.0);    // old worker: no timing field
+  table.RecordPointCost(-5.0);   // clock nonsense
+  EXPECT_EQ(table.cost_samples(), 0u);
+  EXPECT_EQ(table.FreshSlicePoints(), 4u);
+
+  // target_slice_ms = 0 (the default): costs are recorded for telemetry
+  // but grants never adapt.
+  LeaseTable fixed(SmallGrid(16, 4));
+  fixed.RecordPointCost(100000.0);
+  EXPECT_EQ(fixed.cost_samples(), 1u);
+  EXPECT_EQ(fixed.FreshSlicePoints(), 4u);
+  EXPECT_EQ(fixed.Acquire("w0", 0).points.size(), 4u);
+}
+
 // ---- fgpar-dist-v1 codec --------------------------------------------------
 
 TEST(DistProtocol, ReportRoundTripsIncludingBinaryPayloads) {
@@ -161,6 +234,7 @@ TEST(DistProtocol, ReportRoundTripsIncludingBinaryPayloads) {
   dist::CompletedPoint done;
   done.index = 5;
   done.payload = std::string("\x00\x1f\xffraw bytes", 12);
+  done.wall_ms = 123.5;
   report.completed.push_back(done);
   dist::FailedPoint failed;
   failed.index = 9;
@@ -178,6 +252,7 @@ TEST(DistProtocol, ReportRoundTripsIncludingBinaryPayloads) {
   ASSERT_EQ(back.completed.size(), 1u);
   EXPECT_EQ(back.completed[0].index, 5u);
   EXPECT_EQ(back.completed[0].payload, done.payload);
+  EXPECT_EQ(back.completed[0].wall_ms, 123.5);
   ASSERT_EQ(back.failed.size(), 1u);
   EXPECT_EQ(back.failed[0].message, failed.message);
   EXPECT_EQ(back.failed[0].repro_bundle, failed.repro_bundle);
@@ -326,6 +401,45 @@ TEST(Coordinator, DuplicateCompletionsAreAcceptedEvenFromRevokedLeases) {
   const CoordinatorReply again = coordinator.Apply(late, 2002);
   EXPECT_EQ(again.code, 200);
   EXPECT_EQ(coordinator.duplicate_commits(), 1u);
+}
+
+TEST(Coordinator, ReportedWallTimesShrinkTheNextGrant) {
+  dist::Coordinator::Config config = CoordConfig("");
+  config.target_slice_ms = 100;  // ~100 ms of work per fresh lease
+  dist::Coordinator coordinator(config);
+
+  CoordinatorReply reply = coordinator.Apply(Hello(coordinator, "w0"), 0);
+  ASSERT_EQ(reply.grant, Grant::kLease);
+  EXPECT_EQ(reply.points.size(), 2u);  // no observations yet: slice_points
+
+  // Both points took 100 ms each: the EWMA says a 2-point slice costs
+  // twice the target, so the next grant is a single point.
+  WorkerReport flush = Hello(coordinator, "w0");
+  flush.lease_id = reply.lease_id;
+  for (const std::size_t index : {0u, 1u}) {
+    dist::CompletedPoint point;
+    point.index = index;
+    point.payload = "payload-" + std::to_string(index);
+    point.wall_ms = 100.0;
+    flush.completed.push_back(point);
+  }
+  reply = coordinator.Apply(flush, 10);
+  ASSERT_EQ(reply.grant, Grant::kLease);
+  EXPECT_EQ(reply.points, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(coordinator.leases().cost_samples(), 2u);
+
+  // A duplicate commit of an already-committed point is discarded and
+  // must not feed the EWMA either.
+  WorkerReport duplicate = Hello(coordinator, "w1");
+  dist::CompletedPoint again;
+  again.index = 0;
+  again.payload = "payload-0";
+  again.wall_ms = 100000.0;
+  duplicate.completed.push_back(again);
+  duplicate.want_work = false;
+  coordinator.Apply(duplicate, 20);
+  EXPECT_EQ(coordinator.duplicate_commits(), 1u);
+  EXPECT_EQ(coordinator.leases().cost_samples(), 2u);
 }
 
 TEST(Coordinator, ReportedFailuresCarryTheWorkerStoryIntoFailures) {

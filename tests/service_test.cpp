@@ -175,6 +175,7 @@ TEST(ServiceCache, EveryConfigFieldSeparatesTheKey) {
   // pairwise distinct — a collision would serve one job's result for
   // another.
   std::vector<RunRequestConfig> variants(10);
+  variants.reserve(12);
   variants[1].cores = 8;
   variants[2].latency = 6;
   variants[3].capacity = 21;
@@ -184,6 +185,8 @@ TEST(ServiceCache, EveryConfigFieldSeparatesTheKey) {
   variants[7].tune = true;
   variants[8].trip = 401;
   variants[9].seed = 0x5EED + 1;
+  variants.emplace_back().merge = 1;
+  variants.emplace_back().merge = 2;
   for (std::size_t i = 0; i < variants.size(); ++i) {
     for (std::size_t j = i + 1; j < variants.size(); ++j) {
       EXPECT_NE(variants[i].CanonicalString(), variants[j].CanonicalString())
@@ -195,6 +198,35 @@ TEST(ServiceCache, EveryConfigFieldSeparatesTheKey) {
           << "variants " << i << " and " << j;
     }
   }
+}
+
+TEST(ServiceProtocol, MergeShapeRoundTripsAndRejectsUnknownNames) {
+  // The JSON field carries the shape name, the struct the TunePoint code.
+  Request request = MakeCompileRun(1);
+  request.config.merge = 1;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request)).config.merge, 1);
+  request.config.merge = 2;
+  EXPECT_EQ(ParseRequest(EncodeRequest(request)).config.merge, 2);
+  // Omitting the field keeps the affinity default — old clients stay valid.
+  EXPECT_EQ(ParseRequest("{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\","
+                         "\"id\":1,\"kernel\":\"kernel k {}\","
+                         "\"config\":{}}")
+                .config.merge,
+            0);
+  // An unknown shape name is a structured 400, never a silent default.
+  EXPECT_THROW(
+      (void)ParseRequest(
+          "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\",\"id\":1,"
+          "\"kernel\":\"kernel k {}\",\"config\":{\"merge\":\"fastest\"}}"),
+      Error);
+  // throughput:true is the back-compat spelling of merge=throughput;
+  // combining it with multi_pair asks for two different merge drivers.
+  EXPECT_THROW(
+      (void)ParseRequest(
+          "{\"schema\":\"fgpar-rpc-v1\",\"op\":\"compile_run\",\"id\":1,"
+          "\"kernel\":\"kernel k {}\","
+          "\"config\":{\"throughput\":true,\"merge\":\"multi_pair\"}}"),
+      Error);
 }
 
 TEST(ServiceProtocol, BackendRoundTripsAndRejectsUnknownNames) {

@@ -101,6 +101,36 @@ TEST(Stats, RunningStatsTracksExtremes) {
   EXPECT_DOUBLE_EQ(s.max(), 10.0);
 }
 
+TEST(Stats, FractionalRanksAverageTies) {
+  // 10 is the smallest (rank 1); the two 20s span ranks 2-3 and each get
+  // 2.5; 30 takes rank 4.
+  const double values[] = {20.0, 10.0, 30.0, 20.0};
+  const std::vector<double> ranks = FractionalRanks(values);
+  ASSERT_EQ(ranks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 4.0);
+  EXPECT_DOUBLE_EQ(ranks[3], 2.5);
+}
+
+TEST(Stats, SpearmanIsRankOnlyAndTieSafe) {
+  // A strictly monotone (but wildly nonlinear) relation is a perfect rank
+  // correlation; reversing one side negates it.
+  const double x[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const double y[] = {1.0, 8.0, 27.0, 1e6, 1e9};
+  const double rev[] = {1e9, 1e6, 27.0, 8.0, 1.0};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(x, rev), -1.0);
+  // Ties on one side must not blow up or bias the sign.
+  const double tied[] = {1.0, 2.0, 2.0, 3.0, 4.0};
+  const double spearman = SpearmanCorrelation(tied, y);
+  EXPECT_GT(spearman, 0.9);
+  EXPECT_LE(spearman, 1.0);
+  // Zero variance (all ranks equal) is defined as 0, not NaN.
+  const double flat[] = {7.0, 7.0, 7.0, 7.0, 7.0};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(flat, y), 0.0);
+}
+
 TEST(Str, FormatFixed) {
   EXPECT_EQ(FormatFixed(1.32, 2), "1.32");
   EXPECT_EQ(FormatFixed(2.0, 2), "2.00");

@@ -10,6 +10,19 @@
 //   --speculate        apply Section III-H control-flow speculation
 //   --throughput       use the Section III-B acyclic "throughput" heuristic
 //   --tune             multi-version compilation with dynamic feedback
+//   --cost-model M     candidate-selection cost model: simulate (train every
+//                      candidate on the simulator, same as --tune) or
+//                      analytic (the latency-hiding predictor; zero
+//                      training simulations)
+//   --explain-select   print one explanation record per enumerated
+//                      candidate — model attribution, score, features, and
+//                      why rejected candidates were rejected.  Implies
+//                      --run.
+//   --autotune         search merge-shape x cores x queue-capacity x
+//                      speculation for this kernel: predict every config
+//                      with the analytic model, simulate only the top
+//                      frontier (plus the default), report the best, and
+//                      write TUNE_<kernel>.json (fgpar-tune-v1)
 //   --smt N            hardware threads per physical core (default 1)
 //   --trip N           value for every i64 parameter (default 400)
 //   --seed N           workload RNG seed (default 0x5EED)
@@ -55,8 +68,10 @@
 #include "compiler/pipeline.hpp"
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
+#include "harness/autotune.hpp"
 #include "harness/bench_artifact.hpp"
 #include "harness/runner.hpp"
+#include "model/analytic.hpp"
 #include "ir/printer.hpp"
 #include "isa/disasm.hpp"
 #include "kernels/sequoia.hpp"
@@ -84,7 +99,12 @@ struct CliOptions {
   bool list_kernels = false;
   bool speculate = false;
   bool throughput = false;
+  bool multi_pair = false;  // set via --apply-tune (no direct flag)
   bool tune = false;
+  std::string cost_model;  // "", "simulate", or "analytic"
+  bool explain_select = false;
+  bool autotune = false;
+  std::string apply_tune;  // TUNE_<kernel>.json whose best point to run
   std::string trace_path;
   bool print_ir = false;
   bool print_plan = false;
@@ -99,6 +119,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: fgparc <file.fk> [--cores N] [--latency N] [--capacity N]\n"
                "              [--speculate] [--throughput] [--tune] [--smt N]\n"
+               "              [--cost-model simulate|analytic] [--explain-select]\n"
+               "              [--autotune] [--apply-tune TUNE.json]\n"
                "              [--trip N] [--seed N] [--tier T] [--backend B]\n"
                "              [--trace FILE]\n"
                "              [--print-ir] [--print-plan] [--disasm] [--run]\n"
@@ -163,6 +185,24 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.throughput = true;
     } else if (std::strcmp(arg, "--tune") == 0) {
       options.tune = true;
+    } else if (std::strncmp(arg, "--cost-model=", 13) == 0) {
+      options.cost_model = arg + 13;
+    } else if (std::strcmp(arg, "--cost-model") == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      options.cost_model = argv[++i];
+    } else if (std::strcmp(arg, "--explain-select") == 0) {
+      options.explain_select = true;
+    } else if (std::strcmp(arg, "--autotune") == 0) {
+      options.autotune = true;
+    } else if (std::strncmp(arg, "--apply-tune=", 13) == 0) {
+      options.apply_tune = arg + 13;
+    } else if (std::strcmp(arg, "--apply-tune") == 0) {
+      if (i + 1 >= argc) {
+        Usage();
+      }
+      options.apply_tune = argv[++i];
     } else if (std::strcmp(arg, "--print-ir") == 0) {
       options.print_ir = true;
     } else if (std::strcmp(arg, "--print-plan") == 0) {
@@ -194,10 +234,23 @@ CliOptions ParseArgs(int argc, char** argv) {
   if (options.path.empty() && !options.list_kernels) {
     Usage();
   }
+  if (!options.cost_model.empty() && options.cost_model != "simulate" &&
+      options.cost_model != "analytic") {
+    std::fprintf(stderr, "unknown cost model: %s (simulate|analytic)\n",
+                 options.cost_model.c_str());
+    Usage();
+  }
+  if (options.cost_model == "simulate") {
+    options.tune = true;  // the simulate model is dynamic-feedback tuning
+    options.cost_model.clear();
+  }
   if (!options.print_ir && !options.print_plan && !options.disasm &&
       !options.print_pipeline && options.dump_after.empty() &&
-      !options.compile_stats) {
+      !options.compile_stats && !options.autotune) {
     options.run = true;
+  }
+  if (options.explain_select) {
+    options.run = true;  // the explanation records come from the verified run
   }
   if (!options.trace_path.empty()) {
     options.run = true;  // the trace captures the verified run
@@ -258,9 +311,32 @@ int ListKernels() {
 }
 
 int Main(int argc, char** argv) {
-  const CliOptions options = ParseArgs(argc, argv);
+  CliOptions options = ParseArgs(argc, argv);
   if (options.list_kernels) {
     return ListKernels();
+  }
+
+  // A tune artifact's best point overrides the config knobs — autotuned
+  // configs are addressable anywhere the CLI knobs are.
+  if (!options.apply_tune.empty()) {
+    std::ifstream tune_in(options.apply_tune);
+    if (!tune_in) {
+      std::fprintf(stderr, "fgparc: cannot open %s\n",
+                   options.apply_tune.c_str());
+      return 1;
+    }
+    std::stringstream tune_buffer;
+    tune_buffer << tune_in.rdbuf();
+    const harness::TuneResult tuned =
+        harness::ParseTuneArtifact(tune_buffer.str());
+    const harness::TunePoint& best = harness::BestPoint(tuned);
+    options.cores = best.cores;
+    options.capacity = best.queue_capacity;
+    options.speculate = best.speculation;
+    options.throughput = best.merge == 2;
+    options.multi_pair = best.merge == 1;
+    std::printf("applied tune point (%s): %s\n", tuned.kernel.c_str(),
+                harness::TunePointLabel(best).c_str());
   }
 
   std::ifstream in(options.path);
@@ -278,6 +354,7 @@ int Main(int argc, char** argv) {
   compile.num_cores = options.cores;
   compile.speculation = options.speculate;
   compile.throughput_heuristic = options.throughput;
+  compile.multi_pair_merge = options.multi_pair;
 
   if (options.print_pipeline) {
     std::printf("%s", compiler::BuildParallelPipeline(compile).Describe().c_str());
@@ -349,6 +426,52 @@ int Main(int argc, char** argv) {
     std::printf("%s\n", isa::DisassembleProgram(compiled.program).c_str());
   }
 
+  if (options.autotune) {
+    harness::TuneOptions tune_options;
+    tune_options.default_point.cores = options.cores;
+    tune_options.default_point.queue_capacity = options.capacity;
+    tune_options.default_point.speculation = options.speculate;
+    tune_options.default_point.merge = options.throughput ? 2 : 0;
+    tune_options.seed = options.seed;
+    const harness::TuneResult tuned = harness::AutotuneKernel(
+        kernel, MakeInit(options), harness::TuneSpace{}, tune_options);
+    std::printf("kernel:       %s\n", kernel.name().c_str());
+    std::printf("enumerated:   %zu configs\n", tuned.enumerated);
+    std::printf("simulated:    %zu (frontier %zu, %.0f%% of the space)\n",
+                tuned.simulated, tuned.frontier_size,
+                100.0 * static_cast<double>(tuned.frontier_size) /
+                    static_cast<double>(tuned.enumerated));
+    for (const harness::TuneCandidate& candidate : tuned.candidates) {
+      if (!candidate.simulated && candidate.note.empty()) {
+        continue;  // predicted-only points stay in the artifact
+      }
+      std::printf("  %-28s predicted %.2f",
+                  harness::TunePointLabel(candidate.point).c_str(),
+                  candidate.predicted_speedup);
+      if (candidate.simulated) {
+        std::printf("  simulated %.2f", candidate.simulated_speedup);
+      }
+      if (!candidate.note.empty()) {
+        std::printf("  [%s]", candidate.note.c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("default:      %s (speedup %.2f)\n",
+                harness::TunePointLabel(
+                    tuned.candidates[tuned.default_index].point)
+                    .c_str(),
+                tuned.default_speedup);
+    std::printf("best:         %s (speedup %.2f)\n",
+                harness::TunePointLabel(harness::BestPoint(tuned)).c_str(),
+                tuned.best_speedup);
+    const std::string artifact_path = "TUNE_" + kernel.name() + ".json";
+    std::ofstream out(artifact_path, std::ios::binary);
+    out << harness::EncodeTuneArtifact(tuned);
+    out.close();
+    std::printf("tune artifact written: %s\n", artifact_path.c_str());
+    return 0;
+  }
+
   if (options.run) {
     harness::KernelRunner runner(kernel, MakeInit(options));
     harness::RunConfig config;
@@ -360,6 +483,14 @@ int Main(int argc, char** argv) {
     config.seed = options.seed;
     config.force_tier = options.tier;
     config.backend = options.backend;
+    const model::AnalyticModel analytic;
+    if (options.cost_model == "analytic") {
+      config.cost_model = &analytic;
+    }
+    std::vector<compiler::CandidateReport> reports;
+    if (options.explain_select) {
+      config.candidate_reports_out = &reports;
+    }
     telemetry::ChromeTraceSink trace_sink;
     if (!options.trace_path.empty()) {
       config.telemetry = &trace_sink;
@@ -382,6 +513,25 @@ int Main(int argc, char** argv) {
                 run.queues_used);
     std::printf("verified:     memory bit-identical to the reference "
                 "interpreter\n");
+    if (options.explain_select) {
+      std::printf("candidate selection (%zu enumerated):\n", reports.size());
+      for (const compiler::CandidateReport& report : reports) {
+        std::printf("  #%zu: %zu partitions, model %s",
+                    report.index + 1, report.partitions, report.model.c_str());
+        if (report.built) {
+          std::printf(", cost %.2f%s\n", report.cost,
+                      report.selected ? "  << selected" : "");
+        } else {
+          std::printf("  REJECTED\n");
+        }
+        if (!report.detail.empty()) {
+          std::printf("      %s\n", report.detail.c_str());
+        }
+        for (const auto& [feature, value] : report.features) {
+          std::printf("      %-24s %.2f\n", feature.c_str(), value);
+        }
+      }
+    }
     if (run.native_run) {
       std::printf("native seq:   %.3f ms (1 thread)\n",
                   run.native_seq_seconds * 1e3);
